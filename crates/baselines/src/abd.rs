@@ -1,0 +1,536 @@
+//! The ABD algorithm (Attiya–Bar-Noy–Dolev), multi-writer multi-reader
+//! variant, used as the replication baseline.
+//!
+//! Every server stores the full `(tag, value)` pair. A write queries a
+//! majority for tags, picks the next tag, and stores the value at a majority.
+//! A read queries a majority for `(tag, value)` pairs, picks the highest, and
+//! *writes it back* to a majority before returning (the write-back is what
+//! makes concurrent reads atomic rather than merely regular).
+//!
+//! Costs (Table I): write cost `n`, read cost `n` (the value travels to/from
+//! every server in the worst case), total storage cost `n`.
+
+use soda_protocol::{value_from, Layout, QuorumTracker, Tag, Value};
+use soda_simnet::{
+    Context, Message, NetworkConfig, Process, ProcessId, RunOutcome, SimTime, Simulation, Stats,
+};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Messages of the ABD protocol.
+#[derive(Clone, Debug)]
+pub enum AbdMsg {
+    /// Ask a writer to write a value.
+    InvokeWrite(Value),
+    /// Ask a reader to read.
+    InvokeRead,
+    /// Phase-1 query (from writers and readers alike).
+    Query {
+        /// Operation sequence number local to the client.
+        seq: u64,
+    },
+    /// Server response to a query: its stored tag and value.
+    QueryResp {
+        /// The queried operation.
+        seq: u64,
+        /// Stored tag.
+        tag: Tag,
+        /// Stored value (this is what makes ABD reads cost `n`).
+        value: Value,
+    },
+    /// Phase-2 store request carrying the full value.
+    Store {
+        /// The operation this store belongs to.
+        seq: u64,
+        /// Tag to store under.
+        tag: Tag,
+        /// Full replicated value.
+        value: Value,
+    },
+    /// Server acknowledgement of a store.
+    StoreAck {
+        /// The operation being acknowledged.
+        seq: u64,
+    },
+}
+
+impl Message for AbdMsg {
+    fn data_bytes(&self) -> usize {
+        match self {
+            AbdMsg::QueryResp { value, .. } | AbdMsg::Store { value, .. } => value.len(),
+            _ => 0,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            AbdMsg::InvokeWrite(_) => "invoke-write",
+            AbdMsg::InvokeRead => "invoke-read",
+            AbdMsg::Query { .. } => "query",
+            AbdMsg::QueryResp { .. } => "query-resp",
+            AbdMsg::Store { .. } => "store",
+            AbdMsg::StoreAck { .. } => "store-ack",
+        }
+    }
+}
+
+/// A completed ABD operation (mirrors `soda::OpRecord` but lives here to keep
+/// the baseline crate independent of the SODA core).
+#[derive(Clone, Debug)]
+pub struct AbdOpRecord {
+    /// Per-client sequence number.
+    pub seq: u64,
+    /// True if this was a read.
+    pub is_read: bool,
+    /// Invocation time.
+    pub invoked_at: SimTime,
+    /// Response time.
+    pub completed_at: SimTime,
+    /// The tag associated with the operation.
+    pub tag: Tag,
+    /// Written or returned value.
+    pub value: Vec<u8>,
+}
+
+/// The ABD server: stores the full `(tag, value)` pair.
+pub struct AbdServer {
+    tag: Tag,
+    value: Value,
+}
+
+impl AbdServer {
+    /// Creates a server holding the initial value.
+    pub fn new(initial: &Value) -> Self {
+        AbdServer {
+            tag: Tag::INITIAL,
+            value: initial.clone(),
+        }
+    }
+
+    /// Bytes of value data stored (storage-cost contribution).
+    pub fn stored_bytes(&self) -> usize {
+        self.value.len()
+    }
+
+    /// The stored tag.
+    pub fn stored_tag(&self) -> Tag {
+        self.tag
+    }
+}
+
+impl Process<AbdMsg> for AbdServer {
+    fn on_message(&mut self, from: ProcessId, msg: AbdMsg, ctx: &mut Context<'_, AbdMsg>) {
+        match msg {
+            AbdMsg::Query { seq } => {
+                ctx.send(
+                    from,
+                    AbdMsg::QueryResp {
+                        seq,
+                        tag: self.tag,
+                        value: self.value.clone(),
+                    },
+                );
+            }
+            AbdMsg::Store { seq, tag, value } => {
+                if tag > self.tag {
+                    self.tag = tag;
+                    self.value = value;
+                }
+                ctx.send(from, AbdMsg::StoreAck { seq });
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Phase of an in-flight ABD client operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum AbdPhase {
+    Idle,
+    Query,
+    Store,
+}
+
+enum PendingOp {
+    Write(Value),
+    Read,
+}
+
+/// An ABD client: performs both writes and reads (the two differ only in how
+/// the phase-2 tag/value are chosen and in what is recorded on completion).
+pub struct AbdClient {
+    layout: Layout,
+    self_id: ProcessId,
+    phase: AbdPhase,
+    pending: VecDeque<PendingOp>,
+    seq: u64,
+    current_is_read: bool,
+    current_value: Option<Value>,
+    invoked_at: SimTime,
+    store_tag: Option<Tag>,
+    store_value: Option<Value>,
+    query_tracker: QuorumTracker<(Tag, Value)>,
+    ack_tracker: QuorumTracker<()>,
+    completed: Vec<AbdOpRecord>,
+}
+
+impl AbdClient {
+    /// Creates a client for the given layout.
+    pub fn new(layout: Layout, self_id: ProcessId) -> Self {
+        let majority = layout.majority();
+        AbdClient {
+            layout,
+            self_id,
+            phase: AbdPhase::Idle,
+            pending: VecDeque::new(),
+            seq: 0,
+            current_is_read: false,
+            current_value: None,
+            invoked_at: SimTime::ZERO,
+            store_tag: None,
+            store_value: None,
+            query_tracker: QuorumTracker::new(majority),
+            ack_tracker: QuorumTracker::new(majority),
+            completed: Vec::new(),
+        }
+    }
+
+    /// Completed operations in completion order.
+    pub fn completed_ops(&self) -> &[AbdOpRecord] {
+        &self.completed
+    }
+
+    fn start_next(&mut self, ctx: &mut Context<'_, AbdMsg>) {
+        if self.phase != AbdPhase::Idle {
+            return;
+        }
+        let Some(op) = self.pending.pop_front() else {
+            return;
+        };
+        self.seq += 1;
+        self.invoked_at = ctx.now();
+        match op {
+            PendingOp::Write(value) => {
+                self.current_is_read = false;
+                self.current_value = Some(value);
+            }
+            PendingOp::Read => {
+                self.current_is_read = true;
+                self.current_value = None;
+            }
+        }
+        self.phase = AbdPhase::Query;
+        self.query_tracker = QuorumTracker::new(self.layout.majority());
+        for &server in self.layout.servers() {
+            ctx.send(server, AbdMsg::Query { seq: self.seq });
+        }
+    }
+
+    fn begin_store(&mut self, ctx: &mut Context<'_, AbdMsg>) {
+        let (max_tag, max_value) = self
+            .query_tracker
+            .responses()
+            .max_by_key(|(_, (tag, _))| *tag)
+            .map(|(_, (tag, value))| (*tag, value.clone()))
+            .unwrap_or((Tag::INITIAL, value_from(Vec::new())));
+        let (tag, value) = if self.current_is_read {
+            (max_tag, max_value)
+        } else {
+            (
+                max_tag.next(self.self_id),
+                self.current_value.clone().expect("write has a value"),
+            )
+        };
+        self.store_tag = Some(tag);
+        self.store_value = Some(value.clone());
+        self.phase = AbdPhase::Store;
+        self.ack_tracker = QuorumTracker::new(self.layout.majority());
+        for &server in self.layout.servers() {
+            ctx.send(
+                server,
+                AbdMsg::Store {
+                    seq: self.seq,
+                    tag,
+                    value: value.clone(),
+                },
+            );
+        }
+    }
+
+    fn complete(&mut self, ctx: &mut Context<'_, AbdMsg>) {
+        let record = AbdOpRecord {
+            seq: self.seq,
+            is_read: self.current_is_read,
+            invoked_at: self.invoked_at,
+            completed_at: ctx.now(),
+            tag: self.store_tag.take().expect("store tag set"),
+            value: self
+                .store_value
+                .take()
+                .map(|v| v.as_ref().clone())
+                .unwrap_or_default(),
+        };
+        self.completed.push(record);
+        self.phase = AbdPhase::Idle;
+        self.current_value = None;
+        self.start_next(ctx);
+    }
+}
+
+impl Process<AbdMsg> for AbdClient {
+    fn on_message(&mut self, from: ProcessId, msg: AbdMsg, ctx: &mut Context<'_, AbdMsg>) {
+        match msg {
+            AbdMsg::InvokeWrite(value) => {
+                self.pending.push_back(PendingOp::Write(value));
+                self.start_next(ctx);
+            }
+            AbdMsg::InvokeRead => {
+                self.pending.push_back(PendingOp::Read);
+                self.start_next(ctx);
+            }
+            AbdMsg::QueryResp { seq, tag, value } => {
+                if self.phase == AbdPhase::Query && seq == self.seq {
+                    self.query_tracker.record(from, (tag, value));
+                    if self.query_tracker.is_complete() {
+                        self.begin_store(ctx);
+                    }
+                }
+            }
+            AbdMsg::StoreAck { seq } => {
+                if self.phase == AbdPhase::Store && seq == self.seq {
+                    self.ack_tracker.record(from, ());
+                    if self.ack_tracker.is_complete() {
+                        self.complete(ctx);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// A complete simulated ABD deployment.
+pub struct AbdCluster {
+    sim: Simulation<AbdMsg>,
+    servers: Vec<ProcessId>,
+    clients: Vec<ProcessId>,
+}
+
+impl AbdCluster {
+    /// Builds a cluster of `n` servers and `num_clients` clients. `f` only
+    /// determines how many crashes the experiments inject; ABD itself always
+    /// uses majority quorums.
+    pub fn build(
+        n: usize,
+        f: usize,
+        num_clients: usize,
+        seed: u64,
+        network: NetworkConfig,
+        initial_value: Vec<u8>,
+    ) -> Self {
+        let mut sim = Simulation::new(seed, network);
+        let server_ids: Vec<ProcessId> = (0..n as u32).map(ProcessId).collect();
+        let layout = Layout::new(server_ids.clone(), f);
+        let initial = value_from(initial_value);
+        for _ in 0..n {
+            sim.add_process(Box::new(AbdServer::new(&initial)));
+        }
+        let mut clients = Vec::new();
+        for _ in 0..num_clients {
+            let id = ProcessId(sim.num_processes() as u32);
+            sim.add_process(Box::new(AbdClient::new(layout.clone(), id)));
+            clients.push(id);
+        }
+        AbdCluster {
+            sim,
+            servers: server_ids,
+            clients,
+        }
+    }
+
+    /// Client process ids.
+    pub fn clients(&self) -> &[ProcessId] {
+        &self.clients
+    }
+
+    /// Server process ids.
+    pub fn servers(&self) -> &[ProcessId] {
+        &self.servers
+    }
+
+    /// Queues a write at client `client`.
+    pub fn invoke_write(&mut self, client: ProcessId, value: Vec<u8>) {
+        self.sim
+            .send_external(client, AbdMsg::InvokeWrite(value_from(value)));
+    }
+
+    /// Queues a write at a given simulated time.
+    pub fn invoke_write_at(&mut self, at: SimTime, client: ProcessId, value: Vec<u8>) {
+        self.sim
+            .send_external_at(at, client, AbdMsg::InvokeWrite(value_from(value)));
+    }
+
+    /// Queues a read at client `client`.
+    pub fn invoke_read(&mut self, client: ProcessId) {
+        self.sim.send_external(client, AbdMsg::InvokeRead);
+    }
+
+    /// Queues a read at a given simulated time.
+    pub fn invoke_read_at(&mut self, at: SimTime, client: ProcessId) {
+        self.sim.send_external_at(at, client, AbdMsg::InvokeRead);
+    }
+
+    /// Crashes the server with the given rank.
+    pub fn crash_server_at(&mut self, at: SimTime, rank: usize) {
+        let id = self.servers[rank];
+        self.sim.schedule_crash(at, id);
+    }
+
+    /// Runs until quiescent.
+    pub fn run_to_quiescence(&mut self) -> RunOutcome {
+        self.sim.run_to_quiescence()
+    }
+
+    /// Message statistics.
+    pub fn stats(&self) -> Stats {
+        self.sim.stats()
+    }
+
+    /// All completed operations across clients, ordered by completion time.
+    pub fn completed_ops(&self) -> Vec<AbdOpRecord> {
+        let mut ops: Vec<AbdOpRecord> = self
+            .clients
+            .iter()
+            .filter_map(|&c| self.sim.process_as::<AbdClient>(c))
+            .flat_map(|c| c.completed_ops().iter().cloned())
+            .collect();
+        ops.sort_by_key(|op| op.completed_at);
+        ops
+    }
+
+    /// Total bytes of value data stored across all servers.
+    pub fn total_stored_bytes(&self) -> u64 {
+        self.servers
+            .iter()
+            .filter_map(|&s| self.sim.process_as::<AbdServer>(s))
+            .map(|s| s.stored_bytes() as u64)
+            .sum()
+    }
+
+    /// Immutable access to the underlying simulation.
+    pub fn sim(&self) -> &Simulation<AbdMsg> {
+        &self.sim
+    }
+}
+
+/// Shared-pointer alias used by the workload adapters.
+pub type SharedLayout = Arc<Layout>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut cluster = AbdCluster::build(5, 2, 2, 1, NetworkConfig::uniform(8), Vec::new());
+        let w = cluster.clients()[0];
+        let r = cluster.clients()[1];
+        cluster.invoke_write(w, b"replicated".to_vec());
+        cluster.run_to_quiescence();
+        cluster.invoke_read(r);
+        cluster.run_to_quiescence();
+        let ops = cluster.completed_ops();
+        assert_eq!(ops.len(), 2);
+        assert!(!ops[0].is_read);
+        assert!(ops[1].is_read);
+        assert_eq!(ops[1].value, b"replicated".to_vec());
+        assert_eq!(ops[1].tag, ops[0].tag);
+    }
+
+    #[test]
+    fn storage_cost_is_n_copies() {
+        let value = vec![3u8; 4096];
+        let mut cluster = AbdCluster::build(6, 2, 1, 2, NetworkConfig::uniform(5), Vec::new());
+        let w = cluster.clients()[0];
+        cluster.invoke_write(w, value.clone());
+        cluster.run_to_quiescence();
+        // Every server that received the store holds the full value; with no
+        // crashes all n do.
+        assert_eq!(cluster.total_stored_bytes(), 6 * value.len() as u64);
+    }
+
+    #[test]
+    fn read_before_write_returns_initial_value() {
+        let mut cluster =
+            AbdCluster::build(3, 1, 1, 3, NetworkConfig::uniform(4), b"init".to_vec());
+        let c = cluster.clients()[0];
+        cluster.invoke_read(c);
+        cluster.run_to_quiescence();
+        let ops = cluster.completed_ops();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].value, b"init".to_vec());
+        assert!(ops[0].tag.is_initial());
+    }
+
+    #[test]
+    fn operations_survive_f_crashes() {
+        let mut cluster = AbdCluster::build(5, 2, 2, 4, NetworkConfig::uniform(6), Vec::new());
+        cluster.crash_server_at(SimTime::ZERO, 0);
+        cluster.crash_server_at(SimTime::ZERO, 4);
+        let w = cluster.clients()[0];
+        let r = cluster.clients()[1];
+        cluster.invoke_write(w, b"still here".to_vec());
+        cluster.run_to_quiescence();
+        cluster.invoke_read(r);
+        cluster.run_to_quiescence();
+        let ops = cluster.completed_ops();
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[1].value, b"still here".to_vec());
+    }
+
+    #[test]
+    fn sequential_writes_are_ordered_by_tags() {
+        let mut cluster = AbdCluster::build(4, 1, 1, 5, NetworkConfig::uniform(3), Vec::new());
+        let w = cluster.clients()[0];
+        for i in 0..4u8 {
+            cluster.invoke_write(w, vec![i]);
+        }
+        cluster.run_to_quiescence();
+        let ops = cluster.completed_ops();
+        assert_eq!(ops.len(), 4);
+        for pair in ops.windows(2) {
+            assert!(pair[0].tag < pair[1].tag);
+            assert!(pair[0].completed_at <= pair[1].completed_at);
+        }
+    }
+
+    #[test]
+    fn write_communication_cost_is_order_n() {
+        let value_size = 2000usize;
+        let mut cluster = AbdCluster::build(8, 3, 1, 6, NetworkConfig::uniform(5), Vec::new());
+        let w = cluster.clients()[0];
+        cluster.invoke_write(w, vec![1u8; value_size]);
+        cluster.run_to_quiescence();
+        let bytes = cluster.stats().data_bytes_sent;
+        let normalized = bytes as f64 / value_size as f64;
+        // Phase 2 ships the value to all n = 8 servers; phase 1 responses carry
+        // the (empty) initial value. The normalized cost must be close to n and
+        // far above SODA's O(f²) *coded* cost of ~n/(n-f) per element.
+        assert!(normalized >= 8.0, "normalized write cost {normalized}");
+        assert!(normalized <= 9.0, "normalized write cost {normalized}");
+    }
+}

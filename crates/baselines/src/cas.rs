@@ -1,0 +1,840 @@
+//! The CAS and CASGC algorithms (Cadambe, Lynch, Médard, Musial), used as the
+//! erasure-coded baseline.
+//!
+//! CAS uses an `[n, k = n − 2f]` MDS code and quorums of size `n − f` (any two
+//! such quorums intersect in at least `k` servers). Servers store coded
+//! elements for **multiple versions**, each labelled `pre` (pre-written) or
+//! `fin` (finalized):
+//!
+//! * **write**: query the highest finalized tag from a quorum → pre-write the
+//!   coded elements to a quorum → finalize at a quorum.
+//! * **read**: query the highest finalized tag `t_r` from a quorum → request
+//!   `t_r` from all servers (each responds with its stored element for `t_r`
+//!   if it has one) → decode from `k` elements.
+//!
+//! CASGC adds garbage collection: after a finalize, a server keeps coded
+//! elements only for the `δ + 1` highest finalized versions, which bounds the
+//! total storage cost at `n/(n−2f) · (δ + 1)` — the rigid bound SODA's elastic
+//! per-read cost is compared against in Table I and Section I-B.
+
+use soda_protocol::{value_from, Layout, QuorumTracker, Tag, Value};
+use soda_rs_code::{CodedElement, MdsCode, VandermondeCode};
+use soda_simnet::{
+    Context, Message, NetworkConfig, Process, ProcessId, RunOutcome, SimTime, Simulation, Stats,
+};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+/// Messages of the CAS / CASGC protocol.
+#[derive(Clone, Debug)]
+pub enum CasMsg {
+    /// Ask a client to write a value.
+    InvokeWrite(Value),
+    /// Ask a client to read.
+    InvokeRead,
+    /// Query the highest finalized tag.
+    QueryTag {
+        /// Client-local operation sequence number.
+        seq: u64,
+    },
+    /// Response to [`CasMsg::QueryTag`].
+    QueryTagResp {
+        /// The queried operation.
+        seq: u64,
+        /// Highest finalized tag at the responding server.
+        tag: Tag,
+    },
+    /// Pre-write of one coded element.
+    PreWrite {
+        /// The write operation.
+        seq: u64,
+        /// Tag being written.
+        tag: Tag,
+        /// The destination server's coded element.
+        element: CodedElement,
+    },
+    /// Acknowledgement of a pre-write.
+    PreWriteAck {
+        /// The acknowledged operation.
+        seq: u64,
+    },
+    /// Finalize a tag (from a writer).
+    Finalize {
+        /// The write operation.
+        seq: u64,
+        /// Tag to finalize.
+        tag: Tag,
+    },
+    /// Acknowledgement of a finalize.
+    FinalizeAck {
+        /// The acknowledged operation.
+        seq: u64,
+    },
+    /// Read request for a particular finalized tag.
+    ReadFinalize {
+        /// The read operation.
+        seq: u64,
+        /// The tag the reader wants.
+        tag: Tag,
+    },
+    /// Response to [`CasMsg::ReadFinalize`]: the element if the server has it.
+    ReadFinalizeResp {
+        /// The read operation.
+        seq: u64,
+        /// The tag requested.
+        tag: Tag,
+        /// The responding server's element for that tag, if stored.
+        element: Option<CodedElement>,
+    },
+}
+
+impl Message for CasMsg {
+    fn data_bytes(&self) -> usize {
+        match self {
+            CasMsg::PreWrite { element, .. } => element.data.len(),
+            CasMsg::ReadFinalizeResp { element: Some(e), .. } => e.data.len(),
+            _ => 0,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            CasMsg::InvokeWrite(_) => "invoke-write",
+            CasMsg::InvokeRead => "invoke-read",
+            CasMsg::QueryTag { .. } => "query-tag",
+            CasMsg::QueryTagResp { .. } => "query-tag-resp",
+            CasMsg::PreWrite { .. } => "pre-write",
+            CasMsg::PreWriteAck { .. } => "pre-write-ack",
+            CasMsg::Finalize { .. } => "finalize",
+            CasMsg::FinalizeAck { .. } => "finalize-ack",
+            CasMsg::ReadFinalize { .. } => "read-finalize",
+            CasMsg::ReadFinalizeResp { .. } => "read-finalize-resp",
+        }
+    }
+}
+
+/// Version label in a server's store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Label {
+    Pre,
+    Fin,
+}
+
+/// Shared configuration of a CAS / CASGC deployment.
+pub struct CasConfig {
+    layout: Layout,
+    code: VandermondeCode,
+    /// `Some(δ + 1)` keeps at most that many finalized versions with elements
+    /// (CASGC); `None` never garbage-collects (plain CAS).
+    gc_versions: Option<usize>,
+}
+
+impl CasConfig {
+    /// Creates the configuration. `f` is the number of tolerated crashes; the
+    /// code dimension is `k = n − 2f`.
+    ///
+    /// # Panics
+    /// Panics if `n − 2f < 1`.
+    pub fn new(layout: Layout, gc_versions: Option<usize>) -> Arc<Self> {
+        let n = layout.n();
+        let f = layout.f();
+        assert!(n > 2 * f, "CAS requires n > 2f");
+        let code = VandermondeCode::new(n, n - 2 * f).expect("valid CAS code parameters");
+        Arc::new(CasConfig {
+            layout,
+            code,
+            gc_versions,
+        })
+    }
+
+    /// The quorum size `n − f`.
+    pub fn quorum(&self) -> usize {
+        self.layout.n() - self.layout.f()
+    }
+
+    /// Code dimension `k = n − 2f`.
+    pub fn k(&self) -> usize {
+        self.code.k()
+    }
+
+    /// The system layout.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// The erasure code.
+    pub fn code(&self) -> &VandermondeCode {
+        &self.code
+    }
+}
+
+/// A completed CAS operation.
+#[derive(Clone, Debug)]
+pub struct CasOpRecord {
+    /// Per-client sequence number.
+    pub seq: u64,
+    /// True if this was a read.
+    pub is_read: bool,
+    /// Invocation time.
+    pub invoked_at: SimTime,
+    /// Response time.
+    pub completed_at: SimTime,
+    /// Tag associated with the operation.
+    pub tag: Tag,
+    /// Written or returned value.
+    pub value: Vec<u8>,
+}
+
+/// A CAS / CASGC server.
+pub struct CasServer {
+    config: Arc<CasConfig>,
+    my_rank: usize,
+    /// All known versions: tag → (element if stored, label).
+    versions: BTreeMap<Tag, (Option<CodedElement>, Label)>,
+}
+
+impl CasServer {
+    /// Creates a server holding the initial value's coded element, finalized.
+    pub fn new(config: Arc<CasConfig>, my_rank: usize, initial: &Value) -> Self {
+        let element = config
+            .code
+            .encode_one(initial, my_rank)
+            .expect("rank within range");
+        let mut versions = BTreeMap::new();
+        versions.insert(Tag::INITIAL, (Some(element), Label::Fin));
+        CasServer {
+            config,
+            my_rank,
+            versions,
+        }
+    }
+
+    /// Bytes of coded-element data currently stored (across all versions).
+    pub fn stored_bytes(&self) -> usize {
+        self.versions
+            .values()
+            .filter_map(|(e, _)| e.as_ref())
+            .map(|e| e.data.len())
+            .sum()
+    }
+
+    /// Number of versions whose coded element is still stored.
+    pub fn stored_versions(&self) -> usize {
+        self.versions
+            .values()
+            .filter(|(e, _)| e.is_some())
+            .count()
+    }
+
+    /// The highest finalized tag.
+    fn max_fin_tag(&self) -> Tag {
+        self.versions
+            .iter()
+            .filter(|(_, (_, label))| *label == Label::Fin)
+            .map(|(tag, _)| *tag)
+            .max()
+            .unwrap_or(Tag::INITIAL)
+    }
+
+    /// CASGC garbage collection: keep elements only for the `δ + 1` highest
+    /// finalized versions (and any pre-written versions newer than the cutoff).
+    fn garbage_collect(&mut self) {
+        let Some(keep) = self.config.gc_versions else {
+            return;
+        };
+        let mut fin_tags: Vec<Tag> = self
+            .versions
+            .iter()
+            .filter(|(_, (_, label))| *label == Label::Fin)
+            .map(|(tag, _)| *tag)
+            .collect();
+        fin_tags.sort_unstable_by(|a, b| b.cmp(a));
+        let Some(&cutoff) = fin_tags.get(keep.saturating_sub(1).min(fin_tags.len().saturating_sub(1))) else {
+            return;
+        };
+        if fin_tags.len() < keep {
+            return;
+        }
+        for (tag, (element, _)) in self.versions.iter_mut() {
+            if *tag < cutoff {
+                *element = None;
+            }
+        }
+    }
+}
+
+impl Process<CasMsg> for CasServer {
+    fn on_message(&mut self, from: ProcessId, msg: CasMsg, ctx: &mut Context<'_, CasMsg>) {
+        match msg {
+            CasMsg::QueryTag { seq } => {
+                ctx.send(
+                    from,
+                    CasMsg::QueryTagResp {
+                        seq,
+                        tag: self.max_fin_tag(),
+                    },
+                );
+            }
+            CasMsg::PreWrite { seq, tag, element } => {
+                let entry = self
+                    .versions
+                    .entry(tag)
+                    .or_insert((None, Label::Pre));
+                if entry.0.is_none() {
+                    entry.0 = Some(element);
+                }
+                ctx.send(from, CasMsg::PreWriteAck { seq });
+            }
+            CasMsg::Finalize { seq, tag } => {
+                let entry = self.versions.entry(tag).or_insert((None, Label::Pre));
+                entry.1 = Label::Fin;
+                self.garbage_collect();
+                ctx.send(from, CasMsg::FinalizeAck { seq });
+            }
+            CasMsg::ReadFinalize { seq, tag } => {
+                let entry = self.versions.entry(tag).or_insert((None, Label::Pre));
+                entry.1 = Label::Fin;
+                let element = entry.0.clone();
+                self.garbage_collect();
+                ctx.send(from, CasMsg::ReadFinalizeResp { seq, tag, element });
+            }
+            _ => {}
+        }
+        let _ = self.my_rank;
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CasPhase {
+    Idle,
+    QueryTag,
+    PreWrite,
+    Finalize,
+    ReadValue,
+}
+
+enum PendingOp {
+    Write(Value),
+    Read,
+}
+
+/// A CAS / CASGC client performing both writes and reads.
+pub struct CasClient {
+    config: Arc<CasConfig>,
+    self_id: ProcessId,
+    phase: CasPhase,
+    pending: VecDeque<PendingOp>,
+    seq: u64,
+    current_is_read: bool,
+    current_value: Option<Value>,
+    current_tag: Option<Tag>,
+    invoked_at: SimTime,
+    tag_tracker: QuorumTracker<Tag>,
+    ack_tracker: QuorumTracker<()>,
+    read_elements: BTreeMap<usize, CodedElement>,
+    read_responses: QuorumTracker<()>,
+    completed: Vec<CasOpRecord>,
+}
+
+impl CasClient {
+    /// Creates a client.
+    pub fn new(config: Arc<CasConfig>, self_id: ProcessId) -> Self {
+        let q = config.quorum();
+        CasClient {
+            config,
+            self_id,
+            phase: CasPhase::Idle,
+            pending: VecDeque::new(),
+            seq: 0,
+            current_is_read: false,
+            current_value: None,
+            current_tag: None,
+            invoked_at: SimTime::ZERO,
+            tag_tracker: QuorumTracker::new(q),
+            ack_tracker: QuorumTracker::new(q),
+            read_elements: BTreeMap::new(),
+            read_responses: QuorumTracker::new(q),
+            completed: Vec::new(),
+        }
+    }
+
+    /// Completed operations in completion order.
+    pub fn completed_ops(&self) -> &[CasOpRecord] {
+        &self.completed
+    }
+
+    fn servers(&self) -> Vec<ProcessId> {
+        self.config.layout().servers().to_vec()
+    }
+
+    fn start_next(&mut self, ctx: &mut Context<'_, CasMsg>) {
+        if self.phase != CasPhase::Idle {
+            return;
+        }
+        let Some(op) = self.pending.pop_front() else {
+            return;
+        };
+        self.seq += 1;
+        self.invoked_at = ctx.now();
+        match op {
+            PendingOp::Write(value) => {
+                self.current_is_read = false;
+                self.current_value = Some(value);
+            }
+            PendingOp::Read => {
+                self.current_is_read = true;
+                self.current_value = None;
+            }
+        }
+        self.current_tag = None;
+        self.phase = CasPhase::QueryTag;
+        self.tag_tracker = QuorumTracker::new(self.config.quorum());
+        for server in self.servers() {
+            ctx.send(server, CasMsg::QueryTag { seq: self.seq });
+        }
+    }
+
+    fn after_tag_query(&mut self, ctx: &mut Context<'_, CasMsg>) {
+        let max_tag = self
+            .tag_tracker
+            .max_response()
+            .copied()
+            .unwrap_or(Tag::INITIAL);
+        if self.current_is_read {
+            self.current_tag = Some(max_tag);
+            self.phase = CasPhase::ReadValue;
+            self.read_elements.clear();
+            self.read_responses = QuorumTracker::new(self.config.quorum());
+            for server in self.servers() {
+                ctx.send(server, CasMsg::ReadFinalize { seq: self.seq, tag: max_tag });
+            }
+        } else {
+            let tag = max_tag.next(self.self_id);
+            self.current_tag = Some(tag);
+            self.phase = CasPhase::PreWrite;
+            self.ack_tracker = QuorumTracker::new(self.config.quorum());
+            let value = self.current_value.clone().expect("write has a value");
+            let elements = self
+                .config
+                .code()
+                .encode(&value)
+                .expect("encoding never fails for valid parameters");
+            for (rank, server) in self.servers().into_iter().enumerate() {
+                ctx.send(
+                    server,
+                    CasMsg::PreWrite {
+                        seq: self.seq,
+                        tag,
+                        element: elements[rank].clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    fn begin_finalize(&mut self, ctx: &mut Context<'_, CasMsg>) {
+        self.phase = CasPhase::Finalize;
+        self.ack_tracker = QuorumTracker::new(self.config.quorum());
+        let tag = self.current_tag.expect("finalize requires a tag");
+        for server in self.servers() {
+            ctx.send(server, CasMsg::Finalize { seq: self.seq, tag });
+        }
+    }
+
+    fn try_complete_read(&mut self, ctx: &mut Context<'_, CasMsg>) {
+        if !self.read_responses.is_complete() || self.read_elements.len() < self.config.k() {
+            return;
+        }
+        let elements: Vec<CodedElement> = self.read_elements.values().cloned().collect();
+        let value = self
+            .config
+            .code()
+            .decode(&elements)
+            .expect("quorum intersection provides k consistent elements");
+        self.complete(value, ctx);
+    }
+
+    fn complete(&mut self, value: Vec<u8>, ctx: &mut Context<'_, CasMsg>) {
+        let record = CasOpRecord {
+            seq: self.seq,
+            is_read: self.current_is_read,
+            invoked_at: self.invoked_at,
+            completed_at: ctx.now(),
+            tag: self.current_tag.expect("tag set"),
+            value,
+        };
+        self.completed.push(record);
+        self.phase = CasPhase::Idle;
+        self.current_value = None;
+        self.current_tag = None;
+        self.read_elements.clear();
+        self.start_next(ctx);
+    }
+}
+
+impl Process<CasMsg> for CasClient {
+    fn on_message(&mut self, from: ProcessId, msg: CasMsg, ctx: &mut Context<'_, CasMsg>) {
+        match msg {
+            CasMsg::InvokeWrite(value) => {
+                self.pending.push_back(PendingOp::Write(value));
+                self.start_next(ctx);
+            }
+            CasMsg::InvokeRead => {
+                self.pending.push_back(PendingOp::Read);
+                self.start_next(ctx);
+            }
+            CasMsg::QueryTagResp { seq, tag } => {
+                if self.phase == CasPhase::QueryTag && seq == self.seq {
+                    self.tag_tracker.record(from, tag);
+                    if self.tag_tracker.is_complete() {
+                        self.after_tag_query(ctx);
+                    }
+                }
+            }
+            CasMsg::PreWriteAck { seq } => {
+                if self.phase == CasPhase::PreWrite && seq == self.seq {
+                    self.ack_tracker.record(from, ());
+                    if self.ack_tracker.is_complete() {
+                        self.begin_finalize(ctx);
+                    }
+                }
+            }
+            CasMsg::FinalizeAck { seq } => {
+                if self.phase == CasPhase::Finalize && seq == self.seq {
+                    self.ack_tracker.record(from, ());
+                    if self.ack_tracker.is_complete() {
+                        let value = self
+                            .current_value
+                            .clone()
+                            .map(|v| v.as_ref().clone())
+                            .unwrap_or_default();
+                        self.complete(value, ctx);
+                    }
+                }
+            }
+            CasMsg::ReadFinalizeResp { seq, tag, element } => {
+                if self.phase == CasPhase::ReadValue
+                    && seq == self.seq
+                    && Some(tag) == self.current_tag
+                {
+                    self.read_responses.record(from, ());
+                    if let Some(element) = element {
+                        self.read_elements.insert(element.index, element);
+                    }
+                    self.try_complete_read(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// A complete simulated CAS / CASGC deployment.
+pub struct CasCluster {
+    sim: Simulation<CasMsg>,
+    config: Arc<CasConfig>,
+    servers: Vec<ProcessId>,
+    clients: Vec<ProcessId>,
+}
+
+impl CasCluster {
+    /// Builds a cluster of `n` servers tolerating `f` crashes with the given
+    /// garbage-collection depth (`Some(δ + 1)` for CASGC, `None` for CAS).
+    pub fn build(
+        n: usize,
+        f: usize,
+        gc_versions: Option<usize>,
+        num_clients: usize,
+        seed: u64,
+        network: NetworkConfig,
+        initial_value: Vec<u8>,
+    ) -> Self {
+        let mut sim = Simulation::new(seed, network);
+        let server_ids: Vec<ProcessId> = (0..n as u32).map(ProcessId).collect();
+        let layout = Layout::new(server_ids.clone(), f);
+        let config = CasConfig::new(layout, gc_versions);
+        let initial = value_from(initial_value);
+        for rank in 0..n {
+            sim.add_process(Box::new(CasServer::new(config.clone(), rank, &initial)));
+        }
+        let mut clients = Vec::new();
+        for _ in 0..num_clients {
+            let id = ProcessId(sim.num_processes() as u32);
+            sim.add_process(Box::new(CasClient::new(config.clone(), id)));
+            clients.push(id);
+        }
+        CasCluster {
+            sim,
+            config,
+            servers: server_ids,
+            clients,
+        }
+    }
+
+    /// Client process ids.
+    pub fn clients(&self) -> &[ProcessId] {
+        &self.clients
+    }
+
+    /// The shared configuration.
+    pub fn config(&self) -> &Arc<CasConfig> {
+        &self.config
+    }
+
+    /// Queues a write.
+    pub fn invoke_write(&mut self, client: ProcessId, value: Vec<u8>) {
+        self.sim
+            .send_external(client, CasMsg::InvokeWrite(value_from(value)));
+    }
+
+    /// Queues a write at a given time.
+    pub fn invoke_write_at(&mut self, at: SimTime, client: ProcessId, value: Vec<u8>) {
+        self.sim
+            .send_external_at(at, client, CasMsg::InvokeWrite(value_from(value)));
+    }
+
+    /// Queues a read.
+    pub fn invoke_read(&mut self, client: ProcessId) {
+        self.sim.send_external(client, CasMsg::InvokeRead);
+    }
+
+    /// Queues a read at a given time.
+    pub fn invoke_read_at(&mut self, at: SimTime, client: ProcessId) {
+        self.sim.send_external_at(at, client, CasMsg::InvokeRead);
+    }
+
+    /// Crashes the server with the given rank.
+    pub fn crash_server_at(&mut self, at: SimTime, rank: usize) {
+        let id = self.servers[rank];
+        self.sim.schedule_crash(at, id);
+    }
+
+    /// Runs until quiescent.
+    pub fn run_to_quiescence(&mut self) -> RunOutcome {
+        self.sim.run_to_quiescence()
+    }
+
+    /// Message statistics.
+    pub fn stats(&self) -> Stats {
+        self.sim.stats()
+    }
+
+    /// All completed operations, ordered by completion time.
+    pub fn completed_ops(&self) -> Vec<CasOpRecord> {
+        let mut ops: Vec<CasOpRecord> = self
+            .clients
+            .iter()
+            .filter_map(|&c| self.sim.process_as::<CasClient>(c))
+            .flat_map(|c| c.completed_ops().iter().cloned())
+            .collect();
+        ops.sort_by_key(|op| op.completed_at);
+        ops
+    }
+
+    /// Total bytes of coded-element data stored across all servers and all
+    /// retained versions.
+    pub fn total_stored_bytes(&self) -> u64 {
+        self.servers
+            .iter()
+            .filter_map(|&s| self.sim.process_as::<CasServer>(s))
+            .map(|s| s.stored_bytes() as u64)
+            .sum()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// The completed operations of one particular client.
+    pub fn client_records(&self, client: ProcessId) -> Vec<CasOpRecord> {
+        self.sim
+            .process_as::<CasClient>(client)
+            .map(|c| c.completed_ops().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// Maximum number of versions with stored elements at any single server.
+    pub fn max_stored_versions(&self) -> usize {
+        self.servers
+            .iter()
+            .filter_map(|&s| self.sim.process_as::<CasServer>(s))
+            .map(|s| s.stored_versions())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(n: usize, f: usize, gc: Option<usize>, seed: u64) -> CasCluster {
+        CasCluster::build(n, f, gc, 2, seed, NetworkConfig::uniform(7), Vec::new())
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut c = cluster(5, 1, None, 1);
+        let w = c.clients()[0];
+        let r = c.clients()[1];
+        c.invoke_write(w, b"coded baseline".to_vec());
+        c.run_to_quiescence();
+        c.invoke_read(r);
+        c.run_to_quiescence();
+        let ops = c.completed_ops();
+        assert_eq!(ops.len(), 2);
+        assert!(ops[1].is_read);
+        assert_eq!(ops[1].value, b"coded baseline".to_vec());
+        assert_eq!(ops[1].tag, ops[0].tag);
+    }
+
+    #[test]
+    fn quorum_and_k_parameters() {
+        let c = cluster(9, 2, None, 0);
+        assert_eq!(c.config().quorum(), 7);
+        assert_eq!(c.config().k(), 5);
+    }
+
+    #[test]
+    fn tolerates_f_crashes() {
+        let mut c = cluster(7, 2, None, 3);
+        c.crash_server_at(SimTime::ZERO, 0);
+        c.crash_server_at(SimTime::ZERO, 6);
+        let w = c.clients()[0];
+        let r = c.clients()[1];
+        c.invoke_write(w, b"resilient cas".to_vec());
+        c.run_to_quiescence();
+        c.invoke_read(r);
+        c.run_to_quiescence();
+        let ops = c.completed_ops();
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[1].value, b"resilient cas".to_vec());
+    }
+
+    #[test]
+    fn cas_without_gc_accumulates_versions() {
+        let mut c = cluster(5, 1, None, 4);
+        let w = c.clients()[0];
+        for i in 0..5u8 {
+            c.invoke_write(w, vec![i; 300]);
+        }
+        c.run_to_quiescence();
+        // Initial version + 5 writes, no GC.
+        assert_eq!(c.max_stored_versions(), 6);
+    }
+
+    #[test]
+    fn casgc_bounds_stored_versions_to_delta_plus_one() {
+        let delta = 1usize;
+        let mut c = cluster(5, 1, Some(delta + 1), 5);
+        let w = c.clients()[0];
+        for i in 0..6u8 {
+            c.invoke_write(w, vec![i; 300]);
+        }
+        c.run_to_quiescence();
+        assert!(
+            c.max_stored_versions() <= delta + 1,
+            "stored versions {} exceed δ+1 = {}",
+            c.max_stored_versions(),
+            delta + 1
+        );
+    }
+
+    #[test]
+    fn casgc_storage_cost_tracks_paper_formula() {
+        let n = 6;
+        let f = 1;
+        let delta = 2usize;
+        let value_size = 3000usize;
+        let mut c = CasCluster::build(
+            n,
+            f,
+            Some(delta + 1),
+            1,
+            6,
+            NetworkConfig::uniform(4),
+            Vec::new(),
+        );
+        let w = c.clients()[0];
+        for i in 0..8u8 {
+            c.invoke_write(w, vec![i; value_size]);
+        }
+        c.run_to_quiescence();
+        let normalized = c.total_stored_bytes() as f64 / value_size as f64;
+        let formula = n as f64 / (n - 2 * f) as f64 * (delta + 1) as f64;
+        assert!(
+            normalized <= formula + 0.2,
+            "measured {normalized:.2} exceeds paper bound {formula:.2}"
+        );
+        assert!(
+            normalized > formula * 0.6,
+            "measured {normalized:.2} implausibly below bound {formula:.2}"
+        );
+    }
+
+    #[test]
+    fn write_communication_cost_matches_n_over_n_minus_2f() {
+        let n = 8;
+        let f = 2;
+        let value_size = 4000usize;
+        let mut c = CasCluster::build(n, f, None, 1, 7, NetworkConfig::uniform(5), Vec::new());
+        let w = c.clients()[0];
+        c.invoke_write(w, vec![9u8; value_size]);
+        c.run_to_quiescence();
+        let normalized = c.stats().data_bytes_sent as f64 / value_size as f64;
+        let formula = n as f64 / (n - 2 * f) as f64;
+        assert!(
+            (normalized - formula).abs() < 0.2,
+            "measured {normalized:.2} vs formula {formula:.2}"
+        );
+    }
+
+    #[test]
+    fn sequential_writes_have_increasing_tags() {
+        let mut c = cluster(5, 2, None, 8);
+        let w = c.clients()[0];
+        for i in 0..4u8 {
+            c.invoke_write(w, vec![i]);
+        }
+        c.run_to_quiescence();
+        let ops = c.completed_ops();
+        assert_eq!(ops.len(), 4);
+        for pair in ops.windows(2) {
+            assert!(pair[0].tag < pair[1].tag);
+        }
+    }
+
+    #[test]
+    fn read_before_write_returns_initial_value() {
+        let mut c = CasCluster::build(
+            5,
+            1,
+            Some(2),
+            1,
+            9,
+            NetworkConfig::uniform(3),
+            b"cas genesis".to_vec(),
+        );
+        let client = c.clients()[0];
+        c.invoke_read(client);
+        c.run_to_quiescence();
+        let ops = c.completed_ops();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].value, b"cas genesis".to_vec());
+    }
+}

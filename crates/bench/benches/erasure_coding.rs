@@ -1,0 +1,80 @@
+//! Criterion benches for the erasure-coding substrate: encoding throughput,
+//! erasure decoding, and Berlekamp–Welch error decoding across value sizes and
+//! code parameters. These are the `Φ`, `Φ⁻¹` and `Φ⁻¹_err` primitives every
+//! SODA operation ultimately pays for.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use soda_rs_code::{BerlekampWelchCode, MdsCode, VandermondeCode};
+use std::hint::black_box;
+
+fn value_of(size: usize) -> Vec<u8> {
+    (0..size).map(|i| (i * 31 % 251) as u8).collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode");
+    group.sample_size(20);
+    for &size in &[4 * 1024usize, 64 * 1024] {
+        for &(n, k) in &[(5usize, 3usize), (10, 6), (20, 11)] {
+            let code = VandermondeCode::new(n, k).unwrap();
+            let value = value_of(size);
+            group.throughput(Throughput::Bytes(size as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("n{n}_k{k}"), size),
+                &value,
+                |b, value| b.iter(|| black_box(code.encode(black_box(value)).unwrap())),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_erasure_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("erasure_decode");
+    group.sample_size(20);
+    for &size in &[4 * 1024usize, 64 * 1024] {
+        let (n, k) = (10usize, 6usize);
+        let code = VandermondeCode::new(n, k).unwrap();
+        let value = value_of(size);
+        let elements = code.encode(&value).unwrap();
+        // Decode from the *last* k elements (all parity where possible), the
+        // most expensive case since it requires a full matrix inversion.
+        let subset: Vec<_> = elements[n - k..].to_vec();
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("parity_only", size), &subset, |b, subset| {
+            b.iter(|| black_box(code.decode(black_box(subset)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_error_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("error_decode");
+    group.sample_size(10);
+    for &size in &[4 * 1024usize] {
+        for &e in &[1usize, 2] {
+            let (n, f) = (12usize, 2usize);
+            let code = BerlekampWelchCode::for_fault_tolerance(n, f, e).unwrap();
+            let value = value_of(size);
+            let mut elements = code.encode(&value).unwrap();
+            elements.truncate(n - f);
+            for victim in 0..e {
+                for b in elements[victim].data.iter_mut() {
+                    *b ^= 0xA5;
+                }
+            }
+            group.throughput(Throughput::Bytes(size as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("e{e}"), size),
+                &elements,
+                |b, elements| {
+                    b.iter(|| black_box(code.decode_with_errors(black_box(elements), e).unwrap()))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_erasure_decode, bench_error_decode);
+criterion_main!(benches);

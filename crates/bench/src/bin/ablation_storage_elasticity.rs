@@ -1,0 +1,49 @@
+//! Ablation A2 — CASGC's rigid, provisioned storage versus SODA's elastic
+//! read cost (Section I-B, point (ii) of the CASGC comparison).
+//!
+//! CASGC must be provisioned for a worst-case concurrency bound δ and then
+//! pays `n/(n−2f)·(δ+1)` storage even when the actual concurrency is tiny.
+//! SODA always stores `n/(n−f)` and instead pays per-read communication
+//! proportional to the concurrency that actually happened.
+//!
+//! Usage: `cargo run -p soda-bench --release --bin ablation_storage_elasticity [out.json]`
+
+use soda_bench::{json_path_from_args, maybe_write_json};
+use soda_workload::experiments::{render_table, storage_elasticity, to_json};
+
+fn main() {
+    let (n, f) = (10, 4);
+    let provisioned = [0, 1, 2, 4, 8];
+    let actual = 1;
+    println!("Ablation A2: storage elasticity, n={n}, f={f}, actual concurrency δw={actual}\n");
+    let rows = storage_elasticity(n, f, &provisioned, actual, 8 * 1024, 31);
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.provisioned_delta.to_string(),
+                r.actual_delta_w.to_string(),
+                format!("{:.2}", r.soda_storage),
+                format!("{:.2}", r.casgc_storage),
+                format!("{:.2}", r.soda_read),
+                format!("{:.2}", r.casgc_read),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "provisioned δ",
+                "actual δw",
+                "SODA storage",
+                "CASGC storage",
+                "SODA read",
+                "CASGC read",
+            ],
+            &body
+        )
+    );
+    println!("Shape check: CASGC storage grows with the provisioned δ even though actual concurrency is constant; SODA storage stays flat at n/(n-f).");
+    maybe_write_json(json_path_from_args().as_deref(), &to_json(&rows));
+}

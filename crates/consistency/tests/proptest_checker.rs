@@ -1,0 +1,106 @@
+//! Property tests cross-validating the tag-based atomicity checker against
+//! the brute-force linearizability search.
+//!
+//! The tag-based conditions (Lemma 2.1) are *sufficient* for atomicity, so any
+//! history the fast checker accepts must also be accepted by the brute-force
+//! checker. The converse need not hold (a history can be linearizable even if
+//! the tags recorded by a buggy protocol are inconsistent), so only the
+//! implication is asserted.
+
+use proptest::prelude::*;
+use soda_consistency::{History, Kind, Version};
+
+#[derive(Debug, Clone)]
+struct GenOp {
+    client: u64,
+    is_read: bool,
+    start: u64,
+    duration: u64,
+    version_z: u64,
+    version_w: u64,
+    value_seed: u8,
+}
+
+fn gen_ops() -> impl Strategy<Value = Vec<GenOp>> {
+    proptest::collection::vec(
+        (
+            0u64..3,
+            any::<bool>(),
+            0u64..50,
+            1u64..20,
+            0u64..4,
+            0u64..3,
+            any::<u8>(),
+        )
+            .prop_map(
+                |(client, is_read, start, duration, version_z, version_w, value_seed)| GenOp {
+                    client,
+                    is_read,
+                    start,
+                    duration,
+                    version_z,
+                    version_w,
+                    value_seed,
+                },
+            ),
+        0..7,
+    )
+}
+
+/// Builds a well-formed history (per-client operations serialized) from the
+/// raw generated descriptions. Values are derived from versions for writes so
+/// that a "correct protocol" shape is likely, but reads may carry arbitrary
+/// versions/values, exercising both accepting and rejecting paths.
+fn build_history(ops: Vec<GenOp>) -> History {
+    let mut history = History::new(b"v0".to_vec());
+    // Serialize each client's operations to keep the history well-formed.
+    let mut next_free: std::collections::BTreeMap<u64, u64> = Default::default();
+    for op in ops {
+        let start = (*next_free.get(&op.client).unwrap_or(&0)).max(op.start);
+        let end = start + op.duration;
+        next_free.insert(op.client, end + 1);
+        let version = Version::new(op.version_z, op.version_w);
+        let value = if op.version_z == 0 {
+            b"v0".to_vec()
+        } else {
+            vec![op.version_z as u8, op.version_w as u8, op.value_seed % 2]
+        };
+        history.push(
+            op.client,
+            if op.is_read { Kind::Read } else { Kind::Write },
+            start,
+            end,
+            value,
+            version,
+        );
+    }
+    history
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn tag_checker_acceptance_implies_linearizability(ops in gen_ops()) {
+        let history = build_history(ops);
+        prop_assume!(history.check_well_formed().is_ok());
+        if history.check_atomicity().is_ok() {
+            prop_assert!(
+                history.check_linearizable_brute_force(),
+                "tag-based checker accepted a non-linearizable history: {history:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn checkers_never_panic_on_well_formed_histories(ops in gen_ops()) {
+        let history = build_history(ops);
+        let _ = history.check_atomicity();
+        if history.len() <= 8 {
+            let _ = history.check_linearizable_brute_force();
+        }
+        for read in history.ops().iter().filter(|o| o.kind == Kind::Read) {
+            let _ = history.concurrent_writes(read.id);
+        }
+    }
+}

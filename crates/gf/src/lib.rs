@@ -1,0 +1,43 @@
+//! Galois-field arithmetic for MDS erasure codes.
+//!
+//! This crate provides the algebraic substrate used by the Reed–Solomon
+//! implementation in `soda-rs-code`:
+//!
+//! * [`Gf256`] — the finite field GF(2^8) with the AES/Rijndael-compatible
+//!   primitive polynomial `x^8 + x^4 + x^3 + x^2 + 1` (0x11d), implemented with
+//!   precomputed exponential/logarithm tables.
+//! * [`Poly`] — dense polynomials over GF(2^8) (addition, multiplication,
+//!   Euclidean division, evaluation, formal derivative). Used by the
+//!   error-correcting decoder (syndromes, Berlekamp–Massey, Chien search,
+//!   Forney's formula).
+//! * [`Matrix`] — row-major matrices over GF(2^8) with Gauss–Jordan inversion
+//!   and Vandermonde/Cauchy constructors. Used by the systematic encoder and the
+//!   erasure-only decoder.
+//!
+//! The paper ("Storage-Optimized Data-Atomic Algorithms…", Konwar et al.)
+//! abstracts the code as an encoder Φ and decoders Φ⁻¹ / Φ⁻¹_err over an
+//! `[n, k]` MDS code; everything in this crate exists to realize those three
+//! functions concretely without external dependencies.
+//!
+//! # Example
+//!
+//! ```
+//! use soda_gf::Gf256;
+//!
+//! let a = Gf256::new(0x53);
+//! let b = Gf256::new(0xCA);
+//! let p = a * b;
+//! assert_eq!(p / b, a);
+//! assert_eq!(a + a, Gf256::ZERO); // characteristic 2
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod gf256;
+mod matrix;
+mod poly;
+
+pub use gf256::Gf256;
+pub use matrix::{Matrix, MatrixError};
+pub use poly::Poly;

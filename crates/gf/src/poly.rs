@@ -1,0 +1,422 @@
+//! Dense polynomials over GF(2^8).
+//!
+//! Coefficients are stored lowest-degree first (`coeffs[i]` is the coefficient
+//! of `x^i`). The representation is kept normalized: the highest-degree
+//! coefficient is non-zero, except for the zero polynomial which is an empty
+//! vector.
+//!
+//! These polynomials back the error-correcting Reed–Solomon decoder in
+//! `soda-rs-code`: syndrome polynomials, the Berlekamp–Massey error-locator,
+//! Chien search and Forney's formula all operate on [`Poly`] values.
+
+use crate::Gf256;
+use std::fmt;
+use std::ops::{Add, Mul};
+
+/// A polynomial over GF(2^8), lowest-degree coefficient first.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Poly {
+    coeffs: Vec<Gf256>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Poly { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial `1`.
+    pub fn one() -> Self {
+        Poly {
+            coeffs: vec![Gf256::ONE],
+        }
+    }
+
+    /// Builds a polynomial from coefficients, lowest degree first, and
+    /// normalizes away trailing zeros.
+    pub fn from_coeffs(coeffs: Vec<Gf256>) -> Self {
+        let mut p = Poly { coeffs };
+        p.normalize();
+        p
+    }
+
+    /// Builds a polynomial from raw bytes, lowest degree first.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        Poly::from_coeffs(bytes.iter().map(|&b| Gf256::new(b)).collect())
+    }
+
+    /// The monomial `c * x^degree`.
+    pub fn monomial(degree: usize, c: Gf256) -> Self {
+        if c.is_zero() {
+            return Poly::zero();
+        }
+        let mut coeffs = vec![Gf256::ZERO; degree + 1];
+        coeffs[degree] = c;
+        Poly { coeffs }
+    }
+
+    /// Returns `true` if this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Degree of the polynomial. The zero polynomial reports `None`.
+    pub fn degree(&self) -> Option<usize> {
+        if self.coeffs.is_empty() {
+            None
+        } else {
+            Some(self.coeffs.len() - 1)
+        }
+    }
+
+    /// Coefficient of `x^i` (zero if beyond the stored degree).
+    pub fn coeff(&self, i: usize) -> Gf256 {
+        self.coeffs.get(i).copied().unwrap_or(Gf256::ZERO)
+    }
+
+    /// Borrow the coefficient vector (lowest degree first, normalized).
+    pub fn coeffs(&self) -> &[Gf256] {
+        &self.coeffs
+    }
+
+    /// Leading (highest-degree) coefficient; zero for the zero polynomial.
+    pub fn leading_coeff(&self) -> Gf256 {
+        self.coeffs.last().copied().unwrap_or(Gf256::ZERO)
+    }
+
+    fn normalize(&mut self) {
+        while let Some(last) = self.coeffs.last() {
+            if last.is_zero() {
+                self.coeffs.pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Evaluates the polynomial at `x` using Horner's rule.
+    pub fn eval(&self, x: Gf256) -> Gf256 {
+        let mut acc = Gf256::ZERO;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * x + c;
+        }
+        acc
+    }
+
+    /// Formal derivative. Over characteristic 2, the derivative of `c x^i` is
+    /// `c x^{i-1}` when `i` is odd and `0` when `i` is even.
+    pub fn derivative(&self) -> Poly {
+        if self.coeffs.len() <= 1 {
+            return Poly::zero();
+        }
+        let coeffs = self
+            .coeffs
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, &c)| if i % 2 == 1 { c } else { Gf256::ZERO })
+            .collect();
+        Poly::from_coeffs(coeffs)
+    }
+
+    /// Multiplies by the scalar `c`.
+    pub fn scale(&self, c: Gf256) -> Poly {
+        if c.is_zero() {
+            return Poly::zero();
+        }
+        Poly::from_coeffs(self.coeffs.iter().map(|&a| a * c).collect())
+    }
+
+    /// Multiplies by `x^k` (shifts coefficients up by `k`).
+    pub fn shift(&self, k: usize) -> Poly {
+        if self.is_zero() {
+            return Poly::zero();
+        }
+        let mut coeffs = vec![Gf256::ZERO; k];
+        coeffs.extend_from_slice(&self.coeffs);
+        Poly { coeffs }
+    }
+
+    /// Truncates the polynomial modulo `x^k` (keeps coefficients of degree < k).
+    pub fn truncate(&self, k: usize) -> Poly {
+        Poly::from_coeffs(self.coeffs.iter().take(k).copied().collect())
+    }
+
+    /// Euclidean division: returns `(quotient, remainder)` with
+    /// `self = quotient * divisor + remainder` and `deg(remainder) < deg(divisor)`.
+    ///
+    /// # Panics
+    /// Panics if `divisor` is the zero polynomial.
+    pub fn div_rem(&self, divisor: &Poly) -> (Poly, Poly) {
+        assert!(!divisor.is_zero(), "polynomial division by zero");
+        if self.is_zero() {
+            return (Poly::zero(), Poly::zero());
+        }
+        let d_deg = divisor.degree().unwrap();
+        let n_deg = match self.degree() {
+            Some(d) if d >= d_deg => d,
+            _ => return (Poly::zero(), self.clone()),
+        };
+        let inv_lead = divisor.leading_coeff().inverse();
+        let mut rem = self.coeffs.clone();
+        let mut quot = vec![Gf256::ZERO; n_deg - d_deg + 1];
+        for i in (d_deg..=n_deg).rev() {
+            let c = rem[i];
+            if c.is_zero() {
+                continue;
+            }
+            let q = c * inv_lead;
+            quot[i - d_deg] = q;
+            for (j, &dc) in divisor.coeffs.iter().enumerate() {
+                rem[i - d_deg + j] = rem[i - d_deg + j] - q * dc;
+            }
+        }
+        (Poly::from_coeffs(quot), Poly::from_coeffs(rem))
+    }
+
+    /// Product of monomials `∏ (1 - root_i * x)` — the standard form of a
+    /// Reed–Solomon error locator with the given "roots" (which are really the
+    /// reciprocals of the polynomial's actual roots).
+    pub fn from_error_locators<I: IntoIterator<Item = Gf256>>(locators: I) -> Poly {
+        let mut acc = Poly::one();
+        for loc in locators {
+            let factor = Poly::from_coeffs(vec![Gf256::ONE, loc]);
+            acc = &acc * &factor;
+        }
+        acc
+    }
+
+    /// Generator polynomial `∏_{i=first..first+count} (x - α^i)` used by the
+    /// classical (non-systematic BCH view) Reed–Solomon encoder and by the
+    /// syndrome computation.
+    pub fn rs_generator(first_consecutive_root: usize, count: usize) -> Poly {
+        let mut g = Poly::one();
+        for i in 0..count {
+            let root = Gf256::alpha_pow(first_consecutive_root + i);
+            // (x - α^i) == (x + α^i) in characteristic 2
+            let factor = Poly::from_coeffs(vec![root, Gf256::ONE]);
+            g = &g * &factor;
+        }
+        g
+    }
+}
+
+impl fmt::Debug for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "Poly(0)");
+        }
+        write!(f, "Poly(")?;
+        let mut first = true;
+        for (i, c) in self.coeffs.iter().enumerate().rev() {
+            if c.is_zero() {
+                continue;
+            }
+            if !first {
+                write!(f, " + ")?;
+            }
+            first = false;
+            match i {
+                0 => write!(f, "{:02x}", c.value())?,
+                1 => write!(f, "{:02x}·x", c.value())?,
+                _ => write!(f, "{:02x}·x^{}", c.value(), i)?,
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+impl Add for &Poly {
+    type Output = Poly;
+    fn add(self, rhs: &Poly) -> Poly {
+        let len = self.coeffs.len().max(rhs.coeffs.len());
+        let coeffs = (0..len).map(|i| self.coeff(i) + rhs.coeff(i)).collect();
+        Poly::from_coeffs(coeffs)
+    }
+}
+
+impl Add for Poly {
+    type Output = Poly;
+    fn add(self, rhs: Poly) -> Poly {
+        &self + &rhs
+    }
+}
+
+impl Mul for &Poly {
+    type Output = Poly;
+    fn mul(self, rhs: &Poly) -> Poly {
+        if self.is_zero() || rhs.is_zero() {
+            return Poly::zero();
+        }
+        let mut coeffs = vec![Gf256::ZERO; self.coeffs.len() + rhs.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            if a.is_zero() {
+                continue;
+            }
+            for (j, &b) in rhs.coeffs.iter().enumerate() {
+                coeffs[i + j] += a * b;
+            }
+        }
+        Poly::from_coeffs(coeffs)
+    }
+}
+
+impl Mul for Poly {
+    type Output = Poly;
+    fn mul(self, rhs: Poly) -> Poly {
+        &self * &rhs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(bytes: &[u8]) -> Poly {
+        Poly::from_bytes(bytes)
+    }
+
+    #[test]
+    fn zero_and_one_basics() {
+        assert!(Poly::zero().is_zero());
+        assert_eq!(Poly::zero().degree(), None);
+        assert_eq!(Poly::one().degree(), Some(0));
+        assert_eq!(Poly::one().eval(Gf256::new(42)), Gf256::ONE);
+    }
+
+    #[test]
+    fn normalization_strips_leading_zeros() {
+        let q = p(&[1, 2, 0, 0]);
+        assert_eq!(q.degree(), Some(1));
+        assert_eq!(q.coeffs().len(), 2);
+        let z = p(&[0, 0, 0]);
+        assert!(z.is_zero());
+    }
+
+    #[test]
+    fn addition_is_coefficientwise_xor() {
+        let a = p(&[1, 2, 3]);
+        let b = p(&[5, 2]);
+        let s = &a + &b;
+        assert_eq!(s, p(&[4, 0, 3]));
+        // addition is its own inverse
+        assert!((&s + &b).eq(&a));
+    }
+
+    #[test]
+    fn multiplication_by_zero_and_one() {
+        let a = p(&[7, 0, 9]);
+        assert!((&a * &Poly::zero()).is_zero());
+        assert_eq!(&a * &Poly::one(), a);
+    }
+
+    #[test]
+    fn multiplication_degree_adds() {
+        let a = p(&[1, 1]); // x + 1
+        let b = p(&[2, 0, 1]); // x^2 + 2
+        let c = &a * &b;
+        assert_eq!(c.degree(), Some(3));
+    }
+
+    #[test]
+    fn eval_horner_matches_naive() {
+        let q = p(&[3, 1, 4, 1, 5, 9, 2, 6]);
+        for x in [0u8, 1, 2, 17, 255] {
+            let x = Gf256::new(x);
+            let naive: Gf256 = q
+                .coeffs()
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| c * x.pow(i as u64))
+                .sum();
+            assert_eq!(q.eval(x), naive);
+        }
+    }
+
+    #[test]
+    fn div_rem_round_trip() {
+        let a = p(&[1, 2, 3, 4, 5, 6, 7]);
+        let b = p(&[3, 1, 1]);
+        let (q, r) = a.div_rem(&b);
+        let recombined = &(&q * &b) + &r;
+        assert_eq!(recombined, a);
+        assert!(r.degree().unwrap_or(0) < b.degree().unwrap());
+    }
+
+    #[test]
+    fn div_rem_smaller_dividend() {
+        let a = p(&[1, 2]);
+        let b = p(&[3, 1, 1]);
+        let (q, r) = a.div_rem(&b);
+        assert!(q.is_zero());
+        assert_eq!(r, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = p(&[1, 2]).div_rem(&Poly::zero());
+    }
+
+    #[test]
+    fn generator_polynomial_has_alpha_powers_as_roots() {
+        let g = Poly::rs_generator(0, 6);
+        assert_eq!(g.degree(), Some(6));
+        for i in 0..6 {
+            assert_eq!(g.eval(Gf256::alpha_pow(i)), Gf256::ZERO, "root α^{i} missing");
+        }
+        // and α^6 is not a root
+        assert_ne!(g.eval(Gf256::alpha_pow(6)), Gf256::ZERO);
+    }
+
+    #[test]
+    fn derivative_characteristic_two() {
+        // d/dx (c0 + c1 x + c2 x^2 + c3 x^3) = c1 + c3 x^2  (even-index terms vanish)
+        let q = p(&[9, 7, 5, 3]);
+        let d = q.derivative();
+        assert_eq!(d, p(&[7, 0, 3]));
+        assert!(Poly::one().derivative().is_zero());
+        assert!(Poly::zero().derivative().is_zero());
+    }
+
+    #[test]
+    fn error_locator_product_has_reciprocal_roots() {
+        let locs = [Gf256::alpha_pow(3), Gf256::alpha_pow(10)];
+        let sigma = Poly::from_error_locators(locs.iter().copied());
+        assert_eq!(sigma.degree(), Some(2));
+        for loc in locs {
+            // σ(X) = ∏ (1 - X_i x): zero at x = X_i^{-1}
+            assert_eq!(sigma.eval(loc.inverse()), Gf256::ZERO);
+        }
+    }
+
+    #[test]
+    fn scale_and_shift() {
+        let q = p(&[1, 2, 3]);
+        assert_eq!(q.scale(Gf256::ZERO), Poly::zero());
+        assert_eq!(q.scale(Gf256::ONE), q);
+        let shifted = q.shift(2);
+        assert_eq!(shifted.degree(), Some(4));
+        assert_eq!(shifted.coeff(0), Gf256::ZERO);
+        assert_eq!(shifted.coeff(2), Gf256::new(1));
+        assert_eq!(shifted.coeff(4), Gf256::new(3));
+    }
+
+    #[test]
+    fn truncate_keeps_low_order_terms() {
+        let q = p(&[1, 2, 3, 4, 5]);
+        let t = q.truncate(3);
+        assert_eq!(t, p(&[1, 2, 3]));
+        assert_eq!(q.truncate(0), Poly::zero());
+        assert_eq!(q.truncate(10), q);
+    }
+
+    #[test]
+    fn monomial_constructor() {
+        let m = Poly::monomial(3, Gf256::new(5));
+        assert_eq!(m.degree(), Some(3));
+        assert_eq!(m.coeff(3), Gf256::new(5));
+        assert_eq!(m.coeff(1), Gf256::ZERO);
+        assert!(Poly::monomial(4, Gf256::ZERO).is_zero());
+    }
+}

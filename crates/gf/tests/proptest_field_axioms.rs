@@ -1,0 +1,131 @@
+//! Property-based tests for the GF(2^8) field axioms, polynomial ring laws and
+//! matrix identities. These are the invariants the Reed–Solomon layer relies
+//! on, so they are checked over randomized inputs rather than hand-picked
+//! cases.
+
+use proptest::prelude::*;
+use soda_gf::{Gf256, Matrix, Poly};
+
+fn gf() -> impl Strategy<Value = Gf256> {
+    any::<u8>().prop_map(Gf256::new)
+}
+
+fn nonzero_gf() -> impl Strategy<Value = Gf256> {
+    (1u8..=255).prop_map(Gf256::new)
+}
+
+fn poly(max_len: usize) -> impl Strategy<Value = Poly> {
+    proptest::collection::vec(any::<u8>(), 0..max_len).prop_map(|v| Poly::from_bytes(&v))
+}
+
+proptest! {
+    #[test]
+    fn addition_commutative(a in gf(), b in gf()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn addition_associative(a in gf(), b in gf(), c in gf()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn additive_inverse_is_self(a in gf()) {
+        prop_assert_eq!(a + a, Gf256::ZERO);
+        prop_assert_eq!(a - a, Gf256::ZERO);
+    }
+
+    #[test]
+    fn multiplication_commutative(a in gf(), b in gf()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn multiplication_associative(a in gf(), b in gf(), c in gf()) {
+        prop_assert_eq!((a * b) * c, a * (b * c));
+    }
+
+    #[test]
+    fn distributivity(a in gf(), b in gf(), c in gf()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn multiplicative_inverse(a in nonzero_gf()) {
+        prop_assert_eq!(a * a.inverse(), Gf256::ONE);
+    }
+
+    #[test]
+    fn division_is_multiplication_by_inverse(a in gf(), b in nonzero_gf()) {
+        prop_assert_eq!(a / b, a * b.inverse());
+    }
+
+    #[test]
+    fn pow_adds_exponents(a in nonzero_gf(), e1 in 0u64..500, e2 in 0u64..500) {
+        prop_assert_eq!(a.pow(e1) * a.pow(e2), a.pow(e1 + e2));
+    }
+
+    #[test]
+    fn poly_add_commutative(a in poly(16), b in poly(16)) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn poly_mul_commutative(a in poly(12), b in poly(12)) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn poly_mul_distributes_over_add(a in poly(8), b in poly(8), c in poly(8)) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn poly_div_rem_invariant(a in poly(20), b in poly(10)) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+        if let (Some(rd), Some(bd)) = (r.degree(), b.degree()) {
+            prop_assert!(rd < bd);
+        }
+    }
+
+    #[test]
+    fn poly_eval_is_ring_homomorphism(a in poly(10), b in poly(10), x in gf()) {
+        let sum = &a + &b;
+        let prod = &a * &b;
+        prop_assert_eq!(sum.eval(x), a.eval(x) + b.eval(x));
+        prop_assert_eq!(prod.eval(x), a.eval(x) * b.eval(x));
+    }
+
+    #[test]
+    fn vandermonde_submatrix_invertible(
+        k in 1usize..6,
+        extra in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        use rand::{seq::SliceRandom, SeedableRng};
+        let n = k + extra;
+        let v = Matrix::vandermonde(n, k);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut indices: Vec<usize> = (0..n).collect();
+        indices.shuffle(&mut rng);
+        indices.truncate(k);
+        let sub = v.select_rows(&indices);
+        let inv = sub.inverse();
+        prop_assert!(inv.is_ok(), "Vandermonde submatrix {:?} not invertible", indices);
+        prop_assert_eq!(sub.mul(&inv.unwrap()).unwrap(), Matrix::identity(k));
+    }
+
+    #[test]
+    fn matrix_inverse_round_trips(rows in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 4), 4)
+    ) {
+        let m = Matrix::from_rows(
+            rows.iter().map(|r| r.iter().map(|&b| Gf256::new(b)).collect()).collect());
+        if let Ok(inv) = m.inverse() {
+            prop_assert_eq!(m.mul(&inv).unwrap(), Matrix::identity(4));
+            prop_assert_eq!(inv.mul(&m).unwrap(), Matrix::identity(4));
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Shared protocol substrate for the SODA family of atomic-register
+//! algorithms.
+//!
+//! This crate contains the pieces that SODA, SODAerr and the baselines
+//! (ABD, CAS, CASGC) have in common:
+//!
+//! * [`Tag`] — the `(z, writer-id)` version identifiers with the total order
+//!   defined in Section IV of the paper.
+//! * [`Layout`] — the static system layout (which simulated processes are the
+//!   `n` servers, which are clients, what `f` is), including the majority
+//!   quorum size and the ordered "first `f + 1` servers" set `D` used by the
+//!   message-disperse primitives.
+//! * [`QuorumTracker`] — response collection until a quorum is reached.
+//! * [`md`] — the **message-disperse primitives** MD-VALUE and MD-META
+//!   (Section III): pure state machines that, given a received message,
+//!   produce the relays and local deliveries the IO Automata specification
+//!   prescribes. The protocol processes in `soda` drive these over the
+//!   simulated network.
+//! * [`cost`] — normalization helpers implementing the paper's cost model
+//!   (everything is measured in units of the object-value size; metadata is
+//!   free).
+//! * [`Value`] — cheaply clonable object values (`Arc<Vec<u8>>`), since the
+//!   simulator clones messages on every hop.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cost;
+pub mod md;
+
+mod layout;
+mod quorum;
+mod tag;
+mod value;
+
+pub use layout::Layout;
+pub use quorum::QuorumTracker;
+pub use tag::Tag;
+pub use value::{value_from, value_len, Value};

@@ -1,0 +1,635 @@
+//! The message-disperse primitives MD-VALUE and MD-META (Section III).
+//!
+//! Both primitives guarantee *uniformity*: if any server delivers a message,
+//! then every non-faulty server eventually delivers it (its coded element for
+//! MD-VALUE, the metadata itself for MD-META), even if the original sender
+//! crashes mid-send and up to `f` servers crash.
+//!
+//! The mechanism is the same for both: the sender transmits the message to the
+//! first `f + 1` servers `D = {s_1, …, s_{f+1}}` **in rank order**; the first
+//! time a server `s_i ∈ D` receives the full message it (a) forwards it to the
+//! higher-ranked servers `s_{i+1} … s_{f+1}`, (b) sends the derived message to
+//! every other server (for MD-VALUE the derived message is the *destination's*
+//! coded element `Φ_{s'}(v)`; for MD-META it is the metadata verbatim), and
+//! (c) delivers locally. Servers outside `D` never relay; they just deliver
+//! the first copy they receive.
+//!
+//! The types here are *pure* state machines: they compute which messages to
+//! send and what to deliver, and the protocol processes in the `soda` crate
+//! put them on the simulated (or threaded) network. This keeps the primitive
+//! unit-testable in isolation, mirroring how the paper specifies it as a
+//! separate IO automaton composed with the servers.
+//!
+//! After a message is delivered, no value or coded-element data is retained —
+//! only the message id, as a tombstone for deduplication — which is the
+//! no-state-bloat property of Theorem 3.2.
+
+use crate::{Layout, Tag, Value};
+use serde::{Deserialize, Serialize};
+use soda_rs_code::{CodedElement, MdsCode};
+use soda_simnet::ProcessId;
+use std::collections::HashSet;
+
+/// Unique identifier of one invocation of a message-disperse primitive.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MessageId {
+    /// The process that invoked the primitive.
+    pub origin: ProcessId,
+    /// Per-origin invocation counter.
+    pub counter: u64,
+}
+
+impl MessageId {
+    /// Creates a message id.
+    pub fn new(origin: ProcessId, counter: u64) -> Self {
+        MessageId { origin, counter }
+    }
+}
+
+/// A message produced by the MD-VALUE primitive.
+#[derive(Clone, Debug)]
+pub enum MdValueMsg {
+    /// The full (uncoded) value, sent along the relay backbone `D`.
+    Full {
+        /// Invocation id.
+        mid: MessageId,
+        /// Version tag being written.
+        tag: Tag,
+        /// The full object value.
+        value: Value,
+    },
+    /// The coded element targeted at one particular server.
+    Coded {
+        /// Invocation id.
+        mid: MessageId,
+        /// Version tag being written.
+        tag: Tag,
+        /// The destination server's coded element `Φ_{s'}(v)`.
+        element: CodedElement,
+    },
+}
+
+impl MdValueMsg {
+    /// Bytes of object-value data carried (the paper's communication-cost
+    /// contribution of this message).
+    pub fn data_bytes(&self) -> usize {
+        match self {
+            MdValueMsg::Full { value, .. } => value.len(),
+            MdValueMsg::Coded { element, .. } => element.data.len(),
+        }
+    }
+
+    /// The invocation id.
+    pub fn mid(&self) -> MessageId {
+        match self {
+            MdValueMsg::Full { mid, .. } | MdValueMsg::Coded { mid, .. } => *mid,
+        }
+    }
+}
+
+/// A message addressed to a server identified by its rank in the layout.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dispatch<M> {
+    /// Destination server rank (0-based position in the layout order).
+    pub to_rank: usize,
+    /// The message to send.
+    pub msg: M,
+}
+
+/// Sender side of MD-VALUE: the messages the invoking process (a writer in
+/// SODA) must send, in order. The full value goes to the first `f + 1`
+/// servers.
+pub fn md_value_send(
+    layout: &Layout,
+    mid: MessageId,
+    tag: Tag,
+    value: Value,
+) -> Vec<Dispatch<MdValueMsg>> {
+    layout
+        .relay_set()
+        .map(|rank| Dispatch {
+            to_rank: rank,
+            msg: MdValueMsg::Full {
+                mid,
+                tag,
+                value: value.clone(),
+            },
+        })
+        .collect()
+}
+
+/// What a server does after receiving an MD-VALUE message: possibly deliver a
+/// coded element locally and possibly relay messages to other servers.
+#[derive(Debug, Default)]
+pub struct MdValueAction {
+    /// Coded element to deliver locally via `md-value-deliver`, if any.
+    pub deliver: Option<(Tag, CodedElement)>,
+    /// Messages to relay to other servers.
+    pub relays: Vec<Dispatch<MdValueMsg>>,
+}
+
+/// Server-side state of the MD-VALUE primitive (one per server process).
+///
+/// Keeps only message-id tombstones between invocations; values and coded
+/// elements never outlive the handler (Theorem 3.2).
+#[derive(Debug)]
+pub struct MdValueRelay {
+    my_rank: usize,
+    handled: HashSet<MessageId>,
+}
+
+impl MdValueRelay {
+    /// Creates the relay state for the server with the given rank.
+    pub fn new(my_rank: usize) -> Self {
+        MdValueRelay {
+            my_rank,
+            handled: HashSet::new(),
+        }
+    }
+
+    /// Number of message ids remembered (tombstones only; used by the
+    /// state-bloat experiment).
+    pub fn tombstones(&self) -> usize {
+        self.handled.len()
+    }
+
+    /// Handles receipt of the full value. On the first receipt this relays the
+    /// full value up the backbone, sends every other server its coded element,
+    /// and delivers the local element; duplicates produce no action.
+    pub fn on_full(
+        &mut self,
+        layout: &Layout,
+        code: &dyn MdsCode,
+        mid: MessageId,
+        tag: Tag,
+        value: &Value,
+    ) -> MdValueAction {
+        if !self.handled.insert(mid) {
+            return MdValueAction::default();
+        }
+        let n = layout.n();
+        let relay_top = layout.relay_set().end; // f + 1 (capped at n)
+        let elements = code
+            .encode(value)
+            .expect("layout and code dimensions agree");
+        let mut relays = Vec::new();
+        // (a) forward the full value to higher-ranked servers in D.
+        for rank in (self.my_rank + 1)..relay_top {
+            relays.push(Dispatch {
+                to_rank: rank,
+                msg: MdValueMsg::Full {
+                    mid,
+                    tag,
+                    value: value.clone(),
+                },
+            });
+        }
+        // (b) send every remaining server (outside the forwarded range and not
+        // itself) its own coded element.
+        for rank in (0..n).filter(|&r| r != self.my_rank && !((self.my_rank + 1)..relay_top).contains(&r)) {
+            relays.push(Dispatch {
+                to_rank: rank,
+                msg: MdValueMsg::Coded {
+                    mid,
+                    tag,
+                    element: elements[rank].clone(),
+                },
+            });
+        }
+        // (c) deliver the local element.
+        let deliver = Some((tag, elements[self.my_rank].clone()));
+        MdValueAction { deliver, relays }
+    }
+
+    /// Handles receipt of a coded element addressed to this server. Delivers
+    /// it the first time, ignores duplicates.
+    pub fn on_coded(
+        &mut self,
+        mid: MessageId,
+        tag: Tag,
+        element: CodedElement,
+    ) -> Option<(Tag, CodedElement)> {
+        if !self.handled.insert(mid) {
+            return None;
+        }
+        Some((tag, element))
+    }
+}
+
+/// A message produced by the MD-META primitive: the metadata payload plus the
+/// invocation id.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MdMetaMsg<P> {
+    /// Invocation id.
+    pub mid: MessageId,
+    /// The metadata payload being dispersed.
+    pub payload: P,
+}
+
+/// Sender side of MD-META: send the payload to the first `f + 1` servers.
+pub fn md_meta_send<P: Clone>(
+    layout: &Layout,
+    mid: MessageId,
+    payload: P,
+) -> Vec<Dispatch<MdMetaMsg<P>>> {
+    layout
+        .relay_set()
+        .map(|rank| Dispatch {
+            to_rank: rank,
+            msg: MdMetaMsg {
+                mid,
+                payload: payload.clone(),
+            },
+        })
+        .collect()
+}
+
+/// Result of a server receiving an MD-META message.
+#[derive(Debug)]
+pub struct MdMetaAction<P> {
+    /// Payload to deliver locally via `md-meta-deliver`, if this is the first
+    /// receipt.
+    pub deliver: Option<P>,
+    /// Messages to relay to other servers.
+    pub relays: Vec<Dispatch<MdMetaMsg<P>>>,
+}
+
+impl<P> Default for MdMetaAction<P> {
+    fn default() -> Self {
+        MdMetaAction {
+            deliver: None,
+            relays: Vec::new(),
+        }
+    }
+}
+
+/// Server-side state of the MD-META primitive.
+#[derive(Debug)]
+pub struct MdMetaRelay {
+    my_rank: usize,
+    handled: HashSet<MessageId>,
+}
+
+impl MdMetaRelay {
+    /// Creates the relay state for the server with the given rank.
+    pub fn new(my_rank: usize) -> Self {
+        MdMetaRelay {
+            my_rank,
+            handled: HashSet::new(),
+        }
+    }
+
+    /// Number of message ids remembered.
+    pub fn tombstones(&self) -> usize {
+        self.handled.len()
+    }
+
+    /// Handles receipt of a metadata message. On first receipt: relay to the
+    /// higher-ranked backbone servers and to every server outside the
+    /// backbone, and deliver locally. Duplicates produce no action.
+    ///
+    /// Only servers inside the backbone `D` relay; servers outside it receive
+    /// the payload from (potentially several) backbone servers and just
+    /// deliver it once.
+    pub fn on_meta<P: Clone>(
+        &mut self,
+        layout: &Layout,
+        mid: MessageId,
+        payload: &P,
+    ) -> MdMetaAction<P> {
+        if !self.handled.insert(mid) {
+            return MdMetaAction::default();
+        }
+        let mut relays = Vec::new();
+        if layout.in_relay_set(self.my_rank) {
+            let relay_top = layout.relay_set().end;
+            // Higher-ranked backbone servers get the payload (continuing the
+            // chain), and every server outside the backbone gets it directly.
+            for rank in (self.my_rank + 1)..relay_top {
+                relays.push(Dispatch {
+                    to_rank: rank,
+                    msg: MdMetaMsg {
+                        mid,
+                        payload: payload.clone(),
+                    },
+                });
+            }
+            for rank in relay_top..layout.n() {
+                relays.push(Dispatch {
+                    to_rank: rank,
+                    msg: MdMetaMsg {
+                        mid,
+                        payload: payload.clone(),
+                    },
+                });
+            }
+            // Lower-ranked backbone servers may have been missed if the sender
+            // crashed part-way through its ordered send; cover them too so the
+            // uniformity property holds regardless of where the sender stopped.
+            for rank in 0..self.my_rank {
+                relays.push(Dispatch {
+                    to_rank: rank,
+                    msg: MdMetaMsg {
+                        mid,
+                        payload: payload.clone(),
+                    },
+                });
+            }
+        }
+        MdMetaAction {
+            deliver: Some(payload.clone()),
+            relays,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value_from;
+    use soda_rs_code::VandermondeCode;
+
+    fn layout(n: usize, f: usize) -> Layout {
+        Layout::new((0..n as u32).map(ProcessId).collect(), f)
+    }
+
+    fn mid(c: u64) -> MessageId {
+        MessageId::new(ProcessId(100), c)
+    }
+
+    fn tag() -> Tag {
+        Tag::new(3, ProcessId(100))
+    }
+
+    #[test]
+    fn sender_targets_first_f_plus_one_servers_in_order() {
+        let l = layout(7, 2);
+        let v = value_from(vec![1u8; 30]);
+        let sends = md_value_send(&l, mid(1), tag(), v.clone());
+        assert_eq!(sends.len(), 3);
+        for (i, d) in sends.iter().enumerate() {
+            assert_eq!(d.to_rank, i);
+            match &d.msg {
+                MdValueMsg::Full { value, .. } => assert_eq!(value.len(), 30),
+                other => panic!("expected Full, got {other:?}"),
+            }
+            assert_eq!(d.msg.data_bytes(), 30);
+            assert_eq!(d.msg.mid(), mid(1));
+        }
+    }
+
+    #[test]
+    fn backbone_server_relays_full_up_and_coded_elsewhere() {
+        let n = 7;
+        let f = 2;
+        let l = layout(n, f);
+        let code = VandermondeCode::new(n, n - f).unwrap();
+        let v = value_from((0..64u8).collect());
+        let mut relay = MdValueRelay::new(0);
+        let action = relay.on_full(&l, &code, mid(1), tag(), &v);
+
+        // Local delivery of own element.
+        let (t, elem) = action.deliver.expect("must deliver locally");
+        assert_eq!(t, tag());
+        assert_eq!(elem.index, 0);
+
+        // Full forwarded to ranks 1 and 2; coded to ranks 3..6.
+        let mut fulls = vec![];
+        let mut codeds = vec![];
+        for d in &action.relays {
+            match &d.msg {
+                MdValueMsg::Full { .. } => fulls.push(d.to_rank),
+                MdValueMsg::Coded { element, .. } => {
+                    assert_eq!(element.index, d.to_rank, "element targets its destination");
+                    codeds.push(d.to_rank);
+                }
+            }
+        }
+        fulls.sort_unstable();
+        codeds.sort_unstable();
+        assert_eq!(fulls, vec![1, 2]);
+        assert_eq!(codeds, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn mid_backbone_server_covers_lower_ranked_servers_with_coded() {
+        // If the writer crashed after reaching only rank 2, rank 2 must still
+        // get coded elements to ranks 0 and 1 (they are in S − D of the paper's
+        // local relay-set definition).
+        let n = 6;
+        let f = 2;
+        let l = layout(n, f);
+        let code = VandermondeCode::new(n, n - f).unwrap();
+        let v = value_from(vec![9u8; 16]);
+        let mut relay = MdValueRelay::new(2);
+        let action = relay.on_full(&l, &code, mid(5), tag(), &v);
+        let coded_targets: Vec<usize> = action
+            .relays
+            .iter()
+            .filter(|d| matches!(d.msg, MdValueMsg::Coded { .. }))
+            .map(|d| d.to_rank)
+            .collect();
+        assert!(coded_targets.contains(&0));
+        assert!(coded_targets.contains(&1));
+        assert!(coded_targets.contains(&3));
+        // No full forwards (rank 2 is the last of D).
+        assert!(action
+            .relays
+            .iter()
+            .all(|d| !matches!(d.msg, MdValueMsg::Full { .. })));
+    }
+
+    #[test]
+    fn duplicate_full_is_ignored() {
+        let n = 5;
+        let f = 1;
+        let l = layout(n, f);
+        let code = VandermondeCode::new(n, n - f).unwrap();
+        let v = value_from(vec![7u8; 10]);
+        let mut relay = MdValueRelay::new(1);
+        let first = relay.on_full(&l, &code, mid(1), tag(), &v);
+        assert!(first.deliver.is_some());
+        let second = relay.on_full(&l, &code, mid(1), tag(), &v);
+        assert!(second.deliver.is_none());
+        assert!(second.relays.is_empty());
+        assert_eq!(relay.tombstones(), 1);
+    }
+
+    #[test]
+    fn coded_after_full_or_full_after_coded_delivers_once() {
+        let n = 5;
+        let f = 1;
+        let l = layout(n, f);
+        let code = VandermondeCode::new(n, n - f).unwrap();
+        let v = value_from(vec![3u8; 12]);
+        let elems = code.encode(&v).unwrap();
+
+        // Coded first, then full: only the coded delivery happens.
+        let mut relay = MdValueRelay::new(0);
+        let delivered = relay.on_coded(mid(1), tag(), elems[0].clone());
+        assert!(delivered.is_some());
+        let after = relay.on_full(&l, &code, mid(1), tag(), &v);
+        assert!(after.deliver.is_none());
+        assert!(after.relays.is_empty());
+
+        // Full first, then coded duplicate: only the full delivery happens.
+        let mut relay = MdValueRelay::new(0);
+        let first = relay.on_full(&l, &code, mid(2), tag(), &v);
+        assert!(first.deliver.is_some());
+        assert!(relay.on_coded(mid(2), tag(), elems[0].clone()).is_none());
+    }
+
+    #[test]
+    fn distinct_mids_are_independent() {
+        let mut relay = MdValueRelay::new(3);
+        let elem = CodedElement::new(3, vec![1, 2, 3]);
+        assert!(relay.on_coded(mid(1), tag(), elem.clone()).is_some());
+        assert!(relay.on_coded(mid(2), tag(), elem.clone()).is_some());
+        assert!(relay.on_coded(mid(1), tag(), elem).is_none());
+        assert_eq!(relay.tombstones(), 2);
+    }
+
+    #[test]
+    fn uniformity_holds_for_any_crash_prefix_of_the_sender() {
+        // Simulate (by hand) delivery when the sender crashes after reaching
+        // only the i-th backbone server: every non-faulty server must still
+        // deliver its element, for every i.
+        let n = 7;
+        let f = 3;
+        let l = layout(n, f);
+        let code = VandermondeCode::new(n, n - f).unwrap();
+        let v = value_from((0..40u8).collect());
+
+        for reached in 0..=f {
+            // The sender only managed to send the full value to server `reached`.
+            let mut relays: Vec<MdValueRelay> = (0..n).map(MdValueRelay::new).collect();
+            let mut delivered = vec![false; n];
+            let mut inbox: Vec<(usize, MdValueMsg)> = vec![(
+                reached,
+                MdValueMsg::Full {
+                    mid: mid(9),
+                    tag: tag(),
+                    value: v.clone(),
+                },
+            )];
+            while let Some((rank, msg)) = inbox.pop() {
+                let action = match msg {
+                    MdValueMsg::Full { mid, tag, value } => {
+                        relays[rank].on_full(&l, &code, mid, tag, &value)
+                    }
+                    MdValueMsg::Coded { mid, tag, element } => MdValueAction {
+                        deliver: relays[rank].on_coded(mid, tag, element),
+                        relays: Vec::new(),
+                    },
+                };
+                if action.deliver.is_some() {
+                    delivered[rank] = true;
+                }
+                for d in action.relays {
+                    inbox.push((d.to_rank, d.msg));
+                }
+            }
+            assert!(
+                delivered.iter().all(|&d| d),
+                "all servers must deliver when backbone server {reached} got the value"
+            );
+        }
+    }
+
+    #[test]
+    fn meta_sender_and_backbone_relay() {
+        let l = layout(6, 2);
+        let sends = md_meta_send(&l, mid(1), "READ-VALUE");
+        assert_eq!(sends.len(), 3);
+        assert_eq!(sends[0].to_rank, 0);
+        assert_eq!(sends[2].msg.payload, "READ-VALUE");
+
+        let mut relay = MdMetaRelay::new(1);
+        let action = relay.on_meta(&l, mid(1), &"READ-VALUE");
+        assert_eq!(action.deliver, Some("READ-VALUE"));
+        let targets: Vec<usize> = action.relays.iter().map(|d| d.to_rank).collect();
+        // Forward to rank 2 (rest of backbone), ranks 3..5 (outside backbone)
+        // and rank 0 (lower-ranked backbone, in case the sender crashed).
+        assert!(targets.contains(&2));
+        assert!(targets.contains(&3));
+        assert!(targets.contains(&4));
+        assert!(targets.contains(&5));
+        assert!(targets.contains(&0));
+        assert!(!targets.contains(&1), "never relays to itself");
+    }
+
+    #[test]
+    fn meta_non_backbone_server_delivers_without_relaying() {
+        let l = layout(6, 2);
+        let mut relay = MdMetaRelay::new(5);
+        let action = relay.on_meta(&l, mid(2), &42u32);
+        assert_eq!(action.deliver, Some(42));
+        assert!(action.relays.is_empty());
+        // Duplicate from another backbone server is ignored.
+        let dup = relay.on_meta(&l, mid(2), &42u32);
+        assert!(dup.deliver.is_none());
+        assert_eq!(relay.tombstones(), 1);
+    }
+
+    #[test]
+    fn meta_uniformity_for_any_crash_prefix() {
+        let n = 6;
+        let f = 2;
+        let l = layout(n, f);
+        for reached in 0..=f {
+            let mut relays: Vec<MdMetaRelay> = (0..n).map(MdMetaRelay::new).collect();
+            let mut delivered = vec![false; n];
+            let mut inbox = vec![(reached, MdMetaMsg { mid: mid(1), payload: 7u8 })];
+            while let Some((rank, msg)) = inbox.pop() {
+                let action = relays[rank].on_meta(&l, msg.mid, &msg.payload);
+                if action.deliver.is_some() {
+                    delivered[rank] = true;
+                }
+                for d in action.relays {
+                    inbox.push((d.to_rank, d.msg));
+                }
+            }
+            assert!(delivered.iter().all(|&d| d), "reached={reached}");
+        }
+    }
+
+    #[test]
+    fn md_value_write_cost_is_order_f_squared() {
+        // Count normalized data units generated by a complete dispersal with
+        // no crashes and verify it is within the paper's 5f² bound.
+        for (n, f) in [(5, 2), (9, 4), (11, 5), (15, 7)] {
+            let l = layout(n, f);
+            let code = VandermondeCode::new(n, n - f).unwrap();
+            let value_size = 1000usize;
+            let v = value_from(vec![1u8; value_size]);
+            let mut relays: Vec<MdValueRelay> = (0..n).map(MdValueRelay::new).collect();
+            let mut bytes: u64 = 0;
+            let mut inbox: Vec<(usize, MdValueMsg)> = Vec::new();
+            for d in md_value_send(&l, mid(1), tag(), v.clone()) {
+                bytes += d.msg.data_bytes() as u64;
+                inbox.push((d.to_rank, d.msg));
+            }
+            while let Some((rank, msg)) = inbox.pop() {
+                let action = match msg {
+                    MdValueMsg::Full { mid, tag, value } => {
+                        relays[rank].on_full(&l, &code, mid, tag, &value)
+                    }
+                    MdValueMsg::Coded { mid, tag, element } => MdValueAction {
+                        deliver: relays[rank].on_coded(mid, tag, element),
+                        relays: Vec::new(),
+                    },
+                };
+                for d in action.relays {
+                    bytes += d.msg.data_bytes() as u64;
+                    inbox.push((d.to_rank, d.msg));
+                }
+            }
+            let normalized = bytes as f64 / value_size as f64;
+            let bound = (5 * f * f) as f64;
+            assert!(
+                normalized <= bound,
+                "n={n} f={f}: cost {normalized:.2} exceeds 5f²={bound}"
+            );
+        }
+    }
+}

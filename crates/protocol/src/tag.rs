@@ -1,0 +1,125 @@
+//! Version tags.
+//!
+//! A tag `t = (z, w)` pairs an integer version number with the id of the
+//! writer that produced it. Tags are totally ordered lexicographically:
+//! `t2 > t1` iff `t2.z > t1.z`, or `t2.z == t1.z` and `t2.w > t1.w`
+//! (Section IV). The initial tag `t0` is smaller than every tag a real writer
+//! can produce.
+
+use serde::{Deserialize, Serialize};
+use soda_simnet::ProcessId;
+use std::fmt;
+
+/// A version tag `(z, writer)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Tag {
+    /// Monotonically increasing version number.
+    pub z: u64,
+    /// Id of the writer that created this version (ties broken by writer id).
+    pub writer: ProcessId,
+}
+
+impl Tag {
+    /// The initial tag `t0` associated with the initial value `v0`. It uses
+    /// `z = 0` and the smallest possible writer id, so every tag created by
+    /// [`Tag::next`] compares strictly greater.
+    pub const INITIAL: Tag = Tag {
+        z: 0,
+        writer: ProcessId(0),
+    };
+
+    /// Creates a tag.
+    pub fn new(z: u64, writer: ProcessId) -> Self {
+        Tag { z, writer }
+    }
+
+    /// The tag a writer creates after observing `self` as the highest tag:
+    /// `(z + 1, writer)` (write-get / write-put phase of SODA, and the
+    /// analogous phase of ABD and CAS).
+    pub fn next(&self, writer: ProcessId) -> Tag {
+        Tag {
+            z: self.z + 1,
+            writer,
+        }
+    }
+
+    /// Whether this is the initial tag.
+    pub fn is_initial(&self) -> bool {
+        *self == Tag::INITIAL
+    }
+}
+
+impl Default for Tag {
+    fn default() -> Self {
+        Tag::INITIAL
+    }
+}
+
+impl fmt::Debug for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.z, self.writer)
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.z, self.writer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let w1 = ProcessId(10);
+        let w2 = ProcessId(20);
+        assert!(Tag::new(2, w1) > Tag::new(1, w2));
+        assert!(Tag::new(1, w2) > Tag::new(1, w1));
+        assert_eq!(Tag::new(3, w1), Tag::new(3, w1));
+        assert!(Tag::new(1, w1) < Tag::new(1, w2));
+    }
+
+    #[test]
+    fn next_is_strictly_greater() {
+        let w = ProcessId(5);
+        let t0 = Tag::INITIAL;
+        let t1 = t0.next(w);
+        assert!(t1 > t0);
+        assert_eq!(t1.z, 1);
+        assert_eq!(t1.writer, w);
+        let t2 = t1.next(ProcessId(0));
+        assert!(t2 > t1, "higher z wins even with smaller writer id");
+    }
+
+    #[test]
+    fn initial_tag_is_minimal_among_created_tags() {
+        assert!(Tag::INITIAL.is_initial());
+        assert!(!Tag::new(1, ProcessId(0)).is_initial());
+        for w in 0..5u32 {
+            assert!(Tag::INITIAL.next(ProcessId(w)) > Tag::INITIAL);
+        }
+    }
+
+    #[test]
+    fn max_of_tags_selects_highest() {
+        let tags = [
+            Tag::new(1, ProcessId(3)),
+            Tag::new(2, ProcessId(1)),
+            Tag::new(2, ProcessId(2)),
+            Tag::INITIAL,
+        ];
+        assert_eq!(
+            tags.iter().max().copied().unwrap(),
+            Tag::new(2, ProcessId(2))
+        );
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let t = Tag::new(4, ProcessId(7));
+        assert_eq!(format!("{t}"), "(4, p7)");
+        assert_eq!(format!("{t:?}"), "(4, p7)");
+    }
+}

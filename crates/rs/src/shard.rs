@@ -1,0 +1,175 @@
+//! Value ↔ shard conversion.
+//!
+//! A value is an arbitrary byte string. To feed it through an `[n, k]` code it
+//! is (1) prefixed with an 8-byte little-endian length header, (2) padded with
+//! zeros to a multiple of `k`, and (3) split column-wise into `k` equal data
+//! shards. Each byte column `j` across the `k` data shards is one Reed–Solomon
+//! message word, so shard length = coded-element length = `ceil((len+8)/k)`,
+//! matching the paper's "each coded element has size 1/k" accounting.
+
+use std::fmt;
+
+/// One coded element `c_i = Φ_i(v)`: the index identifies which of the `n`
+/// code positions (equivalently, which server) this element belongs to.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct CodedElement {
+    /// Code position in `0..n`.
+    pub index: usize,
+    /// The element payload (all elements of one codeword have equal length).
+    pub data: Vec<u8>,
+}
+
+impl CodedElement {
+    /// Creates a coded element.
+    pub fn new(index: usize, data: Vec<u8>) -> Self {
+        CodedElement { index, data }
+    }
+
+    /// Length of the payload in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl fmt::Debug for CodedElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CodedElement(idx={}, {} bytes)", self.index, self.data.len())
+    }
+}
+
+/// Length of the length header prepended to every value before splitting.
+pub const LENGTH_HEADER: usize = 8;
+
+/// Prefixes the value with its length, pads it to a multiple of `k`, and
+/// splits it into `k` equal-length data shards.
+///
+/// The split is *striped*: byte `j` of shard `i` is byte `j * k + i` of the
+/// padded payload, so that each byte column of the shards is an independent
+/// codeword symbol vector.
+pub fn pad_and_split(value: &[u8], k: usize) -> Vec<Vec<u8>> {
+    assert!(k > 0, "k must be positive");
+    let total = value.len() + LENGTH_HEADER;
+    let shard_len = total.div_ceil(k);
+    let padded_len = shard_len * k;
+    let mut padded = Vec::with_capacity(padded_len);
+    padded.extend_from_slice(&(value.len() as u64).to_le_bytes());
+    padded.extend_from_slice(value);
+    padded.resize(padded_len, 0);
+
+    let mut shards = vec![vec![0u8; shard_len]; k];
+    for (pos, &byte) in padded.iter().enumerate() {
+        shards[pos % k][pos / k] = byte;
+    }
+    shards
+}
+
+/// Inverse of [`pad_and_split`]: reassembles the original value from the `k`
+/// data shards. Returns `None` if the embedded length header is inconsistent
+/// with the shard sizes (which indicates corruption).
+pub fn reassemble(shards: &[Vec<u8>]) -> Option<Vec<u8>> {
+    let k = shards.len();
+    if k == 0 {
+        return None;
+    }
+    let shard_len = shards[0].len();
+    if shards.iter().any(|s| s.len() != shard_len) {
+        return None;
+    }
+    let padded_len = shard_len * k;
+    if padded_len < LENGTH_HEADER {
+        return None;
+    }
+    let mut padded = vec![0u8; padded_len];
+    for (i, shard) in shards.iter().enumerate() {
+        for (j, &byte) in shard.iter().enumerate() {
+            padded[j * k + i] = byte;
+        }
+    }
+    let mut len_bytes = [0u8; 8];
+    len_bytes.copy_from_slice(&padded[..LENGTH_HEADER]);
+    let value_len = u64::from_le_bytes(len_bytes) as usize;
+    if value_len > padded_len - LENGTH_HEADER {
+        return None;
+    }
+    Some(padded[LENGTH_HEADER..LENGTH_HEADER + value_len].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_various_sizes_and_k() {
+        for len in [0usize, 1, 7, 8, 9, 63, 64, 65, 1000] {
+            let value: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+            for k in [1usize, 2, 3, 5, 8, 17] {
+                let shards = pad_and_split(&value, k);
+                assert_eq!(shards.len(), k);
+                let shard_len = shards[0].len();
+                assert!(shards.iter().all(|s| s.len() == shard_len));
+                assert!(shard_len * k >= value.len() + LENGTH_HEADER);
+                assert_eq!(
+                    reassemble(&shards).expect("reassemble"),
+                    value,
+                    "len={len} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_value_round_trips() {
+        let shards = pad_and_split(&[], 4);
+        assert_eq!(reassemble(&shards).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn shard_length_is_ceiling_of_total_over_k() {
+        let shards = pad_and_split(&[0u8; 100], 7);
+        assert_eq!(shards[0].len(), (100usize + LENGTH_HEADER).div_ceil(7));
+    }
+
+    #[test]
+    fn reassemble_rejects_ragged_shards() {
+        let mut shards = pad_and_split(b"hello world", 3);
+        shards[1].push(0);
+        assert!(reassemble(&shards).is_none());
+    }
+
+    #[test]
+    fn reassemble_rejects_empty_input() {
+        assert!(reassemble(&[]).is_none());
+    }
+
+    #[test]
+    fn reassemble_rejects_corrupt_length_header() {
+        let mut shards = pad_and_split(b"abc", 2);
+        // Overwrite the length header with an absurd value.
+        shards[0][0] = 0xff;
+        shards[1][0] = 0xff;
+        shards[0][1] = 0xff;
+        assert!(reassemble(&shards).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let _ = pad_and_split(b"x", 0);
+    }
+
+    #[test]
+    fn coded_element_accessors() {
+        let e = CodedElement::new(3, vec![1, 2, 3]);
+        assert_eq!(e.index, 3);
+        assert_eq!(e.len(), 3);
+        assert!(!e.is_empty());
+        assert!(CodedElement::new(0, vec![]).is_empty());
+        let dbg = format!("{e:?}");
+        assert!(dbg.contains("idx=3"));
+    }
+}

@@ -1,0 +1,296 @@
+//! Systematic generator-matrix Reed–Solomon code.
+//!
+//! The encoding matrix is built from an `n × k` Vandermonde matrix `V` by
+//! right-multiplying with the inverse of its top `k × k` block, yielding a
+//! systematic matrix whose first `k` rows are the identity: coded elements
+//! `0..k` are the data shards verbatim and elements `k..n` are parity. Any
+//! `k` rows of the resulting matrix remain linearly independent (the MDS
+//! property is preserved by column operations), so the value can be decoded
+//! from any `k` coded elements by inverting the corresponding row submatrix.
+
+use crate::{pad_and_split, reassemble, validate_params, CodeError, CodedElement, MdsCode};
+use soda_gf::Matrix;
+
+/// Systematic Vandermonde-derived `[n, k]` MDS code (erasure decoding only).
+#[derive(Clone)]
+pub struct VandermondeCode {
+    n: usize,
+    k: usize,
+    /// The full `n × k` systematic encoding matrix.
+    encoding: Matrix,
+}
+
+impl std::fmt::Debug for VandermondeCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "VandermondeCode[n={}, k={}]", self.n, self.k)
+    }
+}
+
+impl VandermondeCode {
+    /// Creates an `[n, k]` systematic code. Fails if the parameters are not
+    /// representable in GF(2^8) (`k = 0`, `k > n`, or `n > 255`).
+    pub fn new(n: usize, k: usize) -> Result<Self, CodeError> {
+        validate_params(n, k)?;
+        let vandermonde = Matrix::vandermonde(n, k);
+        let top: Vec<usize> = (0..k).collect();
+        let top_inv = vandermonde
+            .select_rows(&top)
+            .inverse()
+            .expect("top block of a Vandermonde matrix is invertible");
+        let encoding = vandermonde
+            .mul(&top_inv)
+            .expect("dimensions agree by construction");
+        Ok(VandermondeCode { n, k, encoding })
+    }
+
+    /// Convenience constructor matching SODA's choice `k = n - f`.
+    pub fn for_fault_tolerance(n: usize, f: usize) -> Result<Self, CodeError> {
+        if f >= n {
+            return Err(CodeError::InvalidParameters { n, k: 0 });
+        }
+        VandermondeCode::new(n, n - f)
+    }
+
+    /// The systematic encoding matrix (first `k` rows are the identity).
+    pub fn encoding_matrix(&self) -> &Matrix {
+        &self.encoding
+    }
+
+    /// Validates a set of coded elements: distinct in-range indices, equal
+    /// lengths, at least `need` of them. Returns the (index, data) selection
+    /// truncated to exactly `need` elements.
+    fn validate_elements<'a>(
+        &self,
+        elements: &'a [CodedElement],
+        need: usize,
+    ) -> Result<Vec<&'a CodedElement>, CodeError> {
+        if elements.len() < need {
+            return Err(CodeError::NotEnoughElements {
+                have: elements.len(),
+                need,
+            });
+        }
+        let mut seen = vec![false; self.n];
+        let len = elements[0].data.len();
+        for e in elements {
+            if e.index >= self.n {
+                return Err(CodeError::InvalidIndex {
+                    index: e.index,
+                    n: self.n,
+                });
+            }
+            if seen[e.index] {
+                return Err(CodeError::DuplicateIndex { index: e.index });
+            }
+            seen[e.index] = true;
+            if e.data.len() != len {
+                return Err(CodeError::InconsistentElementLength);
+            }
+        }
+        Ok(elements.iter().take(need).collect())
+    }
+}
+
+impl MdsCode for VandermondeCode {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn encode(&self, value: &[u8]) -> Result<Vec<CodedElement>, CodeError> {
+        let data_shards = pad_and_split(value, self.k);
+        let refs: Vec<&[u8]> = data_shards.iter().map(|s| s.as_slice()).collect();
+        let coded = self
+            .encoding
+            .apply_to_shards(&refs)
+            .expect("shard count equals k by construction");
+        Ok(coded
+            .into_iter()
+            .enumerate()
+            .map(|(i, data)| CodedElement::new(i, data))
+            .collect())
+    }
+
+    fn decode(&self, elements: &[CodedElement]) -> Result<Vec<u8>, CodeError> {
+        let chosen = self.validate_elements(elements, self.k)?;
+        let indices: Vec<usize> = chosen.iter().map(|e| e.index).collect();
+        let sub = self.encoding.select_rows(&indices);
+        let inv = sub.inverse().map_err(|_| CodeError::TooManyErrors)?;
+        let shard_refs: Vec<&[u8]> = chosen.iter().map(|e| e.data.as_slice()).collect();
+        let data_shards = inv
+            .apply_to_shards(&shard_refs)
+            .expect("dimensions agree by construction");
+        reassemble(&data_shards).ok_or(CodeError::CorruptPayload)
+    }
+
+    fn decode_with_errors(
+        &self,
+        elements: &[CodedElement],
+        max_errors: usize,
+    ) -> Result<Vec<u8>, CodeError> {
+        if max_errors == 0 {
+            return self.decode(elements);
+        }
+        Err(CodeError::ErrorsNotSupported)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_value(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i.wrapping_mul(37) % 256) as u8).collect()
+    }
+
+    #[test]
+    fn systematic_property_first_k_elements_are_data() {
+        let code = VandermondeCode::new(6, 4).unwrap();
+        let value = sample_value(50);
+        let elements = code.encode(&value).unwrap();
+        let data_shards = pad_and_split(&value, 4);
+        for i in 0..4 {
+            assert_eq!(elements[i].data, data_shards[i], "element {i} not systematic");
+        }
+    }
+
+    #[test]
+    fn decode_from_any_k_subset() {
+        let code = VandermondeCode::new(7, 3).unwrap();
+        let value = sample_value(100);
+        let elements = code.encode(&value).unwrap();
+        // Try every 3-subset of the 7 elements.
+        for a in 0..7 {
+            for b in (a + 1)..7 {
+                for c in (b + 1)..7 {
+                    let subset = vec![
+                        elements[a].clone(),
+                        elements[b].clone(),
+                        elements[c].clone(),
+                    ];
+                    assert_eq!(code.decode(&subset).unwrap(), value, "subset {a},{b},{c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decode_uses_first_k_of_more_than_k_elements() {
+        let code = VandermondeCode::new(5, 2).unwrap();
+        let value = sample_value(33);
+        let elements = code.encode(&value).unwrap();
+        assert_eq!(code.decode(&elements).unwrap(), value);
+    }
+
+    #[test]
+    fn decode_with_insufficient_elements_fails() {
+        let code = VandermondeCode::new(5, 3).unwrap();
+        let value = sample_value(10);
+        let elements = code.encode(&value).unwrap();
+        let result = code.decode(&elements[..2]);
+        assert_eq!(
+            result,
+            Err(CodeError::NotEnoughElements { have: 2, need: 3 })
+        );
+    }
+
+    #[test]
+    fn decode_rejects_duplicate_indices() {
+        let code = VandermondeCode::new(5, 3).unwrap();
+        let value = sample_value(10);
+        let elements = code.encode(&value).unwrap();
+        let bad = vec![elements[0].clone(), elements[0].clone(), elements[1].clone()];
+        assert_eq!(code.decode(&bad), Err(CodeError::DuplicateIndex { index: 0 }));
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range_index() {
+        let code = VandermondeCode::new(4, 2).unwrap();
+        let bad = vec![
+            CodedElement::new(9, vec![0; 4]),
+            CodedElement::new(1, vec![0; 4]),
+        ];
+        assert!(matches!(
+            code.decode(&bad),
+            Err(CodeError::InvalidIndex { index: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_inconsistent_lengths() {
+        let code = VandermondeCode::new(4, 2).unwrap();
+        let value = sample_value(20);
+        let mut elements = code.encode(&value).unwrap();
+        elements[1].data.pop();
+        assert_eq!(
+            code.decode(&elements[..2]),
+            Err(CodeError::InconsistentElementLength)
+        );
+    }
+
+    #[test]
+    fn errors_not_supported() {
+        let code = VandermondeCode::new(5, 3).unwrap();
+        let value = sample_value(10);
+        let elements = code.encode(&value).unwrap();
+        assert_eq!(
+            code.decode_with_errors(&elements, 1),
+            Err(CodeError::ErrorsNotSupported)
+        );
+        // max_errors = 0 falls back to plain decode
+        assert_eq!(code.decode_with_errors(&elements, 0).unwrap(), value);
+    }
+
+    #[test]
+    fn replication_degenerate_case_k_equals_one() {
+        let code = VandermondeCode::new(3, 1).unwrap();
+        let value = sample_value(40);
+        let elements = code.encode(&value).unwrap();
+        for e in &elements {
+            assert_eq!(code.decode(std::slice::from_ref(e)).unwrap(), value);
+        }
+    }
+
+    #[test]
+    fn trivial_case_k_equals_n() {
+        let code = VandermondeCode::new(4, 4).unwrap();
+        let value = sample_value(25);
+        let elements = code.encode(&value).unwrap();
+        assert_eq!(code.decode(&elements).unwrap(), value);
+    }
+
+    #[test]
+    fn for_fault_tolerance_sets_k() {
+        let code = VandermondeCode::for_fault_tolerance(9, 4).unwrap();
+        assert_eq!(code.n(), 9);
+        assert_eq!(code.k(), 5);
+        assert!(VandermondeCode::for_fault_tolerance(5, 5).is_err());
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(VandermondeCode::new(3, 5).is_err());
+        assert!(VandermondeCode::new(0, 0).is_err());
+        assert!(VandermondeCode::new(300, 10).is_err());
+    }
+
+    #[test]
+    fn large_value_round_trip() {
+        let code = VandermondeCode::new(12, 8).unwrap();
+        let value = sample_value(64 * 1024);
+        let elements = code.encode(&value).unwrap();
+        let subset: Vec<CodedElement> = elements.into_iter().skip(4).collect();
+        assert_eq!(code.decode(&subset).unwrap(), value);
+    }
+
+    #[test]
+    fn empty_value_round_trip() {
+        let code = VandermondeCode::new(5, 3).unwrap();
+        let elements = code.encode(&[]).unwrap();
+        let subset = vec![elements[4].clone(), elements[2].clone(), elements[0].clone()];
+        assert_eq!(code.decode(&subset).unwrap(), Vec::<u8>::new());
+    }
+}

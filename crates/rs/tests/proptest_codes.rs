@@ -1,0 +1,114 @@
+//! Property-based tests for the MDS codes: random values, random [n, k]
+//! parameters, random erasure patterns and random corruption patterns must
+//! always round-trip (or be detected) according to the code's guarantees.
+
+use proptest::prelude::*;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use soda_rs_code::{BerlekampWelchCode, CodedElement, MdsCode, VandermondeCode};
+
+/// Strategy producing (n, k, value, seed).
+fn code_params() -> impl Strategy<Value = (usize, usize, Vec<u8>, u64)> {
+    (2usize..=12)
+        .prop_flat_map(|n| (Just(n), 1usize..=n))
+        .prop_flat_map(|(n, k)| {
+            (
+                Just(n),
+                Just(k),
+                proptest::collection::vec(any::<u8>(), 0..300),
+                any::<u64>(),
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn vandermonde_round_trips_any_k_subset((n, k, value, seed) in code_params()) {
+        let code = VandermondeCode::new(n, k).unwrap();
+        let elements = code.encode(&value).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut shuffled = elements;
+        shuffled.shuffle(&mut rng);
+        shuffled.truncate(k);
+        prop_assert_eq!(code.decode(&shuffled).unwrap(), value);
+    }
+
+    #[test]
+    fn element_sizes_are_value_over_k((n, k, value, _seed) in code_params()) {
+        let code = VandermondeCode::new(n, k).unwrap();
+        let elements = code.encode(&value).unwrap();
+        let expected = (value.len() + 8).div_ceil(k);
+        for e in &elements {
+            prop_assert_eq!(e.data.len(), expected);
+        }
+        prop_assert_eq!(elements.len(), n);
+    }
+
+    #[test]
+    fn bw_code_corrects_random_corruption(
+        (n, k, value, seed) in code_params(),
+        e_budget in 0usize..=2,
+    ) {
+        prop_assume!(k + 2 * e_budget <= n);
+        let code = BerlekampWelchCode::new(n, k).unwrap();
+        let elements = code.encode(&value).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+
+        // Keep exactly k + 2e elements (simulating f crashes), corrupt up to e of them.
+        let mut kept = elements;
+        kept.shuffle(&mut rng);
+        kept.truncate(k + 2 * e_budget);
+        let corrupt_count = e_budget.min(kept.len());
+        let mut indices: Vec<usize> = (0..kept.len()).collect();
+        indices.shuffle(&mut rng);
+        for &i in indices.iter().take(corrupt_count) {
+            for b in kept[i].data.iter_mut() {
+                *b ^= 0x5A;
+            }
+        }
+        let decoded = code.decode_with_errors(&kept, e_budget).unwrap();
+        prop_assert_eq!(decoded, value);
+    }
+
+    #[test]
+    fn bw_partial_byte_corruption_is_corrected(
+        (n, k, value, seed) in code_params(),
+    ) {
+        prop_assume!(k + 2 <= n);
+        prop_assume!(!value.is_empty());
+        let code = BerlekampWelchCode::new(n, k).unwrap();
+        let mut elements = code.encode(&value).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // Corrupt a random subset of bytes within one random element.
+        let victim = seed as usize % n;
+        let len = elements[victim].data.len();
+        for j in 0..len {
+            if rand::Rng::gen_bool(&mut rng, 0.5) {
+                elements[victim].data[j] ^= 0xFF;
+            }
+        }
+        let decoded = code.decode_with_errors(&elements, 1).unwrap();
+        prop_assert_eq!(decoded, value);
+    }
+
+    #[test]
+    fn decode_never_panics_on_garbage(
+        n in 2usize..=8,
+        k in 1usize..=8,
+        garbage in proptest::collection::vec(
+            (0usize..16, proptest::collection::vec(any::<u8>(), 0..32)), 0..8),
+    ) {
+        prop_assume!(k <= n);
+        let code = VandermondeCode::new(n, k).unwrap();
+        let elements: Vec<CodedElement> = garbage
+            .into_iter()
+            .map(|(idx, data)| CodedElement::new(idx, data))
+            .collect();
+        // Must return an error or a value, never panic.
+        let _ = code.decode(&elements);
+        let bw = BerlekampWelchCode::new(n, k).unwrap();
+        let _ = bw.decode_with_errors(&elements, 1);
+    }
+}

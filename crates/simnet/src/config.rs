@@ -1,0 +1,201 @@
+//! Network configuration: message delay models and per-link overrides.
+
+use crate::process::ProcessId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Distribution from which per-message delivery delays are sampled (in ticks).
+///
+/// The paper assumes arbitrary finite delays for the asynchronous model and a
+/// bound Δ for the latency analysis (Section V-C); both are expressible here.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum DelayModel {
+    /// Every message takes exactly this many ticks.
+    Constant(u64),
+    /// Uniformly distributed in `[min, max]` (inclusive).
+    Uniform {
+        /// Minimum delay in ticks.
+        min: u64,
+        /// Maximum delay in ticks.
+        max: u64,
+    },
+    /// Geometric-tailed delay: `min + Geometric(p)` capped at `cap`, a simple
+    /// heavy-ish tail for adversarial reordering without unbounded delays.
+    GeometricTail {
+        /// Minimum delay in ticks.
+        min: u64,
+        /// Success probability of the geometric component (0 < p ≤ 1).
+        p: f64,
+        /// Hard cap on the sampled delay.
+        cap: u64,
+    },
+}
+
+impl DelayModel {
+    /// Samples a delay in ticks. Always returns at least 1 so that causality
+    /// (send strictly-before delivery) is preserved.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let raw = match *self {
+            DelayModel::Constant(d) => d,
+            DelayModel::Uniform { min, max } => {
+                let (lo, hi) = if min <= max { (min, max) } else { (max, min) };
+                rng.gen_range(lo..=hi)
+            }
+            DelayModel::GeometricTail { min, p, cap } => {
+                let p = p.clamp(1e-6, 1.0);
+                let mut extra = 0u64;
+                while extra < cap && !rng.gen_bool(p) {
+                    extra += 1;
+                }
+                (min + extra).min(cap.max(min))
+            }
+        };
+        raw.max(1)
+    }
+
+    /// An upper bound on the delays this model can produce, if one exists.
+    /// Used by the latency experiments to convert ticks into Δ units.
+    pub fn upper_bound(&self) -> Option<u64> {
+        match *self {
+            DelayModel::Constant(d) => Some(d.max(1)),
+            DelayModel::Uniform { min, max } => Some(max.max(min).max(1)),
+            DelayModel::GeometricTail { min, cap, .. } => Some(cap.max(min).max(1)),
+        }
+    }
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        DelayModel::Uniform { min: 1, max: 10 }
+    }
+}
+
+/// Configuration of the simulated network.
+#[derive(Clone, Debug, Default)]
+pub struct NetworkConfig {
+    /// Default delay model for every channel.
+    pub default_delay: DelayModel,
+    /// Per-directed-link overrides of the delay model (e.g. to make one
+    /// server arbitrarily slow, producing adversarial schedules).
+    pub link_overrides: HashMap<(ProcessId, ProcessId), DelayModel>,
+}
+
+impl NetworkConfig {
+    /// Configuration in which every message takes exactly `delta` ticks.
+    pub fn constant(delta: u64) -> Self {
+        NetworkConfig {
+            default_delay: DelayModel::Constant(delta),
+            link_overrides: HashMap::new(),
+        }
+    }
+
+    /// Configuration with uniformly random delays in `[1, delta]`, i.e. the
+    /// bounded-delay network of the latency analysis with bound Δ = `delta`.
+    pub fn uniform(delta: u64) -> Self {
+        NetworkConfig {
+            default_delay: DelayModel::Uniform { min: 1, max: delta },
+            link_overrides: HashMap::new(),
+        }
+    }
+
+    /// Adds a per-link delay override and returns `self` (builder style).
+    pub fn with_link(mut self, from: ProcessId, to: ProcessId, model: DelayModel) -> Self {
+        self.link_overrides.insert((from, to), model);
+        self
+    }
+
+    /// The delay model applying to a particular directed link.
+    pub fn delay_for(&self, from: ProcessId, to: ProcessId) -> DelayModel {
+        self.link_overrides
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(self.default_delay)
+    }
+
+    /// Upper bound Δ on message delay across all links, if every model is
+    /// bounded.
+    pub fn delta_bound(&self) -> Option<u64> {
+        let mut bound = self.default_delay.upper_bound()?;
+        for model in self.link_overrides.values() {
+            bound = bound.max(model.upper_bound()?);
+        }
+        Some(bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn constant_delay_is_constant_and_at_least_one() {
+        let mut rng = ChaCha12Rng::seed_from_u64(0);
+        let m = DelayModel::Constant(5);
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng), 5);
+        }
+        assert_eq!(DelayModel::Constant(0).sample(&mut rng), 1);
+    }
+
+    #[test]
+    fn uniform_delay_stays_in_range() {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let m = DelayModel::Uniform { min: 2, max: 9 };
+        for _ in 0..200 {
+            let d = m.sample(&mut rng);
+            assert!((2..=9).contains(&d));
+        }
+        // Swapped bounds are tolerated.
+        let swapped = DelayModel::Uniform { min: 9, max: 2 };
+        for _ in 0..50 {
+            assert!((2..=9).contains(&swapped.sample(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn geometric_tail_respects_cap() {
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        let m = DelayModel::GeometricTail { min: 3, p: 0.2, cap: 20 };
+        for _ in 0..200 {
+            let d = m.sample(&mut rng);
+            assert!((3..=23).contains(&d));
+        }
+    }
+
+    #[test]
+    fn upper_bounds() {
+        assert_eq!(DelayModel::Constant(4).upper_bound(), Some(4));
+        assert_eq!(
+            DelayModel::Uniform { min: 1, max: 7 }.upper_bound(),
+            Some(7)
+        );
+        assert_eq!(
+            DelayModel::GeometricTail { min: 2, p: 0.5, cap: 11 }.upper_bound(),
+            Some(11)
+        );
+    }
+
+    #[test]
+    fn link_override_changes_delay_model() {
+        let cfg = NetworkConfig::constant(3)
+            .with_link(ProcessId(0), ProcessId(1), DelayModel::Constant(50));
+        assert_eq!(
+            cfg.delay_for(ProcessId(0), ProcessId(1)),
+            DelayModel::Constant(50)
+        );
+        assert_eq!(
+            cfg.delay_for(ProcessId(1), ProcessId(0)),
+            DelayModel::Constant(3)
+        );
+        assert_eq!(cfg.delta_bound(), Some(50));
+    }
+
+    #[test]
+    fn uniform_constructor_gives_delta_bound() {
+        let cfg = NetworkConfig::uniform(12);
+        assert_eq!(cfg.delta_bound(), Some(12));
+    }
+}

@@ -1,0 +1,84 @@
+//! Crash-fault injection.
+//!
+//! The paper tolerates up to `f ≤ (n−1)/2` server crashes and arbitrarily many
+//! client crashes. A [`FaultPlan`] describes which processes crash and when;
+//! it can be handed to the simulation up front or crashes can be scheduled
+//! dynamically with [`crate::Simulation::schedule_crash`].
+
+use crate::process::ProcessId;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A single scheduled crash.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashEvent {
+    /// The process that crashes.
+    pub process: ProcessId,
+    /// When the crash takes effect. No events are delivered to the process at
+    /// or after this time.
+    pub at: SimTime,
+}
+
+/// A collection of scheduled crashes.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    crashes: Vec<CrashEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no failures).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a crash of `process` at time `at` (builder style).
+    pub fn crash(mut self, process: ProcessId, at: SimTime) -> Self {
+        self.crashes.push(CrashEvent { process, at });
+        self
+    }
+
+    /// Crashes every process in the iterator at the same time.
+    pub fn crash_all<I: IntoIterator<Item = ProcessId>>(mut self, processes: I, at: SimTime) -> Self {
+        for p in processes {
+            self.crashes.push(CrashEvent { process: p, at });
+        }
+        self
+    }
+
+    /// The scheduled crashes.
+    pub fn crashes(&self) -> &[CrashEvent] {
+        &self.crashes
+    }
+
+    /// Number of scheduled crashes.
+    pub fn len(&self) -> usize {
+        self.crashes.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_crashes() {
+        let plan = FaultPlan::none()
+            .crash(ProcessId(1), SimTime::from_ticks(10))
+            .crash_all([ProcessId(2), ProcessId(3)], SimTime::from_ticks(20));
+        assert_eq!(plan.len(), 3);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.crashes()[0].process, ProcessId(1));
+        assert_eq!(plan.crashes()[2].at, SimTime::from_ticks(20));
+    }
+
+    #[test]
+    fn empty_plan() {
+        assert!(FaultPlan::none().is_empty());
+        assert_eq!(FaultPlan::none().len(), 0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Process (actor) abstraction and the handler-side context.
+
+use crate::time::SimTime;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+use std::any::Any;
+use std::fmt;
+
+/// Identifier of a process in the simulation.
+///
+/// Identifiers are assigned densely starting at 0 in the order processes are
+/// added, and form a totally ordered set as the paper requires (the
+/// message-disperse primitive relies on an agreed ordering of the servers).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Debug, Default,
+)]
+pub struct ProcessId(pub u32);
+
+impl ProcessId {
+    /// The distinguished "environment" sender used for externally injected
+    /// messages (operation invocations from the workload driver).
+    pub const ENV: ProcessId = ProcessId(u32::MAX);
+
+    /// Raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == ProcessId::ENV {
+            write!(f, "env")
+        } else {
+            write!(f, "p{}", self.0)
+        }
+    }
+}
+
+/// Trait for messages exchanged between processes.
+///
+/// `data_bytes` reports how many bytes of *object-value data* (full values or
+/// coded elements) the message carries. The paper's communication-cost model
+/// counts only these bytes and treats metadata (tags, ids, acknowledgements)
+/// as free, so metadata-only messages keep the default of `0`.
+pub trait Message: Clone + fmt::Debug + Send + 'static {
+    /// Bytes of object-value data carried by this message (0 for metadata).
+    fn data_bytes(&self) -> usize {
+        0
+    }
+
+    /// A short human-readable kind, used in traces.
+    fn kind(&self) -> &'static str {
+        "msg"
+    }
+}
+
+/// A protocol automaton.
+///
+/// Handlers receive a [`Context`] through which they can send messages, set
+/// timers and read the current simulated time. State inspection from tests and
+/// experiment harnesses goes through `as_any` downcasting.
+pub trait Process<M: Message>: Send {
+    /// Called once when the simulation starts (before any message delivery).
+    fn on_start(&mut self, _ctx: &mut Context<'_, M>) {}
+
+    /// Called when a message is delivered to this process.
+    fn on_message(&mut self, from: ProcessId, msg: M, ctx: &mut Context<'_, M>);
+
+    /// Called when a timer set through [`Context::set_timer`] fires.
+    fn on_timer(&mut self, _token: u64, _ctx: &mut Context<'_, M>) {}
+
+    /// Downcasting support for state inspection.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable downcasting support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Actions a handler can emit; collected by the simulation after the handler
+/// returns and turned into future events.
+#[derive(Debug)]
+pub(crate) enum Action<M> {
+    Send { to: ProcessId, msg: M },
+    SetTimer { delay: u64, token: u64 },
+    Halt,
+}
+
+/// Handler-side view of the simulation: lets a process send messages, set
+/// timers, sample randomness and read the clock. All effects are buffered and
+/// applied by the scheduler after the handler returns, which keeps handlers
+/// deterministic and side-effect free.
+pub struct Context<'a, M: Message> {
+    pub(crate) self_id: ProcessId,
+    pub(crate) now: SimTime,
+    pub(crate) actions: Vec<Action<M>>,
+    pub(crate) rng: &'a mut ChaCha12Rng,
+}
+
+impl<'a, M: Message> Context<'a, M> {
+    /// The id of the process whose handler is running.
+    pub fn self_id(&self) -> ProcessId {
+        self.self_id
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Sends `msg` to `to` over the reliable point-to-point channel. Delivery
+    /// is asynchronous; the delay is sampled from the network configuration.
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.actions.push(Action::Send { to, msg });
+    }
+
+    /// Sends the same message to every process in `to`, in order.
+    pub fn send_all<I: IntoIterator<Item = ProcessId>>(&mut self, to: I, msg: M) {
+        for dest in to {
+            self.send(dest, msg.clone());
+        }
+    }
+
+    /// Schedules `on_timer(token)` on this process after `delay` ticks.
+    pub fn set_timer(&mut self, delay: u64, token: u64) {
+        self.actions.push(Action::SetTimer { delay, token });
+    }
+
+    /// Crashes this process at the end of the current handler: no further
+    /// events will be delivered to it (messages already sent by it remain in
+    /// the channels, matching the paper's channel model).
+    pub fn halt(&mut self) {
+        self.actions.push(Action::Halt);
+    }
+
+    /// Deterministic per-simulation random number generator.
+    pub fn rng(&mut self) -> &mut ChaCha12Rng {
+        self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_id_display_and_order() {
+        assert_eq!(ProcessId(3).to_string(), "p3");
+        assert_eq!(ProcessId::ENV.to_string(), "env");
+        assert!(ProcessId(1) < ProcessId(2));
+        assert_eq!(ProcessId(5).index(), 5);
+    }
+
+    #[derive(Clone, Debug)]
+    struct Dummy;
+    impl Message for Dummy {}
+
+    #[test]
+    fn default_message_metadata_is_free() {
+        assert_eq!(Dummy.data_bytes(), 0);
+        assert_eq!(Dummy.kind(), "msg");
+    }
+
+    #[test]
+    fn context_buffers_actions() {
+        use rand::SeedableRng;
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let mut ctx: Context<'_, Dummy> = Context {
+            self_id: ProcessId(0),
+            now: SimTime::from_ticks(5),
+            actions: Vec::new(),
+            rng: &mut rng,
+        };
+        ctx.send(ProcessId(1), Dummy);
+        ctx.send_all([ProcessId(2), ProcessId(3)], Dummy);
+        ctx.set_timer(10, 99);
+        ctx.halt();
+        assert_eq!(ctx.actions.len(), 5);
+        assert_eq!(ctx.now().ticks(), 5);
+        assert_eq!(ctx.self_id(), ProcessId(0));
+    }
+}

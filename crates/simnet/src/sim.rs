@@ -1,0 +1,626 @@
+//! The discrete-event scheduler.
+
+use crate::config::NetworkConfig;
+use crate::fault::FaultPlan;
+use crate::process::{Action, Context, Message, Process, ProcessId};
+use crate::time::SimTime;
+use crate::trace::{Stats, Trace};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+#[derive(Debug)]
+enum EventKind<M> {
+    /// Deliver a message from `from`.
+    Deliver { from: ProcessId, msg: M },
+    /// Fire a timer with the given token.
+    Timer { token: u64 },
+    /// Crash the target process.
+    Crash,
+}
+
+/// A scheduled event. Ordering is by `(time, sequence number)`, which makes
+/// executions fully deterministic for a fixed seed.
+#[derive(Debug)]
+struct Event<M> {
+    at: SimTime,
+    seq: u64,
+    target: ProcessId,
+    kind: EventKind<M>,
+    /// Data bytes carried (cached so delivery accounting does not need the
+    /// message after a drop).
+    data_bytes: usize,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Result of running the simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Number of events processed during this run call.
+    pub events_processed: u64,
+    /// Simulated time when the run stopped.
+    pub final_time: SimTime,
+    /// True if the run stopped because the event cap was reached rather than
+    /// because the system became quiescent (usually indicates a protocol bug
+    /// such as an infinite relay loop).
+    pub hit_event_cap: bool,
+}
+
+/// A deterministic discrete-event simulation of asynchronous processes
+/// connected by reliable point-to-point channels.
+pub struct Simulation<M: Message> {
+    config: NetworkConfig,
+    processes: Vec<Option<Box<dyn Process<M>>>>,
+    crashed: Vec<bool>,
+    started: Vec<bool>,
+    queue: BinaryHeap<Reverse<Event<M>>>,
+    now: SimTime,
+    seq: u64,
+    rng: ChaCha12Rng,
+    trace: Trace,
+    event_cap: u64,
+}
+
+impl<M: Message> Simulation<M> {
+    /// Creates a simulation with the given RNG seed and network configuration.
+    pub fn new(seed: u64, config: NetworkConfig) -> Self {
+        Simulation {
+            config,
+            processes: Vec::new(),
+            crashed: Vec::new(),
+            started: Vec::new(),
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            rng: ChaCha12Rng::seed_from_u64(seed),
+            trace: Trace::new(false),
+            event_cap: 50_000_000,
+        }
+    }
+
+    /// Enables detailed per-message tracing (memory grows with the execution).
+    pub fn with_detailed_trace(mut self) -> Self {
+        self.trace = Trace::new(true);
+        self
+    }
+
+    /// Overrides the safety cap on processed events per run call.
+    pub fn with_event_cap(mut self, cap: u64) -> Self {
+        self.event_cap = cap;
+        self
+    }
+
+    /// Registers a process and returns its id. Ids are assigned densely in
+    /// registration order, giving the total order on processes the protocols
+    /// rely on.
+    pub fn add_process(&mut self, process: Box<dyn Process<M>>) -> ProcessId {
+        let id = ProcessId(self.processes.len() as u32);
+        self.processes.push(Some(process));
+        self.crashed.push(false);
+        self.started.push(false);
+        id
+    }
+
+    /// Number of registered processes.
+    pub fn num_processes(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Whether a process has crashed.
+    pub fn is_crashed(&self, id: ProcessId) -> bool {
+        self.crashed.get(id.index()).copied().unwrap_or(false)
+    }
+
+    /// Aggregate message statistics so far.
+    pub fn stats(&self) -> Stats {
+        self.trace.stats()
+    }
+
+    /// Access to the trace (for detailed event logs).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Immutable typed access to a process's state.
+    pub fn process_as<T: 'static>(&self, id: ProcessId) -> Option<&T> {
+        self.processes
+            .get(id.index())?
+            .as_ref()?
+            .as_any()
+            .downcast_ref::<T>()
+    }
+
+    /// Mutable typed access to a process's state.
+    pub fn process_as_mut<T: 'static>(&mut self, id: ProcessId) -> Option<&mut T> {
+        self.processes
+            .get_mut(id.index())?
+            .as_mut()?
+            .as_any_mut()
+            .downcast_mut::<T>()
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    /// Injects a message from the environment, delivered at the current time
+    /// (before any later-scheduled events).
+    pub fn send_external(&mut self, to: ProcessId, msg: M) {
+        self.send_external_at(self.now, to, msg);
+    }
+
+    /// Injects a message from the environment for delivery at `at`.
+    pub fn send_external_at(&mut self, at: SimTime, to: ProcessId, msg: M) {
+        let at = at.max(self.now);
+        let data_bytes = msg.data_bytes();
+        let kind = msg.kind();
+        self.trace
+            .record_send(self.now, at, ProcessId::ENV, to, data_bytes, kind, false);
+        let seq = self.next_seq();
+        self.queue.push(Reverse(Event {
+            at,
+            seq,
+            target: to,
+            kind: EventKind::Deliver {
+                from: ProcessId::ENV,
+                msg,
+            },
+            data_bytes,
+        }));
+    }
+
+    /// Schedules a crash of `process` at time `at`.
+    pub fn schedule_crash(&mut self, at: SimTime, process: ProcessId) {
+        let at = at.max(self.now);
+        let seq = self.next_seq();
+        self.queue.push(Reverse(Event {
+            at,
+            seq,
+            target: process,
+            kind: EventKind::Crash,
+            data_bytes: 0,
+        }));
+    }
+
+    /// Schedules every crash in the plan.
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
+        for crash in plan.crashes() {
+            self.schedule_crash(crash.at, crash.process);
+        }
+    }
+
+    /// Crashes a process immediately.
+    pub fn crash_now(&mut self, process: ProcessId) {
+        if let Some(flag) = self.crashed.get_mut(process.index()) {
+            *flag = true;
+        }
+    }
+
+    /// Ensures `on_start` has run for every registered process.
+    fn ensure_started(&mut self) {
+        for idx in 0..self.processes.len() {
+            if self.started[idx] || self.crashed[idx] {
+                continue;
+            }
+            self.started[idx] = true;
+            self.dispatch(ProcessId(idx as u32), |process, ctx| process.on_start(ctx));
+        }
+    }
+
+    /// Runs a handler on a process and applies the actions it produced.
+    fn dispatch<F>(&mut self, target: ProcessId, handler: F)
+    where
+        F: FnOnce(&mut dyn Process<M>, &mut Context<'_, M>),
+    {
+        let idx = target.index();
+        let Some(slot) = self.processes.get_mut(idx) else {
+            return;
+        };
+        let Some(mut process) = slot.take() else {
+            return;
+        };
+        let mut ctx = Context {
+            self_id: target,
+            now: self.now,
+            actions: Vec::new(),
+            rng: &mut self.rng,
+        };
+        handler(process.as_mut(), &mut ctx);
+        let actions = ctx.actions;
+        self.processes[idx] = Some(process);
+        self.apply_actions(target, actions);
+    }
+
+    fn apply_actions(&mut self, source: ProcessId, actions: Vec<Action<M>>) {
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => self.enqueue_send(source, to, msg),
+                Action::SetTimer { delay, token } => {
+                    let at = self.now + delay.max(1);
+                    let seq = self.next_seq();
+                    self.queue.push(Reverse(Event {
+                        at,
+                        seq,
+                        target: source,
+                        kind: EventKind::Timer { token },
+                        data_bytes: 0,
+                    }));
+                }
+                Action::Halt => {
+                    self.crash_now(source);
+                }
+            }
+        }
+    }
+
+    fn enqueue_send(&mut self, from: ProcessId, to: ProcessId, msg: M) {
+        let delay = self.config.delay_for(from, to).sample(&mut self.rng);
+        let at = self.now + delay;
+        let data_bytes = msg.data_bytes();
+        let kind = msg.kind();
+        let already_crashed = self.is_crashed(to);
+        self.trace
+            .record_send(self.now, at, from, to, data_bytes, kind, already_crashed);
+        let seq = self.next_seq();
+        self.queue.push(Reverse(Event {
+            at,
+            seq,
+            target: to,
+            kind: EventKind::Deliver { from, msg },
+            data_bytes,
+        }));
+    }
+
+    /// Processes the next scheduled event. Returns `false` when the queue is
+    /// empty.
+    pub fn step(&mut self) -> bool {
+        self.ensure_started();
+        let Some(Reverse(event)) = self.queue.pop() else {
+            return false;
+        };
+        self.now = self.now.max(event.at);
+        let target = event.target;
+        match event.kind {
+            EventKind::Crash => {
+                self.crash_now(target);
+            }
+            EventKind::Timer { token } => {
+                if !self.is_crashed(target) {
+                    self.dispatch(target, |process, ctx| process.on_timer(token, ctx));
+                }
+            }
+            EventKind::Deliver { from, msg } => {
+                if self.is_crashed(target) || target.index() >= self.processes.len() {
+                    self.trace.record_drop();
+                } else {
+                    self.trace.record_delivery(target, event.data_bytes);
+                    self.dispatch(target, |process, ctx| process.on_message(from, msg, ctx));
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs until no events remain (or the event cap is hit).
+    pub fn run_to_quiescence(&mut self) -> RunOutcome {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Runs until the next event is strictly after `deadline`, the queue is
+    /// empty, or the event cap is hit.
+    pub fn run_until(&mut self, deadline: SimTime) -> RunOutcome {
+        self.ensure_started();
+        let mut processed = 0u64;
+        loop {
+            if processed >= self.event_cap {
+                return RunOutcome {
+                    events_processed: processed,
+                    final_time: self.now,
+                    hit_event_cap: true,
+                };
+            }
+            match self.queue.peek() {
+                None => break,
+                Some(Reverse(event)) if event.at > deadline => break,
+                Some(_) => {}
+            }
+            if !self.step() {
+                break;
+            }
+            processed += 1;
+        }
+        RunOutcome {
+            events_processed: processed,
+            final_time: self.now,
+            hit_event_cap: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DelayModel;
+
+    #[derive(Clone, Debug)]
+    enum TestMsg {
+        Ping(u64),
+        Data(Vec<u8>),
+    }
+
+    impl Message for TestMsg {
+        fn data_bytes(&self) -> usize {
+            match self {
+                TestMsg::Ping(_) => 0,
+                TestMsg::Data(d) => d.len(),
+            }
+        }
+        fn kind(&self) -> &'static str {
+            match self {
+                TestMsg::Ping(_) => "ping",
+                TestMsg::Data(_) => "data",
+            }
+        }
+    }
+
+    /// Echoes pings back with an incremented counter until a limit.
+    struct PingPong {
+        limit: u64,
+        received: Vec<u64>,
+        started: bool,
+        timer_fired: bool,
+    }
+
+    impl PingPong {
+        fn new(limit: u64) -> Self {
+            PingPong {
+                limit,
+                received: Vec::new(),
+                started: false,
+                timer_fired: false,
+            }
+        }
+    }
+
+    impl Process<TestMsg> for PingPong {
+        fn on_start(&mut self, _ctx: &mut Context<'_, TestMsg>) {
+            self.started = true;
+        }
+        fn on_message(&mut self, from: ProcessId, msg: TestMsg, ctx: &mut Context<'_, TestMsg>) {
+            if let TestMsg::Ping(v) = msg {
+                self.received.push(v);
+                if v < self.limit && from != ProcessId::ENV {
+                    ctx.send(from, TestMsg::Ping(v + 1));
+                } else if from == ProcessId::ENV {
+                    // Kick off by pinging the next process.
+                    let next = ProcessId(ctx.self_id().0 + 1);
+                    ctx.send(next, TestMsg::Ping(v + 1));
+                }
+            }
+        }
+        fn on_timer(&mut self, _token: u64, _ctx: &mut Context<'_, TestMsg>) {
+            self.timer_fired = true;
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    fn two_process_sim(seed: u64) -> (Simulation<TestMsg>, ProcessId, ProcessId) {
+        let mut sim = Simulation::new(seed, NetworkConfig::uniform(5));
+        let a = sim.add_process(Box::new(PingPong::new(6)));
+        let b = sim.add_process(Box::new(PingPong::new(6)));
+        (sim, a, b)
+    }
+
+    #[test]
+    fn ping_pong_reaches_limit_and_quiesces() {
+        let (mut sim, a, b) = two_process_sim(1);
+        sim.send_external(a, TestMsg::Ping(0));
+        let outcome = sim.run_to_quiescence();
+        assert!(!outcome.hit_event_cap);
+        let pa: &PingPong = sim.process_as(a).unwrap();
+        let pb: &PingPong = sim.process_as(b).unwrap();
+        assert!(pa.started && pb.started);
+        assert_eq!(pa.received, vec![0, 2, 4, 6]);
+        assert_eq!(pb.received, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn same_seed_same_execution_different_seed_may_differ() {
+        let run = |seed| {
+            let (mut sim, a, _b) = two_process_sim(seed);
+            sim.send_external(a, TestMsg::Ping(0));
+            sim.run_to_quiescence();
+            (sim.now(), sim.stats().messages_sent)
+        };
+        assert_eq!(run(7), run(7), "determinism for equal seeds");
+    }
+
+    #[test]
+    fn crashed_process_receives_nothing() {
+        let (mut sim, a, b) = two_process_sim(3);
+        sim.schedule_crash(SimTime::ZERO, b);
+        sim.send_external(a, TestMsg::Ping(0));
+        sim.run_to_quiescence();
+        let pb: &PingPong = sim.process_as(b).unwrap();
+        assert!(pb.received.is_empty());
+        assert!(sim.is_crashed(b));
+        assert!(!sim.is_crashed(a));
+        assert!(sim.stats().messages_dropped > 0);
+    }
+
+    #[test]
+    fn data_bytes_are_accounted() {
+        let mut sim: Simulation<TestMsg> = Simulation::new(0, NetworkConfig::constant(2));
+        struct Sink;
+        impl Process<TestMsg> for Sink {
+            fn on_message(&mut self, _f: ProcessId, _m: TestMsg, _c: &mut Context<'_, TestMsg>) {}
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let s = sim.add_process(Box::new(Sink));
+        sim.send_external(s, TestMsg::Data(vec![0u8; 123]));
+        sim.send_external(s, TestMsg::Ping(1));
+        sim.run_to_quiescence();
+        let stats = sim.stats();
+        assert_eq!(stats.data_bytes_sent, 123);
+        assert_eq!(stats.metadata_messages, 1);
+        assert_eq!(stats.messages_delivered, 2);
+        assert_eq!(stats.per_process[0].data_bytes_received, 123);
+    }
+
+    #[test]
+    fn timers_fire_unless_crashed() {
+        struct TimerProc {
+            fired: bool,
+        }
+        #[derive(Clone, Debug)]
+        struct Nothing;
+        impl Message for Nothing {}
+        impl Process<Nothing> for TimerProc {
+            fn on_start(&mut self, ctx: &mut Context<'_, Nothing>) {
+                ctx.set_timer(10, 1);
+            }
+            fn on_message(&mut self, _f: ProcessId, _m: Nothing, _c: &mut Context<'_, Nothing>) {}
+            fn on_timer(&mut self, token: u64, _ctx: &mut Context<'_, Nothing>) {
+                assert_eq!(token, 1);
+                self.fired = true;
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut sim: Simulation<Nothing> = Simulation::new(0, NetworkConfig::default());
+        let p = sim.add_process(Box::new(TimerProc { fired: false }));
+        let q = sim.add_process(Box::new(TimerProc { fired: false }));
+        sim.schedule_crash(SimTime::from_ticks(5), q);
+        sim.run_to_quiescence();
+        assert!(sim.process_as::<TimerProc>(p).unwrap().fired);
+        assert!(!sim.process_as::<TimerProc>(q).unwrap().fired);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let (mut sim, a, _b) = two_process_sim(9);
+        sim.send_external_at(SimTime::from_ticks(100), a, TestMsg::Ping(0));
+        let outcome = sim.run_until(SimTime::from_ticks(50));
+        assert_eq!(outcome.events_processed, 0);
+        assert!(sim.now() <= SimTime::from_ticks(50));
+        let outcome = sim.run_to_quiescence();
+        assert!(outcome.events_processed > 0);
+    }
+
+    #[test]
+    fn event_cap_detects_livelock() {
+        // Two processes that ping forever.
+        struct Forever;
+        impl Process<TestMsg> for Forever {
+            fn on_message(&mut self, from: ProcessId, msg: TestMsg, ctx: &mut Context<'_, TestMsg>) {
+                if let TestMsg::Ping(v) = msg {
+                    let peer = if from == ProcessId::ENV { ProcessId(1) } else { from };
+                    ctx.send(peer, TestMsg::Ping(v + 1));
+                }
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut sim: Simulation<TestMsg> =
+            Simulation::new(0, NetworkConfig::constant(1)).with_event_cap(500);
+        let a = sim.add_process(Box::new(Forever));
+        let _b = sim.add_process(Box::new(Forever));
+        sim.send_external(a, TestMsg::Ping(0));
+        let outcome = sim.run_to_quiescence();
+        assert!(outcome.hit_event_cap);
+        assert_eq!(outcome.events_processed, 500);
+    }
+
+    #[test]
+    fn link_override_slows_one_direction() {
+        let cfg = NetworkConfig::constant(1).with_link(
+            ProcessId(0),
+            ProcessId(1),
+            DelayModel::Constant(100),
+        );
+        let mut sim: Simulation<TestMsg> = Simulation::new(0, cfg);
+        let a = sim.add_process(Box::new(PingPong::new(2)));
+        let b = sim.add_process(Box::new(PingPong::new(2)));
+        sim.send_external(a, TestMsg::Ping(0));
+        sim.run_to_quiescence();
+        // a -> b took 100 ticks, b -> a took 1 tick.
+        assert!(sim.now() >= SimTime::from_ticks(101));
+        let pb: &PingPong = sim.process_as(b).unwrap();
+        assert_eq!(pb.received, vec![1]);
+    }
+
+    #[test]
+    fn downcast_to_wrong_type_is_none() {
+        let (sim, a, _b) = two_process_sim(0);
+        assert!(sim.process_as::<String>(a).is_none());
+        assert!(sim.process_as::<PingPong>(ProcessId(99)).is_none());
+    }
+
+    #[test]
+    fn halt_action_crashes_self() {
+        struct Suicidal;
+        #[derive(Clone, Debug)]
+        struct Poke;
+        impl Message for Poke {}
+        impl Process<Poke> for Suicidal {
+            fn on_message(&mut self, _f: ProcessId, _m: Poke, ctx: &mut Context<'_, Poke>) {
+                ctx.halt();
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut sim: Simulation<Poke> = Simulation::new(0, NetworkConfig::default());
+        let p = sim.add_process(Box::new(Suicidal));
+        sim.send_external(p, Poke);
+        sim.send_external_at(SimTime::from_ticks(100), p, Poke);
+        sim.run_to_quiescence();
+        assert!(sim.is_crashed(p));
+        assert_eq!(sim.stats().messages_dropped, 1);
+    }
+}

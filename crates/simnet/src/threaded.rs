@@ -1,0 +1,328 @@
+//! Shared-memory threaded runtime.
+//!
+//! Runs the same [`Process`] implementations as the discrete-event simulator,
+//! but on real OS threads connected by crossbeam channels. This gives actual
+//! parallel execution and wall-clock timings for the benchmark harness, at the
+//! cost of determinism (interleavings depend on the OS scheduler). Crash
+//! injection is supported by marking a process halted before the run starts or
+//! through [`Context::halt`]; timers are not supported (the SODA family of
+//! protocols is purely message driven and never sets timers).
+//!
+//! Quiescence detection uses an in-flight message counter: every enqueue
+//! increments it and every completed handler decrements it, so the run
+//! terminates exactly when no messages remain anywhere in the system.
+
+use crate::process::{Action, Context, Message, Process, ProcessId};
+use crate::time::SimTime;
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// One message in flight between two processes.
+enum Envelope<M> {
+    Deliver { from: ProcessId, msg: M },
+    Stop,
+}
+
+/// Result of a threaded run: the processes (for state inspection) and
+/// aggregate counters.
+pub struct ThreadedResult<M: Message> {
+    /// The process objects in registration order, returned for inspection.
+    pub processes: Vec<Box<dyn Process<M>>>,
+    /// Total messages exchanged (including externally injected ones).
+    pub messages_sent: u64,
+    /// Total object-value data bytes carried by those messages.
+    pub data_bytes_sent: u64,
+    /// Wall-clock duration of the run (from first injection to quiescence).
+    pub elapsed: Duration,
+}
+
+impl<M: Message> ThreadedResult<M> {
+    /// Typed access to a process's final state.
+    pub fn process_as<T: 'static>(&self, id: ProcessId) -> Option<&T> {
+        self.processes
+            .get(id.index())?
+            .as_any()
+            .downcast_ref::<T>()
+    }
+}
+
+/// Runs the given processes on one OS thread each, injects the external
+/// messages, waits for quiescence and returns the final states.
+///
+/// `injections` pairs a target process index with a message; all injections are
+/// delivered from [`ProcessId::ENV`] at the start of the run.
+pub fn run_threaded<M: Message>(
+    processes: Vec<Box<dyn Process<M>>>,
+    injections: Vec<(ProcessId, M)>,
+    seed: u64,
+) -> ThreadedResult<M> {
+    let n = processes.len();
+    let in_flight = Arc::new(AtomicI64::new(0));
+    let messages_sent = Arc::new(AtomicU64::new(0));
+    let data_bytes_sent = Arc::new(AtomicU64::new(0));
+
+    let mut senders: Vec<Sender<Envelope<M>>> = Vec::with_capacity(n);
+    let mut receivers: Vec<Receiver<Envelope<M>>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(n);
+    for (idx, (mut process, rx)) in processes.into_iter().zip(receivers).enumerate() {
+        let senders = senders.clone();
+        let in_flight = Arc::clone(&in_flight);
+        let messages_sent = Arc::clone(&messages_sent);
+        let data_bytes_sent = Arc::clone(&data_bytes_sent);
+        let handle = thread::spawn(move || {
+            let self_id = ProcessId(idx as u32);
+            let mut rng = ChaCha12Rng::seed_from_u64(seed ^ (idx as u64).wrapping_mul(0x9E37_79B9));
+            let mut halted = false;
+
+            // on_start with an isolated context.
+            let start_instant = Instant::now();
+            let run_handler = |process: &mut Box<dyn Process<M>>,
+                                   rng: &mut ChaCha12Rng,
+                                   halted: &mut bool,
+                                   from: Option<(ProcessId, M)>| {
+                let now = SimTime::from_ticks(start_instant.elapsed().as_micros() as u64);
+                let mut ctx = Context {
+                    self_id,
+                    now,
+                    actions: Vec::new(),
+                    rng,
+                };
+                match from {
+                    None => process.on_start(&mut ctx),
+                    Some((sender, msg)) => process.on_message(sender, msg, &mut ctx),
+                }
+                for action in ctx.actions {
+                    match action {
+                        Action::Send { to, msg } => {
+                            if to.index() < senders.len() {
+                                in_flight.fetch_add(1, Ordering::SeqCst);
+                                messages_sent.fetch_add(1, Ordering::Relaxed);
+                                data_bytes_sent
+                                    .fetch_add(msg.data_bytes() as u64, Ordering::Relaxed);
+                                // A send to a stopped channel means the peer
+                                // finished; treat as a drop.
+                                if senders[to.index()]
+                                    .send(Envelope::Deliver { from: self_id, msg })
+                                    .is_err()
+                                {
+                                    in_flight.fetch_sub(1, Ordering::SeqCst);
+                                }
+                            }
+                        }
+                        Action::SetTimer { .. } => {
+                            // Timers are not supported in the threaded runtime.
+                        }
+                        Action::Halt => *halted = true,
+                    }
+                }
+            };
+
+            run_handler(&mut process, &mut rng, &mut halted, None);
+
+            while let Ok(envelope) = rx.recv() {
+                match envelope {
+                    Envelope::Stop => break,
+                    Envelope::Deliver { from, msg } => {
+                        if !halted {
+                            run_handler(&mut process, &mut rng, &mut halted, Some((from, msg)));
+                        }
+                        in_flight.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+            }
+            process
+        });
+        handles.push(handle);
+    }
+
+    // Inject external messages (counted as in-flight before sending).
+    for (to, msg) in injections {
+        if to.index() < senders.len() {
+            in_flight.fetch_add(1, Ordering::SeqCst);
+            messages_sent.fetch_add(1, Ordering::Relaxed);
+            data_bytes_sent.fetch_add(msg.data_bytes() as u64, Ordering::Relaxed);
+            let _ = senders[to.index()].send(Envelope::Deliver {
+                from: ProcessId::ENV,
+                msg,
+            });
+        }
+    }
+
+    // Wait for quiescence: no messages in flight anywhere.
+    while in_flight.load(Ordering::SeqCst) > 0 {
+        thread::yield_now();
+    }
+
+    // Shut down workers and collect their process objects.
+    for tx in &senders {
+        let _ = tx.send(Envelope::Stop);
+    }
+    let processes: Vec<Box<dyn Process<M>>> = handles
+        .into_iter()
+        .map(|h| h.join().expect("worker thread panicked"))
+        .collect();
+
+    ThreadedResult {
+        processes,
+        messages_sent: messages_sent.load(Ordering::Relaxed),
+        data_bytes_sent: data_bytes_sent.load(Ordering::Relaxed),
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug)]
+    enum Msg {
+        Token(u32),
+        Blob(Vec<u8>),
+    }
+    impl Message for Msg {
+        fn data_bytes(&self) -> usize {
+            match self {
+                Msg::Token(_) => 0,
+                Msg::Blob(b) => b.len(),
+            }
+        }
+    }
+
+    /// Passes a token around a ring `rounds` times.
+    struct RingNode {
+        n: usize,
+        rounds: u32,
+        seen: u32,
+    }
+    impl Process<Msg> for RingNode {
+        fn on_message(&mut self, _from: ProcessId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+            if let Msg::Token(v) = msg {
+                self.seen += 1;
+                if v < self.rounds * self.n as u32 {
+                    let next = ProcessId(((ctx.self_id().0 as usize + 1) % self.n) as u32);
+                    ctx.send(next, Msg::Token(v + 1));
+                }
+            }
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn token_ring_completes_and_counts() {
+        let n = 4;
+        let rounds = 3;
+        let processes: Vec<Box<dyn Process<Msg>>> = (0..n)
+            .map(|_| Box::new(RingNode { n, rounds, seen: 0 }) as Box<dyn Process<Msg>>)
+            .collect();
+        let result = run_threaded(processes, vec![(ProcessId(0), Msg::Token(0))], 1);
+        let total_seen: u32 = (0..n)
+            .map(|i| result.process_as::<RingNode>(ProcessId(i as u32)).unwrap().seen)
+            .sum();
+        assert_eq!(total_seen, rounds as u32 * n as u32 + 1);
+        assert_eq!(result.messages_sent as u32, total_seen);
+    }
+
+    #[test]
+    fn data_bytes_accounting() {
+        struct Forwarder;
+        impl Process<Msg> for Forwarder {
+            fn on_message(&mut self, from: ProcessId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+                if from == ProcessId::ENV {
+                    if let Msg::Blob(b) = msg {
+                        ctx.send(ProcessId(1), Msg::Blob(b));
+                    }
+                }
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        struct Sink {
+            bytes: usize,
+        }
+        impl Process<Msg> for Sink {
+            fn on_message(&mut self, _f: ProcessId, msg: Msg, _c: &mut Context<'_, Msg>) {
+                if let Msg::Blob(b) = msg {
+                    self.bytes += b.len();
+                }
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let processes: Vec<Box<dyn Process<Msg>>> =
+            vec![Box::new(Forwarder), Box::new(Sink { bytes: 0 })];
+        let result = run_threaded(processes, vec![(ProcessId(0), Msg::Blob(vec![7u8; 64]))], 2);
+        assert_eq!(result.data_bytes_sent, 128, "injection + forward");
+        assert_eq!(
+            result.process_as::<Sink>(ProcessId(1)).unwrap().bytes,
+            64
+        );
+    }
+
+    #[test]
+    fn empty_system_terminates() {
+        let result: ThreadedResult<Msg> = run_threaded(Vec::new(), Vec::new(), 0);
+        assert_eq!(result.messages_sent, 0);
+        assert!(result.processes.is_empty());
+    }
+
+    #[test]
+    fn halted_process_ignores_messages() {
+        struct HaltOnFirst {
+            handled: u32,
+        }
+        impl Process<Msg> for HaltOnFirst {
+            fn on_message(&mut self, _f: ProcessId, _m: Msg, ctx: &mut Context<'_, Msg>) {
+                self.handled += 1;
+                ctx.halt();
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let processes: Vec<Box<dyn Process<Msg>>> = vec![Box::new(HaltOnFirst { handled: 0 })];
+        let result = run_threaded(
+            processes,
+            vec![
+                (ProcessId(0), Msg::Token(1)),
+                (ProcessId(0), Msg::Token(2)),
+                (ProcessId(0), Msg::Token(3)),
+            ],
+            3,
+        );
+        assert_eq!(
+            result
+                .process_as::<HaltOnFirst>(ProcessId(0))
+                .unwrap()
+                .handled,
+            1
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Simulated time.
+//!
+//! Time is a dimensionless `u64` tick count. The latency analysis of the paper
+//! (Section V-C) expresses bounds in multiples of Δ, the maximum message
+//! delivery delay; experiments pick a Δ in ticks and report latencies as
+//! `ticks / Δ`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time (ticks since the start of the execution).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize, Debug,
+)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero — the start of every execution.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Largest representable time.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Constructs a time from raw ticks.
+    pub const fn from_ticks(ticks: u64) -> Self {
+        SimTime(ticks)
+    }
+
+    /// The raw tick count.
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference in ticks.
+    pub fn since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: u64) -> SimTime {
+        SimTime(self.0.saturating_add(rhs))
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 = self.0.saturating_add(rhs);
+    }
+}
+
+impl Sub for SimTime {
+    type Output = u64;
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.0.saturating_sub(rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let a = SimTime::from_ticks(10);
+        let b = a + 5;
+        assert_eq!(b.ticks(), 15);
+        assert!(b > a);
+        assert_eq!(b - a, 5);
+        assert_eq!(a - b, 0, "difference saturates at zero");
+        assert_eq!(b.since(a), 5);
+        assert_eq!(a.since(b), 0);
+    }
+
+    #[test]
+    fn saturating_add_at_max() {
+        let m = SimTime::MAX;
+        assert_eq!(m + 10, SimTime::MAX);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(SimTime::from_ticks(7).to_string(), "t=7");
+    }
+}

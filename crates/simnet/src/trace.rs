@@ -1,0 +1,297 @@
+//! Message accounting and optional event tracing.
+//!
+//! The paper's cost model (Section II-h) counts, for communication, the bytes
+//! of object-value data carried in messages and, for storage, the bytes of
+//! coded elements held by servers; metadata is free. The [`Trace`] collects the
+//! communication side of this: every send is recorded with its data-byte count
+//! (as reported by [`crate::Message::data_bytes`]), aggregated globally and per
+//! process, with support for windowed measurements via [`Stats`] snapshots.
+
+use crate::process::ProcessId;
+use crate::time::SimTime;
+use serde::Serialize;
+
+/// A single recorded message transfer (kept only when detailed tracing is on).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct TraceEvent {
+    /// Time the message was sent.
+    pub sent_at: SimTime,
+    /// Time the message will be / was delivered.
+    pub delivered_at: SimTime,
+    /// Sender.
+    pub from: ProcessId,
+    /// Receiver.
+    pub to: ProcessId,
+    /// Bytes of object-value data carried.
+    pub data_bytes: usize,
+    /// Message kind label.
+    pub kind: &'static str,
+    /// Whether the message was dropped because the destination had crashed.
+    pub dropped: bool,
+}
+
+/// Per-process message counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct ProcessStats {
+    /// Messages sent by this process.
+    pub messages_sent: u64,
+    /// Messages delivered to this process.
+    pub messages_received: u64,
+    /// Object-value data bytes sent by this process.
+    pub data_bytes_sent: u64,
+    /// Object-value data bytes delivered to this process.
+    pub data_bytes_received: u64,
+}
+
+/// Aggregate message counters for a whole execution (or a window of it).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct Stats {
+    /// Total messages sent.
+    pub messages_sent: u64,
+    /// Total messages delivered.
+    pub messages_delivered: u64,
+    /// Messages dropped because the destination crashed.
+    pub messages_dropped: u64,
+    /// Total object-value data bytes sent (the paper's communication cost,
+    /// un-normalized).
+    pub data_bytes_sent: u64,
+    /// Messages that carried no object-value data (metadata-only).
+    pub metadata_messages: u64,
+    /// Per-process counters, indexed by process id.
+    pub per_process: Vec<ProcessStats>,
+}
+
+impl Stats {
+    /// Difference `self - earlier`, used for windowed measurements
+    /// (e.g. the communication cost of a single operation).
+    pub fn since(&self, earlier: &Stats) -> Stats {
+        let per_process = self
+            .per_process
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let e = earlier.per_process.get(i).copied().unwrap_or_default();
+                ProcessStats {
+                    messages_sent: p.messages_sent - e.messages_sent,
+                    messages_received: p.messages_received - e.messages_received,
+                    data_bytes_sent: p.data_bytes_sent - e.data_bytes_sent,
+                    data_bytes_received: p.data_bytes_received - e.data_bytes_received,
+                }
+            })
+            .collect();
+        Stats {
+            messages_sent: self.messages_sent - earlier.messages_sent,
+            messages_delivered: self.messages_delivered - earlier.messages_delivered,
+            messages_dropped: self.messages_dropped - earlier.messages_dropped,
+            data_bytes_sent: self.data_bytes_sent - earlier.data_bytes_sent,
+            metadata_messages: self.metadata_messages - earlier.metadata_messages,
+            per_process,
+        }
+    }
+}
+
+/// Accumulates statistics (always) and raw events (only when `detailed` is on,
+/// since event logs grow linearly with the execution).
+#[derive(Debug, Default)]
+pub struct Trace {
+    stats: Stats,
+    detailed: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates a trace; `detailed` controls whether individual events are kept.
+    pub fn new(detailed: bool) -> Self {
+        Trace {
+            stats: Stats::default(),
+            detailed,
+            events: Vec::new(),
+        }
+    }
+
+    fn ensure_process(&mut self, id: ProcessId) -> Option<&mut ProcessStats> {
+        if id == ProcessId::ENV {
+            return None;
+        }
+        let idx = id.index();
+        if self.stats.per_process.len() <= idx {
+            self.stats
+                .per_process
+                .resize(idx + 1, ProcessStats::default());
+        }
+        Some(&mut self.stats.per_process[idx])
+    }
+
+    /// Records a message send (called by the simulation at send time).
+    pub fn record_send(
+        &mut self,
+        sent_at: SimTime,
+        delivered_at: SimTime,
+        from: ProcessId,
+        to: ProcessId,
+        data_bytes: usize,
+        kind: &'static str,
+        dropped: bool,
+    ) {
+        self.stats.messages_sent += 1;
+        self.stats.data_bytes_sent += data_bytes as u64;
+        if data_bytes == 0 {
+            self.stats.metadata_messages += 1;
+        }
+        if dropped {
+            self.stats.messages_dropped += 1;
+        }
+        if let Some(p) = self.ensure_process(from) {
+            p.messages_sent += 1;
+            p.data_bytes_sent += data_bytes as u64;
+        }
+        if self.detailed {
+            self.events.push(TraceEvent {
+                sent_at,
+                delivered_at,
+                from,
+                to,
+                data_bytes,
+                kind,
+                dropped,
+            });
+        }
+    }
+
+    /// Records a message that was dropped at delivery time because its
+    /// destination had crashed in the meantime.
+    pub fn record_drop(&mut self) {
+        self.stats.messages_dropped += 1;
+    }
+
+    /// Records a message delivery (called by the simulation at delivery time).
+    pub fn record_delivery(&mut self, to: ProcessId, data_bytes: usize) {
+        self.stats.messages_delivered += 1;
+        if let Some(p) = self.ensure_process(to) {
+            p.messages_received += 1;
+            p.data_bytes_received += data_bytes as u64;
+        }
+    }
+
+    /// Current aggregate statistics (cloned snapshot).
+    pub fn stats(&self) -> Stats {
+        self.stats.clone()
+    }
+
+    /// Recorded events (empty unless detailed tracing was enabled).
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Whether detailed tracing is enabled.
+    pub fn is_detailed(&self) -> bool {
+        self.detailed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_and_per_process_counters() {
+        let mut trace = Trace::new(false);
+        trace.record_send(
+            SimTime::from_ticks(1),
+            SimTime::from_ticks(3),
+            ProcessId(0),
+            ProcessId(1),
+            100,
+            "value",
+            false,
+        );
+        trace.record_send(
+            SimTime::from_ticks(2),
+            SimTime::from_ticks(4),
+            ProcessId(1),
+            ProcessId(0),
+            0,
+            "ack",
+            false,
+        );
+        trace.record_delivery(ProcessId(1), 100);
+        let s = trace.stats();
+        assert_eq!(s.messages_sent, 2);
+        assert_eq!(s.messages_delivered, 1);
+        assert_eq!(s.data_bytes_sent, 100);
+        assert_eq!(s.metadata_messages, 1);
+        assert_eq!(s.per_process[0].messages_sent, 1);
+        assert_eq!(s.per_process[0].data_bytes_sent, 100);
+        assert_eq!(s.per_process[1].messages_received, 1);
+        assert_eq!(s.per_process[1].data_bytes_received, 100);
+        assert!(trace.events().is_empty(), "detailed tracing is off");
+    }
+
+    #[test]
+    fn detailed_trace_keeps_events() {
+        let mut trace = Trace::new(true);
+        assert!(trace.is_detailed());
+        trace.record_send(
+            SimTime::ZERO,
+            SimTime::from_ticks(2),
+            ProcessId(0),
+            ProcessId(2),
+            7,
+            "coded",
+            true,
+        );
+        assert_eq!(trace.events().len(), 1);
+        assert!(trace.events()[0].dropped);
+        assert_eq!(trace.stats().messages_dropped, 1);
+    }
+
+    #[test]
+    fn env_sender_is_not_tracked_per_process() {
+        let mut trace = Trace::new(false);
+        trace.record_send(
+            SimTime::ZERO,
+            SimTime::from_ticks(1),
+            ProcessId::ENV,
+            ProcessId(0),
+            50,
+            "invoke",
+            false,
+        );
+        let s = trace.stats();
+        assert_eq!(s.messages_sent, 1);
+        // ENV has no per-process slot; only process 0 exists after delivery.
+        trace.record_delivery(ProcessId(0), 50);
+        let s = trace.stats();
+        assert_eq!(s.per_process[0].messages_received, 1);
+    }
+
+    #[test]
+    fn stats_since_computes_window() {
+        let mut trace = Trace::new(false);
+        trace.record_send(
+            SimTime::ZERO,
+            SimTime::from_ticks(1),
+            ProcessId(0),
+            ProcessId(1),
+            10,
+            "a",
+            false,
+        );
+        let snapshot = trace.stats();
+        trace.record_send(
+            SimTime::from_ticks(5),
+            SimTime::from_ticks(6),
+            ProcessId(0),
+            ProcessId(1),
+            30,
+            "b",
+            false,
+        );
+        trace.record_delivery(ProcessId(1), 30);
+        let window = trace.stats().since(&snapshot);
+        assert_eq!(window.messages_sent, 1);
+        assert_eq!(window.data_bytes_sent, 30);
+        assert_eq!(window.messages_delivered, 1);
+        assert_eq!(window.per_process[0].data_bytes_sent, 30);
+    }
+}

@@ -1,0 +1,205 @@
+//! Shared configuration of one SODA / SODAerr deployment.
+
+use soda_protocol::Layout;
+use soda_rs_code::{BerlekampWelchCode, MdsCode, VandermondeCode};
+use std::fmt;
+use std::sync::Arc;
+
+/// Which algorithm variant a cluster runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SodaVariant {
+    /// Plain SODA: `k = n − f`, erasure-only decoding (Section IV).
+    Soda,
+    /// SODAerr: `k = n − f − 2e`, reads gather `k + 2e` elements and decode
+    /// through the error-correcting decoder (Section VI).
+    SodaErr {
+        /// Maximum number of error-prone coded elements tolerated per read.
+        e: usize,
+    },
+}
+
+impl SodaVariant {
+    /// The error budget `e` (0 for plain SODA).
+    pub fn error_budget(&self) -> usize {
+        match *self {
+            SodaVariant::Soda => 0,
+            SodaVariant::SodaErr { e } => e,
+        }
+    }
+}
+
+/// Model of a server whose local disk returns corrupted coded elements.
+///
+/// SODAerr's threat model (Section VI) is that a server may read a corrupted
+/// element from its local disk during the `read-value` phase without noticing;
+/// relayed elements (which come straight from memory) and metadata are never
+/// corrupted. `Always` makes every local disk read bad, which is the
+/// worst-case behaviour for a designated faulty-disk server.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiskFaultModel {
+    /// The disk never corrupts anything.
+    None,
+    /// Every local disk read returns a corrupted element.
+    Always,
+}
+
+impl DiskFaultModel {
+    /// Whether a local disk read should be corrupted.
+    pub fn corrupts(&self) -> bool {
+        matches!(self, DiskFaultModel::Always)
+    }
+}
+
+/// Immutable configuration shared by all processes of one deployment.
+pub struct SodaConfig {
+    layout: Layout,
+    variant: SodaVariant,
+    code: Arc<dyn MdsCode>,
+}
+
+impl fmt::Debug for SodaConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SodaConfig")
+            .field("n", &self.layout.n())
+            .field("f", &self.layout.f())
+            .field("variant", &self.variant)
+            .field("k", &self.code.k())
+            .finish()
+    }
+}
+
+impl SodaConfig {
+    /// Configuration for plain SODA: `[n, n − f]` code, erasure decoding.
+    pub fn soda(layout: Layout) -> Arc<Self> {
+        let code = VandermondeCode::new(layout.n(), layout.n() - layout.f())
+            .expect("layout guarantees 1 <= k <= n <= 255");
+        Arc::new(SodaConfig {
+            layout,
+            variant: SodaVariant::Soda,
+            code: Arc::new(code),
+        })
+    }
+
+    /// Configuration for SODAerr with error budget `e`: `[n, n − f − 2e]` code
+    /// with the Berlekamp–Welch error-correcting decoder.
+    ///
+    /// # Panics
+    /// Panics if `f + 2e >= n` (no valid code dimension).
+    pub fn soda_err(layout: Layout, e: usize) -> Arc<Self> {
+        let code = BerlekampWelchCode::for_fault_tolerance(layout.n(), layout.f(), e)
+            .expect("invalid SODAerr parameters: need f + 2e < n");
+        Arc::new(SodaConfig {
+            layout,
+            variant: SodaVariant::SodaErr { e },
+            code: Arc::new(code),
+        })
+    }
+
+    /// The system layout (servers, `f`).
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// The algorithm variant.
+    pub fn variant(&self) -> SodaVariant {
+        self.variant
+    }
+
+    /// The erasure code in use.
+    pub fn code(&self) -> &Arc<dyn MdsCode> {
+        &self.code
+    }
+
+    /// Code dimension `k` (`n − f` for SODA, `n − f − 2e` for SODAerr).
+    pub fn k(&self) -> usize {
+        self.code.k()
+    }
+
+    /// Number of servers `n`.
+    pub fn n(&self) -> usize {
+        self.layout.n()
+    }
+
+    /// Fault tolerance `f`.
+    pub fn f(&self) -> usize {
+        self.layout.f()
+    }
+
+    /// How many distinct coded elements (for one tag) a reader must gather
+    /// before decoding: `k` for SODA, `k + 2e` for SODAerr. The same threshold
+    /// governs when servers conclude that a registered reader is satisfied
+    /// (READ-DISPERSE bookkeeping).
+    pub fn read_threshold(&self) -> usize {
+        self.k() + 2 * self.variant.error_budget()
+    }
+
+    /// Decodes a value from the gathered elements, using the error-correcting
+    /// decoder when the variant has a non-zero error budget.
+    pub fn decode(
+        &self,
+        elements: &[soda_rs_code::CodedElement],
+    ) -> Result<Vec<u8>, soda_rs_code::CodeError> {
+        match self.variant {
+            SodaVariant::Soda => self.code.decode(elements),
+            SodaVariant::SodaErr { e } => self.code.decode_with_errors(elements, e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soda_simnet::ProcessId;
+
+    fn layout(n: usize, f: usize) -> Layout {
+        Layout::new((0..n as u32).map(ProcessId).collect(), f)
+    }
+
+    #[test]
+    fn soda_config_uses_k_equals_n_minus_f() {
+        let cfg = SodaConfig::soda(layout(9, 4));
+        assert_eq!(cfg.k(), 5);
+        assert_eq!(cfg.read_threshold(), 5);
+        assert_eq!(cfg.variant().error_budget(), 0);
+        assert_eq!(cfg.n(), 9);
+        assert_eq!(cfg.f(), 4);
+        assert!(format!("{cfg:?}").contains("n"));
+    }
+
+    #[test]
+    fn sodaerr_config_uses_k_equals_n_minus_f_minus_2e() {
+        let cfg = SodaConfig::soda_err(layout(9, 2), 2);
+        assert_eq!(cfg.k(), 3);
+        assert_eq!(cfg.read_threshold(), 7);
+        assert_eq!(cfg.variant(), SodaVariant::SodaErr { e: 2 });
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SODAerr parameters")]
+    fn sodaerr_rejects_impossible_parameters() {
+        let _ = SodaConfig::soda_err(layout(5, 2), 2);
+    }
+
+    #[test]
+    fn decode_round_trip_both_variants() {
+        let value = b"some object value".to_vec();
+        let cfg = SodaConfig::soda(layout(5, 2));
+        let elements = cfg.code().encode(&value).unwrap();
+        assert_eq!(cfg.decode(&elements[..3]).unwrap(), value);
+
+        let cfg = SodaConfig::soda_err(layout(7, 2), 1);
+        let mut elements = cfg.code().encode(&value).unwrap();
+        // Corrupt one element; SODAerr must still decode from k + 2e = 5.
+        for b in elements[1].data.iter_mut() {
+            *b ^= 0xFF;
+        }
+        elements.truncate(5);
+        assert_eq!(cfg.decode(&elements).unwrap(), value);
+    }
+
+    #[test]
+    fn disk_fault_model() {
+        assert!(!DiskFaultModel::None.corrupts());
+        assert!(DiskFaultModel::Always.corrupts());
+    }
+}

@@ -1,0 +1,438 @@
+//! Cluster harness: builds a complete SODA / SODAerr deployment inside the
+//! discrete-event simulator, injects client operations, and exposes the state
+//! needed by tests and experiments (operation histories, storage occupancy,
+//! message statistics).
+
+use crate::config::{DiskFaultModel, SodaConfig};
+use crate::messages::SodaMsg;
+use crate::reader::ReaderProcess;
+use crate::record::OpRecord;
+use crate::server::ServerProcess;
+use crate::writer::WriterProcess;
+use soda_protocol::{value_from, Layout};
+use soda_simnet::{NetworkConfig, ProcessId, RunOutcome, SimTime, Simulation, Stats};
+use std::sync::Arc;
+
+/// Configuration of a simulated cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of servers.
+    pub n: usize,
+    /// Number of server crashes to tolerate.
+    pub f: usize,
+    /// Error budget `e` (0 selects plain SODA, > 0 selects SODAerr).
+    pub e: usize,
+    /// Number of writer clients.
+    pub num_writers: usize,
+    /// Number of reader clients.
+    pub num_readers: usize,
+    /// RNG seed controlling message delays (and thus the interleaving).
+    pub seed: u64,
+    /// Network delay configuration.
+    pub network: NetworkConfig,
+    /// The initial object value `v0`.
+    pub initial_value: Vec<u8>,
+    /// Ranks of servers whose local disks silently corrupt elements
+    /// (SODAerr's threat model).
+    pub faulty_disks: Vec<usize>,
+    /// Ablation switch: disable the relaying of concurrent writes to
+    /// registered readers at every server (default `true` = paper behaviour).
+    pub relay_enabled: bool,
+}
+
+impl ClusterConfig {
+    /// A cluster of `n` servers tolerating `f` crashes, with one writer and
+    /// one reader, uniform random delays in `[1, 10]` and an empty initial
+    /// value.
+    pub fn new(n: usize, f: usize) -> Self {
+        ClusterConfig {
+            n,
+            f,
+            e: 0,
+            num_writers: 1,
+            num_readers: 1,
+            seed: 0,
+            network: NetworkConfig::uniform(10),
+            initial_value: Vec::new(),
+            faulty_disks: Vec::new(),
+            relay_enabled: true,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of writer and reader clients.
+    pub fn with_clients(mut self, writers: usize, readers: usize) -> Self {
+        self.num_writers = writers;
+        self.num_readers = readers;
+        self
+    }
+
+    /// Selects SODAerr with the given error budget.
+    pub fn with_error_tolerance(mut self, e: usize) -> Self {
+        self.e = e;
+        self
+    }
+
+    /// Sets the network delay model.
+    pub fn with_network(mut self, network: NetworkConfig) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Sets the initial object value `v0`.
+    pub fn with_initial_value(mut self, value: Vec<u8>) -> Self {
+        self.initial_value = value;
+        self
+    }
+
+    /// Marks the given server ranks as having error-prone local disks.
+    pub fn with_faulty_disks(mut self, ranks: Vec<usize>) -> Self {
+        self.faulty_disks = ranks;
+        self
+    }
+
+    /// Disables concurrent-write relaying at every server (ablation only).
+    pub fn with_relay_disabled(mut self) -> Self {
+        self.relay_enabled = false;
+        self
+    }
+}
+
+/// A complete simulated deployment: `n` servers plus writer and reader
+/// clients, all registered with one [`Simulation`].
+pub struct SodaCluster {
+    sim: Simulation<SodaMsg>,
+    config: Arc<SodaConfig>,
+    servers: Vec<ProcessId>,
+    writers: Vec<ProcessId>,
+    readers: Vec<ProcessId>,
+}
+
+impl SodaCluster {
+    /// Builds the cluster described by `cfg`.
+    pub fn build(cfg: ClusterConfig) -> Self {
+        let mut sim = Simulation::new(cfg.seed, cfg.network.clone());
+        // Servers are registered first so that rank i has ProcessId(i).
+        let server_ids: Vec<ProcessId> = (0..cfg.n as u32).map(ProcessId).collect();
+        let layout = Layout::new(server_ids, cfg.f);
+        let config = if cfg.e == 0 {
+            SodaConfig::soda(layout)
+        } else {
+            SodaConfig::soda_err(layout, cfg.e)
+        };
+        let initial = value_from(cfg.initial_value.clone());
+        let mut servers = Vec::with_capacity(cfg.n);
+        for rank in 0..cfg.n {
+            let mut server = ServerProcess::new(config.clone(), rank, &initial);
+            if cfg.faulty_disks.contains(&rank) {
+                server = server.with_disk_fault(DiskFaultModel::Always);
+            }
+            if !cfg.relay_enabled {
+                server = server.with_relay_disabled();
+            }
+            let id = sim.add_process(Box::new(server));
+            debug_assert_eq!(id.index(), rank);
+            servers.push(id);
+        }
+        let mut writers = Vec::with_capacity(cfg.num_writers);
+        for _ in 0..cfg.num_writers {
+            // The process id is known before insertion because ids are dense.
+            let id = ProcessId(sim.num_processes() as u32);
+            let writer = WriterProcess::new(config.clone(), id);
+            let actual = sim.add_process(Box::new(writer));
+            debug_assert_eq!(actual, id);
+            writers.push(id);
+        }
+        let mut readers = Vec::with_capacity(cfg.num_readers);
+        for _ in 0..cfg.num_readers {
+            let id = ProcessId(sim.num_processes() as u32);
+            let reader = ReaderProcess::new(config.clone(), id);
+            let actual = sim.add_process(Box::new(reader));
+            debug_assert_eq!(actual, id);
+            readers.push(id);
+        }
+        SodaCluster {
+            sim,
+            config,
+            servers,
+            writers,
+            readers,
+        }
+    }
+
+    /// The shared protocol configuration.
+    pub fn soda_config(&self) -> &Arc<SodaConfig> {
+        &self.config
+    }
+
+    /// Server process ids, by rank.
+    pub fn servers(&self) -> &[ProcessId] {
+        &self.servers
+    }
+
+    /// Writer client process ids.
+    pub fn writers(&self) -> &[ProcessId] {
+        &self.writers
+    }
+
+    /// Reader client process ids.
+    pub fn readers(&self) -> &[ProcessId] {
+        &self.readers
+    }
+
+    /// The underlying simulation (read access).
+    pub fn sim(&self) -> &Simulation<SodaMsg> {
+        &self.sim
+    }
+
+    /// The underlying simulation (mutable access, e.g. for custom scheduling).
+    pub fn sim_mut(&mut self) -> &mut Simulation<SodaMsg> {
+        &mut self.sim
+    }
+
+    /// Asks writer `writer` to write `value` now (queued if it is busy).
+    pub fn invoke_write(&mut self, writer: ProcessId, value: Vec<u8>) {
+        self.sim
+            .send_external(writer, SodaMsg::InvokeWrite(value_from(value)));
+    }
+
+    /// Asks writer `writer` to write `value` at simulated time `at`.
+    pub fn invoke_write_at(&mut self, at: SimTime, writer: ProcessId, value: Vec<u8>) {
+        self.sim
+            .send_external_at(at, writer, SodaMsg::InvokeWrite(value_from(value)));
+    }
+
+    /// Asks reader `reader` to read now (queued if it is busy).
+    pub fn invoke_read(&mut self, reader: ProcessId) {
+        self.sim.send_external(reader, SodaMsg::InvokeRead);
+    }
+
+    /// Asks reader `reader` to read at simulated time `at`.
+    pub fn invoke_read_at(&mut self, at: SimTime, reader: ProcessId) {
+        self.sim.send_external_at(at, reader, SodaMsg::InvokeRead);
+    }
+
+    /// Crashes the server with the given rank at time `at`.
+    pub fn crash_server_at(&mut self, at: SimTime, rank: usize) {
+        let id = self.servers[rank];
+        self.sim.schedule_crash(at, id);
+    }
+
+    /// Crashes an arbitrary process (e.g. a client) at time `at`.
+    pub fn crash_process_at(&mut self, at: SimTime, id: ProcessId) {
+        self.sim.schedule_crash(at, id);
+    }
+
+    /// Runs the simulation until no events remain.
+    pub fn run_to_quiescence(&mut self) -> RunOutcome {
+        self.sim.run_to_quiescence()
+    }
+
+    /// Runs the simulation until the given deadline.
+    pub fn run_until(&mut self, deadline: SimTime) -> RunOutcome {
+        self.sim.run_until(deadline)
+    }
+
+    /// Message statistics accumulated so far.
+    pub fn stats(&self) -> Stats {
+        self.sim.stats()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// All operations completed by all clients, ordered by completion time.
+    pub fn completed_ops(&self) -> Vec<OpRecord> {
+        let mut ops = Vec::new();
+        for &w in &self.writers {
+            if let Some(writer) = self.sim.process_as::<WriterProcess>(w) {
+                ops.extend(writer.completed_ops().iter().cloned());
+            }
+        }
+        for &r in &self.readers {
+            if let Some(reader) = self.sim.process_as::<ReaderProcess>(r) {
+                ops.extend(reader.completed_ops().iter().cloned());
+            }
+        }
+        ops.sort_by_key(|op| (op.completed_at, op.op));
+        ops
+    }
+
+    /// Typed access to a server's state by rank.
+    pub fn server_state(&self, rank: usize) -> &ServerProcess {
+        self.sim
+            .process_as::<ServerProcess>(self.servers[rank])
+            .expect("server process exists")
+    }
+
+    /// Typed access to a writer's state.
+    pub fn writer_state(&self, id: ProcessId) -> &WriterProcess {
+        self.sim
+            .process_as::<WriterProcess>(id)
+            .expect("writer process exists")
+    }
+
+    /// Typed access to a reader's state.
+    pub fn reader_state(&self, id: ProcessId) -> &ReaderProcess {
+        self.sim
+            .process_as::<ReaderProcess>(id)
+            .expect("reader process exists")
+    }
+
+    /// Total bytes of coded-element data stored across all servers (the
+    /// numerator of the paper's total storage cost).
+    pub fn total_stored_bytes(&self) -> u64 {
+        (0..self.servers.len())
+            .map(|rank| self.server_state(rank).stored_bytes() as u64)
+            .sum()
+    }
+
+    /// Total number of reader registrations still held by servers. Theorem 5.5
+    /// implies this returns to zero after all reads finish (or crash).
+    pub fn total_registered_readers(&self) -> usize {
+        (0..self.servers.len())
+            .map(|rank| self.server_state(rank).registered_readers())
+            .sum()
+    }
+
+    /// Total number of `H` entries across servers (bookkeeping left over).
+    pub fn total_history_entries(&self) -> usize {
+        (0..self.servers.len())
+            .map(|rank| self.server_state(rank).history_len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::OpKind;
+
+    #[test]
+    fn single_write_then_read_round_trips() {
+        let mut cluster = SodaCluster::build(ClusterConfig::new(5, 2).with_seed(3));
+        let w = cluster.writers()[0];
+        let r = cluster.readers()[0];
+        cluster.invoke_write(w, b"abc".to_vec());
+        cluster.run_to_quiescence();
+        cluster.invoke_read(r);
+        cluster.run_to_quiescence();
+        let ops = cluster.completed_ops();
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[0].kind, OpKind::Write);
+        assert_eq!(ops[1].kind, OpKind::Read);
+        assert_eq!(ops[1].value.as_deref(), Some(b"abc".as_slice()));
+        assert_eq!(ops[1].tag, ops[0].tag);
+        // All servers eventually store the written tag (uniformity).
+        for rank in 0..5 {
+            assert_eq!(cluster.server_state(rank).stored_tag(), ops[0].tag);
+        }
+        // No reader remains registered anywhere after quiescence.
+        assert_eq!(cluster.total_registered_readers(), 0);
+    }
+
+    #[test]
+    fn read_before_any_write_returns_initial_value() {
+        let initial = b"genesis".to_vec();
+        let mut cluster = SodaCluster::build(
+            ClusterConfig::new(4, 1)
+                .with_seed(11)
+                .with_initial_value(initial.clone()),
+        );
+        let r = cluster.readers()[0];
+        cluster.invoke_read(r);
+        cluster.run_to_quiescence();
+        let ops = cluster.completed_ops();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].value.as_deref(), Some(initial.as_slice()));
+        assert!(ops[0].tag.is_initial());
+    }
+
+    #[test]
+    fn storage_cost_matches_n_over_n_minus_f() {
+        let value = vec![7u8; 6000];
+        let mut cluster = SodaCluster::build(ClusterConfig::new(6, 2).with_seed(1));
+        let w = cluster.writers()[0];
+        cluster.invoke_write(w, value.clone());
+        cluster.run_to_quiescence();
+        let stored = cluster.total_stored_bytes() as f64 / value.len() as f64;
+        let expected = 6.0 / 4.0;
+        // Chunking overhead (length header + padding) is a few bytes per
+        // element, so allow a small tolerance.
+        assert!(
+            (stored - expected).abs() < 0.05,
+            "normalized storage {stored:.3} vs expected {expected:.3}"
+        );
+    }
+
+    #[test]
+    fn operations_complete_despite_f_crashes() {
+        let mut cluster = SodaCluster::build(ClusterConfig::new(5, 2).with_seed(9));
+        let w = cluster.writers()[0];
+        let r = cluster.readers()[0];
+        // Crash two servers right away.
+        cluster.crash_server_at(SimTime::ZERO, 1);
+        cluster.crash_server_at(SimTime::ZERO, 3);
+        cluster.invoke_write(w, b"resilient".to_vec());
+        cluster.run_to_quiescence();
+        cluster.invoke_read(r);
+        cluster.run_to_quiescence();
+        let ops = cluster.completed_ops();
+        assert_eq!(ops.len(), 2, "write and read must both complete");
+        assert_eq!(ops[1].value.as_deref(), Some(b"resilient".as_slice()));
+    }
+
+    #[test]
+    fn sodaerr_cluster_reads_correctly_with_faulty_disks() {
+        let mut cluster = SodaCluster::build(
+            ClusterConfig::new(7, 2)
+                .with_seed(5)
+                .with_error_tolerance(1)
+                .with_faulty_disks(vec![2]),
+        );
+        let w = cluster.writers()[0];
+        let r = cluster.readers()[0];
+        cluster.invoke_write(w, b"error protected".to_vec());
+        cluster.run_to_quiescence();
+        cluster.invoke_read(r);
+        cluster.run_to_quiescence();
+        let ops = cluster.completed_ops();
+        let read = ops.iter().find(|o| o.kind.is_read()).expect("read completed");
+        assert_eq!(read.value.as_deref(), Some(b"error protected".as_slice()));
+        assert_eq!(cluster.reader_state(r).decode_failures(), 0);
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers_all_terminate() {
+        let mut cluster =
+            SodaCluster::build(ClusterConfig::new(5, 2).with_seed(42).with_clients(2, 2));
+        let writers: Vec<_> = cluster.writers().to_vec();
+        let readers: Vec<_> = cluster.readers().to_vec();
+        for (i, &w) in writers.iter().enumerate() {
+            for round in 0..3u64 {
+                cluster.invoke_write_at(
+                    SimTime::from_ticks(round * 7),
+                    w,
+                    format!("writer {i} round {round}").into_bytes(),
+                );
+            }
+        }
+        for &r in &readers {
+            for round in 0..3u64 {
+                cluster.invoke_read_at(SimTime::from_ticks(3 + round * 9), r);
+            }
+        }
+        let outcome = cluster.run_to_quiescence();
+        assert!(!outcome.hit_event_cap, "protocol must quiesce");
+        let ops = cluster.completed_ops();
+        assert_eq!(ops.len(), 2 * 3 + 2 * 3);
+        assert_eq!(cluster.total_registered_readers(), 0);
+    }
+}

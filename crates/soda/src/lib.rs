@@ -1,0 +1,63 @@
+//! SODA and SODAerr: storage-optimized data-atomic MWMR register emulation.
+//!
+//! This crate is the core contribution of the reproduced paper
+//! (*"Storage-Optimized Data-Atomic Algorithms for Handling Erasures and
+//! Errors in Distributed Storage Systems"*, Konwar et al.). It implements, on
+//! top of the [`soda_simnet`] execution substrate and the [`soda_protocol`]
+//! primitives:
+//!
+//! * the **SODA** algorithm (Section IV): an `[n, k = n − f]` MDS-coded
+//!   multi-writer multi-reader atomic register with total storage cost
+//!   `n/(n−f)`, write cost `O(f²)` and read cost `n/(n−f)·(δw + 1)`;
+//! * the **SODAerr** variant (Section VI): the same protocol with
+//!   `k = n − f − 2e`, tolerating up to `e` silently corrupted coded elements
+//!   served from the servers' local disks during reads;
+//! * a [`harness`] for building complete clusters inside the simulator,
+//!   injecting client operations, and extracting operation histories, storage
+//!   occupancy and cost measurements for the experiment suite.
+//!
+//! The three process roles map one-to-one onto the paper's automata:
+//!
+//! | paper role | type | behaviour |
+//! |---|---|---|
+//! | writer `w ∈ W` | [`WriterProcess`] | `write-get` (majority tag query) then `write-put` (MD-VALUE dispersal, wait for `k` acks) |
+//! | reader `r ∈ R` | [`ReaderProcess`] | `read-get` (majority tag query), `read-value` (register + collect coded elements), `read-complete` |
+//! | server `s ∈ S` | [`ServerProcess`] | stores one `(tag, coded element)` pair, relays concurrent writes to registered readers, runs the READ-DISPERSE bookkeeping that eventually unregisters every reader |
+//!
+//! # Quick start
+//!
+//! ```
+//! use soda::harness::{ClusterConfig, SodaCluster};
+//!
+//! // 5 servers tolerating f = 2 crashes, one writer, one reader.
+//! let mut cluster = SodaCluster::build(ClusterConfig::new(5, 2).with_seed(7));
+//! let w = cluster.writers()[0];
+//! let r = cluster.readers()[0];
+//! cluster.invoke_write(w, b"hello atomic world".to_vec());
+//! cluster.run_to_quiescence();
+//! cluster.invoke_read(r);
+//! cluster.run_to_quiescence();
+//! let ops = cluster.completed_ops();
+//! assert_eq!(ops.len(), 2);
+//! let read = ops.iter().find(|op| op.kind.is_read()).unwrap();
+//! assert_eq!(read.value.as_deref(), Some(b"hello atomic world".as_slice()));
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod harness;
+
+mod config;
+mod messages;
+mod reader;
+mod record;
+mod server;
+mod writer;
+
+pub use config::{DiskFaultModel, SodaConfig, SodaVariant};
+pub use messages::{MetaPayload, OpId, SodaMsg};
+pub use reader::{ReadPhase, ReaderProcess};
+pub use record::{OpKind, OpRecord};
+pub use server::ServerProcess;
+pub use writer::{WritePhase, WriterProcess};

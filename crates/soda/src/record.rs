@@ -1,0 +1,81 @@
+//! Records of completed client operations.
+//!
+//! Clients keep a log of every operation they completed, including invocation
+//! and response times and the (tag, value) pair the paper associates with each
+//! operation for the atomicity argument (Section V-A). The consistency checker
+//! and the experiment harness consume these records.
+
+use crate::messages::OpId;
+use soda_protocol::Tag;
+use soda_simnet::SimTime;
+
+/// Whether an operation was a read or a write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// A write operation.
+    Write,
+    /// A read operation.
+    Read,
+}
+
+impl OpKind {
+    /// True for reads.
+    pub fn is_read(&self) -> bool {
+        matches!(self, OpKind::Read)
+    }
+
+    /// True for writes.
+    pub fn is_write(&self) -> bool {
+        matches!(self, OpKind::Write)
+    }
+}
+
+/// A completed client operation.
+#[derive(Clone, Debug)]
+pub struct OpRecord {
+    /// The operation id.
+    pub op: OpId,
+    /// Read or write.
+    pub kind: OpKind,
+    /// Simulated time of the invocation step.
+    pub invoked_at: SimTime,
+    /// Simulated time of the response step.
+    pub completed_at: SimTime,
+    /// The tag associated with the operation (`tag(π)` in the paper).
+    pub tag: Tag,
+    /// The value written (for writes) or returned (for reads).
+    pub value: Option<Vec<u8>>,
+}
+
+impl OpRecord {
+    /// Operation latency in ticks.
+    pub fn latency(&self) -> u64 {
+        self.completed_at.since(self.invoked_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soda_simnet::ProcessId;
+
+    #[test]
+    fn kind_predicates() {
+        assert!(OpKind::Read.is_read());
+        assert!(!OpKind::Read.is_write());
+        assert!(OpKind::Write.is_write());
+    }
+
+    #[test]
+    fn latency_is_response_minus_invocation() {
+        let rec = OpRecord {
+            op: OpId::new(ProcessId(1), 1),
+            kind: OpKind::Write,
+            invoked_at: SimTime::from_ticks(10),
+            completed_at: SimTime::from_ticks(35),
+            tag: Tag::INITIAL,
+            value: None,
+        };
+        assert_eq!(rec.latency(), 25);
+    }
+}

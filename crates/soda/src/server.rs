@@ -1,0 +1,664 @@
+//! The SODA server automaton (Fig. 5, with the Fig. 6 modification for
+//! SODAerr).
+//!
+//! Each server stores exactly one `(tag, coded element)` pair — that is where
+//! the `n/(n−f)` storage optimality comes from — plus metadata:
+//!
+//! * `Rc` — the set of registered readers `(r, t_r)` currently being served;
+//! * `H`  — a set of `(tag, server, reader)` triples recording which servers
+//!   have sent which coded elements to which readers (fed by the
+//!   READ-DISPERSE messages), used to decide when a registered reader has
+//!   certainly received enough elements and can be unregistered, even if the
+//!   reader itself crashed (Theorem 5.5: no server relays forever).
+//!
+//! The server participates in both message-disperse primitives: it relays the
+//! MD-VALUE dispersal of writes and the MD-META dispersal of READ-VALUE /
+//! READ-COMPLETE / READ-DISPERSE metadata.
+
+use crate::config::{DiskFaultModel, SodaConfig};
+use crate::messages::{MetaPayload, OpId, SodaMsg};
+use soda_protocol::md::{md_meta_send, MdMetaRelay, MdValueMsg, MdValueRelay, MessageId};
+use soda_protocol::{Tag, Value};
+use soda_rs_code::CodedElement;
+use soda_simnet::{Context, Process, ProcessId};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// A SODA / SODAerr server process.
+pub struct ServerProcess {
+    config: Arc<SodaConfig>,
+    my_rank: usize,
+    /// Locally stored `(t, c_s)` pair.
+    tag: Tag,
+    element: CodedElement,
+    /// `Rc`: registered readers and the tag each requested.
+    registered: BTreeMap<OpId, Tag>,
+    /// `H`: `(tag, sender rank, reader op)` triples.
+    history: BTreeSet<(Tag, usize, OpId)>,
+    /// Relay state of the MD-VALUE primitive.
+    md_value: MdValueRelay,
+    /// Relay state of the MD-META primitive.
+    md_meta: MdMetaRelay,
+    /// Counter for this server's own MD-META invocations (READ-DISPERSE).
+    md_counter: u64,
+    /// Local-disk fault model (SODAerr experiments mark some servers bad).
+    disk_fault: DiskFaultModel,
+    /// Ablation switch: when `false`, the server does not relay the elements
+    /// of concurrent writes to registered readers (Fig. 5, response 3, lines
+    /// 4–8 disabled). Used by the `ablation_relay` experiment to demonstrate
+    /// that reader registration + relaying is what makes reads live under
+    /// concurrent writes.
+    relay_enabled: bool,
+}
+
+impl ServerProcess {
+    /// Creates the server with the given rank, storing the coded element of
+    /// the initial value `v0` under the initial tag `t0`.
+    pub fn new(config: Arc<SodaConfig>, my_rank: usize, initial_value: &Value) -> Self {
+        let element = config
+            .code()
+            .encode_one(initial_value, my_rank)
+            .expect("rank is within 0..n by construction");
+        ServerProcess {
+            config,
+            my_rank,
+            tag: Tag::INITIAL,
+            element,
+            registered: BTreeMap::new(),
+            history: BTreeSet::new(),
+            md_value: MdValueRelay::new(my_rank),
+            md_meta: MdMetaRelay::new(my_rank),
+            md_counter: 0,
+            disk_fault: DiskFaultModel::None,
+            relay_enabled: true,
+        }
+    }
+
+    /// Marks this server's local disk as error-prone: every element it reads
+    /// from "disk" during the read-value phase is silently corrupted.
+    pub fn with_disk_fault(mut self, fault: DiskFaultModel) -> Self {
+        self.disk_fault = fault;
+        self
+    }
+
+    /// Disables relaying of concurrent writes to registered readers
+    /// (ablation only — this breaks the liveness argument of Theorem 5.1).
+    pub fn with_relay_disabled(mut self) -> Self {
+        self.relay_enabled = false;
+        self
+    }
+
+    /// The tag of the locally stored element.
+    pub fn stored_tag(&self) -> Tag {
+        self.tag
+    }
+
+    /// Number of bytes of coded-element data stored locally (the storage cost
+    /// contribution of this server, un-normalized).
+    pub fn stored_bytes(&self) -> usize {
+        self.element.data.len()
+    }
+
+    /// Number of currently registered readers (`|Rc|`).
+    pub fn registered_readers(&self) -> usize {
+        self.registered.len()
+    }
+
+    /// Number of entries in the history set `H`.
+    pub fn history_len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Number of message-id tombstones retained by the two message-disperse
+    /// relays (metadata only; see Theorem 3.2).
+    pub fn md_tombstones(&self) -> usize {
+        self.md_value.tombstones() + self.md_meta.tombstones()
+    }
+
+    fn server_pid(&self, rank: usize) -> ProcessId {
+        self.config.layout().server(rank)
+    }
+
+    fn next_mid(&mut self) -> MessageId {
+        self.md_counter += 1;
+        MessageId::new(self.server_pid(self.my_rank), self.md_counter)
+    }
+
+    /// Reads the locally stored element "from disk", applying the configured
+    /// disk-fault model (SODAerr threat model: corruption only on local disk
+    /// reads performed for the read-value phase).
+    fn local_disk_read(&self) -> CodedElement {
+        let mut element = self.element.clone();
+        if self.disk_fault.corrupts() {
+            for byte in element.data.iter_mut() {
+                *byte ^= 0x5A;
+            }
+            // An all-zero element would still differ; also perturb the first
+            // byte deterministically so even empty payloads change shape.
+            if let Some(first) = element.data.first_mut() {
+                *first = first.wrapping_add(1);
+            }
+        }
+        element
+    }
+
+    /// Sends `(tag, element)` to the reader of `op` and performs the
+    /// bookkeeping the paper attaches to that send: record the triple in `H`,
+    /// disperse READ-DISPERSE to the other servers, and re-check whether the
+    /// reader can be unregistered.
+    fn send_element_to_reader(
+        &mut self,
+        op: OpId,
+        tag: Tag,
+        element: CodedElement,
+        ctx: &mut Context<'_, SodaMsg>,
+    ) {
+        ctx.send(op.client, SodaMsg::CodedToReader { op, tag, element });
+        self.history.insert((tag, self.my_rank, op));
+        let mid = self.next_mid();
+        let payload = MetaPayload::ReadDisperse {
+            tag,
+            server_rank: self.my_rank,
+            op,
+        };
+        for dispatch in md_meta_send(self.config.layout(), mid, payload) {
+            let dest = self.server_pid(dispatch.to_rank);
+            ctx.send(dest, SodaMsg::MdMeta(dispatch.msg));
+        }
+        self.maybe_unregister(tag, op);
+    }
+
+    /// Fig. 5 lines 30-37 (with the Fig. 6 threshold): once `H` records that
+    /// at least `k` (SODA) or `k + 2e` (SODAerr) distinct servers have sent the
+    /// element of some tag to reader `op`, unregister the reader and drop its
+    /// history entries.
+    fn maybe_unregister(&mut self, tag: Tag, op: OpId) {
+        if !self.registered.contains_key(&op) {
+            return;
+        }
+        let sent_count = self
+            .history
+            .iter()
+            .filter(|(t, _, o)| *t == tag && *o == op)
+            .count();
+        if sent_count >= self.config.read_threshold() {
+            self.registered.remove(&op);
+            self.history.retain(|(_, _, o)| *o != op);
+        }
+    }
+
+    /// Handles `md-value-deliver(t_w, c_s)`: relay to registered readers,
+    /// update local storage if the tag is newer, and acknowledge the writer
+    /// (Fig. 5, response 3).
+    fn on_md_value_deliver(
+        &mut self,
+        tag: Tag,
+        element: CodedElement,
+        ctx: &mut Context<'_, SodaMsg>,
+    ) {
+        let interested: Vec<(OpId, Tag)> = if self.relay_enabled {
+            self.registered
+                .iter()
+                .map(|(&op, &tr)| (op, tr))
+                .filter(|&(_, tr)| tag >= tr)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        for (op, _) in interested {
+            // Relayed elements come straight from memory, so the disk-fault
+            // model does not apply here.
+            self.send_element_to_reader(op, tag, element.clone(), ctx);
+        }
+        if tag > self.tag {
+            self.tag = tag;
+            self.element = element;
+        }
+        ctx.send(tag.writer, SodaMsg::WriteAck { tag });
+    }
+
+    /// Handles delivery of a READ-VALUE registration (Fig. 5, response 5).
+    fn on_read_value(&mut self, op: OpId, requested: Tag, ctx: &mut Context<'_, SodaMsg>) {
+        // If the READ-COMPLETE marker `(t0, s, r)` is already present, the read
+        // finished before its registration arrived here: drop the stale
+        // bookkeeping and do not register.
+        let marker = (Tag::INITIAL, self.my_rank, op);
+        if self.history.contains(&marker) {
+            self.history.retain(|(_, _, o)| *o != op);
+            return;
+        }
+        self.registered.insert(op, requested);
+        if self.tag >= requested {
+            let tag = self.tag;
+            let element = self.local_disk_read();
+            self.send_element_to_reader(op, tag, element, ctx);
+        }
+    }
+
+    /// Handles delivery of a READ-COMPLETE (Fig. 5, response 6).
+    fn on_read_complete(&mut self, op: OpId) {
+        if self.registered.remove(&op).is_some() {
+            self.history.retain(|(_, _, o)| *o != op);
+        } else {
+            // Registration has not arrived yet; leave a marker so the later
+            // READ-VALUE is ignored instead of re-registering a finished read.
+            self.history.insert((Tag::INITIAL, self.my_rank, op));
+        }
+    }
+
+    /// Handles delivery of a READ-DISPERSE report (Fig. 5, response 7 /
+    /// Fig. 6 for SODAerr).
+    fn on_read_disperse(&mut self, tag: Tag, server_rank: usize, op: OpId) {
+        self.history.insert((tag, server_rank, op));
+        self.maybe_unregister(tag, op);
+    }
+}
+
+impl Process<SodaMsg> for ServerProcess {
+    fn on_message(&mut self, from: ProcessId, msg: SodaMsg, ctx: &mut Context<'_, SodaMsg>) {
+        match msg {
+            SodaMsg::WriteGet { op } => {
+                ctx.send(from, SodaMsg::WriteGetResp { op, tag: self.tag });
+            }
+            SodaMsg::ReadGet { op } => {
+                ctx.send(from, SodaMsg::ReadGetResp { op, tag: self.tag });
+            }
+            SodaMsg::MdValue(md_msg) => {
+                let action = match md_msg {
+                    MdValueMsg::Full { mid, tag, value } => self.md_value.on_full(
+                        self.config.layout(),
+                        self.config.code().as_ref(),
+                        mid,
+                        tag,
+                        &value,
+                    ),
+                    MdValueMsg::Coded { mid, tag, element } => soda_protocol::md::MdValueAction {
+                        deliver: self.md_value.on_coded(mid, tag, element),
+                        relays: Vec::new(),
+                    },
+                };
+                for dispatch in action.relays {
+                    let dest = self.server_pid(dispatch.to_rank);
+                    ctx.send(dest, SodaMsg::MdValue(dispatch.msg));
+                }
+                if let Some((tag, element)) = action.deliver {
+                    self.on_md_value_deliver(tag, element, ctx);
+                }
+            }
+            SodaMsg::MdMeta(meta) => {
+                let action = self
+                    .md_meta
+                    .on_meta(self.config.layout(), meta.mid, &meta.payload);
+                for dispatch in action.relays {
+                    let dest = self.server_pid(dispatch.to_rank);
+                    ctx.send(dest, SodaMsg::MdMeta(dispatch.msg));
+                }
+                if let Some(payload) = action.deliver {
+                    match payload {
+                        MetaPayload::ReadValue { op, tag } => self.on_read_value(op, tag, ctx),
+                        MetaPayload::ReadComplete { op, .. } => self.on_read_complete(op),
+                        MetaPayload::ReadDisperse { tag, server_rank, op } => {
+                            self.on_read_disperse(tag, server_rank, op)
+                        }
+                    }
+                }
+            }
+            // Servers ignore client-side messages.
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soda_protocol::md::MdMetaMsg;
+    use soda_protocol::{value_from, Layout};
+    use soda_simnet::testkit::deliver;
+    use soda_simnet::SimTime;
+
+    const WRITER: ProcessId = ProcessId(100);
+    const READER: ProcessId = ProcessId(200);
+
+    fn config(n: usize, f: usize) -> Arc<SodaConfig> {
+        let layout = Layout::new((0..n as u32).map(ProcessId).collect(), f);
+        SodaConfig::soda(layout)
+    }
+
+    fn t(ticks: u64) -> SimTime {
+        SimTime::from_ticks(ticks)
+    }
+
+    fn server(cfg: &Arc<SodaConfig>, rank: usize) -> ServerProcess {
+        ServerProcess::new(cfg.clone(), rank, &value_from(b"initial".to_vec()))
+    }
+
+    fn full_msg(_cfg: &Arc<SodaConfig>, tag: Tag, value: &[u8], counter: u64) -> SodaMsg {
+        SodaMsg::MdValue(MdValueMsg::Full {
+            mid: MessageId::new(tag.writer, counter),
+            tag,
+            value: value_from(value.to_vec()),
+        })
+    }
+
+    fn read_value_msg(op: OpId, tag: Tag, counter: u64) -> SodaMsg {
+        SodaMsg::MdMeta(MdMetaMsg {
+            mid: MessageId::new(op.client, counter),
+            payload: MetaPayload::ReadValue { op, tag },
+        })
+    }
+
+    fn read_complete_msg(op: OpId, tag: Tag, counter: u64) -> SodaMsg {
+        SodaMsg::MdMeta(MdMetaMsg {
+            mid: MessageId::new(op.client, counter),
+            payload: MetaPayload::ReadComplete { op, tag },
+        })
+    }
+
+    fn read_disperse_msg(tag: Tag, server_rank: usize, op: OpId, counter: u64) -> SodaMsg {
+        SodaMsg::MdMeta(MdMetaMsg {
+            mid: MessageId::new(ProcessId(server_rank as u32), counter),
+            payload: MetaPayload::ReadDisperse { tag, server_rank, op },
+        })
+    }
+
+    #[test]
+    fn initial_state_stores_initial_value_element() {
+        let cfg = config(5, 2);
+        let s = server(&cfg, 3);
+        assert_eq!(s.stored_tag(), Tag::INITIAL);
+        assert!(s.stored_bytes() > 0);
+        assert_eq!(s.registered_readers(), 0);
+        assert_eq!(s.history_len(), 0);
+        assert_eq!(s.md_tombstones(), 0);
+    }
+
+    #[test]
+    fn write_get_and_read_get_respond_with_stored_tag() {
+        let cfg = config(5, 2);
+        let mut s = server(&cfg, 0);
+        let op = OpId::new(WRITER, 1);
+        let r = deliver(&mut s, ProcessId(0), t(1), WRITER, SodaMsg::WriteGet { op });
+        assert_eq!(r.sends.len(), 1);
+        assert!(matches!(
+            r.sends[0].1,
+            SodaMsg::WriteGetResp { tag, .. } if tag == Tag::INITIAL
+        ));
+        let rop = OpId::new(READER, 1);
+        let r = deliver(&mut s, ProcessId(0), t(1), READER, SodaMsg::ReadGet { op: rop });
+        assert!(matches!(r.sends[0].1, SodaMsg::ReadGetResp { .. }));
+    }
+
+    #[test]
+    fn md_value_full_updates_storage_relays_and_acks() {
+        let cfg = config(5, 2);
+        let mut s = server(&cfg, 0);
+        let tag = Tag::new(1, WRITER);
+        let r = deliver(&mut s, ProcessId(0), t(2), WRITER, full_msg(&cfg, tag, b"value-one", 1));
+        assert_eq!(s.stored_tag(), tag);
+        // Relays: full to ranks 1..2 (backbone), coded to ranks 3..4, plus an
+        // ack back to the writer.
+        let ack_count = r
+            .sends
+            .iter()
+            .filter(|(to, m)| *to == WRITER && matches!(m, SodaMsg::WriteAck { .. }))
+            .count();
+        assert_eq!(ack_count, 1);
+        let fulls = r
+            .sends
+            .iter()
+            .filter(|(_, m)| matches!(m, SodaMsg::MdValue(MdValueMsg::Full { .. })))
+            .count();
+        let codeds = r
+            .sends
+            .iter()
+            .filter(|(_, m)| matches!(m, SodaMsg::MdValue(MdValueMsg::Coded { .. })))
+            .count();
+        assert_eq!(fulls, 2);
+        assert_eq!(codeds, 2);
+    }
+
+    #[test]
+    fn older_tag_does_not_overwrite_but_still_acks() {
+        let cfg = config(5, 2);
+        let mut s = server(&cfg, 4); // outside the backbone: receives Coded
+        let newer = Tag::new(5, WRITER);
+        let older = Tag::new(2, WRITER);
+        let elements = cfg.code().encode(b"newer").unwrap();
+        deliver(
+            &mut s,
+            ProcessId(4),
+            t(1),
+            ProcessId(0),
+            SodaMsg::MdValue(MdValueMsg::Coded {
+                mid: MessageId::new(WRITER, 1),
+                tag: newer,
+                element: elements[4].clone(),
+            }),
+        );
+        assert_eq!(s.stored_tag(), newer);
+        let old_elements = cfg.code().encode(b"older").unwrap();
+        let r = deliver(
+            &mut s,
+            ProcessId(4),
+            t(2),
+            ProcessId(1),
+            SodaMsg::MdValue(MdValueMsg::Coded {
+                mid: MessageId::new(WRITER, 2),
+                tag: older,
+                element: old_elements[4].clone(),
+            }),
+        );
+        assert_eq!(s.stored_tag(), newer, "older write must not regress storage");
+        assert!(r
+            .sends
+            .iter()
+            .any(|(to, m)| *to == WRITER && matches!(m, SodaMsg::WriteAck { tag } if *tag == older)));
+    }
+
+    #[test]
+    fn registration_sends_stored_element_when_tag_is_high_enough() {
+        let cfg = config(5, 2);
+        let mut s = server(&cfg, 1);
+        let tw = Tag::new(3, WRITER);
+        deliver(&mut s, ProcessId(1), t(1), WRITER, full_msg(&cfg, tw, b"stored", 1));
+        let op = OpId::new(READER, 1);
+        let r = deliver(&mut s, ProcessId(1), t(2), READER, read_value_msg(op, Tag::new(2, WRITER), 1));
+        assert_eq!(s.registered_readers(), 1);
+        let to_reader: Vec<_> = r
+            .sends
+            .iter()
+            .filter(|(to, m)| *to == READER && matches!(m, SodaMsg::CodedToReader { .. }))
+            .collect();
+        assert_eq!(to_reader.len(), 1);
+        match &to_reader[0].1 {
+            SodaMsg::CodedToReader { tag, element, .. } => {
+                assert_eq!(*tag, tw);
+                assert_eq!(element.index, 1);
+            }
+            _ => unreachable!(),
+        }
+        // READ-DISPERSE metadata went out to the backbone (f + 1 = 3 servers).
+        let disperse = r
+            .sends
+            .iter()
+            .filter(|(_, m)| matches!(
+                m,
+                SodaMsg::MdMeta(MdMetaMsg { payload: MetaPayload::ReadDisperse { .. }, .. })
+            ))
+            .count();
+        assert_eq!(disperse, 3);
+        assert_eq!(s.history_len(), 1);
+    }
+
+    #[test]
+    fn registration_with_higher_requested_tag_sends_nothing_until_a_write_arrives() {
+        let cfg = config(5, 2);
+        let mut s = server(&cfg, 2);
+        let op = OpId::new(READER, 1);
+        let requested = Tag::new(4, WRITER);
+        let r = deliver(&mut s, ProcessId(2), t(1), READER, read_value_msg(op, requested, 1));
+        assert_eq!(s.registered_readers(), 1);
+        assert!(r.sends.iter().all(|(to, _)| *to != READER));
+        // A concurrent write with tag >= requested is relayed to the reader.
+        let tw = Tag::new(4, ProcessId(101));
+        let r = deliver(&mut s, ProcessId(2), t(2), ProcessId(101), full_msg(&cfg, tw, b"concurrent", 1));
+        assert!(r
+            .sends
+            .iter()
+            .any(|(to, m)| *to == READER && matches!(m, SodaMsg::CodedToReader { tag, .. } if *tag == tw)));
+    }
+
+    #[test]
+    fn read_complete_unregisters_and_cleans_history() {
+        let cfg = config(5, 2);
+        let mut s = server(&cfg, 0);
+        let op = OpId::new(READER, 1);
+        deliver(&mut s, ProcessId(0), t(1), READER, read_value_msg(op, Tag::INITIAL, 1));
+        assert_eq!(s.registered_readers(), 1);
+        assert!(s.history_len() > 0);
+        deliver(&mut s, ProcessId(0), t(2), READER, read_complete_msg(op, Tag::INITIAL, 2));
+        assert_eq!(s.registered_readers(), 0);
+        assert_eq!(s.history_len(), 0);
+    }
+
+    #[test]
+    fn read_complete_before_registration_leaves_marker_and_prevents_registration() {
+        let cfg = config(5, 2);
+        let mut s = server(&cfg, 0);
+        let op = OpId::new(READER, 7);
+        deliver(&mut s, ProcessId(0), t(1), READER, read_complete_msg(op, Tag::INITIAL, 1));
+        assert_eq!(s.registered_readers(), 0);
+        assert_eq!(s.history_len(), 1, "marker (t0, s, r) present");
+        // The late registration is ignored and the marker is cleaned up.
+        let r = deliver(&mut s, ProcessId(0), t(2), READER, read_value_msg(op, Tag::INITIAL, 2));
+        assert_eq!(s.registered_readers(), 0);
+        assert_eq!(s.history_len(), 0);
+        assert!(r.sends.iter().all(|(to, _)| *to != READER));
+    }
+
+    #[test]
+    fn k_read_disperse_reports_unregister_the_reader() {
+        let cfg = config(5, 2); // k = 3
+        let mut s = server(&cfg, 4); // outside backbone; no local element sent for high tags
+        let op = OpId::new(READER, 1);
+        let requested = Tag::new(2, WRITER);
+        deliver(&mut s, ProcessId(4), t(1), READER, read_value_msg(op, requested, 1));
+        assert_eq!(s.registered_readers(), 1);
+        // Reports that servers 0 and 1 sent the element of tag (2, w).
+        for (i, rank) in [0usize, 1].iter().enumerate() {
+            deliver(
+                &mut s,
+                ProcessId(4),
+                t(2),
+                ProcessId(*rank as u32),
+                read_disperse_msg(requested, *rank, op, i as u64 + 1),
+            );
+        }
+        assert_eq!(s.registered_readers(), 1, "only 2 of k=3 elements reported");
+        deliver(
+            &mut s,
+            ProcessId(4),
+            t(3),
+            ProcessId(2),
+            read_disperse_msg(requested, 2, op, 3),
+        );
+        assert_eq!(s.registered_readers(), 0, "k distinct senders reached");
+        assert_eq!(s.history_len(), 0, "history for the reader cleaned up");
+    }
+
+    #[test]
+    fn disperse_counts_require_distinct_servers_and_matching_tag() {
+        let cfg = config(5, 2); // k = 3
+        let mut s = server(&cfg, 4);
+        let op = OpId::new(READER, 1);
+        let tag_a = Tag::new(2, WRITER);
+        let tag_b = Tag::new(3, WRITER);
+        deliver(&mut s, ProcessId(4), t(1), READER, read_value_msg(op, tag_a, 1));
+        // Same server reported twice and a report for a different tag: neither
+        // completes the count for tag_a.
+        deliver(&mut s, ProcessId(4), t(2), ProcessId(0), read_disperse_msg(tag_a, 0, op, 1));
+        deliver(&mut s, ProcessId(4), t(2), ProcessId(0), read_disperse_msg(tag_a, 0, op, 2));
+        deliver(&mut s, ProcessId(4), t(2), ProcessId(1), read_disperse_msg(tag_b, 1, op, 3));
+        assert_eq!(s.registered_readers(), 1);
+    }
+
+    #[test]
+    fn duplicate_md_value_messages_are_idempotent() {
+        let cfg = config(5, 2);
+        let mut s = server(&cfg, 0);
+        let tag = Tag::new(1, WRITER);
+        let msg = full_msg(&cfg, tag, b"dup", 1);
+        let first = deliver(&mut s, ProcessId(0), t(1), WRITER, msg.clone());
+        let second = deliver(&mut s, ProcessId(0), t(2), WRITER, msg);
+        assert!(first.sends.len() > second.sends.len());
+        assert!(second.sends.is_empty(), "duplicate produces no relays or acks");
+        assert_eq!(s.md_tombstones(), 1);
+    }
+
+    #[test]
+    fn corrupted_disk_affects_only_local_reads_not_relays() {
+        let layout = Layout::new((0..7u32).map(ProcessId).collect(), 2);
+        let cfg = SodaConfig::soda_err(layout, 1);
+        let good_element = cfg.code().encode(b"protected value").unwrap()[0].clone();
+        let mut s = ServerProcess::new(cfg.clone(), 0, &value_from(b"protected value".to_vec()))
+            .with_disk_fault(DiskFaultModel::Always);
+        assert_eq!(s.element, good_element, "storage itself is not corrupted");
+
+        // Local read path (registration with a satisfied tag): corrupted.
+        let op = OpId::new(READER, 1);
+        let r = deliver(&mut s, ProcessId(0), t(1), READER, read_value_msg(op, Tag::INITIAL, 1));
+        let sent = r
+            .sends
+            .iter()
+            .find_map(|(to, m)| match (to, m) {
+                (to, SodaMsg::CodedToReader { element, .. }) if *to == READER => Some(element.clone()),
+                _ => None,
+            })
+            .expect("element sent to reader");
+        assert_ne!(sent.data, good_element.data, "local disk read is corrupted");
+
+        // Relay path (concurrent write delivery): not corrupted.
+        let tw = Tag::new(1, WRITER);
+        let relayed_value = b"a concurrent write".to_vec();
+        let expected = cfg.code().encode(&relayed_value).unwrap()[0].clone();
+        let r = deliver(&mut s, ProcessId(0), t(2), WRITER, SodaMsg::MdValue(MdValueMsg::Full {
+            mid: MessageId::new(WRITER, 1),
+            tag: tw,
+            value: value_from(relayed_value),
+        }));
+        let relayed = r
+            .sends
+            .iter()
+            .find_map(|(to, m)| match (to, m) {
+                (to, SodaMsg::CodedToReader { element, .. }) if *to == READER => Some(element.clone()),
+                _ => None,
+            })
+            .expect("relayed element sent to registered reader");
+        assert_eq!(relayed.data, expected.data, "relayed elements are never corrupted");
+    }
+
+    #[test]
+    fn client_messages_are_ignored_by_servers() {
+        let cfg = config(3, 1);
+        let mut s = server(&cfg, 0);
+        let r = deliver(&mut s, ProcessId(0), t(1), ProcessId::ENV, SodaMsg::InvokeRead);
+        assert!(r.sends.is_empty());
+        let r = deliver(
+            &mut s,
+            ProcessId(0),
+            t(1),
+            ProcessId::ENV,
+            SodaMsg::InvokeWrite(value_from(vec![1])),
+        );
+        assert!(r.sends.is_empty());
+    }
+}

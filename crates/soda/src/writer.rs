@@ -1,0 +1,393 @@
+//! The SODA writer automaton (Fig. 3 of the paper).
+//!
+//! A write proceeds in two phases:
+//!
+//! 1. **write-get** — query all servers for their stored tags, wait for a
+//!    majority, and pick the highest tag `t_max`.
+//! 2. **write-put** — create the new tag `t_w = (t_max.z + 1, w)` and disperse
+//!    `(t_w, v)` through the MD-VALUE primitive (the full value goes only to
+//!    the first `f + 1` servers; they fan out coded elements to the rest).
+//!    The write completes once `k` servers have acknowledged.
+//!
+//! Writers are well-formed clients: a new operation starts only after the
+//! previous one completed, so invocations that arrive while an operation is in
+//! flight are queued.
+
+use crate::config::SodaConfig;
+use crate::messages::{OpId, SodaMsg};
+use crate::record::{OpKind, OpRecord};
+use soda_protocol::md::{md_value_send, MessageId};
+use soda_protocol::{QuorumTracker, Tag, Value};
+use soda_simnet::{Context, Process, ProcessId, SimTime};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Phase of the in-flight write operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WritePhase {
+    /// No operation in flight.
+    Idle,
+    /// Waiting for a majority of `write-get` responses.
+    Get,
+    /// Value dispersed; waiting for `k` acknowledgements.
+    Put,
+}
+
+/// A SODA writer client process.
+pub struct WriterProcess {
+    config: Arc<SodaConfig>,
+    self_id: ProcessId,
+    phase: WritePhase,
+    pending: VecDeque<Value>,
+    op_seq: u64,
+    current_op: Option<OpId>,
+    current_value: Option<Value>,
+    current_tag: Option<Tag>,
+    invoked_at: SimTime,
+    get_tracker: QuorumTracker<Tag>,
+    ack_tracker: QuorumTracker<()>,
+    completed: Vec<OpRecord>,
+}
+
+impl WriterProcess {
+    /// Creates a writer. `self_id` must be the process id under which the
+    /// writer is registered with the simulation.
+    pub fn new(config: Arc<SodaConfig>, self_id: ProcessId) -> Self {
+        let majority = config.layout().majority();
+        let k = config.k();
+        WriterProcess {
+            config,
+            self_id,
+            phase: WritePhase::Idle,
+            pending: VecDeque::new(),
+            op_seq: 0,
+            current_op: None,
+            current_value: None,
+            current_tag: None,
+            invoked_at: SimTime::ZERO,
+            get_tracker: QuorumTracker::new(majority),
+            ack_tracker: QuorumTracker::new(k),
+            completed: Vec::new(),
+        }
+    }
+
+    /// Operations completed so far, in completion order.
+    pub fn completed_ops(&self) -> &[OpRecord] {
+        &self.completed
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> WritePhase {
+        self.phase
+    }
+
+    /// Whether the writer has no operation in flight and no queued invocations.
+    pub fn is_idle(&self) -> bool {
+        self.phase == WritePhase::Idle && self.pending.is_empty()
+    }
+
+    /// Number of invocations still queued (excluding the in-flight one).
+    pub fn queued(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn start_next(&mut self, ctx: &mut Context<'_, SodaMsg>) {
+        if self.phase != WritePhase::Idle {
+            return;
+        }
+        let Some(value) = self.pending.pop_front() else {
+            return;
+        };
+        self.op_seq += 1;
+        let op = OpId::new(self.self_id, self.op_seq);
+        self.current_op = Some(op);
+        self.current_value = Some(value);
+        self.current_tag = None;
+        self.invoked_at = ctx.now();
+        self.phase = WritePhase::Get;
+        self.get_tracker = QuorumTracker::new(self.config.layout().majority());
+        for &server in self.config.layout().servers() {
+            ctx.send(server, SodaMsg::WriteGet { op });
+        }
+    }
+
+    fn begin_put(&mut self, ctx: &mut Context<'_, SodaMsg>) {
+        let op = self.current_op.expect("put phase requires an op");
+        let t_max = self
+            .get_tracker
+            .max_response()
+            .copied()
+            .unwrap_or(Tag::INITIAL);
+        let tag = t_max.next(self.self_id);
+        self.current_tag = Some(tag);
+        self.phase = WritePhase::Put;
+        self.ack_tracker = QuorumTracker::new(self.config.k());
+        let value = self
+            .current_value
+            .clone()
+            .expect("put phase requires a value");
+        let mid = MessageId::new(self.self_id, op.seq);
+        for dispatch in md_value_send(self.config.layout(), mid, tag, value) {
+            let dest = self.config.layout().server(dispatch.to_rank);
+            ctx.send(dest, SodaMsg::MdValue(dispatch.msg));
+        }
+    }
+
+    fn complete(&mut self, ctx: &mut Context<'_, SodaMsg>) {
+        let op = self.current_op.take().expect("completing without an op");
+        let tag = self.current_tag.take().expect("completing without a tag");
+        let value = self.current_value.take().map(|v| v.as_ref().clone());
+        self.completed.push(OpRecord {
+            op,
+            kind: OpKind::Write,
+            invoked_at: self.invoked_at,
+            completed_at: ctx.now(),
+            tag,
+            value,
+        });
+        self.phase = WritePhase::Idle;
+        self.start_next(ctx);
+    }
+}
+
+impl Process<SodaMsg> for WriterProcess {
+    fn on_message(&mut self, from: ProcessId, msg: SodaMsg, ctx: &mut Context<'_, SodaMsg>) {
+        match msg {
+            SodaMsg::InvokeWrite(value) => {
+                self.pending.push_back(value);
+                self.start_next(ctx);
+            }
+            SodaMsg::WriteGetResp { op, tag } => {
+                if self.phase == WritePhase::Get && self.current_op == Some(op) {
+                    self.get_tracker.record(from, tag);
+                    if self.get_tracker.is_complete() {
+                        self.begin_put(ctx);
+                    }
+                }
+            }
+            SodaMsg::WriteAck { tag } => {
+                if self.phase == WritePhase::Put && self.current_tag == Some(tag) {
+                    self.ack_tracker.record(from, ());
+                    if self.ack_tracker.is_complete() {
+                        self.complete(ctx);
+                    }
+                }
+            }
+            // Writers ignore read-protocol traffic and stray messages.
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soda_protocol::md::MdValueMsg;
+    use soda_protocol::{value_from, Layout};
+    use soda_simnet::testkit::deliver;
+
+    const WRITER: ProcessId = ProcessId(100);
+
+    fn config(n: usize, f: usize) -> Arc<SodaConfig> {
+        let layout = Layout::new((0..n as u32).map(ProcessId).collect(), f);
+        SodaConfig::soda(layout)
+    }
+
+    fn t(ticks: u64) -> SimTime {
+        SimTime::from_ticks(ticks)
+    }
+
+    #[test]
+    fn initial_state_is_idle() {
+        let w = WriterProcess::new(config(5, 2), WRITER);
+        assert_eq!(w.phase(), WritePhase::Idle);
+        assert!(w.is_idle());
+        assert_eq!(w.queued(), 0);
+        assert!(w.completed_ops().is_empty());
+    }
+
+    #[test]
+    fn invoke_starts_get_phase_querying_all_servers() {
+        let cfg = config(5, 2);
+        let mut w = WriterProcess::new(cfg, WRITER);
+        let result = deliver(
+            &mut w,
+            WRITER,
+            t(1),
+            ProcessId::ENV,
+            SodaMsg::InvokeWrite(value_from(vec![1, 2, 3])),
+        );
+        assert_eq!(w.phase(), WritePhase::Get);
+        assert_eq!(result.sends.len(), 5);
+        assert!(result
+            .sends
+            .iter()
+            .all(|(_, m)| matches!(m, SodaMsg::WriteGet { .. })));
+    }
+
+    #[test]
+    fn majority_of_get_responses_triggers_md_value_dispersal() {
+        let cfg = config(5, 2);
+        let mut w = WriterProcess::new(cfg, WRITER);
+        deliver(
+            &mut w,
+            WRITER,
+            t(1),
+            ProcessId::ENV,
+            SodaMsg::InvokeWrite(value_from(vec![7u8; 40])),
+        );
+        let op = OpId::new(WRITER, 1);
+        // Two responses: still in Get phase (majority of 5 is 3).
+        for s in 0..2u32 {
+            let r = deliver(
+                &mut w,
+                WRITER,
+                t(2),
+                ProcessId(s),
+                SodaMsg::WriteGetResp { op, tag: Tag::new(s as u64, ProcessId(s)) },
+            );
+            assert!(r.sends.is_empty());
+            assert_eq!(w.phase(), WritePhase::Get);
+        }
+        // Third response completes the majority; the writer picks the highest
+        // tag (2, p1... actually (1, p1)) and disperses with (2, WRITER).
+        let r = deliver(
+            &mut w,
+            WRITER,
+            t(3),
+            ProcessId(2),
+            SodaMsg::WriteGetResp { op, tag: Tag::new(2, ProcessId(2)) },
+        );
+        assert_eq!(w.phase(), WritePhase::Put);
+        // Full value goes to the first f + 1 = 3 servers only.
+        assert_eq!(r.sends.len(), 3);
+        for (i, (dest, msg)) in r.sends.iter().enumerate() {
+            assert_eq!(*dest, ProcessId(i as u32));
+            match msg {
+                SodaMsg::MdValue(MdValueMsg::Full { tag, value, .. }) => {
+                    assert_eq!(*tag, Tag::new(3, WRITER));
+                    assert_eq!(value.len(), 40);
+                }
+                other => panic!("expected Full, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_get_responses_do_not_advance_phase() {
+        let cfg = config(5, 2);
+        let mut w = WriterProcess::new(cfg, WRITER);
+        deliver(
+            &mut w,
+            WRITER,
+            t(1),
+            ProcessId::ENV,
+            SodaMsg::InvokeWrite(value_from(vec![1])),
+        );
+        let op = OpId::new(WRITER, 1);
+        for _ in 0..5 {
+            deliver(
+                &mut w,
+                WRITER,
+                t(2),
+                ProcessId(0),
+                SodaMsg::WriteGetResp { op, tag: Tag::INITIAL },
+            );
+        }
+        assert_eq!(w.phase(), WritePhase::Get, "same server repeated");
+    }
+
+    #[test]
+    fn k_acks_complete_the_write_and_start_the_next() {
+        let cfg = config(5, 2); // k = 3
+        let mut w = WriterProcess::new(cfg, WRITER);
+        deliver(
+            &mut w,
+            WRITER,
+            t(1),
+            ProcessId::ENV,
+            SodaMsg::InvokeWrite(value_from(vec![1])),
+        );
+        // Queue a second write while the first is in flight.
+        deliver(
+            &mut w,
+            WRITER,
+            t(1),
+            ProcessId::ENV,
+            SodaMsg::InvokeWrite(value_from(vec![2])),
+        );
+        assert_eq!(w.queued(), 1);
+        let op = OpId::new(WRITER, 1);
+        for s in 0..3u32 {
+            deliver(
+                &mut w,
+                WRITER,
+                t(2),
+                ProcessId(s),
+                SodaMsg::WriteGetResp { op, tag: Tag::INITIAL },
+            );
+        }
+        let tag = Tag::new(1, WRITER);
+        assert_eq!(w.phase(), WritePhase::Put);
+        // Acks from 2 servers: not yet complete.
+        for s in 0..2u32 {
+            deliver(&mut w, WRITER, t(4), ProcessId(s), SodaMsg::WriteAck { tag });
+        }
+        assert!(w.completed_ops().is_empty());
+        // Ack with the wrong tag is ignored.
+        deliver(
+            &mut w,
+            WRITER,
+            t(4),
+            ProcessId(4),
+            SodaMsg::WriteAck { tag: Tag::new(9, WRITER) },
+        );
+        assert!(w.completed_ops().is_empty());
+        // Third matching ack completes the write and starts the queued one.
+        let r = deliver(&mut w, WRITER, t(5), ProcessId(2), SodaMsg::WriteAck { tag });
+        assert_eq!(w.completed_ops().len(), 1);
+        let rec = &w.completed_ops()[0];
+        assert_eq!(rec.tag, tag);
+        assert_eq!(rec.kind, OpKind::Write);
+        assert_eq!(rec.value.as_deref(), Some([1u8].as_slice()));
+        assert_eq!(rec.latency(), 4);
+        // The queued write immediately issued its write-get round.
+        assert_eq!(w.phase(), WritePhase::Get);
+        assert_eq!(r.sends.len(), 5);
+        assert_eq!(w.queued(), 0);
+    }
+
+    #[test]
+    fn responses_for_stale_ops_are_ignored() {
+        let cfg = config(5, 1);
+        let mut w = WriterProcess::new(cfg, WRITER);
+        deliver(
+            &mut w,
+            WRITER,
+            t(1),
+            ProcessId::ENV,
+            SodaMsg::InvokeWrite(value_from(vec![1])),
+        );
+        let stale = OpId::new(WRITER, 99);
+        let r = deliver(
+            &mut w,
+            WRITER,
+            t(2),
+            ProcessId(0),
+            SodaMsg::WriteGetResp { op: stale, tag: Tag::INITIAL },
+        );
+        assert!(r.sends.is_empty());
+        assert_eq!(w.phase(), WritePhase::Get);
+        // Irrelevant message kinds are ignored too.
+        let r = deliver(&mut w, WRITER, t(2), ProcessId(0), SodaMsg::InvokeRead);
+        assert!(r.sends.is_empty());
+    }
+}

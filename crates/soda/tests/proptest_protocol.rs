@@ -1,0 +1,143 @@
+//! Property-based end-to-end tests of the SODA protocol: proptest generates
+//! the workload shape (operation mix, timing, network delay bound, crash
+//! schedule within the `f` budget) and every generated execution must satisfy
+//! the protocol's guarantees — termination, atomicity-relevant invariants at
+//! the storage layer, and bookkeeping cleanup.
+
+use proptest::prelude::*;
+use soda::harness::{ClusterConfig, SodaCluster};
+use soda::OpKind;
+use soda_simnet::{NetworkConfig, SimTime};
+
+#[derive(Debug, Clone)]
+struct WorkloadShape {
+    seed: u64,
+    delay: u64,
+    writes: Vec<(u8, u64)>,  // (writer index, invoke time)
+    reads: Vec<(u8, u64)>,   // (reader index, invoke time)
+    crashes: Vec<(u8, u64)>, // (server rank mod n, crash time), truncated to f
+}
+
+fn shape() -> impl Strategy<Value = WorkloadShape> {
+    (
+        any::<u64>(),
+        1u64..25,
+        proptest::collection::vec((0u8..2, 0u64..200), 1..6),
+        proptest::collection::vec((0u8..2, 0u64..200), 1..6),
+        proptest::collection::vec((0u8..7, 0u64..150), 0..3),
+    )
+        .prop_map(|(seed, delay, writes, reads, crashes)| WorkloadShape {
+            seed,
+            delay,
+            writes,
+            reads,
+            crashes,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_generated_execution_terminates_and_is_atomic(shape in shape()) {
+        let n = 7usize;
+        let f = 2usize;
+        let mut cluster = SodaCluster::build(
+            ClusterConfig::new(n, f)
+                .with_seed(shape.seed)
+                .with_clients(2, 2)
+                .with_network(NetworkConfig::uniform(shape.delay)),
+        );
+        // At most f distinct servers crash.
+        let mut crashed = std::collections::BTreeSet::new();
+        for (rank, at) in &shape.crashes {
+            let rank = (*rank as usize) % n;
+            if crashed.len() < f && crashed.insert(rank) {
+                cluster.crash_server_at(SimTime::from_ticks(*at), rank);
+            }
+        }
+        let writers = cluster.writers().to_vec();
+        let readers = cluster.readers().to_vec();
+        let mut expected_writes = 0usize;
+        for (i, (w, at)) in shape.writes.iter().enumerate() {
+            let writer = writers[*w as usize % writers.len()];
+            cluster.invoke_write_at(
+                SimTime::from_ticks(*at),
+                writer,
+                format!("prop-{i}").into_bytes(),
+            );
+            expected_writes += 1;
+        }
+        let mut expected_reads = 0usize;
+        for (r, at) in &shape.reads {
+            let reader = readers[*r as usize % readers.len()];
+            cluster.invoke_read_at(SimTime::from_ticks(*at), reader);
+            expected_reads += 1;
+        }
+
+        let outcome = cluster.run_to_quiescence();
+        prop_assert!(!outcome.hit_event_cap, "execution must quiesce");
+
+        // Liveness: every invoked operation completes (clients never crash in
+        // this test and at most f servers do).
+        let ops = cluster.completed_ops();
+        prop_assert_eq!(ops.len(), expected_writes + expected_reads);
+
+        // Atomicity of the history under the tag order.
+        let history = soda_workload::convert::history_from_soda(&[], &ops);
+        prop_assert!(history.check_atomicity().is_ok());
+
+        // Storage invariant: every live server stores exactly one coded
+        // element, whose tag is one of the completed writes' tags (or the
+        // initial tag).
+        let write_tags: std::collections::BTreeSet<_> = ops
+            .iter()
+            .filter(|o| o.kind == OpKind::Write)
+            .map(|o| o.tag)
+            .collect();
+        for rank in 0..n {
+            if crashed.contains(&rank) {
+                continue;
+            }
+            let tag = cluster.server_state(rank).stored_tag();
+            prop_assert!(
+                tag.is_initial() || write_tags.contains(&tag),
+                "server {rank} stores an unknown tag {tag:?}"
+            );
+        }
+
+        // Cleanup: no *non-faulty* server keeps a reader registered once
+        // everything quiesced (crashed servers may die holding a registration;
+        // the paper's Theorem 5.5 only speaks about non-faulty servers).
+        let live_registered: usize = (0..n)
+            .filter(|rank| !crashed.contains(rank))
+            .map(|rank| cluster.server_state(rank).registered_readers())
+            .sum();
+        prop_assert_eq!(live_registered, 0);
+    }
+
+    #[test]
+    fn quiescent_servers_converge_when_no_reads_run(
+        seed in any::<u64>(),
+        delay in 1u64..20,
+        num_writes in 1usize..5,
+    ) {
+        // With only writes, MD-VALUE uniformity forces every non-faulty server
+        // to end up with the same (highest) tag.
+        let mut cluster = SodaCluster::build(
+            ClusterConfig::new(5, 2)
+                .with_seed(seed)
+                .with_network(NetworkConfig::uniform(delay)),
+        );
+        let w = cluster.writers()[0];
+        for i in 0..num_writes {
+            cluster.invoke_write(w, vec![i as u8; 64]);
+        }
+        cluster.run_to_quiescence();
+        let tags: Vec<_> = (0..5).map(|r| cluster.server_state(r).stored_tag()).collect();
+        prop_assert!(tags.windows(2).all(|p| p[0] == p[1]), "tags diverge: {tags:?}");
+        let ops = cluster.completed_ops();
+        prop_assert_eq!(ops.len(), num_writes);
+        prop_assert_eq!(tags[0], ops.last().unwrap().tag);
+    }
+}

@@ -1,0 +1,113 @@
+//! Conversions from protocol-specific operation records into the
+//! protocol-independent [`History`] consumed by the atomicity checker.
+
+use soda::{OpKind, OpRecord};
+use soda_baselines::abd::AbdOpRecord;
+use soda_baselines::cas::CasOpRecord;
+use soda_consistency::{History, Kind, Version};
+use soda_protocol::Tag;
+
+/// Converts a protocol tag into a checker version.
+pub fn version_of_tag(tag: Tag) -> Version {
+    Version::new(tag.z, tag.writer.0 as u64)
+}
+
+/// Builds a checker history from SODA operation records.
+pub fn history_from_soda(initial_value: &[u8], records: &[OpRecord]) -> History {
+    let mut history = History::new(initial_value.to_vec());
+    for record in records {
+        history.push(
+            record.op.client.0 as u64,
+            match record.kind {
+                OpKind::Write => Kind::Write,
+                OpKind::Read => Kind::Read,
+            },
+            record.invoked_at.ticks(),
+            record.completed_at.ticks(),
+            record.value.clone().unwrap_or_default(),
+            version_of_tag(record.tag),
+        );
+    }
+    history
+}
+
+/// Builds a checker history from ABD operation records. Each element of
+/// `per_client` pairs a client identifier with that client's records.
+pub fn history_from_abd(initial_value: &[u8], per_client: &[(u64, Vec<AbdOpRecord>)]) -> History {
+    let mut history = History::new(initial_value.to_vec());
+    for (client, records) in per_client {
+        for record in records {
+            history.push(
+                *client,
+                if record.is_read { Kind::Read } else { Kind::Write },
+                record.invoked_at.ticks(),
+                record.completed_at.ticks(),
+                record.value.clone(),
+                version_of_tag(record.tag),
+            );
+        }
+    }
+    history
+}
+
+/// Builds a checker history from CAS / CASGC operation records.
+pub fn history_from_cas(initial_value: &[u8], per_client: &[(u64, Vec<CasOpRecord>)]) -> History {
+    let mut history = History::new(initial_value.to_vec());
+    for (client, records) in per_client {
+        for record in records {
+            history.push(
+                *client,
+                if record.is_read { Kind::Read } else { Kind::Write },
+                record.invoked_at.ticks(),
+                record.completed_at.ticks(),
+                record.value.clone(),
+                version_of_tag(record.tag),
+            );
+        }
+    }
+    history
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soda::OpId;
+    use soda_simnet::{ProcessId, SimTime};
+
+    #[test]
+    fn tag_conversion_preserves_order() {
+        let a = version_of_tag(Tag::new(1, ProcessId(5)));
+        let b = version_of_tag(Tag::new(2, ProcessId(1)));
+        let c = version_of_tag(Tag::new(2, ProcessId(3)));
+        assert!(a < b);
+        assert!(b < c);
+        assert_eq!(version_of_tag(Tag::INITIAL), Version::INITIAL);
+    }
+
+    #[test]
+    fn soda_records_convert_to_history() {
+        let records = vec![
+            OpRecord {
+                op: OpId::new(ProcessId(10), 1),
+                kind: OpKind::Write,
+                invoked_at: SimTime::from_ticks(0),
+                completed_at: SimTime::from_ticks(20),
+                tag: Tag::new(1, ProcessId(10)),
+                value: Some(b"x".to_vec()),
+            },
+            OpRecord {
+                op: OpId::new(ProcessId(11), 1),
+                kind: OpKind::Read,
+                invoked_at: SimTime::from_ticks(30),
+                completed_at: SimTime::from_ticks(50),
+                tag: Tag::new(1, ProcessId(10)),
+                value: Some(b"x".to_vec()),
+            },
+        ];
+        let history = history_from_soda(b"", &records);
+        assert_eq!(history.len(), 2);
+        assert!(history.check_atomicity().is_ok());
+        assert_eq!(history.ops()[0].kind, Kind::Write);
+        assert_eq!(history.ops()[1].kind, Kind::Read);
+    }
+}

@@ -1,0 +1,24 @@
+//! Workload generation and experiment drivers for the SODA reproduction.
+//!
+//! This crate turns the protocol implementations (`soda`, `soda-baselines`)
+//! into *measurements*: it builds clusters, drives carefully shaped workloads
+//! (solo writes, reads with a controlled number `δw` of concurrent writes,
+//! crash and corruption schedules), converts the resulting operation records
+//! into [`soda_consistency::History`] values for atomicity checking, and
+//! aggregates the normalized storage/communication costs and latencies that
+//! the paper's theorems and Table I talk about.
+//!
+//! The `soda-bench` crate's binaries are thin wrappers around the experiment
+//! functions in [`experiments`]; integration tests use the scenario runners in
+//! [`scenario`] directly.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod convert;
+pub mod experiments;
+pub mod scenario;
+
+pub use scenario::{
+    run_abd_scenario, run_casgc_scenario, run_soda_scenario, ScenarioOutcome, SodaScenarioParams,
+};

@@ -1,0 +1,190 @@
+//! Randomized end-to-end atomicity tests: drive SODA, SODAerr, ABD and CASGC
+//! with concurrent clients over many random schedules (seeds control both the
+//! message delays and the workload timing) and machine-check every resulting
+//! history against the atomicity conditions of Lemma 2.1.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use soda::harness::{ClusterConfig, SodaCluster};
+use soda_baselines::abd::{AbdClient, AbdCluster};
+use soda_baselines::cas::CasCluster;
+use soda_consistency::History;
+use soda_simnet::{NetworkConfig, SimTime};
+use soda_workload::convert::{history_from_abd, history_from_cas, history_from_soda};
+
+/// Drives a SODA/SODAerr cluster with a random interleaving of writes and
+/// reads and returns the checked history.
+fn run_random_soda(seed: u64, n: usize, f: usize, e: usize, faulty: Vec<usize>) -> History {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let mut cluster = SodaCluster::build(
+        ClusterConfig::new(n, f)
+            .with_seed(seed)
+            .with_clients(2, 2)
+            .with_error_tolerance(e)
+            .with_faulty_disks(faulty)
+            .with_network(NetworkConfig::uniform(1 + seed % 20)),
+    );
+    let writers = cluster.writers().to_vec();
+    let readers = cluster.readers().to_vec();
+    let mut counter = 0u32;
+    for _ in 0..8 {
+        let at = SimTime::from_ticks(rng.gen_range(0..300));
+        if rng.gen_bool(0.5) {
+            let w = writers[rng.gen_range(0..writers.len())];
+            counter += 1;
+            cluster.invoke_write_at(at, w, format!("value-{counter}").into_bytes());
+        } else {
+            let r = readers[rng.gen_range(0..readers.len())];
+            cluster.invoke_read_at(at, r);
+        }
+    }
+    let outcome = cluster.run_to_quiescence();
+    assert!(!outcome.hit_event_cap, "seed {seed}: protocol must quiesce");
+    assert_eq!(
+        cluster.total_registered_readers(),
+        0,
+        "seed {seed}: no reader stays registered after quiescence"
+    );
+    history_from_soda(&[], &cluster.completed_ops())
+}
+
+#[test]
+fn soda_histories_are_atomic_across_many_random_schedules() {
+    for seed in 0..25 {
+        let history = run_random_soda(seed, 5, 2, 0, vec![]);
+        history
+            .check_atomicity()
+            .unwrap_or_else(|v| panic!("seed {seed}: atomicity violated: {v}"));
+    }
+}
+
+#[test]
+fn soda_histories_are_atomic_on_larger_clusters() {
+    for seed in 0..6 {
+        let history = run_random_soda(1000 + seed, 11, 5, 0, vec![]);
+        history
+            .check_atomicity()
+            .unwrap_or_else(|v| panic!("seed {seed}: atomicity violated: {v}"));
+    }
+}
+
+#[test]
+fn sodaerr_histories_are_atomic_with_corrupted_disks() {
+    for seed in 0..12 {
+        let history = run_random_soda(2000 + seed, 9, 2, 2, vec![1, 6]);
+        history
+            .check_atomicity()
+            .unwrap_or_else(|v| panic!("seed {seed}: atomicity violated: {v}"));
+        // Every read must have returned a value some write produced (or the
+        // initial value) — corruption never leaks to clients.
+        for op in history.ops() {
+            if op.kind == soda_consistency::Kind::Read && !op.value.is_empty() {
+                assert!(
+                    op.value.starts_with(b"value-"),
+                    "seed {seed}: read returned corrupted data {:?}",
+                    op.value
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn abd_histories_are_atomic() {
+    for seed in 0..15 {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let mut cluster =
+            AbdCluster::build(5, 2, 3, seed, NetworkConfig::uniform(1 + seed % 15), Vec::new());
+        let clients = cluster.clients().to_vec();
+        for i in 0..8u32 {
+            let at = SimTime::from_ticks(rng.gen_range(0..200));
+            let c = clients[rng.gen_range(0..clients.len())];
+            if rng.gen_bool(0.5) {
+                cluster.invoke_write_at(at, c, format!("abd-{i}").into_bytes());
+            } else {
+                cluster.invoke_read_at(at, c);
+            }
+        }
+        cluster.run_to_quiescence();
+        let per_client: Vec<(u64, Vec<_>)> = clients
+            .iter()
+            .map(|&c| {
+                (
+                    c.0 as u64,
+                    cluster
+                        .sim()
+                        .process_as::<AbdClient>(c)
+                        .unwrap()
+                        .completed_ops()
+                        .to_vec(),
+                )
+            })
+            .collect();
+        let history = history_from_abd(&[], &per_client);
+        history
+            .check_atomicity()
+            .unwrap_or_else(|v| panic!("ABD seed {seed}: atomicity violated: {v}"));
+    }
+}
+
+#[test]
+fn casgc_histories_are_atomic() {
+    for seed in 0..15 {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let mut cluster = CasCluster::build(
+            5,
+            1,
+            Some(4),
+            3,
+            seed,
+            NetworkConfig::uniform(1 + seed % 15),
+            Vec::new(),
+        );
+        let clients = cluster.clients().to_vec();
+        for i in 0..8u32 {
+            let at = SimTime::from_ticks(rng.gen_range(0..200));
+            let c = clients[rng.gen_range(0..clients.len())];
+            if rng.gen_bool(0.5) {
+                cluster.invoke_write_at(at, c, format!("cas-{i}").into_bytes());
+            } else {
+                cluster.invoke_read_at(at, c);
+            }
+        }
+        cluster.run_to_quiescence();
+        let per_client: Vec<(u64, Vec<_>)> = clients
+            .iter()
+            .map(|&c| (c.0 as u64, cluster.client_records(c)))
+            .collect();
+        let history = history_from_cas(&[], &per_client);
+        history
+            .check_atomicity()
+            .unwrap_or_else(|v| panic!("CASGC seed {seed}: atomicity violated: {v}"));
+    }
+}
+
+#[test]
+fn small_histories_cross_validate_against_brute_force_linearizability() {
+    // For small executions, additionally run the exponential checker so we are
+    // not relying solely on the tag-based sufficient condition.
+    for seed in 0..10 {
+        let mut cluster = SodaCluster::build(
+            ClusterConfig::new(5, 2)
+                .with_seed(3000 + seed)
+                .with_clients(2, 1)
+                .with_network(NetworkConfig::uniform(12)),
+        );
+        let writers = cluster.writers().to_vec();
+        let reader = cluster.readers()[0];
+        cluster.invoke_write_at(SimTime::from_ticks(0), writers[0], b"alpha".to_vec());
+        cluster.invoke_write_at(SimTime::from_ticks(5), writers[1], b"beta".to_vec());
+        cluster.invoke_read_at(SimTime::from_ticks(8), reader);
+        cluster.invoke_read_at(SimTime::from_ticks(60), reader);
+        cluster.run_to_quiescence();
+        let history = history_from_soda(&[], &cluster.completed_ops());
+        assert!(history.check_atomicity().is_ok(), "seed {seed}");
+        assert!(
+            history.check_linearizable_brute_force(),
+            "seed {seed}: brute force disagrees"
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! Fault-injection integration tests: server crashes up to `f`, writer crashes
+//! in the middle of the MD-VALUE dispersal (uniformity, Theorem 3.1 /
+//! consistency properties), and reader crashes before read-complete
+//! (Theorem 5.5: servers eventually stop serving and unregister the reader).
+
+use soda::harness::{ClusterConfig, SodaCluster};
+use soda_consistency::Kind;
+use soda_simnet::{NetworkConfig, SimTime};
+use soda_workload::convert::history_from_soda;
+use soda_workload::experiments::relay_ablation;
+
+#[test]
+fn operations_complete_with_f_crashes_at_arbitrary_times() {
+    for seed in 0..10u64 {
+        let n = 7;
+        let f = 3;
+        let mut cluster = SodaCluster::build(
+            ClusterConfig::new(n, f)
+                .with_seed(seed)
+                .with_clients(2, 2)
+                .with_network(NetworkConfig::uniform(10)),
+        );
+        // Crash f servers at staggered times while the workload runs.
+        for (i, rank) in [0usize, 3, 6].iter().enumerate() {
+            cluster.crash_server_at(SimTime::from_ticks(seed * 3 + i as u64 * 40), *rank);
+        }
+        let writers = cluster.writers().to_vec();
+        let readers = cluster.readers().to_vec();
+        for round in 0..3u64 {
+            for (i, &w) in writers.iter().enumerate() {
+                cluster.invoke_write_at(
+                    SimTime::from_ticks(round * 50 + i as u64),
+                    w,
+                    format!("crashy-{round}-{i}").into_bytes(),
+                );
+            }
+            for &r in &readers {
+                cluster.invoke_read_at(SimTime::from_ticks(round * 50 + 20), r);
+            }
+        }
+        let outcome = cluster.run_to_quiescence();
+        assert!(!outcome.hit_event_cap);
+        let ops = cluster.completed_ops();
+        // All 6 writes and 6 reads must complete despite the crashes
+        // (liveness, Theorem 5.1).
+        assert_eq!(ops.len(), 12, "seed {seed}: every operation must complete");
+        let history = history_from_soda(&[], &ops);
+        history
+            .check_atomicity()
+            .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+    }
+}
+
+#[test]
+fn writer_crash_mid_dispersal_preserves_uniformity() {
+    // The writer crashes shortly after starting its write-put phase. The
+    // MD-VALUE primitive guarantees that either no server or every non-faulty
+    // server ends up delivering the coded element; in both cases the surviving
+    // servers agree on their stored tag once the system quiesces.
+    for crash_delay in [5u64, 15, 30, 60, 120] {
+        let mut cluster = SodaCluster::build(
+            ClusterConfig::new(7, 2)
+                .with_seed(crash_delay)
+                .with_clients(1, 1)
+                .with_network(NetworkConfig::uniform(10)),
+        );
+        let writer = cluster.writers()[0];
+        cluster.invoke_write(writer, vec![9u8; 2048]);
+        cluster.crash_process_at(SimTime::from_ticks(crash_delay), writer);
+        cluster.run_to_quiescence();
+
+        let tags: Vec<_> = (0..7).map(|rank| cluster.server_state(rank).stored_tag()).collect();
+        let first = tags[0];
+        assert!(
+            tags.iter().all(|&t| t == first),
+            "crash_delay={crash_delay}: servers diverge: {tags:?}"
+        );
+        // A subsequent read must still complete and return a decodable value.
+        let reader = cluster.readers()[0];
+        cluster.invoke_read(reader);
+        cluster.run_to_quiescence();
+        let ops = cluster.completed_ops();
+        let read = ops.iter().find(|o| o.kind.is_read()).expect("read completes");
+        if first.is_initial() {
+            assert_eq!(read.value.as_deref(), Some(&[][..]));
+        } else {
+            assert_eq!(read.value.as_deref(), Some(&[9u8; 2048][..]));
+        }
+    }
+}
+
+#[test]
+fn crashed_reader_is_eventually_unregistered_everywhere() {
+    // Theorem 5.5: a reader that crashes after registering does not keep the
+    // servers relaying forever — once k distinct servers have (provably) sent
+    // elements for some tag, everyone unregisters it.
+    let mut cluster = SodaCluster::build(
+        ClusterConfig::new(5, 2)
+            .with_seed(4)
+            .with_clients(1, 1)
+            .with_network(NetworkConfig::uniform(8)),
+    );
+    let writer = cluster.writers()[0];
+    let reader = cluster.readers()[0];
+    // Establish a first version so the read has something to fetch.
+    cluster.invoke_write(writer, b"v1".to_vec());
+    cluster.run_to_quiescence();
+    // Start a read and kill the reader before it can possibly finish.
+    let start = cluster.now() + 5;
+    cluster.invoke_read_at(start, reader);
+    cluster.crash_process_at(start + 1, reader);
+    cluster.run_to_quiescence();
+    // The reader never sent READ-COMPLETE; a later write triggers relaying,
+    // READ-DISPERSE bookkeeping, and finally unregistration at every server.
+    cluster.invoke_write(writer, b"v2".to_vec());
+    cluster.run_to_quiescence();
+    assert_eq!(
+        cluster.total_registered_readers(),
+        0,
+        "crashed reader must be unregistered by every server"
+    );
+    assert_eq!(cluster.total_history_entries(), 0, "history entries cleaned up");
+}
+
+#[test]
+fn relay_mechanism_is_required_for_liveness_under_concurrency() {
+    // Ablation A1 as a test: with the relay mechanism the racing read
+    // completes; with it disabled (and an adversarial but legal schedule) the
+    // read never terminates even though the concurrent write does.
+    let rows = relay_ablation(1024, 77);
+    let with_relay = rows.iter().find(|r| r.relay_enabled).unwrap();
+    let without_relay = rows.iter().find(|r| !r.relay_enabled).unwrap();
+    assert!(with_relay.read_completed);
+    assert!(with_relay.write_completed);
+    assert!(!without_relay.read_completed);
+    assert!(without_relay.write_completed);
+}
+
+#[test]
+fn delta_w_accounting_matches_schedule_shape() {
+    // A read scheduled in the middle of a burst of writes must report a
+    // non-zero δw, and a read run in isolation must report zero.
+    let mut cluster = SodaCluster::build(
+        ClusterConfig::new(5, 2)
+            .with_seed(11)
+            .with_clients(2, 1)
+            .with_network(NetworkConfig::uniform(10)),
+    );
+    let writers = cluster.writers().to_vec();
+    let reader = cluster.readers()[0];
+    cluster.invoke_write_at(SimTime::from_ticks(0), writers[0], b"w0".to_vec());
+    cluster.run_to_quiescence();
+
+    // Isolated read.
+    cluster.invoke_read(reader);
+    cluster.run_to_quiescence();
+
+    // Read racing two writes.
+    let start = cluster.now() + 10;
+    cluster.invoke_read_at(start, reader);
+    cluster.invoke_write_at(start, writers[0], b"w1".to_vec());
+    cluster.invoke_write_at(start, writers[1], b"w2".to_vec());
+    cluster.run_to_quiescence();
+
+    let history = history_from_soda(&[], &cluster.completed_ops());
+    let read_deltas: Vec<usize> = history
+        .ops()
+        .iter()
+        .filter(|o| o.kind == Kind::Read)
+        .map(|o| history.concurrent_writes(o.id))
+        .collect();
+    assert_eq!(read_deltas.len(), 2);
+    assert_eq!(read_deltas[0], 0, "isolated read has no concurrent writes");
+    assert!(read_deltas[1] >= 1, "racing read must observe concurrency");
+    history.check_atomicity().expect("history atomic");
+}

@@ -1,0 +1,109 @@
+//! SODAerr stress tests: concurrent workloads where up to `e` servers serve
+//! corrupted coded elements from their local disks on every read, combined
+//! with server crashes. Every read must still return a value some write
+//! actually produced, every history must be atomic, and the system must
+//! quiesce and clean up its bookkeeping.
+
+use soda::harness::{ClusterConfig, SodaCluster};
+use soda_consistency::Kind;
+use soda_simnet::{NetworkConfig, SimTime};
+use soda_workload::convert::history_from_soda;
+
+fn run_stress(seed: u64, n: usize, f: usize, e: usize, faulty: Vec<usize>, crash: Vec<usize>) {
+    let mut cluster = SodaCluster::build(
+        ClusterConfig::new(n, f)
+            .with_seed(seed)
+            .with_clients(2, 2)
+            .with_error_tolerance(e)
+            .with_faulty_disks(faulty.clone())
+            .with_network(NetworkConfig::uniform(9)),
+    );
+    for (i, rank) in crash.iter().enumerate() {
+        cluster.crash_server_at(SimTime::from_ticks(30 + 20 * i as u64), *rank);
+    }
+    let writers = cluster.writers().to_vec();
+    let readers = cluster.readers().to_vec();
+    for round in 0..4u64 {
+        for (i, &w) in writers.iter().enumerate() {
+            cluster.invoke_write_at(
+                SimTime::from_ticks(round * 45 + 3 * i as u64),
+                w,
+                format!("payload-{seed}-{round}-{i}").into_bytes(),
+            );
+        }
+        for (i, &r) in readers.iter().enumerate() {
+            cluster.invoke_read_at(SimTime::from_ticks(round * 45 + 12 + 7 * i as u64), r);
+        }
+    }
+    let outcome = cluster.run_to_quiescence();
+    assert!(!outcome.hit_event_cap, "seed {seed}: must quiesce");
+
+    let ops = cluster.completed_ops();
+    let expected_ops = writers.len() * 4 + readers.len() * 4;
+    assert_eq!(ops.len(), expected_ops, "seed {seed}: all operations complete");
+
+    let history = history_from_soda(&[], &ops);
+    history
+        .check_atomicity()
+        .unwrap_or_else(|v| panic!("seed {seed}: atomicity violated: {v}"));
+
+    // No read may ever observe corrupted bytes: every non-initial value read
+    // must be exactly one of the written payloads.
+    for op in history.ops() {
+        if op.kind == Kind::Read && !op.value.is_empty() {
+            assert!(
+                op.value.starts_with(b"payload-"),
+                "seed {seed}: read returned corrupted data {:?}",
+                String::from_utf8_lossy(&op.value)
+            );
+        }
+    }
+
+    // No *non-faulty* server keeps a reader registered (crashed servers may
+    // die holding one), and no reader ever failed a decode.
+    let live_registered: usize = (0..n)
+        .filter(|rank| !crash.contains(rank))
+        .map(|rank| cluster.server_state(rank).registered_readers())
+        .sum();
+    assert_eq!(live_registered, 0, "seed {seed}");
+    for &r in &readers {
+        assert_eq!(
+            cluster.reader_state(r).decode_failures(),
+            0,
+            "seed {seed}: reader {r} had decode failures"
+        );
+    }
+}
+
+#[test]
+fn sodaerr_with_one_bad_disk_across_seeds() {
+    for seed in 0..8 {
+        run_stress(seed, 7, 2, 1, vec![3], vec![]);
+    }
+}
+
+#[test]
+fn sodaerr_with_two_bad_disks_and_crashes() {
+    // n = 11, f = 2, e = 2 → k = 5, read threshold 9. Crash 2 servers (the
+    // budget) while 2 other servers serve corrupted elements.
+    for seed in 0..5 {
+        run_stress(100 + seed, 11, 2, 2, vec![0, 5], vec![8, 10]);
+    }
+}
+
+#[test]
+fn sodaerr_bad_disks_on_backbone_servers() {
+    // The corrupted disks sit on the MD backbone (ranks 0 and 1), which also
+    // relays the dispersal — relayed elements must stay clean (only local disk
+    // reads are corrupted), so reads still succeed.
+    for seed in 0..5 {
+        run_stress(200 + seed, 9, 2, 2, vec![0, 1], vec![]);
+    }
+}
+
+#[test]
+fn plain_soda_is_unaffected_when_no_disk_is_faulty() {
+    for seed in 0..5 {
+        run_stress(300 + seed, 6, 2, 0, vec![], vec![4]);
+    }
+}
