@@ -295,20 +295,18 @@ impl Process<AbdMsg> for AbdClient {
                 self.pending.push_back(PendingOp::Read);
                 self.start_next(ctx);
             }
-            AbdMsg::QueryResp { seq, tag, value } => {
-                if self.phase == AbdPhase::Query && seq == self.seq {
-                    self.query_tracker.record(from, (tag, value));
-                    if self.query_tracker.is_complete() {
-                        self.begin_store(ctx);
-                    }
+            AbdMsg::QueryResp { seq, tag, value }
+                if self.phase == AbdPhase::Query && seq == self.seq =>
+            {
+                self.query_tracker.record(from, (tag, value));
+                if self.query_tracker.is_complete() {
+                    self.begin_store(ctx);
                 }
             }
-            AbdMsg::StoreAck { seq } => {
-                if self.phase == AbdPhase::Store && seq == self.seq {
-                    self.ack_tracker.record(from, ());
-                    if self.ack_tracker.is_complete() {
-                        self.complete(ctx);
-                    }
+            AbdMsg::StoreAck { seq } if self.phase == AbdPhase::Store && seq == self.seq => {
+                self.ack_tracker.record(from, ());
+                if self.ack_tracker.is_complete() {
+                    self.complete(ctx);
                 }
             }
             _ => {}
@@ -323,6 +321,44 @@ impl Process<AbdMsg> for AbdClient {
     }
 }
 
+/// Parameters of an ABD deployment.
+///
+/// This replaces the former six-positional-argument `AbdCluster::build`
+/// signature. Application code should not use it directly: build clusters
+/// through `soda_registry::ClusterBuilder`, which validates parameters and
+/// returns the protocol-agnostic `RegisterCluster` facade.
+#[derive(Clone, Debug)]
+pub struct AbdParams {
+    /// Number of servers.
+    pub n: usize,
+    /// Number of server crashes the experiments inject (ABD itself always
+    /// uses majority quorums regardless of `f`).
+    pub f: usize,
+    /// Number of clients (each performs both writes and reads).
+    pub num_clients: usize,
+    /// RNG seed controlling message delays.
+    pub seed: u64,
+    /// Network delay configuration.
+    pub network: NetworkConfig,
+    /// The initial object value `v0`.
+    pub initial_value: Vec<u8>,
+}
+
+impl AbdParams {
+    /// Parameters for an `(n, f)` cluster with two clients, seed 0, uniform
+    /// delays in `[1, 10]` and an empty initial value.
+    pub fn new(n: usize, f: usize) -> Self {
+        AbdParams {
+            n,
+            f,
+            num_clients: 2,
+            seed: 0,
+            network: NetworkConfig::uniform(10),
+            initial_value: Vec::new(),
+        }
+    }
+}
+
 /// A complete simulated ABD deployment.
 pub struct AbdCluster {
     sim: Simulation<AbdMsg>,
@@ -331,17 +367,16 @@ pub struct AbdCluster {
 }
 
 impl AbdCluster {
-    /// Builds a cluster of `n` servers and `num_clients` clients. `f` only
-    /// determines how many crashes the experiments inject; ABD itself always
-    /// uses majority quorums.
-    pub fn build(
-        n: usize,
-        f: usize,
-        num_clients: usize,
-        seed: u64,
-        network: NetworkConfig,
-        initial_value: Vec<u8>,
-    ) -> Self {
+    /// Builds the cluster described by `params`.
+    pub fn build(params: AbdParams) -> Self {
+        let AbdParams {
+            n,
+            f,
+            num_clients,
+            seed,
+            network,
+            initial_value,
+        } = params;
         let mut sim = Simulation::new(seed, network);
         let server_ids: Vec<ProcessId> = (0..n as u32).map(ProcessId).collect();
         let layout = Layout::new(server_ids.clone(), f);
@@ -400,9 +435,24 @@ impl AbdCluster {
         self.sim.schedule_crash(at, id);
     }
 
+    /// Crashes an arbitrary process (e.g. a client) at time `at`.
+    pub fn crash_process_at(&mut self, at: SimTime, id: ProcessId) {
+        self.sim.schedule_crash(at, id);
+    }
+
     /// Runs until quiescent.
     pub fn run_to_quiescence(&mut self) -> RunOutcome {
         self.sim.run_to_quiescence()
+    }
+
+    /// Runs the simulation until the given deadline.
+    pub fn run_until(&mut self, deadline: SimTime) -> RunOutcome {
+        self.sim.run_until(deadline)
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
     }
 
     /// Message statistics.
@@ -422,115 +472,42 @@ impl AbdCluster {
         ops
     }
 
-    /// Total bytes of value data stored across all servers.
-    pub fn total_stored_bytes(&self) -> u64 {
+    /// The completed operations of one particular client.
+    pub fn client_records(&self, client: ProcessId) -> Vec<AbdOpRecord> {
+        self.sim
+            .process_as::<AbdClient>(client)
+            .map(|c| c.completed_ops().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// Bytes of value data stored at each server, by rank.
+    pub fn stored_bytes_per_server(&self) -> Vec<u64> {
         self.servers
             .iter()
-            .filter_map(|&s| self.sim.process_as::<AbdServer>(s))
-            .map(|s| s.stored_bytes() as u64)
-            .sum()
+            .map(|&s| {
+                self.sim
+                    .process_as::<AbdServer>(s)
+                    .map(|s| s.stored_bytes() as u64)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Total bytes of value data stored across all servers.
+    pub fn total_stored_bytes(&self) -> u64 {
+        self.stored_bytes_per_server().iter().sum()
     }
 
     /// Immutable access to the underlying simulation.
     pub fn sim(&self) -> &Simulation<AbdMsg> {
         &self.sim
     }
+
+    /// Mutable access to the underlying simulation.
+    pub fn sim_mut(&mut self) -> &mut Simulation<AbdMsg> {
+        &mut self.sim
+    }
 }
 
 /// Shared-pointer alias used by the workload adapters.
 pub type SharedLayout = Arc<Layout>;
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn write_then_read_round_trips() {
-        let mut cluster = AbdCluster::build(5, 2, 2, 1, NetworkConfig::uniform(8), Vec::new());
-        let w = cluster.clients()[0];
-        let r = cluster.clients()[1];
-        cluster.invoke_write(w, b"replicated".to_vec());
-        cluster.run_to_quiescence();
-        cluster.invoke_read(r);
-        cluster.run_to_quiescence();
-        let ops = cluster.completed_ops();
-        assert_eq!(ops.len(), 2);
-        assert!(!ops[0].is_read);
-        assert!(ops[1].is_read);
-        assert_eq!(ops[1].value, b"replicated".to_vec());
-        assert_eq!(ops[1].tag, ops[0].tag);
-    }
-
-    #[test]
-    fn storage_cost_is_n_copies() {
-        let value = vec![3u8; 4096];
-        let mut cluster = AbdCluster::build(6, 2, 1, 2, NetworkConfig::uniform(5), Vec::new());
-        let w = cluster.clients()[0];
-        cluster.invoke_write(w, value.clone());
-        cluster.run_to_quiescence();
-        // Every server that received the store holds the full value; with no
-        // crashes all n do.
-        assert_eq!(cluster.total_stored_bytes(), 6 * value.len() as u64);
-    }
-
-    #[test]
-    fn read_before_write_returns_initial_value() {
-        let mut cluster =
-            AbdCluster::build(3, 1, 1, 3, NetworkConfig::uniform(4), b"init".to_vec());
-        let c = cluster.clients()[0];
-        cluster.invoke_read(c);
-        cluster.run_to_quiescence();
-        let ops = cluster.completed_ops();
-        assert_eq!(ops.len(), 1);
-        assert_eq!(ops[0].value, b"init".to_vec());
-        assert!(ops[0].tag.is_initial());
-    }
-
-    #[test]
-    fn operations_survive_f_crashes() {
-        let mut cluster = AbdCluster::build(5, 2, 2, 4, NetworkConfig::uniform(6), Vec::new());
-        cluster.crash_server_at(SimTime::ZERO, 0);
-        cluster.crash_server_at(SimTime::ZERO, 4);
-        let w = cluster.clients()[0];
-        let r = cluster.clients()[1];
-        cluster.invoke_write(w, b"still here".to_vec());
-        cluster.run_to_quiescence();
-        cluster.invoke_read(r);
-        cluster.run_to_quiescence();
-        let ops = cluster.completed_ops();
-        assert_eq!(ops.len(), 2);
-        assert_eq!(ops[1].value, b"still here".to_vec());
-    }
-
-    #[test]
-    fn sequential_writes_are_ordered_by_tags() {
-        let mut cluster = AbdCluster::build(4, 1, 1, 5, NetworkConfig::uniform(3), Vec::new());
-        let w = cluster.clients()[0];
-        for i in 0..4u8 {
-            cluster.invoke_write(w, vec![i]);
-        }
-        cluster.run_to_quiescence();
-        let ops = cluster.completed_ops();
-        assert_eq!(ops.len(), 4);
-        for pair in ops.windows(2) {
-            assert!(pair[0].tag < pair[1].tag);
-            assert!(pair[0].completed_at <= pair[1].completed_at);
-        }
-    }
-
-    #[test]
-    fn write_communication_cost_is_order_n() {
-        let value_size = 2000usize;
-        let mut cluster = AbdCluster::build(8, 3, 1, 6, NetworkConfig::uniform(5), Vec::new());
-        let w = cluster.clients()[0];
-        cluster.invoke_write(w, vec![1u8; value_size]);
-        cluster.run_to_quiescence();
-        let bytes = cluster.stats().data_bytes_sent;
-        let normalized = bytes as f64 / value_size as f64;
-        // Phase 2 ships the value to all n = 8 servers; phase 1 responses carry
-        // the (empty) initial value. The normalized cost must be close to n and
-        // far above SODA's O(f²) *coded* cost of ~n/(n-f) per element.
-        assert!(normalized >= 8.0, "normalized write cost {normalized}");
-        assert!(normalized <= 9.0, "normalized write cost {normalized}");
-    }
-}

@@ -92,7 +92,9 @@ impl Message for CasMsg {
     fn data_bytes(&self) -> usize {
         match self {
             CasMsg::PreWrite { element, .. } => element.data.len(),
-            CasMsg::ReadFinalizeResp { element: Some(e), .. } => e.data.len(),
+            CasMsg::ReadFinalizeResp {
+                element: Some(e), ..
+            } => e.data.len(),
             _ => 0,
         }
     }
@@ -220,10 +222,7 @@ impl CasServer {
 
     /// Number of versions whose coded element is still stored.
     pub fn stored_versions(&self) -> usize {
-        self.versions
-            .values()
-            .filter(|(e, _)| e.is_some())
-            .count()
+        self.versions.values().filter(|(e, _)| e.is_some()).count()
     }
 
     /// The highest finalized tag.
@@ -249,7 +248,9 @@ impl CasServer {
             .map(|(tag, _)| *tag)
             .collect();
         fin_tags.sort_unstable_by(|a, b| b.cmp(a));
-        let Some(&cutoff) = fin_tags.get(keep.saturating_sub(1).min(fin_tags.len().saturating_sub(1))) else {
+        let Some(&cutoff) =
+            fin_tags.get(keep.saturating_sub(1).min(fin_tags.len().saturating_sub(1)))
+        else {
             return;
         };
         if fin_tags.len() < keep {
@@ -276,10 +277,7 @@ impl Process<CasMsg> for CasServer {
                 );
             }
             CasMsg::PreWrite { seq, tag, element } => {
-                let entry = self
-                    .versions
-                    .entry(tag)
-                    .or_insert((None, Label::Pre));
+                let entry = self.versions.entry(tag).or_insert((None, Label::Pre));
                 if entry.0.is_none() {
                     entry.0 = Some(element);
                 }
@@ -413,7 +411,13 @@ impl CasClient {
             self.read_elements.clear();
             self.read_responses = QuorumTracker::new(self.config.quorum());
             for server in self.servers() {
-                ctx.send(server, CasMsg::ReadFinalize { seq: self.seq, tag: max_tag });
+                ctx.send(
+                    server,
+                    CasMsg::ReadFinalize {
+                        seq: self.seq,
+                        tag: max_tag,
+                    },
+                );
             }
         } else {
             let tag = max_tag.next(self.self_id);
@@ -490,46 +494,41 @@ impl Process<CasMsg> for CasClient {
                 self.pending.push_back(PendingOp::Read);
                 self.start_next(ctx);
             }
-            CasMsg::QueryTagResp { seq, tag } => {
-                if self.phase == CasPhase::QueryTag && seq == self.seq {
-                    self.tag_tracker.record(from, tag);
-                    if self.tag_tracker.is_complete() {
-                        self.after_tag_query(ctx);
-                    }
+            CasMsg::QueryTagResp { seq, tag }
+                if self.phase == CasPhase::QueryTag && seq == self.seq =>
+            {
+                self.tag_tracker.record(from, tag);
+                if self.tag_tracker.is_complete() {
+                    self.after_tag_query(ctx);
                 }
             }
-            CasMsg::PreWriteAck { seq } => {
-                if self.phase == CasPhase::PreWrite && seq == self.seq {
-                    self.ack_tracker.record(from, ());
-                    if self.ack_tracker.is_complete() {
-                        self.begin_finalize(ctx);
-                    }
+            CasMsg::PreWriteAck { seq } if self.phase == CasPhase::PreWrite && seq == self.seq => {
+                self.ack_tracker.record(from, ());
+                if self.ack_tracker.is_complete() {
+                    self.begin_finalize(ctx);
                 }
             }
-            CasMsg::FinalizeAck { seq } => {
-                if self.phase == CasPhase::Finalize && seq == self.seq {
-                    self.ack_tracker.record(from, ());
-                    if self.ack_tracker.is_complete() {
-                        let value = self
-                            .current_value
-                            .clone()
-                            .map(|v| v.as_ref().clone())
-                            .unwrap_or_default();
-                        self.complete(value, ctx);
-                    }
+            CasMsg::FinalizeAck { seq } if self.phase == CasPhase::Finalize && seq == self.seq => {
+                self.ack_tracker.record(from, ());
+                if self.ack_tracker.is_complete() {
+                    let value = self
+                        .current_value
+                        .clone()
+                        .map(|v| v.as_ref().clone())
+                        .unwrap_or_default();
+                    self.complete(value, ctx);
                 }
             }
-            CasMsg::ReadFinalizeResp { seq, tag, element } => {
+            CasMsg::ReadFinalizeResp { seq, tag, element }
                 if self.phase == CasPhase::ReadValue
                     && seq == self.seq
-                    && Some(tag) == self.current_tag
-                {
-                    self.read_responses.record(from, ());
-                    if let Some(element) = element {
-                        self.read_elements.insert(element.index, element);
-                    }
-                    self.try_complete_read(ctx);
+                    && Some(tag) == self.current_tag =>
+            {
+                self.read_responses.record(from, ());
+                if let Some(element) = element {
+                    self.read_elements.insert(element.index, element);
                 }
+                self.try_complete_read(ctx);
             }
             _ => {}
         }
@@ -543,6 +542,48 @@ impl Process<CasMsg> for CasClient {
     }
 }
 
+/// Parameters of a CAS / CASGC deployment.
+///
+/// This replaces the former seven-positional-argument `CasCluster::build`
+/// signature. Application code should not use it directly: build clusters
+/// through `soda_registry::ClusterBuilder`, which validates parameters and
+/// returns the protocol-agnostic `RegisterCluster` facade.
+#[derive(Clone, Debug)]
+pub struct CasParams {
+    /// Number of servers.
+    pub n: usize,
+    /// Tolerated server crashes (the code dimension is `k = n − 2f`).
+    pub f: usize,
+    /// `Some(δ + 1)` keeps at most that many finalized versions with elements
+    /// (CASGC); `None` never garbage-collects (plain CAS).
+    pub gc_versions: Option<usize>,
+    /// Number of clients (each performs both writes and reads).
+    pub num_clients: usize,
+    /// RNG seed controlling message delays.
+    pub seed: u64,
+    /// Network delay configuration.
+    pub network: NetworkConfig,
+    /// The initial object value `v0`.
+    pub initial_value: Vec<u8>,
+}
+
+impl CasParams {
+    /// Parameters for an `(n, f)` CAS cluster (no garbage collection) with
+    /// two clients, seed 0, uniform delays in `[1, 10]` and an empty initial
+    /// value.
+    pub fn new(n: usize, f: usize) -> Self {
+        CasParams {
+            n,
+            f,
+            gc_versions: None,
+            num_clients: 2,
+            seed: 0,
+            network: NetworkConfig::uniform(10),
+            initial_value: Vec::new(),
+        }
+    }
+}
+
 /// A complete simulated CAS / CASGC deployment.
 pub struct CasCluster {
     sim: Simulation<CasMsg>,
@@ -552,17 +593,17 @@ pub struct CasCluster {
 }
 
 impl CasCluster {
-    /// Builds a cluster of `n` servers tolerating `f` crashes with the given
-    /// garbage-collection depth (`Some(δ + 1)` for CASGC, `None` for CAS).
-    pub fn build(
-        n: usize,
-        f: usize,
-        gc_versions: Option<usize>,
-        num_clients: usize,
-        seed: u64,
-        network: NetworkConfig,
-        initial_value: Vec<u8>,
-    ) -> Self {
+    /// Builds the cluster described by `params`.
+    pub fn build(params: CasParams) -> Self {
+        let CasParams {
+            n,
+            f,
+            gc_versions,
+            num_clients,
+            seed,
+            network,
+            initial_value,
+        } = params;
         let mut sim = Simulation::new(seed, network);
         let server_ids: Vec<ProcessId> = (0..n as u32).map(ProcessId).collect();
         let layout = Layout::new(server_ids.clone(), f);
@@ -623,9 +664,19 @@ impl CasCluster {
         self.sim.schedule_crash(at, id);
     }
 
+    /// Crashes an arbitrary process (e.g. a client) at time `at`.
+    pub fn crash_process_at(&mut self, at: SimTime, id: ProcessId) {
+        self.sim.schedule_crash(at, id);
+    }
+
     /// Runs until quiescent.
     pub fn run_to_quiescence(&mut self) -> RunOutcome {
         self.sim.run_to_quiescence()
+    }
+
+    /// Runs the simulation until the given deadline.
+    pub fn run_until(&mut self, deadline: SimTime) -> RunOutcome {
+        self.sim.run_until(deadline)
     }
 
     /// Message statistics.
@@ -645,14 +696,34 @@ impl CasCluster {
         ops
     }
 
+    /// Bytes of coded-element data stored at each server, by rank (across all
+    /// retained versions).
+    pub fn stored_bytes_per_server(&self) -> Vec<u64> {
+        self.servers
+            .iter()
+            .map(|&s| {
+                self.sim
+                    .process_as::<CasServer>(s)
+                    .map(|s| s.stored_bytes() as u64)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
     /// Total bytes of coded-element data stored across all servers and all
     /// retained versions.
     pub fn total_stored_bytes(&self) -> u64 {
-        self.servers
-            .iter()
-            .filter_map(|&s| self.sim.process_as::<CasServer>(s))
-            .map(|s| s.stored_bytes() as u64)
-            .sum()
+        self.stored_bytes_per_server().iter().sum()
+    }
+
+    /// Immutable access to the underlying simulation.
+    pub fn sim(&self) -> &Simulation<CasMsg> {
+        &self.sim
+    }
+
+    /// Mutable access to the underlying simulation.
+    pub fn sim_mut(&mut self) -> &mut Simulation<CasMsg> {
+        &mut self.sim
     }
 
     /// Current simulated time.
@@ -676,165 +747,5 @@ impl CasCluster {
             .map(|s| s.stored_versions())
             .max()
             .unwrap_or(0)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn cluster(n: usize, f: usize, gc: Option<usize>, seed: u64) -> CasCluster {
-        CasCluster::build(n, f, gc, 2, seed, NetworkConfig::uniform(7), Vec::new())
-    }
-
-    #[test]
-    fn write_then_read_round_trips() {
-        let mut c = cluster(5, 1, None, 1);
-        let w = c.clients()[0];
-        let r = c.clients()[1];
-        c.invoke_write(w, b"coded baseline".to_vec());
-        c.run_to_quiescence();
-        c.invoke_read(r);
-        c.run_to_quiescence();
-        let ops = c.completed_ops();
-        assert_eq!(ops.len(), 2);
-        assert!(ops[1].is_read);
-        assert_eq!(ops[1].value, b"coded baseline".to_vec());
-        assert_eq!(ops[1].tag, ops[0].tag);
-    }
-
-    #[test]
-    fn quorum_and_k_parameters() {
-        let c = cluster(9, 2, None, 0);
-        assert_eq!(c.config().quorum(), 7);
-        assert_eq!(c.config().k(), 5);
-    }
-
-    #[test]
-    fn tolerates_f_crashes() {
-        let mut c = cluster(7, 2, None, 3);
-        c.crash_server_at(SimTime::ZERO, 0);
-        c.crash_server_at(SimTime::ZERO, 6);
-        let w = c.clients()[0];
-        let r = c.clients()[1];
-        c.invoke_write(w, b"resilient cas".to_vec());
-        c.run_to_quiescence();
-        c.invoke_read(r);
-        c.run_to_quiescence();
-        let ops = c.completed_ops();
-        assert_eq!(ops.len(), 2);
-        assert_eq!(ops[1].value, b"resilient cas".to_vec());
-    }
-
-    #[test]
-    fn cas_without_gc_accumulates_versions() {
-        let mut c = cluster(5, 1, None, 4);
-        let w = c.clients()[0];
-        for i in 0..5u8 {
-            c.invoke_write(w, vec![i; 300]);
-        }
-        c.run_to_quiescence();
-        // Initial version + 5 writes, no GC.
-        assert_eq!(c.max_stored_versions(), 6);
-    }
-
-    #[test]
-    fn casgc_bounds_stored_versions_to_delta_plus_one() {
-        let delta = 1usize;
-        let mut c = cluster(5, 1, Some(delta + 1), 5);
-        let w = c.clients()[0];
-        for i in 0..6u8 {
-            c.invoke_write(w, vec![i; 300]);
-        }
-        c.run_to_quiescence();
-        assert!(
-            c.max_stored_versions() <= delta + 1,
-            "stored versions {} exceed δ+1 = {}",
-            c.max_stored_versions(),
-            delta + 1
-        );
-    }
-
-    #[test]
-    fn casgc_storage_cost_tracks_paper_formula() {
-        let n = 6;
-        let f = 1;
-        let delta = 2usize;
-        let value_size = 3000usize;
-        let mut c = CasCluster::build(
-            n,
-            f,
-            Some(delta + 1),
-            1,
-            6,
-            NetworkConfig::uniform(4),
-            Vec::new(),
-        );
-        let w = c.clients()[0];
-        for i in 0..8u8 {
-            c.invoke_write(w, vec![i; value_size]);
-        }
-        c.run_to_quiescence();
-        let normalized = c.total_stored_bytes() as f64 / value_size as f64;
-        let formula = n as f64 / (n - 2 * f) as f64 * (delta + 1) as f64;
-        assert!(
-            normalized <= formula + 0.2,
-            "measured {normalized:.2} exceeds paper bound {formula:.2}"
-        );
-        assert!(
-            normalized > formula * 0.6,
-            "measured {normalized:.2} implausibly below bound {formula:.2}"
-        );
-    }
-
-    #[test]
-    fn write_communication_cost_matches_n_over_n_minus_2f() {
-        let n = 8;
-        let f = 2;
-        let value_size = 4000usize;
-        let mut c = CasCluster::build(n, f, None, 1, 7, NetworkConfig::uniform(5), Vec::new());
-        let w = c.clients()[0];
-        c.invoke_write(w, vec![9u8; value_size]);
-        c.run_to_quiescence();
-        let normalized = c.stats().data_bytes_sent as f64 / value_size as f64;
-        let formula = n as f64 / (n - 2 * f) as f64;
-        assert!(
-            (normalized - formula).abs() < 0.2,
-            "measured {normalized:.2} vs formula {formula:.2}"
-        );
-    }
-
-    #[test]
-    fn sequential_writes_have_increasing_tags() {
-        let mut c = cluster(5, 2, None, 8);
-        let w = c.clients()[0];
-        for i in 0..4u8 {
-            c.invoke_write(w, vec![i]);
-        }
-        c.run_to_quiescence();
-        let ops = c.completed_ops();
-        assert_eq!(ops.len(), 4);
-        for pair in ops.windows(2) {
-            assert!(pair[0].tag < pair[1].tag);
-        }
-    }
-
-    #[test]
-    fn read_before_write_returns_initial_value() {
-        let mut c = CasCluster::build(
-            5,
-            1,
-            Some(2),
-            1,
-            9,
-            NetworkConfig::uniform(3),
-            b"cas genesis".to_vec(),
-        );
-        let client = c.clients()[0];
-        c.invoke_read(client);
-        c.run_to_quiescence();
-        let ops = c.completed_ops();
-        assert_eq!(ops.len(), 1);
-        assert_eq!(ops[0].value, b"cas genesis".to_vec());
     }
 }

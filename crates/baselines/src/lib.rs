@@ -15,6 +15,13 @@
 //! Both are implemented over the same [`soda_simnet`] substrate and the same
 //! cost model as SODA, so the experiment harness can regenerate the paper's
 //! comparison table by running all three side by side.
+//!
+//! Application code should not build `AbdCluster` / `CasCluster` directly:
+//! the `soda-registry` crate's `ClusterBuilder` (with `ProtocolKind::Abd`,
+//! `ProtocolKind::Cas` or `ProtocolKind::Casgc { gc }`) validates parameters
+//! and returns the protocol-agnostic `RegisterCluster` facade; the
+//! [`abd::AbdParams`] / [`cas::CasParams`] constructors here are the backend
+//! it wraps.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]

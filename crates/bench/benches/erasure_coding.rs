@@ -1,9 +1,12 @@
-//! Criterion benches for the erasure-coding substrate: encoding throughput,
-//! erasure decoding, and Berlekamp–Welch error decoding across value sizes and
-//! code parameters. These are the `Φ`, `Φ⁻¹` and `Φ⁻¹_err` primitives every
-//! SODA operation ultimately pays for.
+//! Wall-clock benchmarks for the erasure-coding substrate: encoding
+//! throughput, erasure decoding, and Berlekamp–Welch error decoding across
+//! value sizes and code parameters. These are the `Φ`, `Φ⁻¹` and `Φ⁻¹_err`
+//! primitives every SODA operation ultimately pays for.
+//!
+//! Plain `harness = false` timing loops (criterion is unavailable offline).
+//! Run with: `cargo bench -p soda-bench --bench erasure_coding`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use soda_bench::timeit;
 use soda_rs_code::{BerlekampWelchCode, MdsCode, VandermondeCode};
 use std::hint::black_box;
 
@@ -11,27 +14,26 @@ fn value_of(size: usize) -> Vec<u8> {
     (0..size).map(|i| (i * 31 % 251) as u8).collect()
 }
 
-fn bench_encode(c: &mut Criterion) {
-    let mut group = c.benchmark_group("encode");
-    group.sample_size(20);
+fn bench_encode() {
+    println!("## encode");
     for &size in &[4 * 1024usize, 64 * 1024] {
         for &(n, k) in &[(5usize, 3usize), (10, 6), (20, 11)] {
             let code = VandermondeCode::new(n, k).unwrap();
             let value = value_of(size);
-            group.throughput(Throughput::Bytes(size as u64));
-            group.bench_with_input(
-                BenchmarkId::new(format!("n{n}_k{k}"), size),
-                &value,
-                |b, value| b.iter(|| black_box(code.encode(black_box(value)).unwrap())),
+            timeit(
+                &format!("encode/n{n}_k{k}/{size}B"),
+                size as u64,
+                20,
+                || {
+                    black_box(code.encode(black_box(&value)).unwrap());
+                },
             );
         }
     }
-    group.finish();
 }
 
-fn bench_erasure_decode(c: &mut Criterion) {
-    let mut group = c.benchmark_group("erasure_decode");
-    group.sample_size(20);
+fn bench_erasure_decode() {
+    println!("## erasure_decode");
     for &size in &[4 * 1024usize, 64 * 1024] {
         let (n, k) = (10usize, 6usize);
         let code = VandermondeCode::new(n, k).unwrap();
@@ -40,17 +42,19 @@ fn bench_erasure_decode(c: &mut Criterion) {
         // Decode from the *last* k elements (all parity where possible), the
         // most expensive case since it requires a full matrix inversion.
         let subset: Vec<_> = elements[n - k..].to_vec();
-        group.throughput(Throughput::Bytes(size as u64));
-        group.bench_with_input(BenchmarkId::new("parity_only", size), &subset, |b, subset| {
-            b.iter(|| black_box(code.decode(black_box(subset)).unwrap()))
-        });
+        timeit(
+            &format!("erasure_decode/parity_only/{size}B"),
+            size as u64,
+            20,
+            || {
+                black_box(code.decode(black_box(&subset)).unwrap());
+            },
+        );
     }
-    group.finish();
 }
 
-fn bench_error_decode(c: &mut Criterion) {
-    let mut group = c.benchmark_group("error_decode");
-    group.sample_size(10);
+fn bench_error_decode() {
+    println!("## error_decode");
     for &size in &[4 * 1024usize] {
         for &e in &[1usize, 2] {
             let (n, f) = (12usize, 2usize);
@@ -58,23 +62,25 @@ fn bench_error_decode(c: &mut Criterion) {
             let value = value_of(size);
             let mut elements = code.encode(&value).unwrap();
             elements.truncate(n - f);
-            for victim in 0..e {
-                for b in elements[victim].data.iter_mut() {
+            for element in elements.iter_mut().take(e) {
+                for b in element.data.iter_mut() {
                     *b ^= 0xA5;
                 }
             }
-            group.throughput(Throughput::Bytes(size as u64));
-            group.bench_with_input(
-                BenchmarkId::new(format!("e{e}"), size),
-                &elements,
-                |b, elements| {
-                    b.iter(|| black_box(code.decode_with_errors(black_box(elements), e).unwrap()))
+            timeit(
+                &format!("error_decode/e{e}/{size}B"),
+                size as u64,
+                10,
+                || {
+                    black_box(code.decode_with_errors(black_box(&elements), e).unwrap());
                 },
             );
         }
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_encode, bench_erasure_decode, bench_error_decode);
-criterion_main!(benches);
+fn main() {
+    bench_encode();
+    bench_erasure_decode();
+    bench_error_decode();
+}

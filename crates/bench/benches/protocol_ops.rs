@@ -1,66 +1,50 @@
-//! Criterion benches for end-to-end protocol operations in the simulator:
-//! a complete SODA write and a complete SODA read (including all relays and
-//! bookkeeping), plus the ABD equivalents for comparison. The metric is
-//! wall-clock time to simulate one operation, which tracks the total message
-//! and computation work the protocols generate.
+//! Wall-clock benchmarks for end-to-end protocol operations in the
+//! simulator: a complete SODA write and a complete SODA read (including all
+//! relays and bookkeeping), plus the ABD equivalents for comparison. The
+//! metric is wall-clock time to simulate one operation, which tracks the
+//! total message and computation work the protocols generate. Every cluster
+//! is built through the `RegisterCluster` facade.
+//!
+//! Plain `harness = false` timing loops (criterion is unavailable offline).
+//! Run with: `cargo bench -p soda-bench --bench protocol_ops`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use soda::harness::{ClusterConfig, SodaCluster};
-use soda_baselines::abd::AbdCluster;
-use soda_simnet::NetworkConfig;
+use soda_bench::timeit;
+use soda_registry::{ClusterBuilder, ProtocolKind};
 use std::hint::black_box;
 
-fn soda_write(n: usize, f: usize, value_size: usize) {
-    let mut cluster = SodaCluster::build(ClusterConfig::new(n, f).with_seed(1));
-    let w = cluster.writers()[0];
-    cluster.invoke_write(w, vec![7u8; value_size]);
+fn write_only(kind: ProtocolKind, n: usize, f: usize, value_size: usize) {
+    let mut cluster = ClusterBuilder::new(kind, n, f)
+        .with_seed(1)
+        .build()
+        .unwrap();
+    cluster.invoke_write(0, vec![7u8; value_size]);
     cluster.run_to_quiescence();
     black_box(cluster.completed_ops().len());
 }
 
-fn soda_write_read(n: usize, f: usize, value_size: usize) {
-    let mut cluster = SodaCluster::build(ClusterConfig::new(n, f).with_seed(1));
-    let w = cluster.writers()[0];
-    let r = cluster.readers()[0];
-    cluster.invoke_write(w, vec![7u8; value_size]);
+fn write_read(kind: ProtocolKind, n: usize, f: usize, value_size: usize) {
+    let mut cluster = ClusterBuilder::new(kind, n, f)
+        .with_seed(1)
+        .build()
+        .unwrap();
+    cluster.invoke_write(0, vec![7u8; value_size]);
     cluster.run_to_quiescence();
-    cluster.invoke_read(r);
-    cluster.run_to_quiescence();
-    black_box(cluster.completed_ops().len());
-}
-
-fn abd_write_read(n: usize, f: usize, value_size: usize) {
-    let mut cluster = AbdCluster::build(n, f, 2, 1, NetworkConfig::uniform(10), Vec::new());
-    let w = cluster.clients()[0];
-    let r = cluster.clients()[1];
-    cluster.invoke_write(w, vec![7u8; value_size]);
-    cluster.run_to_quiescence();
-    cluster.invoke_read(r);
+    cluster.invoke_read(0);
     cluster.run_to_quiescence();
     black_box(cluster.completed_ops().len());
 }
 
-fn bench_protocol_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("protocol_ops");
-    group.sample_size(10);
+fn main() {
     let value_size = 16 * 1024;
     for &(n, f) in &[(5usize, 2usize), (11, 5), (21, 10)] {
-        group.bench_with_input(BenchmarkId::new("soda_write", n), &(n, f), |b, &(n, f)| {
-            b.iter(|| soda_write(n, f, value_size))
+        timeit(&format!("soda_write/n{n}"), 0, 10, || {
+            write_only(ProtocolKind::Soda, n, f, value_size)
         });
-        group.bench_with_input(
-            BenchmarkId::new("soda_write_read", n),
-            &(n, f),
-            |b, &(n, f)| b.iter(|| soda_write_read(n, f, value_size)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("abd_write_read", n),
-            &(n, f),
-            |b, &(n, f)| b.iter(|| abd_write_read(n, f, value_size)),
-        );
+        timeit(&format!("soda_write_read/n{n}"), 0, 10, || {
+            write_read(ProtocolKind::Soda, n, f, value_size)
+        });
+        timeit(&format!("abd_write_read/n{n}"), 0, 10, || {
+            write_read(ProtocolKind::Abd, n, f, value_size)
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_protocol_ops);
-criterion_main!(benches);

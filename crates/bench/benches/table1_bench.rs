@@ -1,19 +1,17 @@
-//! Criterion bench wrapping the Table I measurement for a single cluster
-//! size, so regressions in the comparison harness itself (e.g. the scenario
-//! runner becoming quadratically slower) are caught by `cargo bench`.
+//! Wall-clock benchmark wrapping the Table I measurement for a single
+//! cluster size, so regressions in the comparison harness itself (e.g. the
+//! scenario runner becoming quadratically slower) are caught by
+//! `cargo bench`.
+//!
+//! Plain `harness = false` timing loop (criterion is unavailable offline).
+//! Run with: `cargo bench -p soda-bench --bench table1_bench`
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use soda_bench::timeit;
 use soda_workload::experiments::table1;
 use std::hint::black_box;
 
-fn bench_table1(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1");
-    group.sample_size(10);
-    group.bench_function("n10_all_algorithms", |b| {
-        b.iter(|| black_box(table1(&[10], 2, 4 * 1024, 42).len()))
+fn main() {
+    timeit("table1/n10_all_algorithms", 0, 10, || {
+        black_box(table1(&[10], 2, 4 * 1024, 42).len());
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_table1);
-criterion_main!(benches);

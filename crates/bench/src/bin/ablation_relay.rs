@@ -29,7 +29,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["relay enabled", "read completed", "read latency (ticks)", "write completed"],
+            &[
+                "relay enabled",
+                "read completed",
+                "read latency (ticks)",
+                "write completed"
+            ],
             &body
         )
     );

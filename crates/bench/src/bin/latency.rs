@@ -9,7 +9,9 @@ use soda_workload::experiments::{latency_sweep, render_table, to_json};
 fn main() {
     let points = [(5, 2), (10, 4), (20, 9), (30, 14)];
     let delta = 100;
-    println!("Theorem 5.7: operation latency under a constant per-message delay Δ = {delta} ticks\n");
+    println!(
+        "Theorem 5.7: operation latency under a constant per-message delay Δ = {delta} ticks\n"
+    );
     let rows = latency_sweep(&points, delta, 4 * 1024, 17);
     let body: Vec<Vec<String>> = rows
         .iter()
@@ -27,7 +29,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["n", "f", "write (Δ units)", "bound", "read (Δ units)", "bound"],
+            &[
+                "n",
+                "f",
+                "write (Δ units)",
+                "bound",
+                "read (Δ units)",
+                "bound"
+            ],
             &body
         )
     );

@@ -9,7 +9,9 @@ use soda_workload::experiments::{md_state_experiment, render_table, to_json};
 
 fn main() {
     let points = [(5, 2), (10, 4), (15, 7), (25, 12)];
-    println!("Theorem 3.2: residual state after MD-VALUE completes (with and without a writer crash)\n");
+    println!(
+        "Theorem 3.2: residual state after MD-VALUE completes (with and without a writer crash)\n"
+    );
     let rows = md_state_experiment(&points, 8 * 1024, 23);
     let body: Vec<Vec<String>> = rows
         .iter()

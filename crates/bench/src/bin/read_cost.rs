@@ -26,7 +26,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["δw target", "δw actual", "measured read cost", "n/(n-f)(δw+1)"],
+            &[
+                "δw target",
+                "δw actual",
+                "measured read cost",
+                "n/(n-f)(δw+1)"
+            ],
             &body
         )
     );

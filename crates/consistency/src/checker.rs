@@ -57,7 +57,10 @@ impl fmt::Display for Violation {
                 write!(f, "writes {first} and {second} share the same version")
             }
             Violation::WrongReadValue { read } => {
-                write!(f, "read {read} returned a value inconsistent with its version")
+                write!(
+                    f,
+                    "read {read} returned a value inconsistent with its version"
+                )
             }
             Violation::ReadOfUnknownVersion { read } => {
                 write!(f, "read {read} carries a version no write produced")
@@ -264,7 +267,10 @@ mod tests {
         h.push(2, Kind::Write, 20, 30, b"b".to_vec(), v(1, 1));
         assert_eq!(
             h.check_atomicity(),
-            Err(Violation::DuplicateWriteVersion { first: 0, second: 1 })
+            Err(Violation::DuplicateWriteVersion {
+                first: 0,
+                second: 1
+            })
         );
     }
 
@@ -273,7 +279,10 @@ mod tests {
         let mut h = History::new(Vec::new());
         h.push(1, Kind::Write, 0, 10, b"a".to_vec(), v(1, 1));
         h.push(2, Kind::Read, 20, 30, b"z".to_vec(), v(1, 1));
-        assert_eq!(h.check_atomicity(), Err(Violation::WrongReadValue { read: 1 }));
+        assert_eq!(
+            h.check_atomicity(),
+            Err(Violation::WrongReadValue { read: 1 })
+        );
     }
 
     #[test]
@@ -300,9 +309,18 @@ mod tests {
     #[test]
     fn violations_display_readably() {
         let violations = [
-            Violation::NotWellFormed { first: 1, second: 2 },
-            Violation::RealTimeOrderViolated { earlier: 1, later: 2 },
-            Violation::DuplicateWriteVersion { first: 1, second: 2 },
+            Violation::NotWellFormed {
+                first: 1,
+                second: 2,
+            },
+            Violation::RealTimeOrderViolated {
+                earlier: 1,
+                later: 2,
+            },
+            Violation::DuplicateWriteVersion {
+                first: 1,
+                second: 2,
+            },
             Violation::WrongReadValue { read: 3 },
             Violation::ReadOfUnknownVersion { read: 4 },
         ];

@@ -1,12 +1,8 @@
 //! Operation histories.
 
-use serde::{Deserialize, Serialize};
-
 /// A protocol-independent version identifier: `(z, writer)` pairs exactly like
 /// the paper's tags, but without depending on the protocol crates.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct Version {
     /// Version number.
     pub z: u64,
@@ -28,7 +24,7 @@ impl Version {
 pub type OpId = usize;
 
 /// Read or write.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Kind {
     /// A write operation.
     Write,
@@ -37,7 +33,7 @@ pub enum Kind {
 }
 
 /// One completed operation.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Op {
     /// Identifier unique within the history.
     pub id: OpId,
@@ -64,7 +60,7 @@ impl Op {
 
 /// A history of completed operations on a single register, plus the initial
 /// value of that register.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct History {
     initial_value: Vec<u8>,
     ops: Vec<Op>,

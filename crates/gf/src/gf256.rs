@@ -202,6 +202,8 @@ impl From<Gf256> for u8 {
 
 impl Add for Gf256 {
     type Output = Gf256;
+    // GF(2^8) addition IS xor (characteristic 2), not a disguised bit trick.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     #[inline]
     fn add(self, rhs: Gf256) -> Gf256 {
         Gf256(self.0 ^ rhs.0)
@@ -209,6 +211,7 @@ impl Add for Gf256 {
 }
 
 impl AddAssign for Gf256 {
+    #[allow(clippy::suspicious_op_assign_impl)]
     #[inline]
     fn add_assign(&mut self, rhs: Gf256) {
         self.0 ^= rhs.0;
@@ -217,6 +220,7 @@ impl AddAssign for Gf256 {
 
 impl Sub for Gf256 {
     type Output = Gf256;
+    #[allow(clippy::suspicious_arithmetic_impl)]
     #[inline]
     fn sub(self, rhs: Gf256) -> Gf256 {
         // In characteristic 2, subtraction equals addition.
@@ -225,6 +229,7 @@ impl Sub for Gf256 {
 }
 
 impl SubAssign for Gf256 {
+    #[allow(clippy::suspicious_op_assign_impl)]
     #[inline]
     fn sub_assign(&mut self, rhs: Gf256) {
         self.0 ^= rhs.0;
@@ -483,7 +488,11 @@ mod tests {
         for a in (0..=255u16).step_by(7) {
             for b in (0..=255u16).step_by(11) {
                 for c in (0..=255u16).step_by(13) {
-                    let (a, b, c) = (Gf256::new(a as u8), Gf256::new(b as u8), Gf256::new(c as u8));
+                    let (a, b, c) = (
+                        Gf256::new(a as u8),
+                        Gf256::new(b as u8),
+                        Gf256::new(c as u8),
+                    );
                     assert_eq!(a * (b + c), a * b + a * c);
                 }
             }

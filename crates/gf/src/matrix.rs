@@ -99,7 +99,10 @@ impl Matrix {
     /// long as the evaluation points are distinct, which holds for
     /// `rows <= 256`.
     pub fn vandermonde(rows: usize, cols: usize) -> Self {
-        assert!(rows <= 256, "at most 256 distinct evaluation points in GF(2^8)");
+        assert!(
+            rows <= 256,
+            "at most 256 distinct evaluation points in GF(2^8)"
+        );
         let mut m = Matrix::zero(rows, cols);
         for i in 0..rows {
             let x = Gf256::new(i as u8);
@@ -411,7 +414,9 @@ mod tests {
         let row_sets: [&[usize]; 4] = [&[0, 1, 2, 3], &[0, 2, 5, 9], &[6, 7, 8, 9], &[1, 3, 5, 7]];
         for rows in row_sets {
             let sub = v.select_rows(rows);
-            let inv = sub.inverse().expect("Vandermonde submatrix must be invertible");
+            let inv = sub
+                .inverse()
+                .expect("Vandermonde submatrix must be invertible");
             assert_eq!(sub.mul(&inv).unwrap(), Matrix::identity(k));
         }
     }

@@ -168,7 +168,7 @@ impl Poly {
             let q = c * inv_lead;
             quot[i - d_deg] = q;
             for (j, &dc) in divisor.coeffs.iter().enumerate() {
-                rem[i - d_deg + j] = rem[i - d_deg + j] - q * dc;
+                rem[i - d_deg + j] -= q * dc;
             }
         }
         (Poly::from_coeffs(quot), Poly::from_coeffs(rem))
@@ -363,7 +363,11 @@ mod tests {
         let g = Poly::rs_generator(0, 6);
         assert_eq!(g.degree(), Some(6));
         for i in 0..6 {
-            assert_eq!(g.eval(Gf256::alpha_pow(i)), Gf256::ZERO, "root α^{i} missing");
+            assert_eq!(
+                g.eval(Gf256::alpha_pow(i)),
+                Gf256::ZERO,
+                "root α^{i} missing"
+            );
         }
         // and α^6 is not a root
         assert_ne!(g.eval(Gf256::alpha_pow(6)), Gf256::ZERO);

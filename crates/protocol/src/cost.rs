@@ -102,10 +102,7 @@ mod tests {
         let f = 2;
         assert!(paper::sodaerr_storage(n, f, 2) > paper::sodaerr_storage(n, f, 1));
         assert_eq!(paper::sodaerr_storage(n, f, 0), paper::soda_storage(n, f));
-        assert_eq!(
-            paper::sodaerr_read(n, f, 1, 3),
-            11.0 / 7.0 * 4.0
-        );
+        assert_eq!(paper::sodaerr_read(n, f, 1, 3), 11.0 / 7.0 * 4.0);
     }
 
     #[test]

@@ -6,12 +6,11 @@
 //! set `D` of the first `f + 1` servers used by the message-disperse
 //! primitives.
 
-use serde::{Deserialize, Serialize};
 use soda_simnet::ProcessId;
 
 /// The static layout of one emulated atomic object: the ordered server list
 /// and the fault-tolerance parameter `f`.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Layout {
     servers: Vec<ProcessId>,
     f: usize,

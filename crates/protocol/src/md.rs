@@ -25,13 +25,12 @@
 //! no-state-bloat property of Theorem 3.2.
 
 use crate::{Layout, Tag, Value};
-use serde::{Deserialize, Serialize};
 use soda_rs_code::{CodedElement, MdsCode};
 use soda_simnet::ProcessId;
 use std::collections::HashSet;
 
 /// Unique identifier of one invocation of a message-disperse primitive.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct MessageId {
     /// The process that invoked the primitive.
     pub origin: ProcessId,
@@ -186,7 +185,9 @@ impl MdValueRelay {
         }
         // (b) send every remaining server (outside the forwarded range and not
         // itself) its own coded element.
-        for rank in (0..n).filter(|&r| r != self.my_rank && !((self.my_rank + 1)..relay_top).contains(&r)) {
+        for rank in
+            (0..n).filter(|&r| r != self.my_rank && !((self.my_rank + 1)..relay_top).contains(&r))
+        {
             relays.push(Dispatch {
                 to_rank: rank,
                 msg: MdValueMsg::Coded {
@@ -579,7 +580,13 @@ mod tests {
         for reached in 0..=f {
             let mut relays: Vec<MdMetaRelay> = (0..n).map(MdMetaRelay::new).collect();
             let mut delivered = vec![false; n];
-            let mut inbox = vec![(reached, MdMetaMsg { mid: mid(1), payload: 7u8 })];
+            let mut inbox = vec![(
+                reached,
+                MdMetaMsg {
+                    mid: mid(1),
+                    payload: 7u8,
+                },
+            )];
             while let Some((rank, msg)) = inbox.pop() {
                 let action = relays[rank].on_meta(&l, msg.mid, &msg.payload);
                 if action.deliver.is_some() {

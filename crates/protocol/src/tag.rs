@@ -6,12 +6,11 @@
 //! (Section IV). The initial tag `t0` is smaller than every tag a real writer
 //! can produce.
 
-use serde::{Deserialize, Serialize};
 use soda_simnet::ProcessId;
 use std::fmt;
 
 /// A version tag `(z, writer)`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Tag {
     /// Monotonically increasing version number.
     pub z: u64,

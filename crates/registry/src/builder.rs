@@ -1,0 +1,382 @@
+//! One validated constructor for every protocol's cluster.
+
+use crate::abd_impl::AbdRegisterCluster;
+use crate::cas_impl::CasRegisterCluster;
+use crate::cluster::RegisterCluster;
+use crate::kind::{ClusterDescriptor, ProtocolKind};
+use crate::soda_impl::SodaRegisterCluster;
+use soda_simnet::NetworkConfig;
+use std::error::Error;
+use std::fmt;
+
+/// Why a [`ClusterBuilder`] refused to build.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// The cluster has no servers.
+    NoServers,
+    /// `f` is too large for `n`: every protocol here needs intersecting
+    /// majorities, i.e. `n > 2f`.
+    TooManyFaults {
+        /// Number of servers.
+        n: usize,
+        /// Requested fault tolerance.
+        f: usize,
+    },
+    /// The requested parameters leave no valid MDS code dimension
+    /// (`k = n − f − 2e < 1` for SODAerr).
+    InvalidCodeDimension {
+        /// Number of servers.
+        n: usize,
+        /// Requested fault tolerance.
+        f: usize,
+        /// Requested error budget.
+        e: usize,
+    },
+    /// Faulty-disk injection is only meaningful for SODA / SODAerr.
+    FaultyDisksUnsupported {
+        /// The offending protocol's name.
+        kind: &'static str,
+    },
+    /// A faulty-disk rank does not name a server.
+    FaultyDiskOutOfRange {
+        /// The offending rank.
+        rank: usize,
+        /// Number of servers.
+        n: usize,
+    },
+    /// The relay-ablation switch only exists in SODA / SODAerr.
+    RelayAblationUnsupported {
+        /// The offending protocol's name.
+        kind: &'static str,
+    },
+    /// A typed `build_*` method was called for a different protocol kind.
+    KindMismatch {
+        /// What the typed constructor builds.
+        expected: &'static str,
+        /// What the builder was configured with.
+        actual: &'static str,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::NoServers => write!(out, "cluster needs at least one server"),
+            BuildError::TooManyFaults { n, f } => write!(
+                out,
+                "fault tolerance f = {f} too large for n = {n} servers: majorities must \
+                 intersect, so n > 2f is required"
+            ),
+            BuildError::InvalidCodeDimension { n, f, e } => write!(
+                out,
+                "no valid code dimension: k = n - f - 2e = {n} - {f} - 2*{e} < 1"
+            ),
+            BuildError::FaultyDisksUnsupported { kind } => write!(
+                out,
+                "faulty-disk injection is a SODA/SODAerr feature, not available for {kind}"
+            ),
+            BuildError::FaultyDiskOutOfRange { rank, n } => write!(
+                out,
+                "faulty-disk rank {rank} out of range for n = {n} servers"
+            ),
+            BuildError::RelayAblationUnsupported { kind } => write!(
+                out,
+                "the relay-ablation switch is a SODA/SODAerr feature, not available for {kind}"
+            ),
+            BuildError::KindMismatch { expected, actual } => write!(
+                out,
+                "typed constructor for {expected} called on a builder configured for {actual}"
+            ),
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+/// Builds any [`ProtocolKind`]'s cluster behind the shared
+/// [`RegisterCluster`] API.
+///
+/// This subsumes the former per-protocol constructors (`SodaCluster::build`
+/// with its `ClusterConfig`, and the positional-argument `AbdCluster::build`
+/// / `CasCluster::build`): all parameters are named, defaulted, validated,
+/// and identical across protocols.
+///
+/// ```
+/// use soda_registry::{ClusterBuilder, ProtocolKind};
+///
+/// let mut cluster = ClusterBuilder::new(ProtocolKind::Soda, 5, 2)
+///     .with_seed(7)
+///     .build()
+///     .unwrap();
+/// cluster.invoke_write(0, b"hello".to_vec());
+/// cluster.run_to_quiescence();
+/// cluster.invoke_read(0);
+/// cluster.run_to_quiescence();
+/// let ops = cluster.completed_ops();
+/// assert_eq!(ops[1].value.as_deref(), Some(b"hello".as_slice()));
+/// ```
+#[derive(Clone, Debug)]
+pub struct ClusterBuilder {
+    pub(crate) kind: ProtocolKind,
+    pub(crate) n: usize,
+    pub(crate) f: usize,
+    pub(crate) num_writers: usize,
+    pub(crate) num_readers: usize,
+    pub(crate) seed: u64,
+    pub(crate) network: NetworkConfig,
+    pub(crate) initial_value: Vec<u8>,
+    pub(crate) faulty_disks: Vec<usize>,
+    pub(crate) relay_enabled: bool,
+}
+
+impl ClusterBuilder {
+    /// A `kind` cluster of `n` servers tolerating `f` crashes, with one
+    /// writer and one reader, seed 0, uniform random delays in `[1, 10]` and
+    /// an empty initial value.
+    pub fn new(kind: ProtocolKind, n: usize, f: usize) -> Self {
+        ClusterBuilder {
+            kind,
+            n,
+            f,
+            num_writers: 1,
+            num_readers: 1,
+            seed: 0,
+            network: NetworkConfig::uniform(10),
+            initial_value: Vec::new(),
+            faulty_disks: Vec::new(),
+            relay_enabled: true,
+        }
+    }
+
+    /// Sets the RNG seed controlling message delays (and thus the
+    /// interleaving).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of writer and reader handles.
+    pub fn with_clients(mut self, writers: usize, readers: usize) -> Self {
+        self.num_writers = writers;
+        self.num_readers = readers;
+        self
+    }
+
+    /// Sets the network delay model.
+    pub fn with_network(mut self, network: NetworkConfig) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Sets the initial object value `v0`.
+    pub fn with_initial_value(mut self, value: Vec<u8>) -> Self {
+        self.initial_value = value;
+        self
+    }
+
+    /// Marks the given server ranks as having error-prone local disks
+    /// (SODA / SODAerr only).
+    pub fn with_faulty_disks(mut self, ranks: Vec<usize>) -> Self {
+        self.faulty_disks = ranks;
+        self
+    }
+
+    /// Disables concurrent-write relaying at every server (SODA / SODAerr
+    /// ablation only).
+    pub fn with_relay_disabled(mut self) -> Self {
+        self.relay_enabled = false;
+        self
+    }
+
+    /// Checks the parameter combination without building anything.
+    pub fn validate(&self) -> Result<(), BuildError> {
+        if self.n == 0 {
+            return Err(BuildError::NoServers);
+        }
+        if 2 * self.f >= self.n {
+            return Err(BuildError::TooManyFaults {
+                n: self.n,
+                f: self.f,
+            });
+        }
+        if let ProtocolKind::SodaErr { e } = self.kind {
+            if self.kind.code_dimension(self.n, self.f).is_none() {
+                return Err(BuildError::InvalidCodeDimension {
+                    n: self.n,
+                    f: self.f,
+                    e,
+                });
+            }
+        }
+        if !self.kind.is_soda_family() {
+            if !self.faulty_disks.is_empty() {
+                return Err(BuildError::FaultyDisksUnsupported {
+                    kind: self.kind.name(),
+                });
+            }
+            if !self.relay_enabled {
+                return Err(BuildError::RelayAblationUnsupported {
+                    kind: self.kind.name(),
+                });
+            }
+        }
+        if let Some(&rank) = self.faulty_disks.iter().find(|&&rank| rank >= self.n) {
+            return Err(BuildError::FaultyDiskOutOfRange { rank, n: self.n });
+        }
+        Ok(())
+    }
+
+    pub(crate) fn descriptor(&self) -> ClusterDescriptor {
+        ClusterDescriptor {
+            kind: self.kind,
+            n: self.n,
+            f: self.f,
+            num_writers: self.num_writers,
+            num_readers: self.num_readers,
+        }
+    }
+
+    /// Builds the cluster behind the protocol-agnostic facade.
+    pub fn build(self) -> Result<Box<dyn RegisterCluster>, BuildError> {
+        self.validate()?;
+        Ok(match self.kind {
+            ProtocolKind::Soda | ProtocolKind::SodaErr { .. } => {
+                Box::new(SodaRegisterCluster::from_builder(self))
+            }
+            ProtocolKind::Abd => Box::new(AbdRegisterCluster::from_builder(self)),
+            ProtocolKind::Cas | ProtocolKind::Casgc { .. } => {
+                Box::new(CasRegisterCluster::from_builder(self))
+            }
+        })
+    }
+
+    /// Builds a SODA / SODAerr cluster with its concrete type, for callers
+    /// that need SODA-specific state inspection without downcasting.
+    pub fn build_soda(self) -> Result<SodaRegisterCluster, BuildError> {
+        self.validate()?;
+        if !self.kind.is_soda_family() {
+            return Err(BuildError::KindMismatch {
+                expected: "SODA/SODAerr",
+                actual: self.kind.name(),
+            });
+        }
+        Ok(SodaRegisterCluster::from_builder(self))
+    }
+
+    /// Builds an ABD cluster with its concrete type.
+    pub fn build_abd(self) -> Result<AbdRegisterCluster, BuildError> {
+        self.validate()?;
+        if self.kind != ProtocolKind::Abd {
+            return Err(BuildError::KindMismatch {
+                expected: "ABD",
+                actual: self.kind.name(),
+            });
+        }
+        Ok(AbdRegisterCluster::from_builder(self))
+    }
+
+    /// Builds a CAS / CASGC cluster with its concrete type, for callers that
+    /// need CAS-specific state inspection (e.g. stored version counts).
+    pub fn build_cas(self) -> Result<CasRegisterCluster, BuildError> {
+        self.validate()?;
+        if !matches!(self.kind, ProtocolKind::Cas | ProtocolKind::Casgc { .. }) {
+            return Err(BuildError::KindMismatch {
+                expected: "CAS/CASGC",
+                actual: self.kind.name(),
+            });
+        }
+        Ok(CasRegisterCluster::from_builder(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_majority_violations_for_every_kind() {
+        for kind in [
+            ProtocolKind::Soda,
+            ProtocolKind::SodaErr { e: 1 },
+            ProtocolKind::Abd,
+            ProtocolKind::Cas,
+            ProtocolKind::Casgc { gc: 1 },
+        ] {
+            // n = 2f is never enough for intersecting majorities.
+            let err = ClusterBuilder::new(kind, 4, 2).validate().unwrap_err();
+            assert_eq!(err, BuildError::TooManyFaults { n: 4, f: 2 }, "{kind:?}");
+            // n = 2f + 1 is always acceptable.
+            ClusterBuilder::new(kind, 5, 2)
+                .validate()
+                .unwrap_or_else(|e| {
+                    panic!("{kind:?} must accept n = 5, f = 2: {e}");
+                });
+        }
+    }
+
+    #[test]
+    fn rejects_empty_clusters() {
+        assert_eq!(
+            ClusterBuilder::new(ProtocolKind::Soda, 0, 0).validate(),
+            Err(BuildError::NoServers)
+        );
+    }
+
+    #[test]
+    fn rejects_sodaerr_without_a_code_dimension() {
+        // k = n - f - 2e = 7 - 2 - 2*3 < 1.
+        let err = ClusterBuilder::new(ProtocolKind::SodaErr { e: 3 }, 7, 2)
+            .validate()
+            .unwrap_err();
+        assert_eq!(err, BuildError::InvalidCodeDimension { n: 7, f: 2, e: 3 });
+        // k = 1 exactly is fine.
+        ClusterBuilder::new(ProtocolKind::SodaErr { e: 2 }, 7, 2)
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn rejects_soda_only_features_on_baselines() {
+        let err = ClusterBuilder::new(ProtocolKind::Abd, 5, 2)
+            .with_faulty_disks(vec![0])
+            .validate()
+            .unwrap_err();
+        assert_eq!(err, BuildError::FaultyDisksUnsupported { kind: "ABD" });
+
+        let err = ClusterBuilder::new(ProtocolKind::Casgc { gc: 1 }, 5, 2)
+            .with_relay_disabled()
+            .validate()
+            .unwrap_err();
+        assert_eq!(err, BuildError::RelayAblationUnsupported { kind: "CASGC" });
+    }
+
+    #[test]
+    fn rejects_faulty_disk_ranks_beyond_n() {
+        let err = ClusterBuilder::new(ProtocolKind::SodaErr { e: 1 }, 7, 2)
+            .with_faulty_disks(vec![7])
+            .validate()
+            .unwrap_err();
+        assert_eq!(err, BuildError::FaultyDiskOutOfRange { rank: 7, n: 7 });
+    }
+
+    #[test]
+    fn typed_constructors_check_the_kind() {
+        let err = ClusterBuilder::new(ProtocolKind::Abd, 5, 2)
+            .build_soda()
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::KindMismatch {
+                expected: "SODA/SODAerr",
+                actual: "ABD"
+            }
+        );
+    }
+
+    #[test]
+    fn build_errors_render_helpfully() {
+        let message = BuildError::TooManyFaults { n: 4, f: 2 }.to_string();
+        assert!(message.contains("n > 2f"), "{message}");
+    }
+}

@@ -1,0 +1,113 @@
+//! The protocol-agnostic client API over a simulated atomic-register
+//! deployment.
+
+use crate::kind::ClusterDescriptor;
+use crate::record::{history_from_records, OpRecord};
+use soda_consistency::History;
+use soda_simnet::{ProcessId, RunOutcome, SimTime, Stats};
+use std::any::Any;
+
+/// One client API over every register emulation in this workspace (SODA,
+/// SODAerr, ABD, CAS, CASGC).
+///
+/// A cluster exposes `num_writers` writer handles and `num_readers` reader
+/// handles, addressed by index. For SODA the two map onto distinct writer and
+/// reader processes; for ABD and CAS (whose clients perform both kinds of
+/// operation) the facade partitions the client processes into a writer range
+/// and a reader range, so the same scenario code drives all five protocols.
+///
+/// Invocations are *queued*: asking a busy client for another operation is
+/// legal and the client starts it once the current one completes. Crash
+/// injection, deterministic scheduling (`*_at` methods take simulated times)
+/// and the cost accounting all behave identically across implementations, so
+/// measured numbers are directly comparable — which is the whole point of the
+/// paper's Table I.
+pub trait RegisterCluster {
+    /// The static description of this cluster (protocol, `n`, `f`, client
+    /// counts).
+    fn descriptor(&self) -> &ClusterDescriptor;
+
+    /// The simulated process id behind writer handle `writer`.
+    ///
+    /// # Panics
+    /// Panics if `writer >= descriptor().num_writers`.
+    fn writer_process(&self, writer: usize) -> ProcessId;
+
+    /// The simulated process id behind reader handle `reader`.
+    ///
+    /// # Panics
+    /// Panics if `reader >= descriptor().num_readers`.
+    fn reader_process(&self, reader: usize) -> ProcessId;
+
+    /// Asks writer `writer` to write `value` now (queued if it is busy).
+    fn invoke_write(&mut self, writer: usize, value: Vec<u8>);
+
+    /// Asks writer `writer` to write `value` at simulated time `at`.
+    fn invoke_write_at(&mut self, at: SimTime, writer: usize, value: Vec<u8>);
+
+    /// Asks reader `reader` to read now (queued if it is busy).
+    fn invoke_read(&mut self, reader: usize);
+
+    /// Asks reader `reader` to read at simulated time `at`.
+    fn invoke_read_at(&mut self, at: SimTime, reader: usize);
+
+    /// Crashes the server with the given rank at time `at`.
+    fn crash_server_at(&mut self, at: SimTime, rank: usize);
+
+    /// Crashes the process behind writer handle `writer` at time `at`.
+    fn crash_writer_at(&mut self, at: SimTime, writer: usize);
+
+    /// Crashes the process behind reader handle `reader` at time `at`.
+    fn crash_reader_at(&mut self, at: SimTime, reader: usize);
+
+    /// Runs the simulation until no events remain.
+    fn run_to_quiescence(&mut self) -> RunOutcome;
+
+    /// Runs the simulation until the given deadline.
+    fn run_until(&mut self, deadline: SimTime) -> RunOutcome;
+
+    /// Current simulated time.
+    fn now(&self) -> SimTime;
+
+    /// Message statistics accumulated so far.
+    fn stats(&self) -> Stats;
+
+    /// All operations completed by all clients, in the shared record type,
+    /// ordered by completion time.
+    fn completed_ops(&self) -> Vec<OpRecord>;
+
+    /// Bytes of object-value data stored at each server, by rank (the
+    /// per-server contribution to the paper's total storage cost).
+    fn stored_bytes_per_server(&self) -> Vec<u64>;
+
+    /// Total bytes of object-value data stored across all servers.
+    fn total_stored_bytes(&self) -> u64 {
+        self.stored_bytes_per_server().iter().sum()
+    }
+
+    /// The value-data bytes attributable to one read, given a windowed
+    /// [`Stats`] covering it (see [`Stats::since`]).
+    ///
+    /// The default counts bytes *delivered to* the reader. ABD overrides this
+    /// to also count the bytes its write-back phase sends, since the paper
+    /// charges both directions to the read.
+    fn read_cost_bytes(&self, window: &Stats, reader: usize) -> u64 {
+        window
+            .per_process
+            .get(self.reader_process(reader).index())
+            .map(|p| p.data_bytes_received)
+            .unwrap_or(0)
+    }
+
+    /// Builds the atomicity-checkable history of everything completed so far.
+    fn history(&self, initial_value: &[u8]) -> History {
+        history_from_records(initial_value, &self.completed_ops())
+    }
+
+    /// Downcasting support for protocol-specific state inspection (e.g.
+    /// SODA's reader-registration bookkeeping).
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable downcasting support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}

@@ -1,0 +1,73 @@
+//! One client API over every atomic-register protocol in this workspace.
+//!
+//! The paper's whole argument is comparative — Table I pits SODA/SODAerr
+//! against ABD (Attiya et al.) and CAS/CASGC (Cadambe et al.) — yet each
+//! protocol historically exposed its own incompatible harness
+//! (`soda::harness::SodaCluster`, `AbdCluster` with positional-argument
+//! construction, `CasCluster`). This crate is the facade that makes the
+//! comparison mechanical:
+//!
+//! * [`ProtocolKind`] — the algorithm to run: `Soda`, `SodaErr { e }`, `Abd`,
+//!   `Cas` or `Casgc { gc }`.
+//! * [`ClusterBuilder`] — one named, defaulted, *validated* constructor for
+//!   all five (rejecting e.g. `n ≤ 2f`, or SODAerr parameters with
+//!   `k = n − f − 2e < 1`).
+//! * [`RegisterCluster`] — the shared driving API: queue writes and reads
+//!   (optionally at chosen simulated times), inject server and client
+//!   crashes, run to quiescence, and extract [`OpRecord`]s in one shared
+//!   shape, per-server storage occupancy, message statistics, and an
+//!   atomicity-checkable [`soda_consistency::History`].
+//!
+//! Anything protocol-specific (SODA's reader registrations, CASGC's stored
+//! version counts) stays available through the concrete wrapper types
+//! ([`SodaRegisterCluster`], [`AbdRegisterCluster`], [`CasRegisterCluster`])
+//! or [`RegisterCluster::as_any`] downcasting.
+//!
+//! # Quick start
+//!
+//! ```
+//! use soda_registry::{ClusterBuilder, ProtocolKind};
+//!
+//! // The same scenario against two protocols, through one API.
+//! for kind in [ProtocolKind::Soda, ProtocolKind::Abd] {
+//!     let mut cluster = ClusterBuilder::new(kind, 5, 2).with_seed(7).build().unwrap();
+//!     cluster.invoke_write(0, b"hello atomic world".to_vec());
+//!     cluster.run_to_quiescence();
+//!     cluster.invoke_read(0);
+//!     cluster.run_to_quiescence();
+//!     let ops = cluster.completed_ops();
+//!     assert_eq!(ops.len(), 2);
+//!     assert_eq!(ops[1].value.as_deref(), Some(b"hello atomic world".as_slice()));
+//!     assert!(cluster.history(&[]).check_atomicity().is_ok());
+//! }
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod abd_impl;
+mod builder;
+mod cas_impl;
+mod cluster;
+mod kind;
+mod record;
+mod soda_impl;
+
+pub use abd_impl::AbdRegisterCluster;
+pub use builder::{BuildError, ClusterBuilder};
+pub use cas_impl::CasRegisterCluster;
+pub use cluster::RegisterCluster;
+pub use kind::{ClusterDescriptor, ProtocolKind};
+pub use record::{history_from_records, version_of_tag, OpKind, OpRecord};
+pub use soda_impl::SodaRegisterCluster;
+
+/// All five protocol kinds with representative parameters, for tests and
+/// sweeps that want to cover the whole matrix. `e` and `gc` are placeholders
+/// (`e = 1`, `gc = 1`); scenario code usually overrides them.
+pub const ALL_KINDS: [ProtocolKind; 5] = [
+    ProtocolKind::Soda,
+    ProtocolKind::SodaErr { e: 1 },
+    ProtocolKind::Abd,
+    ProtocolKind::Cas,
+    ProtocolKind::Casgc { gc: 1 },
+];

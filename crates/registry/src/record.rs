@@ -1,0 +1,155 @@
+//! The protocol-independent operation record shared by every
+//! [`RegisterCluster`](crate::RegisterCluster) implementation.
+//!
+//! Each protocol keeps its own internal record type (`soda::OpRecord`,
+//! `AbdOpRecord`, `CasOpRecord`); the facade converts them all into this one
+//! shape so that scenario runners, experiments and the atomicity checker can
+//! consume histories without knowing which algorithm produced them.
+
+use soda_consistency::{History, Kind, Version};
+use soda_protocol::Tag;
+use soda_simnet::SimTime;
+
+/// Whether an operation was a read or a write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OpKind {
+    /// A write operation.
+    Write,
+    /// A read operation.
+    Read,
+}
+
+impl OpKind {
+    /// True for reads.
+    pub fn is_read(&self) -> bool {
+        matches!(self, OpKind::Read)
+    }
+
+    /// True for writes.
+    pub fn is_write(&self) -> bool {
+        matches!(self, OpKind::Write)
+    }
+}
+
+/// A completed client operation, in the shared shape every protocol's records
+/// are converted into.
+#[derive(Clone, Debug)]
+pub struct OpRecord {
+    /// Identifier of the invoking client (its simulated process id).
+    pub client: u64,
+    /// Per-client operation sequence number (starts at 1).
+    pub seq: u64,
+    /// Read or write.
+    pub kind: OpKind,
+    /// Simulated time of the invocation step.
+    pub invoked_at: SimTime,
+    /// Simulated time of the response step.
+    pub completed_at: SimTime,
+    /// The tag associated with the operation (`tag(π)` in the paper).
+    pub tag: Tag,
+    /// The value written (for writes) or returned (for reads).
+    pub value: Option<Vec<u8>>,
+}
+
+impl OpRecord {
+    /// Operation latency in ticks.
+    pub fn latency(&self) -> u64 {
+        self.completed_at.since(self.invoked_at)
+    }
+}
+
+/// Converts a protocol tag into a checker version.
+pub fn version_of_tag(tag: Tag) -> Version {
+    Version::new(tag.z, tag.writer.0 as u64)
+}
+
+/// Builds a checker [`History`] from shared operation records.
+pub fn history_from_records(initial_value: &[u8], records: &[OpRecord]) -> History {
+    let mut history = History::new(initial_value.to_vec());
+    for record in records {
+        history.push(
+            record.client,
+            match record.kind {
+                OpKind::Write => Kind::Write,
+                OpKind::Read => Kind::Read,
+            },
+            record.invoked_at.ticks(),
+            record.completed_at.ticks(),
+            record.value.clone().unwrap_or_default(),
+            version_of_tag(record.tag),
+        );
+    }
+    history
+}
+
+/// Sorts records the way every implementation reports them: by completion
+/// time, breaking ties by client id and sequence number.
+pub(crate) fn sort_records(records: &mut [OpRecord]) {
+    records.sort_by_key(|op| (op.completed_at, op.client, op.seq));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soda_simnet::ProcessId;
+
+    #[test]
+    fn kind_predicates() {
+        assert!(OpKind::Read.is_read());
+        assert!(!OpKind::Read.is_write());
+        assert!(OpKind::Write.is_write());
+    }
+
+    #[test]
+    fn tag_conversion_preserves_order() {
+        let a = version_of_tag(Tag::new(1, ProcessId(5)));
+        let b = version_of_tag(Tag::new(2, ProcessId(1)));
+        let c = version_of_tag(Tag::new(2, ProcessId(3)));
+        assert!(a < b);
+        assert!(b < c);
+        assert_eq!(version_of_tag(Tag::INITIAL), Version::INITIAL);
+    }
+
+    #[test]
+    fn records_convert_to_a_checkable_history() {
+        let records = vec![
+            OpRecord {
+                client: 10,
+                seq: 1,
+                kind: OpKind::Write,
+                invoked_at: SimTime::from_ticks(0),
+                completed_at: SimTime::from_ticks(20),
+                tag: Tag::new(1, ProcessId(10)),
+                value: Some(b"x".to_vec()),
+            },
+            OpRecord {
+                client: 11,
+                seq: 1,
+                kind: OpKind::Read,
+                invoked_at: SimTime::from_ticks(30),
+                completed_at: SimTime::from_ticks(50),
+                tag: Tag::new(1, ProcessId(10)),
+                value: Some(b"x".to_vec()),
+            },
+        ];
+        let history = history_from_records(b"", &records);
+        assert_eq!(history.len(), 2);
+        assert!(history.check_atomicity().is_ok());
+        assert_eq!(history.ops()[0].kind, Kind::Write);
+        assert_eq!(history.ops()[1].kind, Kind::Read);
+    }
+
+    #[test]
+    fn latency_is_response_minus_invocation() {
+        let rec = OpRecord {
+            client: 1,
+            seq: 1,
+            kind: OpKind::Write,
+            invoked_at: SimTime::from_ticks(10),
+            completed_at: SimTime::from_ticks(35),
+            tag: Tag::INITIAL,
+            value: None,
+        };
+        assert_eq!(rec.latency(), 25);
+    }
+}

@@ -1,0 +1,192 @@
+//! [`RegisterCluster`] over the SODA / SODAerr harness.
+
+use crate::builder::ClusterBuilder;
+use crate::cluster::RegisterCluster;
+use crate::kind::ClusterDescriptor;
+use crate::record::{sort_records, OpKind, OpRecord};
+use soda::harness::{ClusterConfig, SodaCluster};
+use soda_protocol::Tag;
+use soda_simnet::{ProcessId, RunOutcome, SimTime, Stats};
+use std::any::Any;
+
+/// A SODA or SODAerr deployment behind the shared facade.
+///
+/// Beyond the [`RegisterCluster`] API it exposes the SODA-specific state the
+/// paper's theorems talk about (reader registrations, `H` bookkeeping,
+/// per-server stored tags), plus [`inner`](Self::inner) for anything else.
+pub struct SodaRegisterCluster {
+    inner: SodaCluster,
+    descriptor: ClusterDescriptor,
+}
+
+impl SodaRegisterCluster {
+    pub(crate) fn from_builder(builder: ClusterBuilder) -> Self {
+        let descriptor = builder.descriptor();
+        let mut config = ClusterConfig::new(builder.n, builder.f)
+            .with_seed(builder.seed)
+            .with_clients(builder.num_writers, builder.num_readers)
+            .with_error_tolerance(builder.kind.error_budget())
+            .with_network(builder.network)
+            .with_initial_value(builder.initial_value)
+            .with_faulty_disks(builder.faulty_disks);
+        if !builder.relay_enabled {
+            config = config.with_relay_disabled();
+        }
+        SodaRegisterCluster {
+            inner: SodaCluster::build(config),
+            descriptor,
+        }
+    }
+
+    /// The wrapped harness (full access to SODA-specific state).
+    pub fn inner(&self) -> &SodaCluster {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped harness.
+    pub fn inner_mut(&mut self) -> &mut SodaCluster {
+        &mut self.inner
+    }
+
+    /// The tag stored by the server with the given rank.
+    pub fn stored_tag(&self, rank: usize) -> Tag {
+        self.inner.server_state(rank).stored_tag()
+    }
+
+    /// Reader registrations still held by the server with the given rank.
+    pub fn registered_readers(&self, rank: usize) -> usize {
+        self.inner.server_state(rank).registered_readers()
+    }
+
+    /// Total reader registrations still held across all servers (Theorem 5.5
+    /// implies this returns to zero after all reads finish or crash).
+    pub fn total_registered_readers(&self) -> usize {
+        self.inner.total_registered_readers()
+    }
+
+    /// Total `H` bookkeeping entries left across servers.
+    pub fn total_history_entries(&self) -> usize {
+        self.inner.total_history_entries()
+    }
+
+    /// Total decode failures across all readers (must stay zero whenever the
+    /// error budget covers the corrupted disks).
+    pub fn decode_failures(&self) -> u64 {
+        (0..self.descriptor.num_readers)
+            .map(|r| {
+                let id = self.inner.readers()[r];
+                self.inner.reader_state(id).decode_failures()
+            })
+            .sum()
+    }
+}
+
+impl RegisterCluster for SodaRegisterCluster {
+    fn descriptor(&self) -> &ClusterDescriptor {
+        &self.descriptor
+    }
+
+    fn writer_process(&self, writer: usize) -> ProcessId {
+        let writers = self.inner.writers();
+        *writers.get(writer).unwrap_or_else(|| {
+            panic!(
+                "writer handle {writer} out of range: cluster has {} writers",
+                writers.len()
+            )
+        })
+    }
+
+    fn reader_process(&self, reader: usize) -> ProcessId {
+        let readers = self.inner.readers();
+        *readers.get(reader).unwrap_or_else(|| {
+            panic!(
+                "reader handle {reader} out of range: cluster has {} readers",
+                readers.len()
+            )
+        })
+    }
+
+    fn invoke_write(&mut self, writer: usize, value: Vec<u8>) {
+        let id = self.writer_process(writer);
+        self.inner.invoke_write(id, value);
+    }
+
+    fn invoke_write_at(&mut self, at: SimTime, writer: usize, value: Vec<u8>) {
+        let id = self.writer_process(writer);
+        self.inner.invoke_write_at(at, id, value);
+    }
+
+    fn invoke_read(&mut self, reader: usize) {
+        let id = self.reader_process(reader);
+        self.inner.invoke_read(id);
+    }
+
+    fn invoke_read_at(&mut self, at: SimTime, reader: usize) {
+        let id = self.reader_process(reader);
+        self.inner.invoke_read_at(at, id);
+    }
+
+    fn crash_server_at(&mut self, at: SimTime, rank: usize) {
+        self.inner.crash_server_at(at, rank);
+    }
+
+    fn crash_writer_at(&mut self, at: SimTime, writer: usize) {
+        let id = self.writer_process(writer);
+        self.inner.crash_process_at(at, id);
+    }
+
+    fn crash_reader_at(&mut self, at: SimTime, reader: usize) {
+        let id = self.reader_process(reader);
+        self.inner.crash_process_at(at, id);
+    }
+
+    fn run_to_quiescence(&mut self) -> RunOutcome {
+        self.inner.run_to_quiescence()
+    }
+
+    fn run_until(&mut self, deadline: SimTime) -> RunOutcome {
+        self.inner.run_until(deadline)
+    }
+
+    fn now(&self) -> SimTime {
+        self.inner.now()
+    }
+
+    fn stats(&self) -> Stats {
+        self.inner.stats()
+    }
+
+    fn completed_ops(&self) -> Vec<OpRecord> {
+        let mut ops: Vec<OpRecord> = self
+            .inner
+            .completed_ops()
+            .into_iter()
+            .map(|record| OpRecord {
+                client: record.op.client.0 as u64,
+                seq: record.op.seq,
+                kind: match record.kind {
+                    soda::OpKind::Write => OpKind::Write,
+                    soda::OpKind::Read => OpKind::Read,
+                },
+                invoked_at: record.invoked_at,
+                completed_at: record.completed_at,
+                tag: record.tag,
+                value: record.value,
+            })
+            .collect();
+        sort_records(&mut ops);
+        ops
+    }
+
+    fn stored_bytes_per_server(&self) -> Vec<u64> {
+        self.inner.stored_bytes_per_server()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

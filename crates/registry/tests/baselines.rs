@@ -1,0 +1,244 @@
+//! ABD and CAS/CASGC behaviour through the facade: the cluster-level tests
+//! that used to live inside `soda_baselines`, now driven via
+//! `ClusterBuilder`.
+
+use soda_registry::{ClusterBuilder, ProtocolKind, RegisterCluster};
+use soda_simnet::{NetworkConfig, SimTime};
+
+fn abd(n: usize, f: usize) -> ClusterBuilder {
+    ClusterBuilder::new(ProtocolKind::Abd, n, f)
+}
+
+fn cas(n: usize, f: usize) -> ClusterBuilder {
+    ClusterBuilder::new(ProtocolKind::Cas, n, f)
+}
+
+fn casgc(n: usize, f: usize, delta: usize) -> ClusterBuilder {
+    ClusterBuilder::new(ProtocolKind::Casgc { gc: delta }, n, f)
+}
+
+// ---------------------------------------------------------------------------
+// ABD
+// ---------------------------------------------------------------------------
+
+#[test]
+fn abd_storage_cost_is_n_copies() {
+    let value = vec![3u8; 4096];
+    let mut cluster = abd(6, 2)
+        .with_seed(2)
+        .with_network(NetworkConfig::uniform(5))
+        .with_clients(1, 0)
+        .build()
+        .unwrap();
+    cluster.invoke_write(0, value.clone());
+    cluster.run_to_quiescence();
+    // Every server that received the store holds the full value; with no
+    // crashes all n do.
+    assert_eq!(cluster.total_stored_bytes(), 6 * value.len() as u64);
+}
+
+#[test]
+fn abd_operations_survive_f_crashes() {
+    let mut cluster = abd(5, 2)
+        .with_seed(4)
+        .with_network(NetworkConfig::uniform(6))
+        .build()
+        .unwrap();
+    cluster.crash_server_at(SimTime::ZERO, 0);
+    cluster.crash_server_at(SimTime::ZERO, 4);
+    cluster.invoke_write(0, b"still here".to_vec());
+    cluster.run_to_quiescence();
+    cluster.invoke_read(0);
+    cluster.run_to_quiescence();
+    let ops = cluster.completed_ops();
+    assert_eq!(ops.len(), 2);
+    assert_eq!(ops[1].value.as_deref(), Some(b"still here".as_slice()));
+}
+
+#[test]
+fn abd_sequential_writes_are_ordered_by_tags() {
+    let mut cluster = abd(4, 1)
+        .with_seed(5)
+        .with_network(NetworkConfig::uniform(3))
+        .with_clients(1, 0)
+        .build()
+        .unwrap();
+    for i in 0..4u8 {
+        cluster.invoke_write(0, vec![i]);
+    }
+    cluster.run_to_quiescence();
+    let ops = cluster.completed_ops();
+    assert_eq!(ops.len(), 4);
+    for pair in ops.windows(2) {
+        assert!(pair[0].tag < pair[1].tag);
+        assert!(pair[0].completed_at <= pair[1].completed_at);
+    }
+}
+
+#[test]
+fn abd_write_communication_cost_is_order_n() {
+    let value_size = 2000usize;
+    let mut cluster = abd(8, 3)
+        .with_seed(6)
+        .with_network(NetworkConfig::uniform(5))
+        .with_clients(1, 0)
+        .build()
+        .unwrap();
+    cluster.invoke_write(0, vec![1u8; value_size]);
+    cluster.run_to_quiescence();
+    let bytes = cluster.stats().data_bytes_sent;
+    let normalized = bytes as f64 / value_size as f64;
+    // Phase 2 ships the value to all n = 8 servers; phase 1 responses carry
+    // the (empty) initial value. The normalized cost must be close to n and
+    // far above SODA's coded cost of ~n/(n-f) per element.
+    assert!(normalized >= 8.0, "normalized write cost {normalized}");
+    assert!(normalized <= 9.0, "normalized write cost {normalized}");
+}
+
+#[test]
+fn abd_read_cost_counts_the_write_back() {
+    let value_size = 2000usize;
+    let mut cluster = abd(5, 2)
+        .with_seed(9)
+        .with_network(NetworkConfig::uniform(5))
+        .build()
+        .unwrap();
+    cluster.invoke_write(0, vec![1u8; value_size]);
+    cluster.run_to_quiescence();
+    let before = cluster.stats();
+    cluster.invoke_read(0);
+    cluster.run_to_quiescence();
+    let window = cluster.stats().since(&before);
+    let cost = cluster.read_cost_bytes(&window, 0) as f64 / value_size as f64;
+    // The reader receives the value from a majority AND writes it back to all
+    // n servers, so the two-way cost is far above the receive-only cost.
+    assert!(cost >= 5.0, "two-way ABD read cost {cost}");
+}
+
+// ---------------------------------------------------------------------------
+// CAS / CASGC
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cas_quorum_and_k_parameters() {
+    let cluster = cas(9, 2).build().unwrap();
+    assert_eq!(cluster.descriptor().k(), Some(5)); // k = n - 2f
+}
+
+#[test]
+fn cas_tolerates_f_crashes() {
+    let mut cluster = cas(7, 2)
+        .with_seed(3)
+        .with_network(NetworkConfig::uniform(7))
+        .build()
+        .unwrap();
+    cluster.crash_server_at(SimTime::ZERO, 0);
+    cluster.crash_server_at(SimTime::ZERO, 6);
+    cluster.invoke_write(0, b"resilient cas".to_vec());
+    cluster.run_to_quiescence();
+    cluster.invoke_read(0);
+    cluster.run_to_quiescence();
+    let ops = cluster.completed_ops();
+    assert_eq!(ops.len(), 2);
+    assert_eq!(ops[1].value.as_deref(), Some(b"resilient cas".as_slice()));
+}
+
+#[test]
+fn cas_without_gc_accumulates_versions() {
+    let mut cluster = cas(5, 1)
+        .with_seed(4)
+        .with_network(NetworkConfig::uniform(7))
+        .build_cas()
+        .unwrap();
+    for i in 0..5u8 {
+        cluster.invoke_write(0, vec![i; 300]);
+    }
+    cluster.run_to_quiescence();
+    // Initial version + 5 writes, no GC.
+    assert_eq!(cluster.max_stored_versions(), 6);
+}
+
+#[test]
+fn casgc_bounds_stored_versions_to_delta_plus_one() {
+    let delta = 1usize;
+    let mut cluster = casgc(5, 1, delta)
+        .with_seed(5)
+        .with_network(NetworkConfig::uniform(7))
+        .build_cas()
+        .unwrap();
+    for i in 0..6u8 {
+        cluster.invoke_write(0, vec![i; 300]);
+    }
+    cluster.run_to_quiescence();
+    assert!(
+        cluster.max_stored_versions() <= delta + 1,
+        "stored versions {} exceed δ+1 = {}",
+        cluster.max_stored_versions(),
+        delta + 1
+    );
+}
+
+#[test]
+fn casgc_storage_cost_tracks_paper_formula() {
+    let (n, f, delta) = (6, 1, 2usize);
+    let value_size = 3000usize;
+    let mut cluster = casgc(n, f, delta)
+        .with_seed(6)
+        .with_network(NetworkConfig::uniform(4))
+        .with_clients(1, 0)
+        .build()
+        .unwrap();
+    for i in 0..8u8 {
+        cluster.invoke_write(0, vec![i; value_size]);
+    }
+    cluster.run_to_quiescence();
+    let normalized = cluster.total_stored_bytes() as f64 / value_size as f64;
+    let formula = cluster.descriptor().paper_storage_cost();
+    assert!(
+        normalized <= formula + 0.2,
+        "measured {normalized:.2} exceeds paper bound {formula:.2}"
+    );
+    assert!(
+        normalized > formula * 0.6,
+        "measured {normalized:.2} implausibly below bound {formula:.2}"
+    );
+}
+
+#[test]
+fn cas_write_communication_cost_matches_n_over_n_minus_2f() {
+    let (n, f) = (8, 2);
+    let value_size = 4000usize;
+    let mut cluster = cas(n, f)
+        .with_seed(7)
+        .with_network(NetworkConfig::uniform(5))
+        .with_clients(1, 0)
+        .build()
+        .unwrap();
+    cluster.invoke_write(0, vec![9u8; value_size]);
+    cluster.run_to_quiescence();
+    let normalized = cluster.stats().data_bytes_sent as f64 / value_size as f64;
+    let formula = n as f64 / (n - 2 * f) as f64;
+    assert!(
+        (normalized - formula).abs() < 0.2,
+        "measured {normalized:.2} vs formula {formula:.2}"
+    );
+}
+
+#[test]
+fn cas_sequential_writes_have_increasing_tags() {
+    let mut cluster = cas(5, 2)
+        .with_seed(8)
+        .with_network(NetworkConfig::uniform(7))
+        .with_clients(1, 0)
+        .build()
+        .unwrap();
+    for i in 0..4u8 {
+        cluster.invoke_write(0, vec![i]);
+    }
+    cluster.run_to_quiescence();
+    let ops = cluster.completed_ops();
+    assert_eq!(ops.len(), 4);
+    for pair in ops.windows(2) {
+        assert!(pair[0].tag < pair[1].tag);
+    }
+}

@@ -99,7 +99,7 @@ impl BerlekampWelchCode {
         if !rem.is_zero() {
             return None;
         }
-        if p.degree().map_or(false, |d| d >= k) {
+        if p.degree().is_some_and(|d| d >= k) {
             return None;
         }
         // Sanity: p must agree with all but at most e received points.
@@ -235,9 +235,7 @@ impl MdsCode for BerlekampWelchCode {
                     // true codeword in column 0 only), fall back to the exact
                     // per-column decoder.
                     if let Ok(reencoded) = self.inner.encode(&value) {
-                        let consistent = good
-                            .iter()
-                            .all(|e| reencoded[e.index].data == e.data);
+                        let consistent = good.iter().all(|e| reencoded[e.index].data == e.data);
                         if consistent {
                             return Ok(value);
                         }
@@ -311,11 +309,7 @@ fn solve_linear_system(rows: &mut [Vec<Gf256>], rhs: &mut [Gf256]) -> Option<Vec
     // Final verification against all original (now reduced) rows: cheap and
     // guards the free-variable choice.
     for (r, row) in rows.iter().enumerate() {
-        let lhs: Gf256 = row
-            .iter()
-            .zip(solution.iter())
-            .map(|(&a, &x)| a * x)
-            .sum();
+        let lhs: Gf256 = row.iter().zip(solution.iter()).map(|(&a, &x)| a * x).sum();
         if lhs != rhs[r] {
             return None;
         }
@@ -328,7 +322,9 @@ mod tests {
     use super::*;
 
     fn sample_value(len: usize) -> Vec<u8> {
-        (0..len).map(|i| (i.wrapping_mul(131) % 256) as u8).collect()
+        (0..len)
+            .map(|i| (i.wrapping_mul(131) % 256) as u8)
+            .collect()
     }
 
     fn corrupt(element: &mut CodedElement, seed: u8) {
@@ -407,10 +403,7 @@ mod tests {
         let value = sample_value(10);
         let elements = code.encode(&value).unwrap();
         let err = code.decode_with_errors(&elements[..4], 1);
-        assert_eq!(
-            err,
-            Err(CodeError::NotEnoughElements { have: 4, need: 5 })
-        );
+        assert_eq!(err, Err(CodeError::NotEnoughElements { have: 4, need: 5 }));
     }
 
     #[test]
@@ -423,7 +416,7 @@ mod tests {
         corrupt(&mut elements[0], 0x13);
         corrupt(&mut elements[4], 0x87);
         match code.decode_with_errors(&elements, 1) {
-            Err(_) => {}                       // detected — fine
+            Err(_) => {} // detected — fine
             Ok(v) => assert_ne!(v, value, "cannot be the true value by construction"),
         }
     }
@@ -470,7 +463,10 @@ mod tests {
         let code = BerlekampWelchCode::new(6, 2).unwrap();
         let mut elements = code.encode(&[]).unwrap();
         corrupt(&mut elements[1], 0x2F);
-        assert_eq!(code.decode_with_errors(&elements, 2).unwrap(), Vec::<u8>::new());
+        assert_eq!(
+            code.decode_with_errors(&elements, 2).unwrap(),
+            Vec::<u8>::new()
+        );
     }
 
     #[test]

@@ -138,9 +138,9 @@ mod trait_tests {
         let code = VandermondeCode::new(7, 4).unwrap();
         let value = b"projection check".to_vec();
         let all = code.encode(&value).unwrap();
-        for i in 0..7 {
+        for (i, expected) in all.iter().enumerate() {
             let one = code.encode_one(&value, i).unwrap();
-            assert_eq!(one, all[i]);
+            assert_eq!(&one, expected);
         }
         assert!(code.encode_one(&value, 7).is_err());
     }

@@ -38,7 +38,12 @@ impl CodedElement {
 
 impl fmt::Debug for CodedElement {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "CodedElement(idx={}, {} bytes)", self.index, self.data.len())
+        write!(
+            f,
+            "CodedElement(idx={}, {} bytes)",
+            self.index,
+            self.data.len()
+        )
     }
 }
 

@@ -153,7 +153,10 @@ mod tests {
         let elements = code.encode(&value).unwrap();
         let data_shards = pad_and_split(&value, 4);
         for i in 0..4 {
-            assert_eq!(elements[i].data, data_shards[i], "element {i} not systematic");
+            assert_eq!(
+                elements[i].data, data_shards[i],
+                "element {i} not systematic"
+            );
         }
     }
 
@@ -202,8 +205,15 @@ mod tests {
         let code = VandermondeCode::new(5, 3).unwrap();
         let value = sample_value(10);
         let elements = code.encode(&value).unwrap();
-        let bad = vec![elements[0].clone(), elements[0].clone(), elements[1].clone()];
-        assert_eq!(code.decode(&bad), Err(CodeError::DuplicateIndex { index: 0 }));
+        let bad = vec![
+            elements[0].clone(),
+            elements[0].clone(),
+            elements[1].clone(),
+        ];
+        assert_eq!(
+            code.decode(&bad),
+            Err(CodeError::DuplicateIndex { index: 0 })
+        );
     }
 
     #[test]
@@ -290,7 +300,11 @@ mod tests {
     fn empty_value_round_trip() {
         let code = VandermondeCode::new(5, 3).unwrap();
         let elements = code.encode(&[]).unwrap();
-        let subset = vec![elements[4].clone(), elements[2].clone(), elements[0].clone()];
+        let subset = vec![
+            elements[4].clone(),
+            elements[2].clone(),
+            elements[0].clone(),
+        ];
         assert_eq!(code.decode(&subset).unwrap(), Vec::<u8>::new());
     }
 }

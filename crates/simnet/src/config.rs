@@ -2,14 +2,13 @@
 
 use crate::process::ProcessId;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Distribution from which per-message delivery delays are sampled (in ticks).
 ///
 /// The paper assumes arbitrary finite delays for the asynchronous model and a
 /// bound Δ for the latency analysis (Section V-C); both are expressible here.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum DelayModel {
     /// Every message takes exactly this many ticks.
     Constant(u64),
@@ -158,7 +157,11 @@ mod tests {
     #[test]
     fn geometric_tail_respects_cap() {
         let mut rng = ChaCha12Rng::seed_from_u64(2);
-        let m = DelayModel::GeometricTail { min: 3, p: 0.2, cap: 20 };
+        let m = DelayModel::GeometricTail {
+            min: 3,
+            p: 0.2,
+            cap: 20,
+        };
         for _ in 0..200 {
             let d = m.sample(&mut rng);
             assert!((3..=23).contains(&d));
@@ -173,15 +176,23 @@ mod tests {
             Some(7)
         );
         assert_eq!(
-            DelayModel::GeometricTail { min: 2, p: 0.5, cap: 11 }.upper_bound(),
+            DelayModel::GeometricTail {
+                min: 2,
+                p: 0.5,
+                cap: 11
+            }
+            .upper_bound(),
             Some(11)
         );
     }
 
     #[test]
     fn link_override_changes_delay_model() {
-        let cfg = NetworkConfig::constant(3)
-            .with_link(ProcessId(0), ProcessId(1), DelayModel::Constant(50));
+        let cfg = NetworkConfig::constant(3).with_link(
+            ProcessId(0),
+            ProcessId(1),
+            DelayModel::Constant(50),
+        );
         assert_eq!(
             cfg.delay_for(ProcessId(0), ProcessId(1)),
             DelayModel::Constant(50)

@@ -7,10 +7,9 @@
 
 use crate::process::ProcessId;
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// A single scheduled crash.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CrashEvent {
     /// The process that crashes.
     pub process: ProcessId,
@@ -20,7 +19,7 @@ pub struct CrashEvent {
 }
 
 /// A collection of scheduled crashes.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     crashes: Vec<CrashEvent>,
 }
@@ -38,7 +37,11 @@ impl FaultPlan {
     }
 
     /// Crashes every process in the iterator at the same time.
-    pub fn crash_all<I: IntoIterator<Item = ProcessId>>(mut self, processes: I, at: SimTime) -> Self {
+    pub fn crash_all<I: IntoIterator<Item = ProcessId>>(
+        mut self,
+        processes: I,
+        at: SimTime,
+    ) -> Self {
         for p in processes {
             self.crashes.push(CrashEvent { process: p, at });
         }

@@ -2,7 +2,6 @@
 
 use crate::time::SimTime;
 use rand_chacha::ChaCha12Rng;
-use serde::{Deserialize, Serialize};
 use std::any::Any;
 use std::fmt;
 
@@ -11,9 +10,7 @@ use std::fmt;
 /// Identifiers are assigned densely starting at 0 in the order processes are
 /// added, and form a totally ordered set as the paper requires (the
 /// message-disperse primitive relies on an agreed ordering of the servers).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Debug, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct ProcessId(pub u32);
 
 impl ProcessId {

@@ -550,9 +550,18 @@ mod tests {
         // Two processes that ping forever.
         struct Forever;
         impl Process<TestMsg> for Forever {
-            fn on_message(&mut self, from: ProcessId, msg: TestMsg, ctx: &mut Context<'_, TestMsg>) {
+            fn on_message(
+                &mut self,
+                from: ProcessId,
+                msg: TestMsg,
+                ctx: &mut Context<'_, TestMsg>,
+            ) {
                 if let TestMsg::Ping(v) = msg {
-                    let peer = if from == ProcessId::ENV { ProcessId(1) } else { from };
+                    let peer = if from == ProcessId::ENV {
+                        ProcessId(1)
+                    } else {
+                        from
+                    };
                     ctx.send(peer, TestMsg::Ping(v + 1));
                 }
             }

@@ -120,7 +120,13 @@ mod tests {
         assert_eq!(started.timers, vec![(5, 77)]);
         assert!(started.sends.is_empty());
 
-        let stepped = deliver(&mut p, ProcessId(0), SimTime::from_ticks(3), ProcessId(9), Echo(21));
+        let stepped = deliver(
+            &mut p,
+            ProcessId(0),
+            SimTime::from_ticks(3),
+            ProcessId(9),
+            Echo(21),
+        );
         assert_eq!(stepped.sends.len(), 1);
         assert_eq!(stepped.sends[0].0, ProcessId(9));
         assert_eq!(stepped.sends[0].1 .0, 42);
@@ -128,7 +134,13 @@ mod tests {
         assert_eq!(stepped.sent_to(ProcessId(9)).len(), 1);
         assert!(stepped.sent_to(ProcessId(1)).is_empty());
 
-        let halted = deliver(&mut p, ProcessId(0), SimTime::from_ticks(4), ProcessId(9), Echo(0));
+        let halted = deliver(
+            &mut p,
+            ProcessId(0),
+            SimTime::from_ticks(4),
+            ProcessId(9),
+            Echo(0),
+        );
         assert!(halted.halted);
     }
 }

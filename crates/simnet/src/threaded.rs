@@ -1,7 +1,7 @@
 //! Shared-memory threaded runtime.
 //!
 //! Runs the same [`Process`] implementations as the discrete-event simulator,
-//! but on real OS threads connected by crossbeam channels. This gives actual
+//! but on real OS threads connected by mpsc channels. This gives actual
 //! parallel execution and wall-clock timings for the benchmark harness, at the
 //! cost of determinism (interleavings depend on the OS scheduler). Crash
 //! injection is supported by marking a process halted before the run starts or
@@ -14,10 +14,10 @@
 
 use crate::process::{Action, Context, Message, Process, ProcessId};
 use crate::time::SimTime;
-use crossbeam_channel::{unbounded, Receiver, Sender};
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -44,10 +44,7 @@ pub struct ThreadedResult<M: Message> {
 impl<M: Message> ThreadedResult<M> {
     /// Typed access to a process's final state.
     pub fn process_as<T: 'static>(&self, id: ProcessId) -> Option<&T> {
-        self.processes
-            .get(id.index())?
-            .as_any()
-            .downcast_ref::<T>()
+        self.processes.get(id.index())?.as_any().downcast_ref::<T>()
     }
 }
 
@@ -63,13 +60,14 @@ pub fn run_threaded<M: Message>(
 ) -> ThreadedResult<M> {
     let n = processes.len();
     let in_flight = Arc::new(AtomicI64::new(0));
+    let started = Arc::new(AtomicU64::new(0));
     let messages_sent = Arc::new(AtomicU64::new(0));
     let data_bytes_sent = Arc::new(AtomicU64::new(0));
 
     let mut senders: Vec<Sender<Envelope<M>>> = Vec::with_capacity(n);
     let mut receivers: Vec<Receiver<Envelope<M>>> = Vec::with_capacity(n);
     for _ in 0..n {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         senders.push(tx);
         receivers.push(rx);
     }
@@ -79,6 +77,7 @@ pub fn run_threaded<M: Message>(
     for (idx, (mut process, rx)) in processes.into_iter().zip(receivers).enumerate() {
         let senders = senders.clone();
         let in_flight = Arc::clone(&in_flight);
+        let started = Arc::clone(&started);
         let messages_sent = Arc::clone(&messages_sent);
         let data_bytes_sent = Arc::clone(&data_bytes_sent);
         let handle = thread::spawn(move || {
@@ -89,9 +88,9 @@ pub fn run_threaded<M: Message>(
             // on_start with an isolated context.
             let start_instant = Instant::now();
             let run_handler = |process: &mut Box<dyn Process<M>>,
-                                   rng: &mut ChaCha12Rng,
-                                   halted: &mut bool,
-                                   from: Option<(ProcessId, M)>| {
+                               rng: &mut ChaCha12Rng,
+                               halted: &mut bool,
+                               from: Option<(ProcessId, M)>| {
                 let now = SimTime::from_ticks(start_instant.elapsed().as_micros() as u64);
                 let mut ctx = Context {
                     self_id,
@@ -130,6 +129,10 @@ pub fn run_threaded<M: Message>(
             };
 
             run_handler(&mut process, &mut rng, &mut halted, None);
+            // Publish start completion only after on_start's sends have
+            // incremented in_flight, so the quiescence wait below cannot
+            // pass before they are counted.
+            started.fetch_add(1, Ordering::SeqCst);
 
             while let Ok(envelope) = rx.recv() {
                 match envelope {
@@ -160,7 +163,12 @@ pub fn run_threaded<M: Message>(
         }
     }
 
-    // Wait for quiescence: no messages in flight anywhere.
+    // Wait until every worker has completed on_start (whose sends must be
+    // counted before quiescence can be judged), then for quiescence proper:
+    // no messages in flight anywhere.
+    while started.load(Ordering::SeqCst) < n as u64 {
+        thread::yield_now();
+    }
     while in_flight.load(Ordering::SeqCst) > 0 {
         thread::yield_now();
     }
@@ -233,9 +241,14 @@ mod tests {
             .collect();
         let result = run_threaded(processes, vec![(ProcessId(0), Msg::Token(0))], 1);
         let total_seen: u32 = (0..n)
-            .map(|i| result.process_as::<RingNode>(ProcessId(i as u32)).unwrap().seen)
+            .map(|i| {
+                result
+                    .process_as::<RingNode>(ProcessId(i as u32))
+                    .unwrap()
+                    .seen
+            })
             .sum();
-        assert_eq!(total_seen, rounds as u32 * n as u32 + 1);
+        assert_eq!(total_seen, rounds * n as u32 + 1);
         assert_eq!(result.messages_sent as u32, total_seen);
     }
 
@@ -277,10 +290,7 @@ mod tests {
             vec![Box::new(Forwarder), Box::new(Sink { bytes: 0 })];
         let result = run_threaded(processes, vec![(ProcessId(0), Msg::Blob(vec![7u8; 64]))], 2);
         assert_eq!(result.data_bytes_sent, 128, "injection + forward");
-        assert_eq!(
-            result.process_as::<Sink>(ProcessId(1)).unwrap().bytes,
-            64
-        );
+        assert_eq!(result.process_as::<Sink>(ProcessId(1)).unwrap().bytes, 64);
     }
 
     #[test]

@@ -5,14 +5,11 @@
 //! delivery delay; experiments pick a Δ in ticks and report latencies as
 //! `ticks / Δ`.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// A point in simulated time (ticks since the start of the execution).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize, Debug,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
 pub struct SimTime(pub u64);
 
 impl SimTime {

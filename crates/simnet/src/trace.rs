@@ -9,10 +9,9 @@
 
 use crate::process::ProcessId;
 use crate::time::SimTime;
-use serde::Serialize;
 
 /// A single recorded message transfer (kept only when detailed tracing is on).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Time the message was sent.
     pub sent_at: SimTime,
@@ -31,7 +30,7 @@ pub struct TraceEvent {
 }
 
 /// Per-process message counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ProcessStats {
     /// Messages sent by this process.
     pub messages_sent: u64,
@@ -44,7 +43,7 @@ pub struct ProcessStats {
 }
 
 /// Aggregate message counters for a whole execution (or a window of it).
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Stats {
     /// Total messages sent.
     pub messages_sent: u64,
@@ -123,6 +122,7 @@ impl Trace {
     }
 
     /// Records a message send (called by the simulation at send time).
+    #[allow(clippy::too_many_arguments)] // mirrors the event tuple one-to-one
     pub fn record_send(
         &mut self,
         sent_at: SimTime,

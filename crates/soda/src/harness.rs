@@ -286,12 +286,17 @@ impl SodaCluster {
             .expect("reader process exists")
     }
 
+    /// Bytes of coded-element data stored at each server, by rank.
+    pub fn stored_bytes_per_server(&self) -> Vec<u64> {
+        (0..self.servers.len())
+            .map(|rank| self.server_state(rank).stored_bytes() as u64)
+            .collect()
+    }
+
     /// Total bytes of coded-element data stored across all servers (the
     /// numerator of the paper's total storage cost).
     pub fn total_stored_bytes(&self) -> u64 {
-        (0..self.servers.len())
-            .map(|rank| self.server_state(rank).stored_bytes() as u64)
-            .sum()
+        self.stored_bytes_per_server().iter().sum()
     }
 
     /// Total number of reader registrations still held by servers. Theorem 5.5
@@ -307,132 +312,5 @@ impl SodaCluster {
         (0..self.servers.len())
             .map(|rank| self.server_state(rank).history_len())
             .sum()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::record::OpKind;
-
-    #[test]
-    fn single_write_then_read_round_trips() {
-        let mut cluster = SodaCluster::build(ClusterConfig::new(5, 2).with_seed(3));
-        let w = cluster.writers()[0];
-        let r = cluster.readers()[0];
-        cluster.invoke_write(w, b"abc".to_vec());
-        cluster.run_to_quiescence();
-        cluster.invoke_read(r);
-        cluster.run_to_quiescence();
-        let ops = cluster.completed_ops();
-        assert_eq!(ops.len(), 2);
-        assert_eq!(ops[0].kind, OpKind::Write);
-        assert_eq!(ops[1].kind, OpKind::Read);
-        assert_eq!(ops[1].value.as_deref(), Some(b"abc".as_slice()));
-        assert_eq!(ops[1].tag, ops[0].tag);
-        // All servers eventually store the written tag (uniformity).
-        for rank in 0..5 {
-            assert_eq!(cluster.server_state(rank).stored_tag(), ops[0].tag);
-        }
-        // No reader remains registered anywhere after quiescence.
-        assert_eq!(cluster.total_registered_readers(), 0);
-    }
-
-    #[test]
-    fn read_before_any_write_returns_initial_value() {
-        let initial = b"genesis".to_vec();
-        let mut cluster = SodaCluster::build(
-            ClusterConfig::new(4, 1)
-                .with_seed(11)
-                .with_initial_value(initial.clone()),
-        );
-        let r = cluster.readers()[0];
-        cluster.invoke_read(r);
-        cluster.run_to_quiescence();
-        let ops = cluster.completed_ops();
-        assert_eq!(ops.len(), 1);
-        assert_eq!(ops[0].value.as_deref(), Some(initial.as_slice()));
-        assert!(ops[0].tag.is_initial());
-    }
-
-    #[test]
-    fn storage_cost_matches_n_over_n_minus_f() {
-        let value = vec![7u8; 6000];
-        let mut cluster = SodaCluster::build(ClusterConfig::new(6, 2).with_seed(1));
-        let w = cluster.writers()[0];
-        cluster.invoke_write(w, value.clone());
-        cluster.run_to_quiescence();
-        let stored = cluster.total_stored_bytes() as f64 / value.len() as f64;
-        let expected = 6.0 / 4.0;
-        // Chunking overhead (length header + padding) is a few bytes per
-        // element, so allow a small tolerance.
-        assert!(
-            (stored - expected).abs() < 0.05,
-            "normalized storage {stored:.3} vs expected {expected:.3}"
-        );
-    }
-
-    #[test]
-    fn operations_complete_despite_f_crashes() {
-        let mut cluster = SodaCluster::build(ClusterConfig::new(5, 2).with_seed(9));
-        let w = cluster.writers()[0];
-        let r = cluster.readers()[0];
-        // Crash two servers right away.
-        cluster.crash_server_at(SimTime::ZERO, 1);
-        cluster.crash_server_at(SimTime::ZERO, 3);
-        cluster.invoke_write(w, b"resilient".to_vec());
-        cluster.run_to_quiescence();
-        cluster.invoke_read(r);
-        cluster.run_to_quiescence();
-        let ops = cluster.completed_ops();
-        assert_eq!(ops.len(), 2, "write and read must both complete");
-        assert_eq!(ops[1].value.as_deref(), Some(b"resilient".as_slice()));
-    }
-
-    #[test]
-    fn sodaerr_cluster_reads_correctly_with_faulty_disks() {
-        let mut cluster = SodaCluster::build(
-            ClusterConfig::new(7, 2)
-                .with_seed(5)
-                .with_error_tolerance(1)
-                .with_faulty_disks(vec![2]),
-        );
-        let w = cluster.writers()[0];
-        let r = cluster.readers()[0];
-        cluster.invoke_write(w, b"error protected".to_vec());
-        cluster.run_to_quiescence();
-        cluster.invoke_read(r);
-        cluster.run_to_quiescence();
-        let ops = cluster.completed_ops();
-        let read = ops.iter().find(|o| o.kind.is_read()).expect("read completed");
-        assert_eq!(read.value.as_deref(), Some(b"error protected".as_slice()));
-        assert_eq!(cluster.reader_state(r).decode_failures(), 0);
-    }
-
-    #[test]
-    fn concurrent_writers_and_readers_all_terminate() {
-        let mut cluster =
-            SodaCluster::build(ClusterConfig::new(5, 2).with_seed(42).with_clients(2, 2));
-        let writers: Vec<_> = cluster.writers().to_vec();
-        let readers: Vec<_> = cluster.readers().to_vec();
-        for (i, &w) in writers.iter().enumerate() {
-            for round in 0..3u64 {
-                cluster.invoke_write_at(
-                    SimTime::from_ticks(round * 7),
-                    w,
-                    format!("writer {i} round {round}").into_bytes(),
-                );
-            }
-        }
-        for &r in &readers {
-            for round in 0..3u64 {
-                cluster.invoke_read_at(SimTime::from_ticks(3 + round * 9), r);
-            }
-        }
-        let outcome = cluster.run_to_quiescence();
-        assert!(!outcome.hit_event_cap, "protocol must quiesce");
-        let ops = cluster.completed_ops();
-        assert_eq!(ops.len(), 2 * 3 + 2 * 3);
-        assert_eq!(cluster.total_registered_readers(), 0);
     }
 }

@@ -24,23 +24,41 @@
 //! | reader `r ∈ R` | [`ReaderProcess`] | `read-get` (majority tag query), `read-value` (register + collect coded elements), `read-complete` |
 //! | server `s ∈ S` | [`ServerProcess`] | stores one `(tag, coded element)` pair, relays concurrent writes to registered readers, runs the READ-DISPERSE bookkeeping that eventually unregisters every reader |
 //!
-//! # Quick start
+//! # Building clusters
+//!
+//! Application code should not construct deployments through this crate
+//! directly: the `soda-registry` crate's `RegisterCluster` trait and
+//! `ClusterBuilder` provide the one validated, protocol-agnostic client API
+//! over SODA, SODAerr and the baselines (select this crate's algorithms with
+//! `ProtocolKind::Soda` / `ProtocolKind::SodaErr { e }`). The [`harness`]
+//! module here is the *backend* that facade wraps.
+//!
+//! ```ignore
+//! use soda_registry::{ClusterBuilder, ProtocolKind};
+//!
+//! let mut cluster = ClusterBuilder::new(ProtocolKind::Soda, 5, 2)
+//!     .with_seed(7)
+//!     .build()
+//!     .unwrap();
+//! cluster.invoke_write(0, b"hello atomic world".to_vec());
+//! cluster.run_to_quiescence();
+//! cluster.invoke_read(0);
+//! cluster.run_to_quiescence();
+//! assert_eq!(cluster.completed_ops().len(), 2);
+//! ```
+//!
+//! The protocol pieces themselves stay directly usable, e.g. the shared
+//! configuration:
 //!
 //! ```
-//! use soda::harness::{ClusterConfig, SodaCluster};
+//! use soda::SodaConfig;
+//! use soda_protocol::Layout;
+//! use soda_simnet::ProcessId;
 //!
-//! // 5 servers tolerating f = 2 crashes, one writer, one reader.
-//! let mut cluster = SodaCluster::build(ClusterConfig::new(5, 2).with_seed(7));
-//! let w = cluster.writers()[0];
-//! let r = cluster.readers()[0];
-//! cluster.invoke_write(w, b"hello atomic world".to_vec());
-//! cluster.run_to_quiescence();
-//! cluster.invoke_read(r);
-//! cluster.run_to_quiescence();
-//! let ops = cluster.completed_ops();
-//! assert_eq!(ops.len(), 2);
-//! let read = ops.iter().find(|op| op.kind.is_read()).unwrap();
-//! assert_eq!(read.value.as_deref(), Some(b"hello atomic world".as_slice()));
+//! let layout = Layout::new((0..5u32).map(ProcessId).collect(), 2);
+//! let config = soda::SodaConfig::soda(layout);
+//! assert_eq!(config.k(), 3); // k = n - f
+//! assert_eq!(config.read_threshold(), 3);
 //! ```
 
 #![deny(missing_docs)]

@@ -187,11 +187,21 @@ mod tests {
 
         // Metadata messages are free.
         for msg in [
-            SodaMsg::WriteGet { op: OpId::new(ProcessId(1), 1) },
-            SodaMsg::WriteGetResp { op: OpId::new(ProcessId(1), 1), tag: Tag::INITIAL },
+            SodaMsg::WriteGet {
+                op: OpId::new(ProcessId(1), 1),
+            },
+            SodaMsg::WriteGetResp {
+                op: OpId::new(ProcessId(1), 1),
+                tag: Tag::INITIAL,
+            },
             SodaMsg::WriteAck { tag: Tag::INITIAL },
-            SodaMsg::ReadGet { op: OpId::new(ProcessId(1), 1) },
-            SodaMsg::ReadGetResp { op: OpId::new(ProcessId(1), 1), tag: Tag::INITIAL },
+            SodaMsg::ReadGet {
+                op: OpId::new(ProcessId(1), 1),
+            },
+            SodaMsg::ReadGetResp {
+                op: OpId::new(ProcessId(1), 1),
+                tag: Tag::INITIAL,
+            },
             SodaMsg::InvokeRead,
         ] {
             assert_eq!(msg.data_bytes(), 0, "{:?}", msg.kind());
@@ -214,13 +224,29 @@ mod tests {
                 payload,
             })
         };
-        assert_eq!(mk(MetaPayload::ReadValue { op, tag: Tag::INITIAL }).kind(), "read-value");
         assert_eq!(
-            mk(MetaPayload::ReadComplete { op, tag: Tag::INITIAL }).kind(),
+            mk(MetaPayload::ReadValue {
+                op,
+                tag: Tag::INITIAL
+            })
+            .kind(),
+            "read-value"
+        );
+        assert_eq!(
+            mk(MetaPayload::ReadComplete {
+                op,
+                tag: Tag::INITIAL
+            })
+            .kind(),
             "read-complete"
         );
         assert_eq!(
-            mk(MetaPayload::ReadDisperse { tag: Tag::INITIAL, server_rank: 2, op }).kind(),
+            mk(MetaPayload::ReadDisperse {
+                tag: Tag::INITIAL,
+                server_rank: 2,
+                op
+            })
+            .kind(),
             "read-disperse"
         );
     }

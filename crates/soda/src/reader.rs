@@ -195,24 +195,24 @@ impl Process<SodaMsg> for ReaderProcess {
                 self.pending.push_back(());
                 self.start_next(ctx);
             }
-            SodaMsg::ReadGetResp { op, tag } => {
-                if self.phase == ReadPhase::Get && self.current_op == Some(op) {
-                    self.get_tracker.record(from, tag);
-                    if self.get_tracker.is_complete() {
-                        self.begin_value_phase(ctx);
-                    }
+            SodaMsg::ReadGetResp { op, tag }
+                if self.phase == ReadPhase::Get && self.current_op == Some(op) =>
+            {
+                self.get_tracker.record(from, tag);
+                if self.get_tracker.is_complete() {
+                    self.begin_value_phase(ctx);
                 }
             }
-            SodaMsg::CodedToReader { op, tag, element } => {
-                if self.phase == ReadPhase::Value && self.current_op == Some(op) {
-                    let tr = self.requested_tag.unwrap_or(Tag::INITIAL);
-                    if tag >= tr {
-                        self.collected
-                            .entry(tag)
-                            .or_default()
-                            .insert(element.index, element);
-                        self.try_decode(ctx);
-                    }
+            SodaMsg::CodedToReader { op, tag, element }
+                if self.phase == ReadPhase::Value && self.current_op == Some(op) =>
+            {
+                let tr = self.requested_tag.unwrap_or(Tag::INITIAL);
+                if tag >= tr {
+                    self.collected
+                        .entry(tag)
+                        .or_default()
+                        .insert(element.index, element);
+                    self.try_decode(ctx);
                 }
             }
             // Readers ignore write-protocol traffic and stray messages.
@@ -286,7 +286,10 @@ mod tests {
             READER,
             t(3),
             ProcessId(2),
-            SodaMsg::ReadGetResp { op, tag: Tag::INITIAL },
+            SodaMsg::ReadGetResp {
+                op,
+                tag: Tag::INITIAL,
+            },
         );
         assert_eq!(r.phase(), ReadPhase::Value);
         assert_eq!(result.sends.len(), 3, "READ-VALUE goes to the f+1 backbone");
@@ -331,13 +334,17 @@ mod tests {
         );
         assert!(old.sends.is_empty());
         // Two elements with tag tw: not enough yet.
-        for rank in 0..2usize {
+        for (rank, element) in elements.iter().enumerate().take(2) {
             deliver(
                 &mut r,
                 READER,
                 t(5),
                 ProcessId(rank as u32),
-                SodaMsg::CodedToReader { op, tag: tw, element: elements[rank].clone() },
+                SodaMsg::CodedToReader {
+                    op,
+                    tag: tw,
+                    element: element.clone(),
+                },
             );
         }
         assert!(r.completed_ops().is_empty());
@@ -347,7 +354,11 @@ mod tests {
             READER,
             t(5),
             ProcessId(1),
-            SodaMsg::CodedToReader { op, tag: tw, element: elements[1].clone() },
+            SodaMsg::CodedToReader {
+                op,
+                tag: tw,
+                element: elements[1].clone(),
+            },
         );
         assert!(r.completed_ops().is_empty());
         // Third distinct element completes the read.
@@ -356,7 +367,11 @@ mod tests {
             READER,
             t(6),
             ProcessId(4),
-            SodaMsg::CodedToReader { op, tag: tw, element: elements[4].clone() },
+            SodaMsg::CodedToReader {
+                op,
+                tag: tw,
+                element: elements[4].clone(),
+            },
         );
         assert_eq!(r.completed_ops().len(), 1);
         let rec = &r.completed_ops()[0];
@@ -368,7 +383,10 @@ mod tests {
         assert_eq!(done.sends.len(), 3);
         assert!(done.sends.iter().all(|(_, m)| matches!(
             m,
-            SodaMsg::MdMeta(MdMetaMsg { payload: MetaPayload::ReadComplete { .. }, .. })
+            SodaMsg::MdMeta(MdMetaMsg {
+                payload: MetaPayload::ReadComplete { .. },
+                ..
+            })
         )));
         assert_eq!(r.decode_failures(), 0);
     }
@@ -390,12 +408,19 @@ mod tests {
                 READER,
                 t(5),
                 ProcessId(rank as u32),
-                SodaMsg::CodedToReader { op, tag: tw, element: elements[rank].clone() },
+                SodaMsg::CodedToReader {
+                    op,
+                    tag: tw,
+                    element: elements[rank].clone(),
+                },
             );
         }
         assert_eq!(r.completed_ops().len(), 1);
         assert_eq!(r.completed_ops()[0].tag, tw);
-        assert_eq!(r.completed_ops()[0].value.as_deref(), Some(value.as_slice()));
+        assert_eq!(
+            r.completed_ops()[0].value.as_deref(),
+            Some(value.as_slice())
+        );
     }
 
     #[test]
@@ -407,7 +432,7 @@ mod tests {
         answer_get_phase(&mut r, op, &[Tag::INITIAL, Tag::INITIAL, Tag::INITIAL]);
         let stale_op = OpId::new(READER, 42);
         let elements = code.encode(b"x").unwrap();
-        for rank in 0..3usize {
+        for (rank, element) in elements.iter().enumerate().take(3) {
             deliver(
                 &mut r,
                 READER,
@@ -416,7 +441,7 @@ mod tests {
                 SodaMsg::CodedToReader {
                     op: stale_op,
                     tag: Tag::new(1, ProcessId(0)),
-                    element: elements[rank].clone(),
+                    element: element.clone(),
                 },
             );
         }
@@ -433,7 +458,7 @@ mod tests {
         let op1 = OpId::new(READER, 1);
         answer_get_phase(&mut r, op1, &[Tag::INITIAL, Tag::INITIAL]);
         let elements = code.encode(b"v").unwrap();
-        for rank in 0..2usize {
+        for (rank, element) in elements.iter().enumerate().take(2) {
             deliver(
                 &mut r,
                 READER,
@@ -442,7 +467,7 @@ mod tests {
                 SodaMsg::CodedToReader {
                     op: op1,
                     tag: Tag::INITIAL,
-                    element: elements[rank].clone(),
+                    element: element.clone(),
                 },
             );
         }
@@ -472,13 +497,17 @@ mod tests {
         for b in elements[3].data.iter_mut() {
             *b ^= 0xA5;
         }
-        for rank in 0..4usize {
+        for (rank, element) in elements.iter().enumerate().take(4) {
             deliver(
                 &mut r,
                 READER,
                 t(4),
                 ProcessId(rank as u32),
-                SodaMsg::CodedToReader { op, tag: tw, element: elements[rank].clone() },
+                SodaMsg::CodedToReader {
+                    op,
+                    tag: tw,
+                    element: element.clone(),
+                },
             );
             assert!(r.completed_ops().is_empty(), "needs k + 2e = 5 elements");
         }
@@ -487,9 +516,16 @@ mod tests {
             READER,
             t(5),
             ProcessId(4),
-            SodaMsg::CodedToReader { op, tag: tw, element: elements[4].clone() },
+            SodaMsg::CodedToReader {
+                op,
+                tag: tw,
+                element: elements[4].clone(),
+            },
         );
         assert_eq!(r.completed_ops().len(), 1);
-        assert_eq!(r.completed_ops()[0].value.as_deref(), Some(value.as_slice()));
+        assert_eq!(
+            r.completed_ops()[0].value.as_deref(),
+            Some(value.as_slice())
+        );
     }
 }

@@ -297,9 +297,11 @@ impl Process<SodaMsg> for ServerProcess {
                     match payload {
                         MetaPayload::ReadValue { op, tag } => self.on_read_value(op, tag, ctx),
                         MetaPayload::ReadComplete { op, .. } => self.on_read_complete(op),
-                        MetaPayload::ReadDisperse { tag, server_rank, op } => {
-                            self.on_read_disperse(tag, server_rank, op)
-                        }
+                        MetaPayload::ReadDisperse {
+                            tag,
+                            server_rank,
+                            op,
+                        } => self.on_read_disperse(tag, server_rank, op),
                     }
                 }
             }
@@ -366,7 +368,11 @@ mod tests {
     fn read_disperse_msg(tag: Tag, server_rank: usize, op: OpId, counter: u64) -> SodaMsg {
         SodaMsg::MdMeta(MdMetaMsg {
             mid: MessageId::new(ProcessId(server_rank as u32), counter),
-            payload: MetaPayload::ReadDisperse { tag, server_rank, op },
+            payload: MetaPayload::ReadDisperse {
+                tag,
+                server_rank,
+                op,
+            },
         })
     }
 
@@ -393,7 +399,13 @@ mod tests {
             SodaMsg::WriteGetResp { tag, .. } if tag == Tag::INITIAL
         ));
         let rop = OpId::new(READER, 1);
-        let r = deliver(&mut s, ProcessId(0), t(1), READER, SodaMsg::ReadGet { op: rop });
+        let r = deliver(
+            &mut s,
+            ProcessId(0),
+            t(1),
+            READER,
+            SodaMsg::ReadGet { op: rop },
+        );
         assert!(matches!(r.sends[0].1, SodaMsg::ReadGetResp { .. }));
     }
 
@@ -402,7 +414,13 @@ mod tests {
         let cfg = config(5, 2);
         let mut s = server(&cfg, 0);
         let tag = Tag::new(1, WRITER);
-        let r = deliver(&mut s, ProcessId(0), t(2), WRITER, full_msg(&cfg, tag, b"value-one", 1));
+        let r = deliver(
+            &mut s,
+            ProcessId(0),
+            t(2),
+            WRITER,
+            full_msg(&cfg, tag, b"value-one", 1),
+        );
         assert_eq!(s.stored_tag(), tag);
         // Relays: full to ranks 1..2 (backbone), coded to ranks 3..4, plus an
         // ack back to the writer.
@@ -457,11 +475,14 @@ mod tests {
                 element: old_elements[4].clone(),
             }),
         );
-        assert_eq!(s.stored_tag(), newer, "older write must not regress storage");
-        assert!(r
-            .sends
-            .iter()
-            .any(|(to, m)| *to == WRITER && matches!(m, SodaMsg::WriteAck { tag } if *tag == older)));
+        assert_eq!(
+            s.stored_tag(),
+            newer,
+            "older write must not regress storage"
+        );
+        assert!(r.sends.iter().any(
+            |(to, m)| *to == WRITER && matches!(m, SodaMsg::WriteAck { tag } if *tag == older)
+        ));
     }
 
     #[test]
@@ -469,9 +490,21 @@ mod tests {
         let cfg = config(5, 2);
         let mut s = server(&cfg, 1);
         let tw = Tag::new(3, WRITER);
-        deliver(&mut s, ProcessId(1), t(1), WRITER, full_msg(&cfg, tw, b"stored", 1));
+        deliver(
+            &mut s,
+            ProcessId(1),
+            t(1),
+            WRITER,
+            full_msg(&cfg, tw, b"stored", 1),
+        );
         let op = OpId::new(READER, 1);
-        let r = deliver(&mut s, ProcessId(1), t(2), READER, read_value_msg(op, Tag::new(2, WRITER), 1));
+        let r = deliver(
+            &mut s,
+            ProcessId(1),
+            t(2),
+            READER,
+            read_value_msg(op, Tag::new(2, WRITER), 1),
+        );
         assert_eq!(s.registered_readers(), 1);
         let to_reader: Vec<_> = r
             .sends
@@ -490,10 +523,15 @@ mod tests {
         let disperse = r
             .sends
             .iter()
-            .filter(|(_, m)| matches!(
-                m,
-                SodaMsg::MdMeta(MdMetaMsg { payload: MetaPayload::ReadDisperse { .. }, .. })
-            ))
+            .filter(|(_, m)| {
+                matches!(
+                    m,
+                    SodaMsg::MdMeta(MdMetaMsg {
+                        payload: MetaPayload::ReadDisperse { .. },
+                        ..
+                    })
+                )
+            })
             .count();
         assert_eq!(disperse, 3);
         assert_eq!(s.history_len(), 1);
@@ -505,16 +543,26 @@ mod tests {
         let mut s = server(&cfg, 2);
         let op = OpId::new(READER, 1);
         let requested = Tag::new(4, WRITER);
-        let r = deliver(&mut s, ProcessId(2), t(1), READER, read_value_msg(op, requested, 1));
+        let r = deliver(
+            &mut s,
+            ProcessId(2),
+            t(1),
+            READER,
+            read_value_msg(op, requested, 1),
+        );
         assert_eq!(s.registered_readers(), 1);
         assert!(r.sends.iter().all(|(to, _)| *to != READER));
         // A concurrent write with tag >= requested is relayed to the reader.
         let tw = Tag::new(4, ProcessId(101));
-        let r = deliver(&mut s, ProcessId(2), t(2), ProcessId(101), full_msg(&cfg, tw, b"concurrent", 1));
-        assert!(r
-            .sends
-            .iter()
-            .any(|(to, m)| *to == READER && matches!(m, SodaMsg::CodedToReader { tag, .. } if *tag == tw)));
+        let r = deliver(
+            &mut s,
+            ProcessId(2),
+            t(2),
+            ProcessId(101),
+            full_msg(&cfg, tw, b"concurrent", 1),
+        );
+        assert!(r.sends.iter().any(|(to, m)| *to == READER
+            && matches!(m, SodaMsg::CodedToReader { tag, .. } if *tag == tw)));
     }
 
     #[test]
@@ -522,10 +570,22 @@ mod tests {
         let cfg = config(5, 2);
         let mut s = server(&cfg, 0);
         let op = OpId::new(READER, 1);
-        deliver(&mut s, ProcessId(0), t(1), READER, read_value_msg(op, Tag::INITIAL, 1));
+        deliver(
+            &mut s,
+            ProcessId(0),
+            t(1),
+            READER,
+            read_value_msg(op, Tag::INITIAL, 1),
+        );
         assert_eq!(s.registered_readers(), 1);
         assert!(s.history_len() > 0);
-        deliver(&mut s, ProcessId(0), t(2), READER, read_complete_msg(op, Tag::INITIAL, 2));
+        deliver(
+            &mut s,
+            ProcessId(0),
+            t(2),
+            READER,
+            read_complete_msg(op, Tag::INITIAL, 2),
+        );
         assert_eq!(s.registered_readers(), 0);
         assert_eq!(s.history_len(), 0);
     }
@@ -535,11 +595,23 @@ mod tests {
         let cfg = config(5, 2);
         let mut s = server(&cfg, 0);
         let op = OpId::new(READER, 7);
-        deliver(&mut s, ProcessId(0), t(1), READER, read_complete_msg(op, Tag::INITIAL, 1));
+        deliver(
+            &mut s,
+            ProcessId(0),
+            t(1),
+            READER,
+            read_complete_msg(op, Tag::INITIAL, 1),
+        );
         assert_eq!(s.registered_readers(), 0);
         assert_eq!(s.history_len(), 1, "marker (t0, s, r) present");
         // The late registration is ignored and the marker is cleaned up.
-        let r = deliver(&mut s, ProcessId(0), t(2), READER, read_value_msg(op, Tag::INITIAL, 2));
+        let r = deliver(
+            &mut s,
+            ProcessId(0),
+            t(2),
+            READER,
+            read_value_msg(op, Tag::INITIAL, 2),
+        );
         assert_eq!(s.registered_readers(), 0);
         assert_eq!(s.history_len(), 0);
         assert!(r.sends.iter().all(|(to, _)| *to != READER));
@@ -551,7 +623,13 @@ mod tests {
         let mut s = server(&cfg, 4); // outside backbone; no local element sent for high tags
         let op = OpId::new(READER, 1);
         let requested = Tag::new(2, WRITER);
-        deliver(&mut s, ProcessId(4), t(1), READER, read_value_msg(op, requested, 1));
+        deliver(
+            &mut s,
+            ProcessId(4),
+            t(1),
+            READER,
+            read_value_msg(op, requested, 1),
+        );
         assert_eq!(s.registered_readers(), 1);
         // Reports that servers 0 and 1 sent the element of tag (2, w).
         for (i, rank) in [0usize, 1].iter().enumerate() {
@@ -582,12 +660,36 @@ mod tests {
         let op = OpId::new(READER, 1);
         let tag_a = Tag::new(2, WRITER);
         let tag_b = Tag::new(3, WRITER);
-        deliver(&mut s, ProcessId(4), t(1), READER, read_value_msg(op, tag_a, 1));
+        deliver(
+            &mut s,
+            ProcessId(4),
+            t(1),
+            READER,
+            read_value_msg(op, tag_a, 1),
+        );
         // Same server reported twice and a report for a different tag: neither
         // completes the count for tag_a.
-        deliver(&mut s, ProcessId(4), t(2), ProcessId(0), read_disperse_msg(tag_a, 0, op, 1));
-        deliver(&mut s, ProcessId(4), t(2), ProcessId(0), read_disperse_msg(tag_a, 0, op, 2));
-        deliver(&mut s, ProcessId(4), t(2), ProcessId(1), read_disperse_msg(tag_b, 1, op, 3));
+        deliver(
+            &mut s,
+            ProcessId(4),
+            t(2),
+            ProcessId(0),
+            read_disperse_msg(tag_a, 0, op, 1),
+        );
+        deliver(
+            &mut s,
+            ProcessId(4),
+            t(2),
+            ProcessId(0),
+            read_disperse_msg(tag_a, 0, op, 2),
+        );
+        deliver(
+            &mut s,
+            ProcessId(4),
+            t(2),
+            ProcessId(1),
+            read_disperse_msg(tag_b, 1, op, 3),
+        );
         assert_eq!(s.registered_readers(), 1);
     }
 
@@ -600,7 +702,10 @@ mod tests {
         let first = deliver(&mut s, ProcessId(0), t(1), WRITER, msg.clone());
         let second = deliver(&mut s, ProcessId(0), t(2), WRITER, msg);
         assert!(first.sends.len() > second.sends.len());
-        assert!(second.sends.is_empty(), "duplicate produces no relays or acks");
+        assert!(
+            second.sends.is_empty(),
+            "duplicate produces no relays or acks"
+        );
         assert_eq!(s.md_tombstones(), 1);
     }
 
@@ -615,12 +720,20 @@ mod tests {
 
         // Local read path (registration with a satisfied tag): corrupted.
         let op = OpId::new(READER, 1);
-        let r = deliver(&mut s, ProcessId(0), t(1), READER, read_value_msg(op, Tag::INITIAL, 1));
+        let r = deliver(
+            &mut s,
+            ProcessId(0),
+            t(1),
+            READER,
+            read_value_msg(op, Tag::INITIAL, 1),
+        );
         let sent = r
             .sends
             .iter()
             .find_map(|(to, m)| match (to, m) {
-                (to, SodaMsg::CodedToReader { element, .. }) if *to == READER => Some(element.clone()),
+                (to, SodaMsg::CodedToReader { element, .. }) if *to == READER => {
+                    Some(element.clone())
+                }
                 _ => None,
             })
             .expect("element sent to reader");
@@ -630,27 +743,44 @@ mod tests {
         let tw = Tag::new(1, WRITER);
         let relayed_value = b"a concurrent write".to_vec();
         let expected = cfg.code().encode(&relayed_value).unwrap()[0].clone();
-        let r = deliver(&mut s, ProcessId(0), t(2), WRITER, SodaMsg::MdValue(MdValueMsg::Full {
-            mid: MessageId::new(WRITER, 1),
-            tag: tw,
-            value: value_from(relayed_value),
-        }));
+        let r = deliver(
+            &mut s,
+            ProcessId(0),
+            t(2),
+            WRITER,
+            SodaMsg::MdValue(MdValueMsg::Full {
+                mid: MessageId::new(WRITER, 1),
+                tag: tw,
+                value: value_from(relayed_value),
+            }),
+        );
         let relayed = r
             .sends
             .iter()
             .find_map(|(to, m)| match (to, m) {
-                (to, SodaMsg::CodedToReader { element, .. }) if *to == READER => Some(element.clone()),
+                (to, SodaMsg::CodedToReader { element, .. }) if *to == READER => {
+                    Some(element.clone())
+                }
                 _ => None,
             })
             .expect("relayed element sent to registered reader");
-        assert_eq!(relayed.data, expected.data, "relayed elements are never corrupted");
+        assert_eq!(
+            relayed.data, expected.data,
+            "relayed elements are never corrupted"
+        );
     }
 
     #[test]
     fn client_messages_are_ignored_by_servers() {
         let cfg = config(3, 1);
         let mut s = server(&cfg, 0);
-        let r = deliver(&mut s, ProcessId(0), t(1), ProcessId::ENV, SodaMsg::InvokeRead);
+        let r = deliver(
+            &mut s,
+            ProcessId(0),
+            t(1),
+            ProcessId::ENV,
+            SodaMsg::InvokeRead,
+        );
         assert!(r.sends.is_empty());
         let r = deliver(
             &mut s,

@@ -157,20 +157,20 @@ impl Process<SodaMsg> for WriterProcess {
                 self.pending.push_back(value);
                 self.start_next(ctx);
             }
-            SodaMsg::WriteGetResp { op, tag } => {
-                if self.phase == WritePhase::Get && self.current_op == Some(op) {
-                    self.get_tracker.record(from, tag);
-                    if self.get_tracker.is_complete() {
-                        self.begin_put(ctx);
-                    }
+            SodaMsg::WriteGetResp { op, tag }
+                if self.phase == WritePhase::Get && self.current_op == Some(op) =>
+            {
+                self.get_tracker.record(from, tag);
+                if self.get_tracker.is_complete() {
+                    self.begin_put(ctx);
                 }
             }
-            SodaMsg::WriteAck { tag } => {
-                if self.phase == WritePhase::Put && self.current_tag == Some(tag) {
-                    self.ack_tracker.record(from, ());
-                    if self.ack_tracker.is_complete() {
-                        self.complete(ctx);
-                    }
+            SodaMsg::WriteAck { tag }
+                if self.phase == WritePhase::Put && self.current_tag == Some(tag) =>
+            {
+                self.ack_tracker.record(from, ());
+                if self.ack_tracker.is_complete() {
+                    self.complete(ctx);
                 }
             }
             // Writers ignore read-protocol traffic and stray messages.
@@ -252,7 +252,10 @@ mod tests {
                 WRITER,
                 t(2),
                 ProcessId(s),
-                SodaMsg::WriteGetResp { op, tag: Tag::new(s as u64, ProcessId(s)) },
+                SodaMsg::WriteGetResp {
+                    op,
+                    tag: Tag::new(s as u64, ProcessId(s)),
+                },
             );
             assert!(r.sends.is_empty());
             assert_eq!(w.phase(), WritePhase::Get);
@@ -264,7 +267,10 @@ mod tests {
             WRITER,
             t(3),
             ProcessId(2),
-            SodaMsg::WriteGetResp { op, tag: Tag::new(2, ProcessId(2)) },
+            SodaMsg::WriteGetResp {
+                op,
+                tag: Tag::new(2, ProcessId(2)),
+            },
         );
         assert_eq!(w.phase(), WritePhase::Put);
         // Full value goes to the first f + 1 = 3 servers only.
@@ -299,7 +305,10 @@ mod tests {
                 WRITER,
                 t(2),
                 ProcessId(0),
-                SodaMsg::WriteGetResp { op, tag: Tag::INITIAL },
+                SodaMsg::WriteGetResp {
+                    op,
+                    tag: Tag::INITIAL,
+                },
             );
         }
         assert_eq!(w.phase(), WritePhase::Get, "same server repeated");
@@ -332,14 +341,23 @@ mod tests {
                 WRITER,
                 t(2),
                 ProcessId(s),
-                SodaMsg::WriteGetResp { op, tag: Tag::INITIAL },
+                SodaMsg::WriteGetResp {
+                    op,
+                    tag: Tag::INITIAL,
+                },
             );
         }
         let tag = Tag::new(1, WRITER);
         assert_eq!(w.phase(), WritePhase::Put);
         // Acks from 2 servers: not yet complete.
         for s in 0..2u32 {
-            deliver(&mut w, WRITER, t(4), ProcessId(s), SodaMsg::WriteAck { tag });
+            deliver(
+                &mut w,
+                WRITER,
+                t(4),
+                ProcessId(s),
+                SodaMsg::WriteAck { tag },
+            );
         }
         assert!(w.completed_ops().is_empty());
         // Ack with the wrong tag is ignored.
@@ -348,11 +366,19 @@ mod tests {
             WRITER,
             t(4),
             ProcessId(4),
-            SodaMsg::WriteAck { tag: Tag::new(9, WRITER) },
+            SodaMsg::WriteAck {
+                tag: Tag::new(9, WRITER),
+            },
         );
         assert!(w.completed_ops().is_empty());
         // Third matching ack completes the write and starts the queued one.
-        let r = deliver(&mut w, WRITER, t(5), ProcessId(2), SodaMsg::WriteAck { tag });
+        let r = deliver(
+            &mut w,
+            WRITER,
+            t(5),
+            ProcessId(2),
+            SodaMsg::WriteAck { tag },
+        );
         assert_eq!(w.completed_ops().len(), 1);
         let rec = &w.completed_ops()[0];
         assert_eq!(rec.tag, tag);
@@ -382,7 +408,10 @@ mod tests {
             WRITER,
             t(2),
             ProcessId(0),
-            SodaMsg::WriteGetResp { op: stale, tag: Tag::INITIAL },
+            SodaMsg::WriteGetResp {
+                op: stale,
+                tag: Tag::INITIAL,
+            },
         );
         assert!(r.sends.is_empty());
         assert_eq!(w.phase(), WritePhase::Get);

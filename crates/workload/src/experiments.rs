@@ -4,13 +4,18 @@
 //! returns serializable rows pairing the *measured* quantity with the paper's
 //! closed-form prediction, so `EXPERIMENTS.md` (and the bench binaries'
 //! stdout) can show both side by side.
+//!
+//! Every cluster in this module is built and driven through the
+//! [`soda_registry`] facade; the protocol under measurement is just a
+//! [`ProtocolKind`] value.
 
-use crate::scenario::{run_abd_scenario, run_casgc_scenario, run_soda_scenario, SodaScenarioParams};
-use serde::Serialize;
-use soda::harness::{ClusterConfig, SodaCluster};
+use crate::json_row;
+use crate::scenario::{run_scenario, value_of, ScenarioParams};
 use soda_protocol::cost::paper;
 use soda_protocol::Layout;
-use serde_json::to_string_pretty;
+use soda_registry::{ClusterBuilder, ProtocolKind, RegisterCluster};
+
+pub use crate::json::to_json;
 
 /// Renders rows of strings as a fixed-width text table (used by the bench
 /// binaries for stdout output).
@@ -44,17 +49,12 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
-/// Serializes rows to pretty JSON (for archival in `EXPERIMENTS.md`).
-pub fn to_json<T: Serialize>(rows: &[T]) -> String {
-    to_string_pretty(rows).expect("experiment rows serialize")
-}
-
 // ---------------------------------------------------------------------------
 // T1: Table I — ABD vs CASGC vs SODA at f = fmax.
 // ---------------------------------------------------------------------------
 
 /// One row of the Table I reproduction.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table1Row {
     /// Algorithm name.
     pub algorithm: String,
@@ -80,65 +80,67 @@ pub struct Table1Row {
     pub atomic: bool,
 }
 
+json_row!(Table1Row {
+    algorithm,
+    n,
+    f,
+    delta_w,
+    write_cost,
+    read_cost,
+    storage_cost,
+    paper_write,
+    paper_read,
+    paper_storage,
+    atomic,
+});
+
 /// Reproduces Table I: for each `n`, runs ABD, CASGC and SODA at
 /// `f = fmax = ⌊(n−1)/2⌋` with `delta_w` concurrent writes during the read.
 pub fn table1(ns: &[usize], delta_w: usize, value_size: usize, seed: u64) -> Vec<Table1Row> {
     let mut rows = Vec::new();
     for &n in ns {
         let f = Layout::fmax(n);
-        // ABD.
-        let abd = run_abd_scenario(n, f, delta_w, value_size, seed, 10);
-        rows.push(Table1Row {
-            algorithm: "ABD".into(),
-            n,
-            f,
-            delta_w: abd.delta_w_actual,
-            write_cost: abd.write_cost,
-            read_cost: abd.read_cost,
-            storage_cost: abd.storage_cost,
-            paper_write: paper::abd_cost(n),
-            paper_read: paper::abd_cost(n),
-            paper_storage: paper::abd_cost(n),
-            atomic: abd.atomic,
-        });
         // CASGC requires n > 2f, so at fmax it only exists for odd n; use the
         // largest f' with n > 2f' otherwise (the paper's Table I assumes n
         // even and f = n/2 − 1, for which n − 2f = 2).
         let f_cas = if n > 2 * f { f } else { (n - 1) / 2 };
-        let casgc = run_casgc_scenario(n, f_cas, Some(delta_w), delta_w, value_size, seed, 10);
-        rows.push(Table1Row {
-            algorithm: "CASGC".into(),
-            n,
-            f: f_cas,
-            delta_w: casgc.delta_w_actual,
-            write_cost: casgc.write_cost,
-            read_cost: casgc.read_cost,
-            storage_cost: casgc.storage_cost,
-            paper_write: paper::casgc_communication(n, f_cas),
-            paper_read: paper::casgc_communication(n, f_cas),
-            paper_storage: paper::casgc_storage(n, f_cas, delta_w),
-            atomic: casgc.atomic,
-        });
-        // SODA.
-        let soda = run_soda_scenario(&SodaScenarioParams {
-            delta_w,
-            value_size,
-            seed,
-            ..SodaScenarioParams::new(n, f)
-        });
-        rows.push(Table1Row {
-            algorithm: "SODA".into(),
-            n,
-            f,
-            delta_w: soda.delta_w_actual,
-            write_cost: soda.write_cost,
-            read_cost: soda.read_cost,
-            storage_cost: soda.storage_cost,
-            paper_write: paper::soda_write_bound(f),
-            paper_read: paper::soda_read(n, f, soda.delta_w_actual),
-            paper_storage: paper::soda_storage(n, f),
-            atomic: soda.atomic,
-        });
+        for (kind, f_used) in [
+            (ProtocolKind::Abd, f),
+            (ProtocolKind::Casgc { gc: delta_w }, f_cas),
+            (ProtocolKind::Soda, f),
+        ] {
+            let outcome = run_scenario(&ScenarioParams {
+                delta_w,
+                value_size,
+                seed,
+                ..ScenarioParams::new(kind, n, f_used)
+            });
+            rows.push(Table1Row {
+                algorithm: kind.name().to_string(),
+                n,
+                f: f_used,
+                delta_w: outcome.delta_w_actual,
+                write_cost: outcome.write_cost,
+                read_cost: outcome.read_cost,
+                storage_cost: outcome.storage_cost,
+                paper_write: match kind {
+                    ProtocolKind::Abd => paper::abd_cost(n),
+                    ProtocolKind::Soda => paper::soda_write_bound(f_used),
+                    _ => paper::casgc_communication(n, f_used),
+                },
+                paper_read: match kind {
+                    ProtocolKind::Abd => paper::abd_cost(n),
+                    ProtocolKind::Soda => paper::soda_read(n, f_used, outcome.delta_w_actual),
+                    _ => paper::casgc_communication(n, f_used),
+                },
+                paper_storage: match kind {
+                    ProtocolKind::Abd => paper::abd_cost(n),
+                    ProtocolKind::Soda => paper::soda_storage(n, f_used),
+                    _ => paper::casgc_storage(n, f_used, delta_w),
+                },
+                atomic: outcome.atomic,
+            });
+        }
     }
     rows
 }
@@ -186,7 +188,7 @@ pub fn table1_text(rows: &[Table1Row]) -> String {
 // ---------------------------------------------------------------------------
 
 /// One `(n, f)` point of the storage-cost experiment.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct StorageRow {
     /// Number of servers.
     pub n: usize,
@@ -198,15 +200,26 @@ pub struct StorageRow {
     pub paper: f64,
 }
 
+json_row!(StorageRow {
+    n,
+    f,
+    measured,
+    paper
+});
+
 /// Measures SODA's total storage cost across `(n, f)` combinations.
-pub fn storage_cost_sweep(points: &[(usize, usize)], value_size: usize, seed: u64) -> Vec<StorageRow> {
+pub fn storage_cost_sweep(
+    points: &[(usize, usize)],
+    value_size: usize,
+    seed: u64,
+) -> Vec<StorageRow> {
     points
         .iter()
         .map(|&(n, f)| {
-            let outcome = run_soda_scenario(&SodaScenarioParams {
+            let outcome = run_scenario(&ScenarioParams {
                 value_size,
                 seed,
-                ..SodaScenarioParams::new(n, f)
+                ..ScenarioParams::new(ProtocolKind::Soda, n, f)
             });
             StorageRow {
                 n,
@@ -223,7 +236,7 @@ pub fn storage_cost_sweep(points: &[(usize, usize)], value_size: usize, seed: u6
 // ---------------------------------------------------------------------------
 
 /// One point of the write-cost experiment.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct WriteCostRow {
     /// Number of servers.
     pub n: usize,
@@ -237,18 +250,30 @@ pub struct WriteCostRow {
     pub abd: f64,
 }
 
+json_row!(WriteCostRow {
+    n,
+    f,
+    soda,
+    bound,
+    abd
+});
+
 /// Measures SODA's write communication cost against the `5f²` bound, with ABD
 /// as the replication baseline. Uses `n = 2f + 1` (maximum fault tolerance).
 pub fn write_cost_sweep(fs: &[usize], value_size: usize, seed: u64) -> Vec<WriteCostRow> {
     fs.iter()
         .map(|&f| {
             let n = 2 * f + 1;
-            let soda = run_soda_scenario(&SodaScenarioParams {
+            let soda = run_scenario(&ScenarioParams {
                 value_size,
                 seed,
-                ..SodaScenarioParams::new(n, f)
+                ..ScenarioParams::new(ProtocolKind::Soda, n, f)
             });
-            let abd = run_abd_scenario(n, f, 0, value_size, seed, 10);
+            let abd = run_scenario(&ScenarioParams {
+                value_size,
+                seed,
+                ..ScenarioParams::new(ProtocolKind::Abd, n, f)
+            });
             WriteCostRow {
                 n,
                 f,
@@ -265,7 +290,7 @@ pub fn write_cost_sweep(fs: &[usize], value_size: usize, seed: u64) -> Vec<Write
 // ---------------------------------------------------------------------------
 
 /// One point of the read-cost experiment.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ReadCostRow {
     /// Number of servers.
     pub n: usize,
@@ -281,6 +306,15 @@ pub struct ReadCostRow {
     pub paper: f64,
 }
 
+json_row!(ReadCostRow {
+    n,
+    f,
+    delta_w_target,
+    delta_w_actual,
+    measured,
+    paper
+});
+
 /// Measures SODA's read cost as the number of concurrent writes grows.
 pub fn read_cost_sweep(
     n: usize,
@@ -292,11 +326,11 @@ pub fn read_cost_sweep(
     delta_ws
         .iter()
         .map(|&delta_w| {
-            let outcome = run_soda_scenario(&SodaScenarioParams {
+            let outcome = run_scenario(&ScenarioParams {
                 delta_w,
                 value_size,
                 seed,
-                ..SodaScenarioParams::new(n, f)
+                ..ScenarioParams::new(ProtocolKind::Soda, n, f)
             });
             ReadCostRow {
                 n,
@@ -315,7 +349,7 @@ pub fn read_cost_sweep(
 // ---------------------------------------------------------------------------
 
 /// One point of the latency experiment.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct LatencyRow {
     /// Number of servers.
     pub n: usize,
@@ -333,17 +367,32 @@ pub struct LatencyRow {
     pub read_bound: f64,
 }
 
+json_row!(LatencyRow {
+    n,
+    f,
+    delta,
+    write_deltas,
+    read_deltas,
+    write_bound,
+    read_bound
+});
+
 /// Measures operation latencies under a constant-delay network with bound Δ.
-pub fn latency_sweep(points: &[(usize, usize)], delta: u64, value_size: usize, seed: u64) -> Vec<LatencyRow> {
+pub fn latency_sweep(
+    points: &[(usize, usize)],
+    delta: u64,
+    value_size: usize,
+    seed: u64,
+) -> Vec<LatencyRow> {
     points
         .iter()
         .map(|&(n, f)| {
-            let outcome = run_soda_scenario(&SodaScenarioParams {
+            let outcome = run_scenario(&ScenarioParams {
                 value_size,
                 seed,
                 delta,
                 constant_delay: true,
-                ..SodaScenarioParams::new(n, f)
+                ..ScenarioParams::new(ProtocolKind::Soda, n, f)
             });
             LatencyRow {
                 n,
@@ -363,7 +412,7 @@ pub fn latency_sweep(points: &[(usize, usize)], delta: u64, value_size: usize, s
 // ---------------------------------------------------------------------------
 
 /// One point of the SODAerr cost experiment.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct SodaErrRow {
     /// Number of servers.
     pub n: usize,
@@ -389,18 +438,42 @@ pub struct SodaErrRow {
     pub atomic: bool,
 }
 
+json_row!(SodaErrRow {
+    n,
+    f,
+    e,
+    faulty_disks,
+    storage_measured,
+    storage_paper,
+    read_measured,
+    read_paper,
+    write_measured,
+    write_bound,
+    atomic,
+});
+
 /// Measures SODAerr's storage / read / write costs as the error budget grows,
 /// with `e` servers actually serving corrupted elements.
-pub fn sodaerr_sweep(n: usize, f: usize, es: &[usize], value_size: usize, seed: u64) -> Vec<SodaErrRow> {
+pub fn sodaerr_sweep(
+    n: usize,
+    f: usize,
+    es: &[usize],
+    value_size: usize,
+    seed: u64,
+) -> Vec<SodaErrRow> {
     es.iter()
         .map(|&e| {
+            let kind = if e == 0 {
+                ProtocolKind::Soda
+            } else {
+                ProtocolKind::SodaErr { e }
+            };
             let faulty: Vec<usize> = (0..e).collect();
-            let outcome = run_soda_scenario(&SodaScenarioParams {
-                e,
+            let outcome = run_scenario(&ScenarioParams {
                 faulty_disks: faulty.clone(),
                 value_size,
                 seed,
-                ..SodaScenarioParams::new(n, f)
+                ..ScenarioParams::new(kind, n, f)
             });
             SodaErrRow {
                 n,
@@ -424,7 +497,7 @@ pub fn sodaerr_sweep(n: usize, f: usize, es: &[usize], value_size: usize, seed: 
 // ---------------------------------------------------------------------------
 
 /// One point of the MD-VALUE residual-state experiment.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct MdStateRow {
     /// Number of servers.
     pub n: usize,
@@ -442,29 +515,39 @@ pub struct MdStateRow {
     pub residual_history: usize,
 }
 
+json_row!(MdStateRow {
+    n,
+    f,
+    writer_crashed,
+    stored_bytes_per_server,
+    residual_bytes,
+    residual_registrations,
+    residual_history,
+});
+
 /// Checks Theorem 3.2: after the dispersal completes, servers hold exactly one
 /// coded element and no buffered values, even if the writer crashes mid-send.
-pub fn md_state_experiment(points: &[(usize, usize)], value_size: usize, seed: u64) -> Vec<MdStateRow> {
+pub fn md_state_experiment(
+    points: &[(usize, usize)],
+    value_size: usize,
+    seed: u64,
+) -> Vec<MdStateRow> {
     let mut rows = Vec::new();
     for &(n, f) in points {
         for crash_writer in [false, true] {
-            let mut cluster = SodaCluster::build(
-                ClusterConfig::new(n, f)
-                    .with_seed(seed)
-                    .with_clients(1, 1),
-            );
-            let w = cluster.writers()[0];
-            cluster.invoke_write(w, vec![7u8; value_size]);
+            let mut cluster = ClusterBuilder::new(ProtocolKind::Soda, n, f)
+                .with_seed(seed)
+                .build_soda()
+                .expect("valid SODA parameters");
+            cluster.invoke_write(0, vec![7u8; value_size]);
             if crash_writer {
                 // Let the writer issue its write-get and the first couple of
                 // dispersal messages, then crash it.
                 let crash_at = cluster.now() + 25;
-                cluster.crash_process_at(crash_at, w);
+                cluster.crash_writer_at(crash_at, 0);
             }
             cluster.run_to_quiescence();
-            let per_server: Vec<u64> = (0..n)
-                .map(|rank| cluster.server_state(rank).stored_bytes() as u64)
-                .collect();
+            let per_server = cluster.stored_bytes_per_server();
             let expected_element = (value_size + 8).div_ceil(n - f) as u64;
             let residual: u64 = per_server
                 .iter()
@@ -489,7 +572,7 @@ pub fn md_state_experiment(points: &[(usize, usize)], value_size: usize, seed: u
 // ---------------------------------------------------------------------------
 
 /// One point of the relay ablation.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct RelayAblationRow {
     /// Whether concurrent-write relaying was enabled (paper behaviour).
     pub relay_enabled: bool,
@@ -500,6 +583,13 @@ pub struct RelayAblationRow {
     /// Whether the concurrent write completed (it always should).
     pub write_completed: bool,
 }
+
+json_row!(RelayAblationRow {
+    relay_enabled,
+    read_completed,
+    read_latency,
+    write_completed
+});
 
 /// Demonstrates why reader registration + relaying (Fig. 5, response 3) is
 /// essential for liveness (Theorem 5.1).
@@ -530,7 +620,11 @@ pub fn relay_ablation(value_size: usize, seed: u64) -> Vec<RelayAblationRow> {
             .with_link(writer_pid, ProcessId(1), DelayModel::Constant(300))
             .with_link(writer_pid, ProcessId(2), DelayModel::Constant(300));
         for rank in 1..n {
-            network = network.with_link(ProcessId(0), ProcessId(rank as u32), DelayModel::Constant(800));
+            network = network.with_link(
+                ProcessId(0),
+                ProcessId(rank as u32),
+                DelayModel::Constant(800),
+            );
         }
         // Keep servers 3 and 4 out of the read's first majority so the get
         // phase is answered by servers 0..2 (including the one with the new tag).
@@ -538,22 +632,19 @@ pub fn relay_ablation(value_size: usize, seed: u64) -> Vec<RelayAblationRow> {
             .with_link(ProcessId(3), reader_pid, DelayModel::Constant(100))
             .with_link(ProcessId(4), reader_pid, DelayModel::Constant(100));
 
-        let mut config = ClusterConfig::new(n, f)
+        let mut builder = ClusterBuilder::new(ProtocolKind::Soda, n, f)
             .with_seed(seed)
-            .with_clients(1, 1)
             .with_network(network);
         if !relay_enabled {
-            config = config.with_relay_disabled();
+            builder = builder.with_relay_disabled();
         }
-        let mut cluster = SodaCluster::build(config);
-        let w = cluster.writers()[0];
-        let r = cluster.readers()[0];
-        debug_assert_eq!(w, writer_pid);
-        debug_assert_eq!(r, reader_pid);
+        let mut cluster = builder.build_soda().expect("valid SODA parameters");
+        debug_assert_eq!(cluster.writer_process(0), writer_pid);
+        debug_assert_eq!(cluster.reader_process(0), reader_pid);
         // The concurrent write starts immediately; the read starts once the
         // write's dispersal has reached (only) backbone server 0.
-        cluster.invoke_write_at(SimTime::from_ticks(0), w, vec![0xAB; value_size]);
-        cluster.invoke_read_at(SimTime::from_ticks(60), r);
+        cluster.invoke_write_at(SimTime::from_ticks(0), 0, vec![0xAB; value_size]);
+        cluster.invoke_read_at(SimTime::from_ticks(60), 0);
         cluster.run_to_quiescence();
         let ops = cluster.completed_ops();
         let read = ops.iter().find(|o| o.kind.is_read());
@@ -573,7 +664,7 @@ pub fn relay_ablation(value_size: usize, seed: u64) -> Vec<RelayAblationRow> {
 // ---------------------------------------------------------------------------
 
 /// One point of the storage-elasticity ablation.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ElasticityRow {
     /// The concurrency bound δ CASGC is provisioned for.
     pub provisioned_delta: usize,
@@ -589,6 +680,15 @@ pub struct ElasticityRow {
     pub casgc_read: f64,
 }
 
+json_row!(ElasticityRow {
+    provisioned_delta,
+    actual_delta_w,
+    soda_storage,
+    casgc_storage,
+    soda_read,
+    casgc_read,
+});
+
 /// Contrasts CASGC's storage (provisioned for a worst-case δ) with SODA's
 /// storage (always `n/(n−f)`) while the *actual* concurrency stays small.
 pub fn storage_elasticity(
@@ -602,15 +702,20 @@ pub fn storage_elasticity(
     provisioned
         .iter()
         .map(|&delta| {
-            let soda = run_soda_scenario(&SodaScenarioParams {
+            let soda = run_scenario(&ScenarioParams {
                 delta_w: actual_delta_w,
                 value_size,
                 seed,
-                ..SodaScenarioParams::new(n, f)
+                ..ScenarioParams::new(ProtocolKind::Soda, n, f)
             });
             // CASGC needs n > 2f.
             let f_cas = f.min((n - 1) / 2);
-            let casgc = run_casgc_scenario(n, f_cas, Some(delta), actual_delta_w, value_size, seed, 10);
+            let casgc = run_scenario(&ScenarioParams {
+                delta_w: actual_delta_w,
+                value_size,
+                seed,
+                ..ScenarioParams::new(ProtocolKind::Casgc { gc: delta }, n, f_cas)
+            });
             ElasticityRow {
                 provisioned_delta: delta,
                 actual_delta_w: soda.delta_w_actual,
@@ -619,6 +724,28 @@ pub fn storage_elasticity(
                 soda_read: soda.read_cost,
                 casgc_read: casgc.read_cost,
             }
+        })
+        .collect()
+}
+
+/// A tiny smoke workload used by doctests and the quickstart: one write and
+/// one read against every protocol kind, returning the read-back values.
+pub fn smoke_all_kinds(seed: u64) -> Vec<(String, bool)> {
+    soda_registry::ALL_KINDS
+        .iter()
+        .map(|&kind| {
+            let n = if kind.error_budget() > 0 { 7 } else { 5 };
+            let mut cluster = ClusterBuilder::new(kind, n, 2)
+                .with_seed(seed)
+                .build()
+                .expect("representative parameters are valid");
+            cluster.invoke_write(0, value_of(512, 1));
+            cluster.run_to_quiescence();
+            cluster.invoke_read(0);
+            cluster.run_to_quiescence();
+            let ops = cluster.completed_ops();
+            let ok = ops.len() == 2 && ops[1].value == ops[0].value;
+            (kind.name().to_string(), ok)
         })
         .collect()
 }
@@ -639,7 +766,12 @@ mod tests {
 
     #[test]
     fn to_json_produces_valid_output() {
-        let rows = vec![StorageRow { n: 5, f: 2, measured: 1.7, paper: 5.0 / 3.0 }];
+        let rows = vec![StorageRow {
+            n: 5,
+            f: 2,
+            measured: 1.7,
+            paper: 5.0 / 3.0,
+        }];
         let json = to_json(&rows);
         assert!(json.contains("\"n\": 5"));
     }
@@ -663,7 +795,13 @@ mod tests {
     fn write_cost_stays_under_bound_and_below_abd_for_large_f() {
         let rows = write_cost_sweep(&[2, 3], 2048, 3);
         for row in rows {
-            assert!(row.soda <= row.bound, "f={}: {} > {}", row.f, row.soda, row.bound);
+            assert!(
+                row.soda <= row.bound,
+                "f={}: {} > {}",
+                row.f,
+                row.soda,
+                row.bound
+            );
         }
     }
 
@@ -695,7 +833,11 @@ mod tests {
     fn md_state_has_no_residual_value_bytes() {
         let rows = md_state_experiment(&[(5, 2)], 1500, 4);
         for row in rows {
-            assert_eq!(row.residual_bytes, 0, "writer_crashed={}", row.writer_crashed);
+            assert_eq!(
+                row.residual_bytes, 0,
+                "writer_crashed={}",
+                row.writer_crashed
+            );
             assert_eq!(row.residual_registrations, 0);
         }
     }
@@ -711,5 +853,14 @@ mod tests {
             !without_relay.read_completed,
             "without relaying the racing read must never terminate"
         );
+    }
+
+    #[test]
+    fn smoke_covers_all_five_kinds() {
+        let results = smoke_all_kinds(5);
+        assert_eq!(results.len(), 5);
+        for (name, ok) in results {
+            assert!(ok, "{name}: write/read round trip failed");
+        }
     }
 }

@@ -1,24 +1,25 @@
 //! Workload generation and experiment drivers for the SODA reproduction.
 //!
-//! This crate turns the protocol implementations (`soda`, `soda-baselines`)
-//! into *measurements*: it builds clusters, drives carefully shaped workloads
-//! (solo writes, reads with a controlled number `δw` of concurrent writes,
-//! crash and corruption schedules), converts the resulting operation records
-//! into [`soda_consistency::History`] values for atomicity checking, and
-//! aggregates the normalized storage/communication costs and latencies that
-//! the paper's theorems and Table I talk about.
+//! This crate turns the protocol implementations into *measurements*. All
+//! clusters are built and driven through the [`soda_registry`] facade — the
+//! [`soda_registry::RegisterCluster`] trait and
+//! [`soda_registry::ClusterBuilder`] — so a single scenario runner
+//! ([`scenario::run_scenario`]) measures SODA, SODAerr, ABD, CAS and CASGC
+//! with the identical three-phase procedure, selected by
+//! [`soda_registry::ProtocolKind`]. It converts the resulting operation
+//! records into [`soda_consistency::History`] values for atomicity checking,
+//! and aggregates the normalized storage/communication costs and latencies
+//! that the paper's theorems and Table I talk about.
 //!
 //! The `soda-bench` crate's binaries are thin wrappers around the experiment
-//! functions in [`experiments`]; integration tests use the scenario runners in
+//! functions in [`experiments`]; integration tests use the scenario runner in
 //! [`scenario`] directly.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
-pub mod convert;
 pub mod experiments;
+pub mod json;
 pub mod scenario;
 
-pub use scenario::{
-    run_abd_scenario, run_casgc_scenario, run_soda_scenario, ScenarioOutcome, SodaScenarioParams,
-};
+pub use scenario::{run_scenario, ScenarioOutcome, ScenarioParams};

@@ -1,36 +1,36 @@
-//! Scenario runners: build a cluster, drive a shaped workload, and return the
-//! normalized costs, latencies and the atomicity-checked history.
+//! The measurement scenario: build a cluster, drive a shaped workload, and
+//! return the normalized costs, latencies and the atomicity-checked history.
 //!
-//! All three algorithms (SODA/SODAerr, ABD, CASGC) are measured with the same
-//! three-phase procedure so their numbers are directly comparable:
+//! There is exactly **one** runner for all five protocols, driving them
+//! through the [`soda_registry::RegisterCluster`] facade; the algorithm is selected by
+//! [`ScenarioParams::kind`]. Every protocol is therefore measured with the
+//! same three-phase procedure, so Table I's numbers are directly comparable:
 //!
 //! 1. **setup** — one write establishes a non-initial version everywhere;
 //! 2. **solo write** — a single write with nothing else running measures the
 //!    write communication cost and write latency;
-//! 3. **read under concurrency** — one read is invoked at the same instant as
-//!    `δw` writes (one per concurrent writer), measuring the read
-//!    communication cost (bytes of coded/full value data delivered to the
-//!    reader), the read latency and the *actual* number of concurrent writes.
+//! 3. **read under concurrency** — one read is invoked together with `δw`
+//!    writes (one per concurrent writer), measuring the read communication
+//!    cost (bytes of coded/full value data attributed to the reader — ABD's
+//!    write-back counts both directions via
+//!    [`soda_registry::RegisterCluster::read_cost_bytes`]), the read latency and the
+//!    *actual* number of concurrent writes.
 //!
 //! Storage cost is measured at the end, after the system quiesces.
 
-use crate::convert::{history_from_abd, history_from_cas, history_from_soda};
-use soda::harness::{ClusterConfig, SodaCluster};
-use soda::OpKind;
-use soda_baselines::abd::{AbdClient, AbdCluster};
-use soda_baselines::cas::CasCluster;
 use soda_consistency::{History, Kind};
+use soda_registry::{ClusterBuilder, ProtocolKind};
 use soda_simnet::{NetworkConfig, SimTime};
 
-/// Parameters of a SODA / SODAerr measurement scenario.
+/// Parameters of one measurement scenario.
 #[derive(Clone, Debug)]
-pub struct SodaScenarioParams {
+pub struct ScenarioParams {
+    /// The algorithm to measure.
+    pub kind: ProtocolKind,
     /// Number of servers.
     pub n: usize,
     /// Tolerated crashes.
     pub f: usize,
-    /// Error budget (0 = plain SODA).
-    pub e: usize,
     /// Number of writes invoked concurrently with the measured read.
     pub delta_w: usize,
     /// Size of every written value, in bytes.
@@ -41,28 +41,29 @@ pub struct SodaScenarioParams {
     pub delta: u64,
     /// Use a constant delay of exactly Δ instead of uniform `[1, Δ]`.
     pub constant_delay: bool,
-    /// Server ranks with corrupted local disks (SODAerr experiments).
+    /// Server ranks with corrupted local disks (SODAerr experiments only).
     pub faulty_disks: Vec<usize>,
-    /// Ablation: disable concurrent-write relaying to registered readers.
+    /// Ablation: disable concurrent-write relaying to registered readers
+    /// (SODA / SODAerr only).
     pub relay_enabled: bool,
     /// Ranks of servers to crash at the start of the measurement.
     pub crashed_servers: Vec<usize>,
     /// How many ticks the concurrent writes are invoked *before* the measured
     /// read. A non-zero lead makes the read's get phase observe a partially
-    /// propagated write (its tag is known to a majority but its coded elements
-    /// have not reached every server yet), which is the situation where the
-    /// relay mechanism is essential for liveness.
+    /// propagated write (its tag is known to a majority but its coded
+    /// elements have not reached every server yet), which is the situation
+    /// where SODA's relay mechanism is essential for liveness.
     pub concurrent_write_lead: u64,
 }
 
-impl SodaScenarioParams {
-    /// Sensible defaults for an `(n, f)` cluster: no errors, no concurrency,
+impl ScenarioParams {
+    /// Sensible defaults for a `kind` cluster of `(n, f)`: no concurrency,
     /// 4 KiB values, Δ = 10.
-    pub fn new(n: usize, f: usize) -> Self {
-        SodaScenarioParams {
+    pub fn new(kind: ProtocolKind, n: usize, f: usize) -> Self {
+        ScenarioParams {
+            kind,
             n,
             f,
-            e: 0,
             delta_w: 0,
             value_size: 4096,
             seed: 1,
@@ -79,6 +80,8 @@ impl SodaScenarioParams {
 /// The measurements extracted from one scenario run.
 #[derive(Clone, Debug)]
 pub struct ScenarioOutcome {
+    /// The algorithm that was measured.
+    pub kind: ProtocolKind,
     /// Normalized communication cost of the solo write (data bytes / value size).
     pub write_cost: f64,
     /// Normalized communication cost of the measured read.
@@ -123,37 +126,40 @@ fn network(delta: u64, constant: bool) -> NetworkConfig {
     }
 }
 
-fn value_of(size: usize, fill: u8) -> Vec<u8> {
+pub(crate) fn value_of(size: usize, fill: u8) -> Vec<u8> {
     (0..size).map(|i| fill.wrapping_add(i as u8)).collect()
 }
 
-/// Runs the standard measurement scenario against SODA / SODAerr.
-pub fn run_soda_scenario(params: &SodaScenarioParams) -> ScenarioOutcome {
+/// Runs the standard measurement scenario against any protocol.
+///
+/// # Panics
+/// Panics if the parameter combination is invalid (see
+/// [`ClusterBuilder::validate`]).
+pub fn run_scenario(params: &ScenarioParams) -> ScenarioOutcome {
     let writers_needed = params.delta_w.max(1);
-    let mut config = ClusterConfig::new(params.n, params.f)
+    let mut builder = ClusterBuilder::new(params.kind, params.n, params.f)
         .with_seed(params.seed)
         .with_clients(writers_needed, 1)
-        .with_error_tolerance(params.e)
         .with_network(network(params.delta, params.constant_delay))
         .with_faulty_disks(params.faulty_disks.clone());
     if !params.relay_enabled {
-        config = config.with_relay_disabled();
+        builder = builder.with_relay_disabled();
     }
-    let mut cluster = SodaCluster::build(config);
+    let mut cluster = builder
+        .build()
+        .unwrap_or_else(|e| panic!("invalid scenario parameters: {e}"));
     for &rank in &params.crashed_servers {
         cluster.crash_server_at(SimTime::ZERO, rank);
     }
-    let writers = cluster.writers().to_vec();
-    let reader = cluster.readers()[0];
     let value_size = params.value_size;
 
     // Phase 1: setup write.
-    cluster.invoke_write(writers[0], value_of(value_size, 1));
+    cluster.invoke_write(0, value_of(value_size, 1));
     cluster.run_to_quiescence();
 
     // Phase 2: solo write to measure write cost.
     let before_write = cluster.stats();
-    cluster.invoke_write(writers[0], value_of(value_size, 2));
+    cluster.invoke_write(0, value_of(value_size, 2));
     cluster.run_to_quiescence();
     let write_stats = cluster.stats().since(&before_write);
     let write_cost = write_stats.data_bytes_sent as f64 / value_size as f64;
@@ -164,33 +170,31 @@ pub fn run_soda_scenario(params: &SodaScenarioParams) -> ScenarioOutcome {
     let before_read = cluster.stats();
     let write_start = cluster.now() + 10;
     let read_start = write_start + params.concurrent_write_lead;
-    cluster.invoke_read_at(read_start, reader);
+    cluster.invoke_read_at(read_start, 0);
     for i in 0..params.delta_w {
-        let writer = writers[i % writers.len()];
-        cluster.invoke_write_at(write_start, writer, value_of(value_size, 3 + i as u8));
+        cluster.invoke_write_at(
+            write_start,
+            i % writers_needed,
+            value_of(value_size, 3 + i as u8),
+        );
     }
     cluster.run_to_quiescence();
-    let read_stats = cluster.stats().since(&before_read);
-    let read_bytes = read_stats
-        .per_process
-        .get(reader.index())
-        .map(|p| p.data_bytes_received)
-        .unwrap_or(0);
-    let read_cost = read_bytes as f64 / value_size as f64;
+    let read_window = cluster.stats().since(&before_read);
+    let read_cost = cluster.read_cost_bytes(&read_window, 0) as f64 / value_size as f64;
 
     let storage_cost = cluster.total_stored_bytes() as f64 / value_size as f64;
 
     let ops = cluster.completed_ops();
-    let history = history_from_soda(&[], &ops);
+    let history = cluster.history(&[]);
     let atomic = history.check_atomicity().is_ok();
 
     let write_latency = ops
         .iter()
-        .filter(|o| o.kind == OpKind::Write)
+        .filter(|o| o.kind.is_write())
         .nth(1)
         .map(|o| o.latency())
         .unwrap_or(0);
-    let reads: Vec<_> = ops.iter().filter(|o| o.kind == OpKind::Read).collect();
+    let reads: Vec<_> = ops.iter().filter(|o| o.kind.is_read()).collect();
     let read_latency = reads.first().map(|o| o.latency()).unwrap_or(0);
     let reads_completed = reads.len();
     let delta_w_actual = history
@@ -202,6 +206,7 @@ pub fn run_soda_scenario(params: &SodaScenarioParams) -> ScenarioOutcome {
         .unwrap_or(0);
 
     ScenarioOutcome {
+        kind: params.kind,
         write_cost,
         read_cost,
         storage_cost,
@@ -216,207 +221,17 @@ pub fn run_soda_scenario(params: &SodaScenarioParams) -> ScenarioOutcome {
     }
 }
 
-/// Runs the standard measurement scenario against ABD.
-pub fn run_abd_scenario(
-    n: usize,
-    f: usize,
-    delta_w: usize,
-    value_size: usize,
-    seed: u64,
-    delta: u64,
-) -> ScenarioOutcome {
-    let clients = delta_w.max(1) + 1; // concurrent writers + one reader
-    let mut cluster = AbdCluster::build(n, f, clients, seed, NetworkConfig::uniform(delta), Vec::new());
-    let ids = cluster.clients().to_vec();
-    let reader = ids[ids.len() - 1];
-    let writers = &ids[..ids.len() - 1];
-
-    cluster.invoke_write(writers[0], value_of(value_size, 1));
-    cluster.run_to_quiescence();
-
-    let before_write = cluster.stats();
-    cluster.invoke_write(writers[0], value_of(value_size, 2));
-    cluster.run_to_quiescence();
-    let write_cost =
-        cluster.stats().since(&before_write).data_bytes_sent as f64 / value_size as f64;
-
-    let before_read = cluster.stats();
-    let start = SimTime::from_ticks(cluster.sim().now().ticks() + 10);
-    cluster.invoke_read_at(start, reader);
-    for i in 0..delta_w {
-        cluster.invoke_write_at(start, writers[i % writers.len()], value_of(value_size, 3 + i as u8));
-    }
-    cluster.run_to_quiescence();
-    let read_stats = cluster.stats().since(&before_read);
-    let read_bytes = read_stats
-        .per_process
-        .get(reader.index())
-        .map(|p| p.data_bytes_received)
-        .unwrap_or(0);
-    // An ABD read also *sends* the value back to the servers in its write-back
-    // phase; both directions are part of the read's communication cost.
-    let read_sent = read_stats
-        .per_process
-        .get(reader.index())
-        .map(|p| p.data_bytes_sent)
-        .unwrap_or(0);
-    let read_cost = (read_bytes + read_sent) as f64 / value_size as f64;
-
-    let storage_cost = cluster.total_stored_bytes() as f64 / value_size as f64;
-
-    let per_client: Vec<(u64, Vec<_>)> = ids
-        .iter()
-        .map(|&c| {
-            let records = cluster
-                .sim()
-                .process_as::<AbdClient>(c)
-                .map(|cl| cl.completed_ops().to_vec())
-                .unwrap_or_default();
-            (c.0 as u64, records)
-        })
-        .collect();
-    let history = history_from_abd(&[], &per_client);
-    let atomic = history.check_atomicity().is_ok();
-
-    let ops = cluster.completed_ops();
-    let write_latency = ops
-        .iter()
-        .filter(|o| !o.is_read)
-        .nth(1)
-        .map(|o| o.completed_at.since(o.invoked_at))
-        .unwrap_or(0);
-    let reads: Vec<_> = ops.iter().filter(|o| o.is_read).collect();
-    let read_latency = reads
-        .first()
-        .map(|o| o.completed_at.since(o.invoked_at))
-        .unwrap_or(0);
-    let delta_w_actual = history
-        .ops()
-        .iter()
-        .filter(|o| o.kind == Kind::Read)
-        .map(|o| history.concurrent_writes(o.id))
-        .max()
-        .unwrap_or(0);
-
-    ScenarioOutcome {
-        write_cost,
-        read_cost,
-        storage_cost,
-        delta_w_actual,
-        write_latency,
-        read_latency,
-        delta,
-        reads_requested: 1,
-        reads_completed: reads.len(),
-        history,
-        atomic,
-    }
-}
-
-/// Runs the standard measurement scenario against CASGC with garbage
-/// collection depth `δ + 1` (pass `gc_delta = None` for plain CAS).
-pub fn run_casgc_scenario(
-    n: usize,
-    f: usize,
-    gc_delta: Option<usize>,
-    delta_w: usize,
-    value_size: usize,
-    seed: u64,
-    delta: u64,
-) -> ScenarioOutcome {
-    let clients = delta_w.max(1) + 1;
-    let mut cluster = CasCluster::build(
-        n,
-        f,
-        gc_delta.map(|d| d + 1),
-        clients,
-        seed,
-        NetworkConfig::uniform(delta),
-        Vec::new(),
-    );
-    let ids = cluster.clients().to_vec();
-    let reader = ids[ids.len() - 1];
-    let writers = &ids[..ids.len() - 1];
-
-    cluster.invoke_write(writers[0], value_of(value_size, 1));
-    cluster.run_to_quiescence();
-
-    let before_write = cluster.stats();
-    cluster.invoke_write(writers[0], value_of(value_size, 2));
-    cluster.run_to_quiescence();
-    let write_cost =
-        cluster.stats().since(&before_write).data_bytes_sent as f64 / value_size as f64;
-
-    let before_read = cluster.stats();
-    let start = cluster.now() + 10;
-    cluster.invoke_read_at(start, reader);
-    for i in 0..delta_w {
-        cluster.invoke_write_at(start, writers[i % writers.len()], value_of(value_size, 3 + i as u8));
-    }
-    cluster.run_to_quiescence();
-    let read_stats = cluster.stats().since(&before_read);
-    let read_bytes = read_stats
-        .per_process
-        .get(reader.index())
-        .map(|p| p.data_bytes_received)
-        .unwrap_or(0);
-    let read_cost = read_bytes as f64 / value_size as f64;
-
-    let storage_cost = cluster.total_stored_bytes() as f64 / value_size as f64;
-
-    let per_client: Vec<(u64, Vec<_>)> = ids
-        .iter()
-        .map(|&c| (c.0 as u64, cluster.client_records(c)))
-        .collect();
-    let history = history_from_cas(&[], &per_client);
-    let atomic = history.check_atomicity().is_ok();
-
-    let ops = cluster.completed_ops();
-    let write_latency = ops
-        .iter()
-        .filter(|o| !o.is_read)
-        .nth(1)
-        .map(|o| o.completed_at.since(o.invoked_at))
-        .unwrap_or(0);
-    let reads: Vec<_> = ops.iter().filter(|o| o.is_read).collect();
-    let read_latency = reads
-        .first()
-        .map(|o| o.completed_at.since(o.invoked_at))
-        .unwrap_or(0);
-    let delta_w_actual = history
-        .ops()
-        .iter()
-        .filter(|o| o.kind == Kind::Read)
-        .map(|o| history.concurrent_writes(o.id))
-        .max()
-        .unwrap_or(0);
-
-    ScenarioOutcome {
-        write_cost,
-        read_cost,
-        storage_cost,
-        delta_w_actual,
-        write_latency,
-        read_latency,
-        delta,
-        reads_requested: 1,
-        reads_completed: reads.len(),
-        history,
-        atomic,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn soda_scenario_produces_consistent_measurements() {
-        let params = SodaScenarioParams {
+        let params = ScenarioParams {
             value_size: 2048,
-            ..SodaScenarioParams::new(5, 2)
+            ..ScenarioParams::new(ProtocolKind::Soda, 5, 2)
         };
-        let outcome = run_soda_scenario(&params);
+        let outcome = run_scenario(&params);
         assert!(outcome.atomic, "history must be atomic");
         assert!(outcome.write_cost > 0.0);
         assert!(outcome.read_cost > 0.0);
@@ -429,12 +244,12 @@ mod tests {
 
     #[test]
     fn soda_scenario_with_concurrency_reports_delta_w() {
-        let params = SodaScenarioParams {
+        let params = ScenarioParams {
             delta_w: 3,
             value_size: 1024,
-            ..SodaScenarioParams::new(5, 2)
+            ..ScenarioParams::new(ProtocolKind::Soda, 5, 2)
         };
-        let outcome = run_soda_scenario(&params);
+        let outcome = run_scenario(&params);
         assert!(outcome.atomic);
         assert!(outcome.delta_w_actual >= 1, "writes must overlap the read");
         // Read cost grows with concurrency but stays within the paper bound
@@ -450,7 +265,12 @@ mod tests {
 
     #[test]
     fn abd_scenario_costs_scale_with_n() {
-        let outcome = run_abd_scenario(5, 2, 0, 2048, 3, 8);
+        let outcome = run_scenario(&ScenarioParams {
+            value_size: 2048,
+            seed: 3,
+            delta: 8,
+            ..ScenarioParams::new(ProtocolKind::Abd, 5, 2)
+        });
         assert!(outcome.atomic);
         assert!(outcome.storage_cost > 4.9, "ABD stores n full copies");
         assert!(outcome.write_cost >= 5.0, "ABD write cost is at least n");
@@ -458,10 +278,36 @@ mod tests {
 
     #[test]
     fn casgc_scenario_costs_match_coded_baseline() {
-        let outcome = run_casgc_scenario(5, 1, Some(2), 0, 2048, 4, 8);
+        let outcome = run_scenario(&ScenarioParams {
+            value_size: 2048,
+            seed: 4,
+            delta: 8,
+            ..ScenarioParams::new(ProtocolKind::Casgc { gc: 2 }, 5, 1)
+        });
         assert!(outcome.atomic);
         // Per-op communication ~ n/(n-2f) = 5/3.
         assert!(outcome.write_cost < 3.0);
         assert!(outcome.read_cost < 3.0);
+    }
+
+    #[test]
+    fn every_kind_runs_the_same_scenario() {
+        for kind in [
+            ProtocolKind::Soda,
+            ProtocolKind::SodaErr { e: 1 },
+            ProtocolKind::Abd,
+            ProtocolKind::Cas,
+            ProtocolKind::Casgc { gc: 1 },
+        ] {
+            let n = if kind.error_budget() > 0 { 7 } else { 5 };
+            let outcome = run_scenario(&ScenarioParams {
+                delta_w: 1,
+                value_size: 1024,
+                ..ScenarioParams::new(kind, n, 2)
+            });
+            assert!(outcome.atomic, "{}: history must be atomic", kind.name());
+            assert_eq!(outcome.reads_completed, 1, "{}", kind.name());
+            assert!(outcome.write_cost > 0.0, "{}", kind.name());
+        }
     }
 }

@@ -2,56 +2,66 @@
 //! with concurrent clients over many random schedules (seeds control both the
 //! message delays and the workload timing) and machine-check every resulting
 //! history against the atomicity conditions of Lemma 2.1.
+//!
+//! All four protocols are driven by the *same* generic function through the
+//! `RegisterCluster` facade.
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
-use soda::harness::{ClusterConfig, SodaCluster};
-use soda_baselines::abd::{AbdClient, AbdCluster};
-use soda_baselines::cas::CasCluster;
 use soda_consistency::History;
+use soda_registry::{ClusterBuilder, ProtocolKind, SodaRegisterCluster};
 use soda_simnet::{NetworkConfig, SimTime};
-use soda_workload::convert::{history_from_abd, history_from_cas, history_from_soda};
 
-/// Drives a SODA/SODAerr cluster with a random interleaving of writes and
+/// Drives any protocol's cluster with a random interleaving of writes and
 /// reads and returns the checked history.
-fn run_random_soda(seed: u64, n: usize, f: usize, e: usize, faulty: Vec<usize>) -> History {
+fn run_random(
+    kind: ProtocolKind,
+    seed: u64,
+    n: usize,
+    f: usize,
+    faulty: Vec<usize>,
+    value_prefix: &str,
+) -> History {
     let mut rng = ChaCha12Rng::seed_from_u64(seed);
-    let mut cluster = SodaCluster::build(
-        ClusterConfig::new(n, f)
-            .with_seed(seed)
-            .with_clients(2, 2)
-            .with_error_tolerance(e)
-            .with_faulty_disks(faulty)
-            .with_network(NetworkConfig::uniform(1 + seed % 20)),
-    );
-    let writers = cluster.writers().to_vec();
-    let readers = cluster.readers().to_vec();
+    let mut cluster = ClusterBuilder::new(kind, n, f)
+        .with_seed(seed)
+        .with_clients(2, 2)
+        .with_faulty_disks(faulty)
+        .with_network(NetworkConfig::uniform(1 + seed % 20))
+        .build()
+        .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
     let mut counter = 0u32;
     for _ in 0..8 {
-        let at = SimTime::from_ticks(rng.gen_range(0..300));
+        let at = SimTime::from_ticks(rng.gen_range(0u64..300));
         if rng.gen_bool(0.5) {
-            let w = writers[rng.gen_range(0..writers.len())];
+            let writer = rng.gen_range(0usize..2);
             counter += 1;
-            cluster.invoke_write_at(at, w, format!("value-{counter}").into_bytes());
+            cluster.invoke_write_at(at, writer, format!("{value_prefix}-{counter}").into_bytes());
         } else {
-            let r = readers[rng.gen_range(0..readers.len())];
-            cluster.invoke_read_at(at, r);
+            let reader = rng.gen_range(0usize..2);
+            cluster.invoke_read_at(at, reader);
         }
     }
     let outcome = cluster.run_to_quiescence();
-    assert!(!outcome.hit_event_cap, "seed {seed}: protocol must quiesce");
-    assert_eq!(
-        cluster.total_registered_readers(),
-        0,
-        "seed {seed}: no reader stays registered after quiescence"
+    assert!(
+        !outcome.hit_event_cap,
+        "{} seed {seed}: protocol must quiesce",
+        kind.name()
     );
-    history_from_soda(&[], &cluster.completed_ops())
+    if let Some(soda) = cluster.as_any().downcast_ref::<SodaRegisterCluster>() {
+        assert_eq!(
+            soda.total_registered_readers(),
+            0,
+            "seed {seed}: no reader stays registered after quiescence"
+        );
+    }
+    cluster.history(&[])
 }
 
 #[test]
 fn soda_histories_are_atomic_across_many_random_schedules() {
     for seed in 0..25 {
-        let history = run_random_soda(seed, 5, 2, 0, vec![]);
+        let history = run_random(ProtocolKind::Soda, seed, 5, 2, vec![], "value");
         history
             .check_atomicity()
             .unwrap_or_else(|v| panic!("seed {seed}: atomicity violated: {v}"));
@@ -61,7 +71,7 @@ fn soda_histories_are_atomic_across_many_random_schedules() {
 #[test]
 fn soda_histories_are_atomic_on_larger_clusters() {
     for seed in 0..6 {
-        let history = run_random_soda(1000 + seed, 11, 5, 0, vec![]);
+        let history = run_random(ProtocolKind::Soda, 1000 + seed, 11, 5, vec![], "value");
         history
             .check_atomicity()
             .unwrap_or_else(|v| panic!("seed {seed}: atomicity violated: {v}"));
@@ -71,7 +81,14 @@ fn soda_histories_are_atomic_on_larger_clusters() {
 #[test]
 fn sodaerr_histories_are_atomic_with_corrupted_disks() {
     for seed in 0..12 {
-        let history = run_random_soda(2000 + seed, 9, 2, 2, vec![1, 6]);
+        let history = run_random(
+            ProtocolKind::SodaErr { e: 2 },
+            2000 + seed,
+            9,
+            2,
+            vec![1, 6],
+            "value",
+        );
         history
             .check_atomicity()
             .unwrap_or_else(|v| panic!("seed {seed}: atomicity violated: {v}"));
@@ -92,35 +109,7 @@ fn sodaerr_histories_are_atomic_with_corrupted_disks() {
 #[test]
 fn abd_histories_are_atomic() {
     for seed in 0..15 {
-        let mut rng = ChaCha12Rng::seed_from_u64(seed);
-        let mut cluster =
-            AbdCluster::build(5, 2, 3, seed, NetworkConfig::uniform(1 + seed % 15), Vec::new());
-        let clients = cluster.clients().to_vec();
-        for i in 0..8u32 {
-            let at = SimTime::from_ticks(rng.gen_range(0..200));
-            let c = clients[rng.gen_range(0..clients.len())];
-            if rng.gen_bool(0.5) {
-                cluster.invoke_write_at(at, c, format!("abd-{i}").into_bytes());
-            } else {
-                cluster.invoke_read_at(at, c);
-            }
-        }
-        cluster.run_to_quiescence();
-        let per_client: Vec<(u64, Vec<_>)> = clients
-            .iter()
-            .map(|&c| {
-                (
-                    c.0 as u64,
-                    cluster
-                        .sim()
-                        .process_as::<AbdClient>(c)
-                        .unwrap()
-                        .completed_ops()
-                        .to_vec(),
-                )
-            })
-            .collect();
-        let history = history_from_abd(&[], &per_client);
+        let history = run_random(ProtocolKind::Abd, seed, 5, 2, vec![], "abd");
         history
             .check_atomicity()
             .unwrap_or_else(|v| panic!("ABD seed {seed}: atomicity violated: {v}"));
@@ -130,32 +119,7 @@ fn abd_histories_are_atomic() {
 #[test]
 fn casgc_histories_are_atomic() {
     for seed in 0..15 {
-        let mut rng = ChaCha12Rng::seed_from_u64(seed);
-        let mut cluster = CasCluster::build(
-            5,
-            1,
-            Some(4),
-            3,
-            seed,
-            NetworkConfig::uniform(1 + seed % 15),
-            Vec::new(),
-        );
-        let clients = cluster.clients().to_vec();
-        for i in 0..8u32 {
-            let at = SimTime::from_ticks(rng.gen_range(0..200));
-            let c = clients[rng.gen_range(0..clients.len())];
-            if rng.gen_bool(0.5) {
-                cluster.invoke_write_at(at, c, format!("cas-{i}").into_bytes());
-            } else {
-                cluster.invoke_read_at(at, c);
-            }
-        }
-        cluster.run_to_quiescence();
-        let per_client: Vec<(u64, Vec<_>)> = clients
-            .iter()
-            .map(|&c| (c.0 as u64, cluster.client_records(c)))
-            .collect();
-        let history = history_from_cas(&[], &per_client);
+        let history = run_random(ProtocolKind::Casgc { gc: 3 }, seed, 5, 1, vec![], "cas");
         history
             .check_atomicity()
             .unwrap_or_else(|v| panic!("CASGC seed {seed}: atomicity violated: {v}"));
@@ -167,20 +131,18 @@ fn small_histories_cross_validate_against_brute_force_linearizability() {
     // For small executions, additionally run the exponential checker so we are
     // not relying solely on the tag-based sufficient condition.
     for seed in 0..10 {
-        let mut cluster = SodaCluster::build(
-            ClusterConfig::new(5, 2)
-                .with_seed(3000 + seed)
-                .with_clients(2, 1)
-                .with_network(NetworkConfig::uniform(12)),
-        );
-        let writers = cluster.writers().to_vec();
-        let reader = cluster.readers()[0];
-        cluster.invoke_write_at(SimTime::from_ticks(0), writers[0], b"alpha".to_vec());
-        cluster.invoke_write_at(SimTime::from_ticks(5), writers[1], b"beta".to_vec());
-        cluster.invoke_read_at(SimTime::from_ticks(8), reader);
-        cluster.invoke_read_at(SimTime::from_ticks(60), reader);
+        let mut cluster = ClusterBuilder::new(ProtocolKind::Soda, 5, 2)
+            .with_seed(3000 + seed)
+            .with_clients(2, 1)
+            .with_network(NetworkConfig::uniform(12))
+            .build()
+            .unwrap();
+        cluster.invoke_write_at(SimTime::from_ticks(0), 0, b"alpha".to_vec());
+        cluster.invoke_write_at(SimTime::from_ticks(5), 1, b"beta".to_vec());
+        cluster.invoke_read_at(SimTime::from_ticks(8), 0);
+        cluster.invoke_read_at(SimTime::from_ticks(60), 0);
         cluster.run_to_quiescence();
-        let history = history_from_soda(&[], &cluster.completed_ops());
+        let history = cluster.history(&[]);
         assert!(history.check_atomicity().is_ok(), "seed {seed}");
         assert!(
             history.check_linearizable_brute_force(),

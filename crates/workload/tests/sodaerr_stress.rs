@@ -2,47 +2,56 @@
 //! corrupted coded elements from their local disks on every read, combined
 //! with server crashes. Every read must still return a value some write
 //! actually produced, every history must be atomic, and the system must
-//! quiesce and clean up its bookkeeping.
+//! quiesce and clean up its bookkeeping. Clusters are built through the
+//! `RegisterCluster` facade.
 
-use soda::harness::{ClusterConfig, SodaCluster};
 use soda_consistency::Kind;
+use soda_registry::{ClusterBuilder, ProtocolKind, RegisterCluster};
 use soda_simnet::{NetworkConfig, SimTime};
-use soda_workload::convert::history_from_soda;
 
 fn run_stress(seed: u64, n: usize, f: usize, e: usize, faulty: Vec<usize>, crash: Vec<usize>) {
-    let mut cluster = SodaCluster::build(
-        ClusterConfig::new(n, f)
-            .with_seed(seed)
-            .with_clients(2, 2)
-            .with_error_tolerance(e)
-            .with_faulty_disks(faulty.clone())
-            .with_network(NetworkConfig::uniform(9)),
-    );
+    let kind = if e == 0 {
+        ProtocolKind::Soda
+    } else {
+        ProtocolKind::SodaErr { e }
+    };
+    let mut cluster = ClusterBuilder::new(kind, n, f)
+        .with_seed(seed)
+        .with_clients(2, 2)
+        .with_faulty_disks(faulty.clone())
+        .with_network(NetworkConfig::uniform(9))
+        .build_soda()
+        .unwrap();
     for (i, rank) in crash.iter().enumerate() {
         cluster.crash_server_at(SimTime::from_ticks(30 + 20 * i as u64), *rank);
     }
-    let writers = cluster.writers().to_vec();
-    let readers = cluster.readers().to_vec();
     for round in 0..4u64 {
-        for (i, &w) in writers.iter().enumerate() {
+        for writer in 0..2usize {
             cluster.invoke_write_at(
-                SimTime::from_ticks(round * 45 + 3 * i as u64),
-                w,
-                format!("payload-{seed}-{round}-{i}").into_bytes(),
+                SimTime::from_ticks(round * 45 + 3 * writer as u64),
+                writer,
+                format!("payload-{seed}-{round}-{writer}").into_bytes(),
             );
         }
-        for (i, &r) in readers.iter().enumerate() {
-            cluster.invoke_read_at(SimTime::from_ticks(round * 45 + 12 + 7 * i as u64), r);
+        for reader in 0..2usize {
+            cluster.invoke_read_at(
+                SimTime::from_ticks(round * 45 + 12 + 7 * reader as u64),
+                reader,
+            );
         }
     }
     let outcome = cluster.run_to_quiescence();
     assert!(!outcome.hit_event_cap, "seed {seed}: must quiesce");
 
     let ops = cluster.completed_ops();
-    let expected_ops = writers.len() * 4 + readers.len() * 4;
-    assert_eq!(ops.len(), expected_ops, "seed {seed}: all operations complete");
+    let expected_ops = 2 * 4 + 2 * 4;
+    assert_eq!(
+        ops.len(),
+        expected_ops,
+        "seed {seed}: all operations complete"
+    );
 
-    let history = history_from_soda(&[], &ops);
+    let history = cluster.history(&[]);
     history
         .check_atomicity()
         .unwrap_or_else(|v| panic!("seed {seed}: atomicity violated: {v}"));
@@ -63,16 +72,10 @@ fn run_stress(seed: u64, n: usize, f: usize, e: usize, faulty: Vec<usize>, crash
     // die holding one), and no reader ever failed a decode.
     let live_registered: usize = (0..n)
         .filter(|rank| !crash.contains(rank))
-        .map(|rank| cluster.server_state(rank).registered_readers())
+        .map(|rank| cluster.registered_readers(rank))
         .sum();
     assert_eq!(live_registered, 0, "seed {seed}");
-    for &r in &readers {
-        assert_eq!(
-            cluster.reader_state(r).decode_failures(),
-            0,
-            "seed {seed}: reader {r} had decode failures"
-        );
-    }
+    assert_eq!(cluster.decode_failures(), 0, "seed {seed}: decode failures");
 }
 
 #[test]

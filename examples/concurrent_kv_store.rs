@@ -3,49 +3,54 @@
 //! The paper's model is a single atomic object; a practical store composes one
 //! register per key (atomic objects compose). This example runs 8 keys, each
 //! backed by its own SODA register over the same 7-server layout, drives
-//! concurrent writers and readers against every key, and machine-checks
-//! atomicity of every per-key history.
+//! concurrent writers and readers against every key through the
+//! `RegisterCluster` facade, and machine-checks atomicity of every per-key
+//! history.
 //!
-//! Run with: `cargo run -p soda-bench --example concurrent_kv_store`
+//! Run with: `cargo run --example concurrent_kv_store`
 
-use soda::harness::{ClusterConfig, SodaCluster};
-use soda_simnet::SimTime;
-use soda_workload::convert::history_from_soda;
+use soda_repro::soda_registry::{ClusterBuilder, ProtocolKind};
+use soda_repro::soda_simnet::SimTime;
 
 fn main() {
     println!("== concurrent erasure-coded KV store (one SODA register per key) ==");
-    let keys = ["user:1", "user:2", "cart:1", "cart:2", "inv:1", "inv:2", "cfg", "audit"];
+    let keys = [
+        "user:1", "user:2", "cart:1", "cart:2", "inv:1", "inv:2", "cfg", "audit",
+    ];
     let mut total_ops = 0usize;
     let mut total_messages = 0u64;
 
     for (i, key) in keys.iter().enumerate() {
         // Each key gets its own register instance (own simulated cluster) with
         // 2 writers and 2 readers hammering it concurrently.
-        let mut cluster = SodaCluster::build(
-            ClusterConfig::new(7, 3)
-                .with_seed(1000 + i as u64)
-                .with_clients(2, 2),
-        );
-        let writers = cluster.writers().to_vec();
-        let readers = cluster.readers().to_vec();
+        let mut cluster = ClusterBuilder::new(ProtocolKind::Soda, 7, 3)
+            .with_seed(1000 + i as u64)
+            .with_clients(2, 2)
+            .build()
+            .expect("valid parameters");
 
         // Interleave writes and reads at staggered times so reads observe
         // genuine concurrency.
         for round in 0..4u64 {
-            for (w_idx, &w) in writers.iter().enumerate() {
-                let value = format!("{key}=v{round}.{w_idx}").into_bytes();
-                cluster.invoke_write_at(SimTime::from_ticks(round * 40 + w_idx as u64), w, value);
+            for writer in 0..2usize {
+                let value = format!("{key}=v{round}.{writer}").into_bytes();
+                cluster.invoke_write_at(
+                    SimTime::from_ticks(round * 40 + writer as u64),
+                    writer,
+                    value,
+                );
             }
-            for (r_idx, &r) in readers.iter().enumerate() {
-                cluster.invoke_read_at(SimTime::from_ticks(round * 40 + 15 + r_idx as u64), r);
+            for reader in 0..2usize {
+                cluster
+                    .invoke_read_at(SimTime::from_ticks(round * 40 + 15 + reader as u64), reader);
             }
         }
         let outcome = cluster.run_to_quiescence();
         assert!(!outcome.hit_event_cap, "register for {key} quiesced");
 
         let ops = cluster.completed_ops();
-        let history = history_from_soda(&[], &ops);
-        history
+        cluster
+            .history(&[])
             .check_atomicity()
             .unwrap_or_else(|violation| panic!("key {key} violated atomicity: {violation}"));
         total_ops += ops.len();
@@ -60,5 +65,8 @@ fn main() {
     }
 
     println!("---");
-    println!("total: {total_ops} operations across {} keys, {total_messages} messages, every per-key history atomic", keys.len());
+    println!(
+        "total: {total_ops} operations across {} keys, {total_messages} messages, every per-key history atomic",
+        keys.len()
+    );
 }

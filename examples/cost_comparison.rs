@@ -1,20 +1,26 @@
 //! Side-by-side cost comparison of ABD, CASGC and SODA on the same workload —
 //! a miniature, single-`n` version of the paper's Table I, printed with the
-//! paper's closed-form expressions next to the measured numbers.
+//! paper's closed-form expressions next to the measured numbers. All three
+//! protocols run through the same `RegisterCluster` facade and the same
+//! generic scenario runner.
 //!
-//! Run with: `cargo run -p soda-bench --example cost_comparison`
+//! Run with: `cargo run --example cost_comparison`
 
-use soda_workload::experiments::{table1, table1_text};
+use soda_repro::soda_workload::experiments::{table1, table1_text};
 
 fn main() {
     let n = 10;
     let delta_w = 3;
-    println!("== storage and communication costs at n = {n}, f = fmax, {delta_w} concurrent writes ==\n");
+    println!(
+        "== storage and communication costs at n = {n}, f = fmax, {delta_w} concurrent writes ==\n"
+    );
     let rows = table1(&[n], delta_w, 8 * 1024, 7);
     println!("{}", table1_text(&rows));
     println!("Reading the table:");
     println!(" * ABD replicates: every cost is ~n.");
     println!(" * CASGC sends coded elements (~n/(n-2f) per op) but must provision storage for δ+1 versions.");
-    println!(" * SODA stores exactly one coded element per server (n/(n-f) total) and pays an elastic");
+    println!(
+        " * SODA stores exactly one coded element per server (n/(n-f) total) and pays an elastic"
+    );
     println!("   read cost proportional to the concurrency the read actually experienced.");
 }

@@ -1,31 +1,34 @@
 //! Quickstart: emulate an atomic register over 5 erasure-coded servers,
-//! tolerate 2 crashes, write a value and read it back.
+//! tolerate 2 crashes, write a value and read it back — all through the
+//! protocol-agnostic `RegisterCluster` facade.
 //!
-//! Run with: `cargo run -p soda-bench --example quickstart`
+//! Run with: `cargo run --example quickstart`
 
-use soda::harness::{ClusterConfig, SodaCluster};
-use soda_simnet::SimTime;
+use soda_repro::soda_registry::{ClusterBuilder, ProtocolKind};
+use soda_repro::soda_simnet::SimTime;
 
 fn main() {
     // A cluster of n = 5 simulated servers tolerating f = 2 crashes.
     // SODA therefore uses a [5, 3] MDS code: each server stores 1/3 of the
     // value, for a total storage cost of 5/3 instead of ABD's 5.
-    let mut cluster = SodaCluster::build(ClusterConfig::new(5, 2).with_seed(2024));
-    let writer = cluster.writers()[0];
-    let reader = cluster.readers()[0];
+    let mut cluster = ClusterBuilder::new(ProtocolKind::Soda, 5, 2)
+        .with_seed(2024)
+        .build()
+        .expect("valid parameters");
 
+    let desc = *cluster.descriptor();
     println!("== SODA quickstart ==");
     println!(
         "n = {}, f = {}, k = n - f = {}",
-        cluster.soda_config().n(),
-        cluster.soda_config().f(),
-        cluster.soda_config().k()
+        desc.n,
+        desc.f,
+        desc.k().expect("SODA is a coded protocol")
     );
 
     // Write a value. The writer queries a majority for tags, then disperses
     // (tag, value) through the MD-VALUE primitive and waits for k acks.
     let value = b"the fox jumps over the erasure-coded register".to_vec();
-    cluster.invoke_write(writer, value.clone());
+    cluster.invoke_write(0, value.clone());
     cluster.run_to_quiescence();
 
     // Crash two servers — the maximum SODA tolerates here.
@@ -34,13 +37,20 @@ fn main() {
     println!("crashed servers 1 and 3 (f = 2 tolerated)");
 
     // Read it back despite the crashes.
-    cluster.invoke_read(reader);
+    cluster.invoke_read(0);
     cluster.run_to_quiescence();
 
     let ops = cluster.completed_ops();
-    let read = ops.iter().find(|op| op.kind.is_read()).expect("read completed");
+    let read = ops
+        .iter()
+        .find(|op| op.kind.is_read())
+        .expect("read completed");
     assert_eq!(read.value.as_deref(), Some(value.as_slice()));
-    println!("read back {} bytes: {:?}...", value.len(), String::from_utf8_lossy(&value[..20]));
+    println!(
+        "read back {} bytes: {:?}...",
+        value.len(),
+        String::from_utf8_lossy(&value[..20])
+    );
 
     // Storage accounting: each live server stores one coded element of size
     // |value| / k, so the total is ~ n/(n-f) times the value size.
@@ -48,12 +58,25 @@ fn main() {
     println!(
         "total stored bytes = {stored} ({}x the value size; paper formula n/(n-f) = {:.2})",
         stored as f64 / value.len() as f64,
-        5.0 / 3.0
+        desc.paper_storage_cost()
     );
     println!(
         "messages exchanged = {}, value-data bytes on the wire = {}",
         cluster.stats().messages_sent,
         cluster.stats().data_bytes_sent
+    );
+
+    // The same code drives any other protocol — swap the kind and rerun.
+    let mut abd = ClusterBuilder::new(ProtocolKind::Abd, 5, 2)
+        .with_seed(2024)
+        .build()
+        .expect("valid parameters");
+    abd.invoke_write(0, value.clone());
+    abd.run_to_quiescence();
+    println!(
+        "for comparison, ABD stores {} bytes for the same write ({}x)",
+        abd.total_stored_bytes(),
+        abd.total_stored_bytes() as f64 / value.len() as f64
     );
     println!("ok");
 }
