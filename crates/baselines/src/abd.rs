@@ -168,6 +168,9 @@ enum PendingOp {
 pub struct AbdClient {
     layout: Layout,
     self_id: ProcessId,
+    /// Responses each phase waits for. Always `layout.majority()` in correct
+    /// deployments; see [`AbdClient::with_quorum`].
+    quorum: usize,
     phase: AbdPhase,
     pending: VecDeque<PendingOp>,
     seq: u64,
@@ -188,6 +191,7 @@ impl AbdClient {
         AbdClient {
             layout,
             self_id,
+            quorum: majority,
             phase: AbdPhase::Idle,
             pending: VecDeque::new(),
             seq: 0,
@@ -202,9 +206,37 @@ impl AbdClient {
         }
     }
 
+    /// **Test-only.** Overrides the number of responses each phase waits
+    /// for. Anything below `layout.majority()` breaks the quorum-intersection
+    /// argument ABD's atomicity rests on; the schedule-exploration harness
+    /// uses this deliberately broken configuration to verify that the
+    /// atomicity checker catches non-atomic executions.
+    pub fn with_quorum(mut self, quorum: usize) -> Self {
+        self.quorum = quorum.clamp(1, self.layout.n());
+        self
+    }
+
     /// Completed operations in completion order.
     pub fn completed_ops(&self) -> &[AbdOpRecord] {
         &self.completed
+    }
+
+    /// The in-flight *write*, if one exists: `(seq, invoked_at, tag, value)`
+    /// where the tag is `None` until the store phase starts (before that, no
+    /// server has seen the value, so no read can have observed it). Needed to
+    /// close operation histories under crash/network faults. In-flight reads
+    /// are not reported: an unfinished read returns nothing.
+    pub fn in_flight_write(&self) -> Option<(u64, SimTime, Option<Tag>, Vec<u8>)> {
+        if self.phase == AbdPhase::Idle || self.current_is_read {
+            return None;
+        }
+        let value = self
+            .current_value
+            .as_ref()
+            .expect("an in-flight write always carries its value")
+            .as_ref()
+            .clone();
+        Some((self.seq, self.invoked_at, self.store_tag, value))
     }
 
     fn start_next(&mut self, ctx: &mut Context<'_, AbdMsg>) {
@@ -227,7 +259,7 @@ impl AbdClient {
             }
         }
         self.phase = AbdPhase::Query;
-        self.query_tracker = QuorumTracker::new(self.layout.majority());
+        self.query_tracker = QuorumTracker::new(self.quorum);
         for &server in self.layout.servers() {
             ctx.send(server, AbdMsg::Query { seq: self.seq });
         }
@@ -251,7 +283,7 @@ impl AbdClient {
         self.store_tag = Some(tag);
         self.store_value = Some(value.clone());
         self.phase = AbdPhase::Store;
-        self.ack_tracker = QuorumTracker::new(self.layout.majority());
+        self.ack_tracker = QuorumTracker::new(self.quorum);
         for &server in self.layout.servers() {
             ctx.send(
                 server,
@@ -342,6 +374,10 @@ pub struct AbdParams {
     pub network: NetworkConfig,
     /// The initial object value `v0`.
     pub initial_value: Vec<u8>,
+    /// **Test-only.** Overrides the per-phase quorum size of every client
+    /// (see [`AbdClient::with_quorum`]). `None` (the default) uses the
+    /// correct majority quorum.
+    pub quorum_override: Option<usize>,
 }
 
 impl AbdParams {
@@ -355,6 +391,7 @@ impl AbdParams {
             seed: 0,
             network: NetworkConfig::uniform(10),
             initial_value: Vec::new(),
+            quorum_override: None,
         }
     }
 }
@@ -376,6 +413,7 @@ impl AbdCluster {
             seed,
             network,
             initial_value,
+            quorum_override,
         } = params;
         let mut sim = Simulation::new(seed, network);
         let server_ids: Vec<ProcessId> = (0..n as u32).map(ProcessId).collect();
@@ -387,7 +425,11 @@ impl AbdCluster {
         let mut clients = Vec::new();
         for _ in 0..num_clients {
             let id = ProcessId(sim.num_processes() as u32);
-            sim.add_process(Box::new(AbdClient::new(layout.clone(), id)));
+            let mut client = AbdClient::new(layout.clone(), id);
+            if let Some(q) = quorum_override {
+                client = client.with_quorum(q);
+            }
+            sim.add_process(Box::new(client));
             clients.push(id);
         }
         AbdCluster {
@@ -470,6 +512,19 @@ impl AbdCluster {
             .collect();
         ops.sort_by_key(|op| op.completed_at);
         ops
+    }
+
+    /// In-flight writes of every client, as `(client, seq, invoked_at, tag,
+    /// value)` tuples (see [`AbdClient::in_flight_write`]).
+    pub fn pending_writes(&self) -> Vec<crate::PendingWriteInfo> {
+        self.clients
+            .iter()
+            .filter_map(|&c| {
+                let client = self.sim.process_as::<AbdClient>(c)?;
+                let (seq, invoked_at, tag, value) = client.in_flight_write()?;
+                Some((c, seq, invoked_at, tag, value))
+            })
+            .collect()
     }
 
     /// The completed operations of one particular client.

@@ -368,6 +368,23 @@ impl CasClient {
         &self.completed
     }
 
+    /// The in-flight *write*, if one exists: `(seq, invoked_at, tag, value)`
+    /// where the tag is `None` until the pre-write phase starts (before
+    /// that, no server has seen the value, so no read can have observed it).
+    /// Needed to close operation histories under crash/network faults.
+    pub fn in_flight_write(&self) -> Option<(u64, SimTime, Option<Tag>, Vec<u8>)> {
+        if self.phase == CasPhase::Idle || self.current_is_read {
+            return None;
+        }
+        let value = self
+            .current_value
+            .as_ref()
+            .expect("an in-flight write always carries its value")
+            .as_ref()
+            .clone();
+        Some((self.seq, self.invoked_at, self.current_tag, value))
+    }
+
     fn servers(&self) -> Vec<ProcessId> {
         self.config.layout().servers().to_vec()
     }
@@ -729,6 +746,19 @@ impl CasCluster {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.sim.now()
+    }
+
+    /// In-flight writes of every client, as `(client, seq, invoked_at, tag,
+    /// value)` tuples (see [`CasClient::in_flight_write`]).
+    pub fn pending_writes(&self) -> Vec<crate::PendingWriteInfo> {
+        self.clients
+            .iter()
+            .filter_map(|&c| {
+                let client = self.sim.process_as::<CasClient>(c)?;
+                let (seq, invoked_at, tag, value) = client.in_flight_write()?;
+                Some((c, seq, invoked_at, tag, value))
+            })
+            .collect()
     }
 
     /// The completed operations of one particular client.

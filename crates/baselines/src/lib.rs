@@ -28,3 +28,16 @@
 
 pub mod abd;
 pub mod cas;
+
+/// An in-flight (invoked but not completed) write, as reported by
+/// [`abd::AbdCluster::pending_writes`] and [`cas::CasCluster::pending_writes`]:
+/// `(client, seq, invoked_at, tag-once-assigned, value)`. The tag is `None`
+/// while the write is still in its query phase, i.e. before any server has
+/// seen the value.
+pub type PendingWriteInfo = (
+    soda_simnet::ProcessId,
+    u64,
+    soda_simnet::SimTime,
+    Option<soda_protocol::Tag>,
+    Vec<u8>,
+);

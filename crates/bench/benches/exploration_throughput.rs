@@ -1,0 +1,90 @@
+//! Wall-clock throughput of the schedule-exploration harness
+//! (schedules/sec), with the network adversary off and on, per protocol.
+//! Tracks how much simulation capacity the adversarial test bed has, so
+//! future harness or simulator changes can be checked for regressions.
+//!
+//! Plain `harness = false` timing loop (criterion is unavailable offline).
+//! Run with: `cargo bench -p soda-bench --bench exploration_throughput
+//! [out.json]` — with a path argument the measurements are also written as
+//! JSON rows in the repo's standard format.
+
+use soda_bench::maybe_write_json;
+use soda_registry::ProtocolKind;
+use soda_workload::explore::{explore, AdversaryKnobs, ExploreConfig};
+use soda_workload::json::to_json;
+use soda_workload::json_row;
+use std::time::Instant;
+
+#[derive(Clone)]
+struct Row {
+    protocol: String,
+    adversary: bool,
+    schedules: usize,
+    completed_ops: usize,
+    seconds: f64,
+    schedules_per_sec: f64,
+}
+
+json_row!(Row {
+    protocol,
+    adversary,
+    schedules,
+    completed_ops,
+    seconds,
+    schedules_per_sec,
+});
+
+fn measure(kind: ProtocolKind, n: usize, f: usize, adversary: bool, schedules: usize) -> Row {
+    let cfg = ExploreConfig {
+        knobs: if adversary {
+            AdversaryKnobs::standard()
+        } else {
+            AdversaryKnobs::off()
+        },
+        ..ExploreConfig::new(kind, n, f)
+    };
+    // Warm-up pass, then the timed campaign.
+    explore(&cfg, 0, schedules / 10 + 1);
+    let start = Instant::now();
+    let report = explore(&cfg, 10_000, schedules);
+    let seconds = start.elapsed().as_secs_f64();
+    assert!(
+        report.all_atomic(),
+        "{}: bench found a violation: {}",
+        kind.name(),
+        report.counterexamples[0]
+    );
+    Row {
+        protocol: kind.name().to_string(),
+        adversary,
+        schedules,
+        completed_ops: report.completed_ops,
+        seconds,
+        schedules_per_sec: schedules as f64 / seconds,
+    }
+}
+
+fn main() {
+    let schedules = 150;
+    let mut rows = Vec::new();
+    for (kind, n, f) in [
+        (ProtocolKind::Soda, 5, 2),
+        (ProtocolKind::SodaErr { e: 1 }, 7, 2),
+        (ProtocolKind::Abd, 5, 2),
+        (ProtocolKind::Cas, 5, 2),
+        (ProtocolKind::Casgc { gc: 4 }, 5, 2),
+    ] {
+        for adversary in [false, true] {
+            let row = measure(kind, n, f, adversary, schedules);
+            println!(
+                "explore/{:<8} adversary={:<5} {:>8.1} schedules/s ({} ops completed)",
+                row.protocol, row.adversary, row.schedules_per_sec, row.completed_ops
+            );
+            rows.push(row);
+        }
+    }
+    // `cargo bench` forwards flags like `--bench` to the binary; the JSON
+    // output path is the first non-flag argument.
+    let json_path = std::env::args().skip(1).find(|arg| !arg.starts_with('-'));
+    maybe_write_json(json_path.as_deref(), &to_json(&rows));
+}

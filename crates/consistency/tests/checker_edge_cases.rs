@@ -1,0 +1,123 @@
+//! Checker edge cases surfaced by adversarial schedule exploration:
+//! concurrent writes of *identical* values, reads overlapping a crashed (or
+//! starved) writer modeled as a never-responding operation, and
+//! hand-built non-atomic histories the checker must reject (soundness).
+
+use soda_consistency::{History, Kind, Version, Violation};
+
+fn v(z: u64, w: u64) -> Version {
+    Version::new(z, w)
+}
+
+#[test]
+fn concurrent_writes_with_identical_values_are_atomic() {
+    // Two clients concurrently write the same bytes under distinct versions;
+    // a read may return that value with either version.
+    for version in [v(1, 1), v(1, 2)] {
+        let mut h = History::new(Vec::new());
+        h.push(1, Kind::Write, 0, 100, b"same".to_vec(), v(1, 1));
+        h.push(2, Kind::Write, 0, 100, b"same".to_vec(), v(1, 2));
+        h.push(3, Kind::Read, 40, 60, b"same".to_vec(), version);
+        h.check_atomicity()
+            .unwrap_or_else(|viol| panic!("version {version:?}: {viol}"));
+        assert!(h.check_linearizable_brute_force());
+    }
+}
+
+#[test]
+fn identical_values_do_not_mask_duplicate_versions() {
+    // Same bytes are fine; the same *version* on two distinct writes is not
+    // (P2: the tag order must be total on writes).
+    let mut h = History::new(Vec::new());
+    h.push(1, Kind::Write, 0, 100, b"same".to_vec(), v(1, 1));
+    h.push(2, Kind::Write, 0, 100, b"same".to_vec(), v(1, 1));
+    assert!(matches!(
+        h.check_atomicity(),
+        Err(Violation::DuplicateWriteVersion { .. })
+    ));
+}
+
+#[test]
+fn identical_values_do_not_mask_stale_reads() {
+    // w1 and w2 write the same bytes sequentially; a later read returning
+    // the *first* version contradicts real time even though the bytes match.
+    let mut h = History::new(Vec::new());
+    h.push(1, Kind::Write, 0, 10, b"same".to_vec(), v(1, 1));
+    h.push(1, Kind::Write, 20, 30, b"same".to_vec(), v(2, 1));
+    h.push(2, Kind::Read, 40, 50, b"same".to_vec(), v(1, 1));
+    assert!(matches!(
+        h.check_atomicity(),
+        Err(Violation::RealTimeOrderViolated { .. })
+    ));
+}
+
+#[test]
+fn read_overlapping_a_crashed_writer_may_return_its_value() {
+    // The writer crashed (or was starved by the adversary) mid-operation:
+    // its write is modeled with a response time of u64::MAX, the convention
+    // `soda_registry::history_with_pending` uses for pending writes. A read
+    // invoked after the write started may return the new value...
+    let mut h = History::new(b"old".to_vec());
+    h.push(1, Kind::Write, 10, u64::MAX, b"new".to_vec(), v(1, 1));
+    h.push(2, Kind::Read, 20, 40, b"new".to_vec(), v(1, 1));
+    h.check_atomicity()
+        .expect("read of a pending write is atomic");
+
+    // ...or the initial value: the pending write never responded, so it is
+    // concurrent with every later operation and may linearize after it.
+    let mut h = History::new(b"old".to_vec());
+    h.push(1, Kind::Write, 10, u64::MAX, b"new".to_vec(), v(1, 1));
+    h.push(2, Kind::Read, 20, 40, b"old".to_vec(), Version::INITIAL);
+    h.check_atomicity()
+        .expect("a pending write never constrains later reads");
+}
+
+#[test]
+fn read_preceding_the_crashed_writers_invocation_cannot_see_its_value() {
+    // Soundness: a read that *finished before the pending write was even
+    // invoked* returning that write's value is causally impossible and must
+    // be rejected.
+    let mut h = History::new(b"old".to_vec());
+    h.push(2, Kind::Read, 0, 5, b"new".to_vec(), v(1, 1));
+    h.push(1, Kind::Write, 10, u64::MAX, b"new".to_vec(), v(1, 1));
+    assert!(matches!(
+        h.check_atomicity(),
+        Err(Violation::RealTimeOrderViolated { .. })
+    ));
+}
+
+#[test]
+fn new_old_inversion_across_readers_is_rejected() {
+    // The classic non-atomic (merely regular) history the exploration
+    // harness is designed to hunt: r1 sees the new value, a strictly later
+    // r2 sees the old one. A sound checker must reject it — this is the
+    // shape the weakened-quorum ABD counterexamples take.
+    let mut h = History::new(Vec::new());
+    h.push(1, Kind::Write, 0, 50, b"old".to_vec(), v(1, 1));
+    h.push(1, Kind::Write, 60, 200, b"new".to_vec(), v(2, 1));
+    h.push(2, Kind::Read, 70, 90, b"new".to_vec(), v(2, 1));
+    h.push(3, Kind::Read, 100, 120, b"old".to_vec(), v(1, 1));
+    assert!(matches!(
+        h.check_atomicity(),
+        Err(Violation::RealTimeOrderViolated { .. })
+    ));
+    assert!(!h.check_linearizable_brute_force());
+}
+
+#[test]
+fn checker_and_brute_force_agree_on_pending_write_histories() {
+    // Cross-validate the tag-based checker against the explicit
+    // linearization search on a small pending-write history.
+    let mut h = History::new(Vec::new());
+    h.push(1, Kind::Write, 0, 10, b"a".to_vec(), v(1, 1));
+    h.push(2, Kind::Write, 20, u64::MAX, b"b".to_vec(), v(2, 2));
+    h.push(3, Kind::Read, 30, 40, b"b".to_vec(), v(2, 2));
+    h.push(3, Kind::Read, 50, 60, b"b".to_vec(), v(2, 2));
+    assert!(h.check_atomicity().is_ok());
+    assert!(h.check_linearizable_brute_force());
+
+    // Once a read returned "b", a later read returning "a" is an inversion.
+    h.push(4, Kind::Read, 70, 80, b"a".to_vec(), v(1, 1));
+    assert!(h.check_atomicity().is_err());
+    assert!(!h.check_linearizable_brute_force());
+}

@@ -3,7 +3,7 @@
 use crate::builder::ClusterBuilder;
 use crate::cluster::RegisterCluster;
 use crate::kind::ClusterDescriptor;
-use crate::record::{sort_records, OpKind, OpRecord};
+use crate::record::{sort_records, OpKind, OpRecord, PendingWriteRecord};
 use soda_baselines::abd::{AbdCluster, AbdParams};
 use soda_simnet::{ProcessId, RunOutcome, SimTime, Stats};
 use std::any::Any;
@@ -23,14 +23,16 @@ pub struct AbdRegisterCluster {
 impl AbdRegisterCluster {
     pub(crate) fn from_builder(builder: ClusterBuilder) -> Self {
         let descriptor = builder.descriptor();
-        let inner = AbdCluster::build(AbdParams {
+        let mut inner = AbdCluster::build(AbdParams {
             n: builder.n,
             f: builder.f,
             num_clients: builder.num_writers + builder.num_readers,
             seed: builder.seed,
             network: builder.network,
             initial_value: builder.initial_value,
+            quorum_override: builder.quorum_override,
         });
+        inner.sim_mut().set_net_fault_plan(builder.net_faults);
         let clients = inner.clients().to_vec();
         let (writers, readers) = clients.split_at(builder.num_writers);
         AbdRegisterCluster {
@@ -146,6 +148,14 @@ impl RegisterCluster for AbdRegisterCluster {
         }
         sort_records(&mut ops);
         ops
+    }
+
+    fn pending_writes(&self) -> Vec<PendingWriteRecord> {
+        self.inner
+            .pending_writes()
+            .into_iter()
+            .map(PendingWriteRecord::from)
+            .collect()
     }
 
     fn stored_bytes_per_server(&self) -> Vec<u64> {

@@ -5,7 +5,7 @@ use crate::cas_impl::CasRegisterCluster;
 use crate::cluster::RegisterCluster;
 use crate::kind::{ClusterDescriptor, ProtocolKind};
 use crate::soda_impl::SodaRegisterCluster;
-use soda_simnet::NetworkConfig;
+use soda_simnet::{NetFaultPlan, NetworkConfig};
 use std::error::Error;
 use std::fmt;
 
@@ -56,6 +56,24 @@ pub enum BuildError {
         /// What the builder was configured with.
         actual: &'static str,
     },
+    /// Byzantine (element-corrupting) servers only exist in the SODA /
+    /// SODAerr threat model.
+    ByzantineUnsupported {
+        /// The offending protocol's name.
+        kind: &'static str,
+    },
+    /// A byzantine server rank does not name a server.
+    ByzantineOutOfRange {
+        /// The offending rank.
+        rank: usize,
+        /// Number of servers.
+        n: usize,
+    },
+    /// The test-only quorum override only exists for ABD.
+    QuorumOverrideUnsupported {
+        /// The offending protocol's name.
+        kind: &'static str,
+    },
 }
 
 impl fmt::Display for BuildError {
@@ -86,6 +104,18 @@ impl fmt::Display for BuildError {
             BuildError::KindMismatch { expected, actual } => write!(
                 out,
                 "typed constructor for {expected} called on a builder configured for {actual}"
+            ),
+            BuildError::ByzantineUnsupported { kind } => write!(
+                out,
+                "byzantine element corruption is a SODA/SODAerr feature, not available for {kind}"
+            ),
+            BuildError::ByzantineOutOfRange { rank, n } => write!(
+                out,
+                "byzantine server rank {rank} out of range for n = {n} servers"
+            ),
+            BuildError::QuorumOverrideUnsupported { kind } => write!(
+                out,
+                "the test-only quorum override exists only for ABD, not for {kind}"
             ),
         }
     }
@@ -127,6 +157,9 @@ pub struct ClusterBuilder {
     pub(crate) initial_value: Vec<u8>,
     pub(crate) faulty_disks: Vec<usize>,
     pub(crate) relay_enabled: bool,
+    pub(crate) net_faults: NetFaultPlan,
+    pub(crate) byzantine_servers: Vec<usize>,
+    pub(crate) quorum_override: Option<usize>,
 }
 
 impl ClusterBuilder {
@@ -145,6 +178,9 @@ impl ClusterBuilder {
             initial_value: Vec::new(),
             faulty_disks: Vec::new(),
             relay_enabled: true,
+            net_faults: NetFaultPlan::none(),
+            byzantine_servers: Vec::new(),
+            quorum_override: None,
         }
     }
 
@@ -188,6 +224,37 @@ impl ClusterBuilder {
         self
     }
 
+    /// Installs a network adversary (message drop / delay / reordering /
+    /// duplication per [`soda_simnet::LinkFaults`]). Works for every
+    /// protocol kind — the knobs are identical across SODA, SODAerr, ABD,
+    /// CAS and CASGC, so adversarial schedules are directly comparable.
+    pub fn with_net_faults(mut self, plan: NetFaultPlan) -> Self {
+        self.net_faults = plan;
+        self
+    }
+
+    /// Marks the given server ranks as byzantine (SODA / SODAerr only): every
+    /// coded element they send to a reader is corrupted in flight — the
+    /// network-level strengthening of [`Self::with_faulty_disks`], covering
+    /// relays of concurrent writes too. SODAerr tolerates up to `e` such
+    /// servers per read; exceeding the budget is allowed here precisely so
+    /// tests can verify that over-budget corruption is *detected* rather
+    /// than silently decoded.
+    pub fn with_byzantine_servers(mut self, ranks: Vec<usize>) -> Self {
+        self.byzantine_servers = ranks;
+        self
+    }
+
+    /// **Test-only.** Overrides the per-phase quorum size of every ABD
+    /// client, *below majority if asked*. This deliberately breaks ABD's
+    /// quorum-intersection argument; the schedule-exploration harness builds
+    /// such clusters to verify it catches non-atomic executions. Rejected
+    /// for every other protocol kind.
+    pub fn with_unsound_quorum(mut self, quorum: usize) -> Self {
+        self.quorum_override = Some(quorum);
+        self
+    }
+
     /// Checks the parameter combination without building anything.
     pub fn validate(&self) -> Result<(), BuildError> {
         if self.n == 0 {
@@ -222,6 +289,19 @@ impl ClusterBuilder {
         }
         if let Some(&rank) = self.faulty_disks.iter().find(|&&rank| rank >= self.n) {
             return Err(BuildError::FaultyDiskOutOfRange { rank, n: self.n });
+        }
+        if !self.byzantine_servers.is_empty() && !self.kind.is_soda_family() {
+            return Err(BuildError::ByzantineUnsupported {
+                kind: self.kind.name(),
+            });
+        }
+        if let Some(&rank) = self.byzantine_servers.iter().find(|&&rank| rank >= self.n) {
+            return Err(BuildError::ByzantineOutOfRange { rank, n: self.n });
+        }
+        if self.quorum_override.is_some() && self.kind != ProtocolKind::Abd {
+            return Err(BuildError::QuorumOverrideUnsupported {
+                kind: self.kind.name(),
+            });
         }
         Ok(())
     }

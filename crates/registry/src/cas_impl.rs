@@ -3,7 +3,7 @@
 use crate::builder::ClusterBuilder;
 use crate::cluster::RegisterCluster;
 use crate::kind::{ClusterDescriptor, ProtocolKind};
-use crate::record::{sort_records, OpKind, OpRecord};
+use crate::record::{sort_records, OpKind, OpRecord, PendingWriteRecord};
 use soda_baselines::cas::{CasCluster, CasParams};
 use soda_simnet::{ProcessId, RunOutcome, SimTime, Stats};
 use std::any::Any;
@@ -27,7 +27,7 @@ impl CasRegisterCluster {
             ProtocolKind::Casgc { gc } => Some(gc + 1),
             _ => None,
         };
-        let inner = CasCluster::build(CasParams {
+        let mut inner = CasCluster::build(CasParams {
             n: builder.n,
             f: builder.f,
             gc_versions,
@@ -36,6 +36,7 @@ impl CasRegisterCluster {
             network: builder.network,
             initial_value: builder.initial_value,
         });
+        inner.sim_mut().set_net_fault_plan(builder.net_faults);
         let clients = inner.clients().to_vec();
         let (writers, readers) = clients.split_at(builder.num_writers);
         CasRegisterCluster {
@@ -157,6 +158,14 @@ impl RegisterCluster for CasRegisterCluster {
         }
         sort_records(&mut ops);
         ops
+    }
+
+    fn pending_writes(&self) -> Vec<PendingWriteRecord> {
+        self.inner
+            .pending_writes()
+            .into_iter()
+            .map(PendingWriteRecord::from)
+            .collect()
     }
 
     fn stored_bytes_per_server(&self) -> Vec<u64> {

@@ -2,7 +2,7 @@
 //! deployment.
 
 use crate::kind::ClusterDescriptor;
-use crate::record::{history_from_records, OpRecord};
+use crate::record::{history_from_records, history_with_pending, OpRecord, PendingWriteRecord};
 use soda_consistency::History;
 use soda_simnet::{ProcessId, RunOutcome, SimTime, Stats};
 use std::any::Any;
@@ -76,6 +76,13 @@ pub trait RegisterCluster {
     /// ordered by completion time.
     fn completed_ops(&self) -> Vec<OpRecord>;
 
+    /// Writes that were invoked but have not completed (writer still
+    /// mid-operation, crashed mid-operation, or starved by the network
+    /// adversary). Writes whose tag the protocol has not assigned yet are
+    /// included with `tag: None`; queued-but-unstarted invocations are not
+    /// reported at all.
+    fn pending_writes(&self) -> Vec<PendingWriteRecord>;
+
     /// Bytes of object-value data stored at each server, by rank (the
     /// per-server contribution to the paper's total storage cost).
     fn stored_bytes_per_server(&self) -> Vec<u64>;
@@ -100,8 +107,20 @@ pub trait RegisterCluster {
     }
 
     /// Builds the atomicity-checkable history of everything completed so far.
+    ///
+    /// In fault-free executions this is the whole story. Under crash or
+    /// network faults, prefer [`RegisterCluster::closed_history`]: a
+    /// completed read may return the value of a write that never completed,
+    /// which this history cannot explain.
     fn history(&self, initial_value: &[u8]) -> History {
         history_from_records(initial_value, &self.completed_ops())
+    }
+
+    /// Builds the history of completed operations *closed* under pending
+    /// writes (see [`history_with_pending`]), which is the right input for
+    /// atomicity checking of executions with crashes or network faults.
+    fn closed_history(&self, initial_value: &[u8]) -> History {
+        history_with_pending(initial_value, &self.completed_ops(), &self.pending_writes())
     }
 
     /// Downcasting support for protocol-specific state inspection (e.g.

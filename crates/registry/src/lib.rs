@@ -58,7 +58,10 @@ pub use builder::{BuildError, ClusterBuilder};
 pub use cas_impl::CasRegisterCluster;
 pub use cluster::RegisterCluster;
 pub use kind::{ClusterDescriptor, ProtocolKind};
-pub use record::{history_from_records, version_of_tag, OpKind, OpRecord};
+pub use record::{
+    history_from_records, history_with_pending, version_of_tag, OpKind, OpRecord,
+    PendingWriteRecord,
+};
 pub use soda_impl::SodaRegisterCluster;
 
 /// All five protocol kinds with representative parameters, for tests and

@@ -58,6 +58,44 @@ impl OpRecord {
     }
 }
 
+/// A write that was invoked but never completed — the execution ended first,
+/// the writer crashed mid-operation, or a network adversary starved it of
+/// responses.
+///
+/// Atomicity is a property of *completed* operations, but a completed read
+/// may legitimately return the value of an uncompleted write (the write then
+/// linearizes after its invocation even though no response ever happened).
+/// Checking a faulty execution therefore needs the history *closed* under
+/// pending writes; see [`history_with_pending`] and
+/// [`crate::RegisterCluster::closed_history`].
+#[derive(Clone, Debug)]
+pub struct PendingWriteRecord {
+    /// Identifier of the invoking client (its simulated process id).
+    pub client: u64,
+    /// Per-client operation sequence number (starts at 1).
+    pub seq: u64,
+    /// Simulated time of the invocation step.
+    pub invoked_at: SimTime,
+    /// The tag the protocol assigned, once known. `None` while the write is
+    /// still in its query phase — no server has seen the value yet, so no
+    /// read can have observed it.
+    pub tag: Option<Tag>,
+    /// The value being written.
+    pub value: Vec<u8>,
+}
+
+impl From<soda_baselines::PendingWriteInfo> for PendingWriteRecord {
+    fn from((client, seq, invoked_at, tag, value): soda_baselines::PendingWriteInfo) -> Self {
+        PendingWriteRecord {
+            client: client.0 as u64,
+            seq,
+            invoked_at,
+            tag,
+            value,
+        }
+    }
+}
+
 /// Converts a protocol tag into a checker version.
 pub fn version_of_tag(tag: Tag) -> Version {
     Version::new(tag.z, tag.writer.0 as u64)
@@ -77,6 +115,38 @@ pub fn history_from_records(initial_value: &[u8], records: &[OpRecord]) -> Histo
             record.completed_at.ticks(),
             record.value.clone().unwrap_or_default(),
             version_of_tag(record.tag),
+        );
+    }
+    history
+}
+
+/// Builds a checker [`History`] from completed records *plus* pending
+/// writes, so faulty executions (crashed writers, adversarial message loss)
+/// can be atomicity-checked without spuriously flagging reads of
+/// partially-propagated writes as `ReadOfUnknownVersion`.
+///
+/// A pending write whose tag is known enters the history with a response
+/// time of `u64::MAX` (it precedes nothing, so only its invocation
+/// constrains the order — exactly the semantics of an operation that never
+/// returned). Pending writes without a tag are omitted: their value has not
+/// reached any server, so no completed operation can depend on them.
+pub fn history_with_pending(
+    initial_value: &[u8],
+    completed: &[OpRecord],
+    pending: &[PendingWriteRecord],
+) -> History {
+    let mut history = history_from_records(initial_value, completed);
+    for write in pending {
+        let Some(tag) = write.tag else {
+            continue;
+        };
+        history.push(
+            write.client,
+            Kind::Write,
+            write.invoked_at.ticks(),
+            u64::MAX,
+            write.value.clone(),
+            version_of_tag(tag),
         );
     }
     history

@@ -3,11 +3,12 @@
 use crate::builder::ClusterBuilder;
 use crate::cluster::RegisterCluster;
 use crate::kind::ClusterDescriptor;
-use crate::record::{sort_records, OpKind, OpRecord};
+use crate::record::{sort_records, OpKind, OpRecord, PendingWriteRecord};
 use soda::harness::{ClusterConfig, SodaCluster};
 use soda_protocol::Tag;
 use soda_simnet::{ProcessId, RunOutcome, SimTime, Stats};
 use std::any::Any;
+use std::collections::BTreeSet;
 
 /// A SODA or SODAerr deployment behind the shared facade.
 ///
@@ -32,10 +33,23 @@ impl SodaRegisterCluster {
         if !builder.relay_enabled {
             config = config.with_relay_disabled();
         }
-        SodaRegisterCluster {
-            inner: SodaCluster::build(config),
-            descriptor,
+        let mut inner = SodaCluster::build(config);
+        let mut plan = builder.net_faults;
+        if !builder.byzantine_servers.is_empty() {
+            // Servers are registered first, so rank i is ProcessId(i).
+            plan = plan.with_corrupt_senders(
+                builder
+                    .byzantine_servers
+                    .iter()
+                    .map(|&r| ProcessId(r as u32)),
+            );
+            let ranks: BTreeSet<usize> = builder.byzantine_servers.iter().copied().collect();
+            inner
+                .sim_mut()
+                .set_corruption_hook(soda::coded_element_corruptor(ranks));
         }
+        inner.sim_mut().set_net_fault_plan(plan);
+        SodaRegisterCluster { inner, descriptor }
     }
 
     /// The wrapped harness (full access to SODA-specific state).
@@ -176,6 +190,20 @@ impl RegisterCluster for SodaRegisterCluster {
             .collect();
         sort_records(&mut ops);
         ops
+    }
+
+    fn pending_writes(&self) -> Vec<PendingWriteRecord> {
+        self.inner
+            .pending_writes()
+            .into_iter()
+            .map(|write| PendingWriteRecord {
+                client: write.op.client.0 as u64,
+                seq: write.op.seq,
+                invoked_at: write.invoked_at,
+                tag: write.tag,
+                value: write.value,
+            })
+            .collect()
     }
 
     fn stored_bytes_per_server(&self) -> Vec<u64> {

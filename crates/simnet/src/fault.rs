@@ -4,6 +4,18 @@
 //! client crashes. A [`FaultPlan`] describes which processes crash and when;
 //! it can be handed to the simulation up front or crashes can be scheduled
 //! dynamically with [`crate::Simulation::schedule_crash`].
+//!
+//! A [`FaultPlan`] models **crash-stop faults only**: a crashed process
+//! permanently stops receiving events, but messages it already sent stay in
+//! the channels (the paper's channel model) and its state remains inspectable
+//! by the harness. It does *not* model message loss, delay, reordering,
+//! duplication, corruption, or recovery — message-level (network) faults live
+//! in [`crate::NetFaultPlan`], and the two compose: schedule crashes from a
+//! `FaultPlan` (merging independent plans with [`FaultPlan::merge`]) and
+//! install the network adversary with
+//! [`crate::Simulation::set_net_fault_plan`] in the same execution. Recovery
+//! is intentionally absent: the protocols under test assume crash-stop
+//! servers.
 
 use crate::process::ProcessId;
 use crate::time::SimTime;
@@ -48,6 +60,17 @@ impl FaultPlan {
         self
     }
 
+    /// Merges another plan's crashes into this one (builder style), so
+    /// independently built crash plans — e.g. a baseline server-crash plan
+    /// and a scenario-specific client-crash plan, alongside a
+    /// [`crate::NetFaultPlan`] — compose into one schedule. Crashes are
+    /// concatenated; duplicates are harmless (crashing a crashed process is a
+    /// no-op).
+    pub fn merge(mut self, other: FaultPlan) -> Self {
+        self.crashes.extend(other.crashes);
+        self
+    }
+
     /// The scheduled crashes.
     pub fn crashes(&self) -> &[CrashEvent] {
         &self.crashes
@@ -83,5 +106,20 @@ mod tests {
     fn empty_plan() {
         assert!(FaultPlan::none().is_empty());
         assert_eq!(FaultPlan::none().len(), 0);
+    }
+
+    #[test]
+    fn merge_concatenates_crashes() {
+        let servers = FaultPlan::none().crash(ProcessId(0), SimTime::from_ticks(5));
+        let clients = FaultPlan::none()
+            .crash(ProcessId(7), SimTime::from_ticks(1))
+            .crash(ProcessId(8), SimTime::from_ticks(2));
+        let merged = servers.merge(clients);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged.crashes()[0].process, ProcessId(0));
+        assert_eq!(merged.crashes()[2].process, ProcessId(8));
+        // Merging an empty plan changes nothing.
+        let same = merged.clone().merge(FaultPlan::none());
+        assert_eq!(same, merged);
     }
 }

@@ -17,6 +17,10 @@
 //!   (`on_start` / `on_message` / `on_timer`).
 //! * [`FaultPlan`] / [`Simulation::schedule_crash`] — crash injection at
 //!   arbitrary points, including mid-operation client crashes.
+//! * [`NetFaultPlan`] / [`Simulation::set_net_fault_plan`] — the network
+//!   adversary: per-link message drop, extra delay, reordering (hold-back),
+//!   duplication, and byzantine payload corruption via a message-type
+//!   specific [`CorruptionHook`].
 //! * [`Trace`] / [`Stats`] — accounting of messages and **data bytes** (bytes
 //!   of object-value payload, excluding metadata) exactly mirroring the
 //!   paper's storage/communication cost model, which ignores metadata.
@@ -59,6 +63,7 @@
 
 mod config;
 mod fault;
+mod netfault;
 mod process;
 mod sim;
 pub mod testkit;
@@ -67,8 +72,9 @@ mod time;
 mod trace;
 
 pub use config::{DelayModel, NetworkConfig};
-pub use fault::FaultPlan;
+pub use fault::{CrashEvent, FaultPlan};
+pub use netfault::{LinkFaults, NetFaultPlan};
 pub use process::{Context, Message, Process, ProcessId};
-pub use sim::{RunOutcome, Simulation};
+pub use sim::{CorruptionHook, RunOutcome, Simulation};
 pub use time::SimTime;
 pub use trace::{ProcessStats, Stats, Trace, TraceEvent};

@@ -1,0 +1,260 @@
+//! Adversarial message-delivery faults.
+//!
+//! [`crate::FaultPlan`] models *crash* faults only; this module models the
+//! *network* adversary of the asynchronous model: an execution in which
+//! messages may be *dropped*, *delayed* by arbitrary finite amounts,
+//! *reordered*, *duplicated*, or — for senders designated byzantine —
+//! *corrupted* in flight. The SODA/SODAerr atomicity proofs (and the ABD and
+//! CAS proofs they are compared against) are stated for exactly this
+//! adversary, so a reproduction that only ever runs clean schedules is not
+//! exercising the claims.
+//!
+//! A [`NetFaultPlan`] holds a default [`LinkFaults`] applying to every
+//! directed link, optional per-link overrides, and the set of corrupt
+//! senders. It is handed to [`crate::Simulation::set_net_fault_plan`] and
+//! consulted on every process-to-process send (externally injected
+//! invocations and timers are never faulted). Payload corruption is
+//! message-type specific, so the plan only *selects* the corrupt senders; the
+//! mutation itself is performed by a [`crate::CorruptionHook`] installed
+//! with [`crate::Simulation::set_corruption_hook`].
+//!
+//! Faults here are probabilistic per message and sampled from the
+//! simulation's seeded RNG, so a given `(seed, plan)` pair still produces a
+//! fully deterministic execution — failing schedules can be replayed
+//! exactly.
+//!
+//! What is *not* modeled: link partitions that heal (compose per-link drop
+//! probabilities over time windows instead), and unbounded delay (delays are
+//! finite so that `run_to_quiescence` terminates; liveness under a fair
+//! adversary is approximated by `drop_p < 1`).
+
+use crate::config::DelayModel;
+use crate::process::ProcessId;
+use rand::Rng;
+use std::collections::{BTreeSet, HashMap};
+
+/// Adversarial behaviour of one directed link (probabilities are per
+/// message).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkFaults {
+    /// Probability that a message is silently dropped.
+    pub drop_p: f64,
+    /// Probability that a message is delivered twice (the duplicate gets an
+    /// independently sampled delay; duplicates are never themselves
+    /// duplicated, so executions stay finite).
+    pub duplicate_p: f64,
+    /// Extra delay added to every message on top of the base
+    /// [`crate::NetworkConfig`] delay.
+    pub extra_delay: Option<DelayModel>,
+    /// Probability that a message is *held back*: an additional uniform delay
+    /// in `[1, reorder_window]` is added, letting later sends overtake it.
+    pub reorder_p: f64,
+    /// Size of the hold-back window used when a message is reordered.
+    pub reorder_window: u64,
+}
+
+impl LinkFaults {
+    /// A fault-free link (the default).
+    pub const NONE: LinkFaults = LinkFaults {
+        drop_p: 0.0,
+        duplicate_p: 0.0,
+        extra_delay: None,
+        reorder_p: 0.0,
+        reorder_window: 0,
+    };
+
+    /// Whether this link behaves like a reliable channel.
+    pub fn is_clean(&self) -> bool {
+        self.drop_p <= 0.0
+            && self.duplicate_p <= 0.0
+            && self.extra_delay.is_none()
+            && (self.reorder_p <= 0.0 || self.reorder_window == 0)
+    }
+
+    /// Samples whether the adversary drops a message on this link.
+    pub(crate) fn sample_drop<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        self.drop_p > 0.0 && rng.gen_bool(self.drop_p.min(1.0))
+    }
+
+    /// Samples whether the adversary duplicates a message on this link.
+    pub(crate) fn sample_duplicate<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        self.duplicate_p > 0.0 && rng.gen_bool(self.duplicate_p.min(1.0))
+    }
+
+    /// Samples the extra delay (delay faults plus reordering hold-back) the
+    /// adversary adds to one delivery on this link.
+    pub(crate) fn sample_extra_delay<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let mut extra = match self.extra_delay {
+            // The +1 floor of DelayModel::sample is about causality of the
+            // base delay; an *extra* delay of a model that can produce "no
+            // extra" should be allowed to be 0, so Constant(0) is kept as-is.
+            Some(DelayModel::Constant(d)) => d,
+            Some(model) => model.sample(rng),
+            None => 0,
+        };
+        if self.reorder_p > 0.0 && self.reorder_window > 0 && rng.gen_bool(self.reorder_p.min(1.0))
+        {
+            extra = extra.saturating_add(rng.gen_range(1..=self.reorder_window));
+        }
+        extra
+    }
+}
+
+impl Default for LinkFaults {
+    fn default() -> Self {
+        LinkFaults::NONE
+    }
+}
+
+/// The network adversary for one execution: per-link fault behaviour plus the
+/// set of byzantine (payload-corrupting) senders.
+///
+/// Composes with [`crate::FaultPlan`]: crashes are scheduled through the
+/// fault plan, message-level faults through this plan, and both can be active
+/// in the same execution (see [`crate::FaultPlan::merge`] for combining crash
+/// plans).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NetFaultPlan {
+    default: LinkFaults,
+    link_overrides: HashMap<(ProcessId, ProcessId), LinkFaults>,
+    corrupt_senders: BTreeSet<ProcessId>,
+}
+
+impl NetFaultPlan {
+    /// A plan with no faults at all (reliable channels).
+    pub fn none() -> Self {
+        NetFaultPlan::default()
+    }
+
+    /// Sets the fault behaviour applying to every link without an override.
+    pub fn with_default(mut self, faults: LinkFaults) -> Self {
+        self.default = faults;
+        self
+    }
+
+    /// Overrides the fault behaviour of one directed link.
+    pub fn with_link(mut self, from: ProcessId, to: ProcessId, faults: LinkFaults) -> Self {
+        self.link_overrides.insert((from, to), faults);
+        self
+    }
+
+    /// Marks a sender as byzantine: every message it sends is offered to the
+    /// corruption hook installed with
+    /// [`crate::Simulation::set_corruption_hook`].
+    pub fn with_corrupt_sender(mut self, sender: ProcessId) -> Self {
+        self.corrupt_senders.insert(sender);
+        self
+    }
+
+    /// Marks several senders as byzantine.
+    pub fn with_corrupt_senders<I: IntoIterator<Item = ProcessId>>(mut self, senders: I) -> Self {
+        self.corrupt_senders.extend(senders);
+        self
+    }
+
+    /// The fault behaviour applying to a particular directed link.
+    pub fn faults_for(&self, from: ProcessId, to: ProcessId) -> LinkFaults {
+        self.link_overrides
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(self.default)
+    }
+
+    /// Whether `sender`'s messages are offered to the corruption hook.
+    pub fn corrupts_sends_of(&self, sender: ProcessId) -> bool {
+        self.corrupt_senders.contains(&sender)
+    }
+
+    /// The byzantine senders.
+    pub fn corrupt_senders(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.corrupt_senders.iter().copied()
+    }
+
+    /// Whether the plan changes nothing about delivery (the state a fresh
+    /// [`crate::Simulation`] starts in). A passthrough plan consumes no
+    /// randomness, so executions with and without it are identical.
+    pub fn is_passthrough(&self) -> bool {
+        self.default.is_clean()
+            && self.link_overrides.values().all(LinkFaults::is_clean)
+            && self.corrupt_senders.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn default_plan_is_passthrough() {
+        let plan = NetFaultPlan::none();
+        assert!(plan.is_passthrough());
+        assert!(plan.faults_for(ProcessId(0), ProcessId(1)).is_clean());
+        assert!(!plan.corrupts_sends_of(ProcessId(0)));
+    }
+
+    #[test]
+    fn link_overrides_and_corrupt_senders() {
+        let lossy = LinkFaults {
+            drop_p: 0.5,
+            ..LinkFaults::NONE
+        };
+        let plan = NetFaultPlan::none()
+            .with_link(ProcessId(0), ProcessId(1), lossy)
+            .with_corrupt_sender(ProcessId(3));
+        assert!(!plan.is_passthrough());
+        assert_eq!(plan.faults_for(ProcessId(0), ProcessId(1)), lossy);
+        assert!(plan.faults_for(ProcessId(1), ProcessId(0)).is_clean());
+        assert!(plan.corrupts_sends_of(ProcessId(3)));
+        assert_eq!(plan.corrupt_senders().collect::<Vec<_>>(), [ProcessId(3)]);
+    }
+
+    #[test]
+    fn clean_links_consume_no_randomness() {
+        let mut a = ChaCha12Rng::seed_from_u64(9);
+        let mut b = ChaCha12Rng::seed_from_u64(9);
+        let clean = LinkFaults::NONE;
+        assert!(!clean.sample_drop(&mut a));
+        assert!(!clean.sample_duplicate(&mut a));
+        assert_eq!(clean.sample_extra_delay(&mut a), 0);
+        // `b` was never advanced; the streams must still agree.
+        use rand::Rng;
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn drop_probability_one_always_drops() {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let always = LinkFaults {
+            drop_p: 1.0,
+            ..LinkFaults::NONE
+        };
+        for _ in 0..20 {
+            assert!(always.sample_drop(&mut rng));
+        }
+    }
+
+    #[test]
+    fn extra_delay_and_reorder_window_bound_the_hold_back() {
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        let faults = LinkFaults {
+            extra_delay: Some(DelayModel::Uniform { min: 1, max: 5 }),
+            reorder_p: 1.0,
+            reorder_window: 10,
+            ..LinkFaults::NONE
+        };
+        for _ in 0..200 {
+            let extra = faults.sample_extra_delay(&mut rng);
+            assert!(
+                (2..=15).contains(&extra),
+                "extra delay {extra} out of range"
+            );
+        }
+        let constant = LinkFaults {
+            extra_delay: Some(DelayModel::Constant(0)),
+            ..LinkFaults::NONE
+        };
+        assert_eq!(constant.sample_extra_delay(&mut rng), 0);
+    }
+}

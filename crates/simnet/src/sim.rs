@@ -2,6 +2,7 @@
 
 use crate::config::NetworkConfig;
 use crate::fault::FaultPlan;
+use crate::netfault::NetFaultPlan;
 use crate::process::{Action, Context, Message, Process, ProcessId};
 use crate::time::SimTime;
 use crate::trace::{Stats, Trace};
@@ -9,6 +10,16 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
+
+/// Message-type-specific payload corruption, applied to sends of processes a
+/// [`NetFaultPlan`] marks as byzantine. Receives `(from, to, message, rng)`
+/// and returns whether it actually mutated the message (so the trace can
+/// count corrupted deliveries). Installed with
+/// [`Simulation::set_corruption_hook`]; protocol crates provide hooks that
+/// corrupt only the payloads their threat model allows (e.g. SODAerr corrupts
+/// coded elements sent to readers, never metadata).
+pub type CorruptionHook<M> =
+    Box<dyn FnMut(ProcessId, ProcessId, &mut M, &mut ChaCha12Rng) -> bool + Send>;
 
 /// What happens when an event fires.
 #[derive(Debug)]
@@ -77,6 +88,8 @@ pub struct Simulation<M: Message> {
     rng: ChaCha12Rng,
     trace: Trace,
     event_cap: u64,
+    net_faults: NetFaultPlan,
+    corruptor: Option<CorruptionHook<M>>,
 }
 
 impl<M: Message> Simulation<M> {
@@ -93,7 +106,29 @@ impl<M: Message> Simulation<M> {
             rng: ChaCha12Rng::seed_from_u64(seed),
             trace: Trace::new(false),
             event_cap: 50_000_000,
+            net_faults: NetFaultPlan::none(),
+            corruptor: None,
         }
+    }
+
+    /// Installs the network adversary consulted on every process-to-process
+    /// send (externally injected messages and timers are never faulted).
+    /// A passthrough plan consumes no randomness, so installing
+    /// [`NetFaultPlan::none`] leaves executions bit-identical.
+    pub fn set_net_fault_plan(&mut self, plan: NetFaultPlan) {
+        self.net_faults = plan;
+    }
+
+    /// The installed network adversary.
+    pub fn net_fault_plan(&self) -> &NetFaultPlan {
+        &self.net_faults
+    }
+
+    /// Installs the payload-corruption hook applied to sends of the
+    /// byzantine senders in the installed [`NetFaultPlan`]. Without a hook,
+    /// marking senders byzantine has no effect.
+    pub fn set_corruption_hook(&mut self, hook: CorruptionHook<M>) {
+        self.corruptor = Some(hook);
     }
 
     /// Enables detailed per-message tracing (memory grows with the execution).
@@ -277,14 +312,63 @@ impl<M: Message> Simulation<M> {
         }
     }
 
-    fn enqueue_send(&mut self, from: ProcessId, to: ProcessId, msg: M) {
-        let delay = self.config.delay_for(from, to).sample(&mut self.rng);
-        let at = self.now + delay;
+    fn enqueue_send(&mut self, from: ProcessId, to: ProcessId, mut msg: M) {
+        let faults = self.net_faults.faults_for(from, to);
+        // Byzantine senders: let the installed hook corrupt the payload
+        // before delivery (and before duplication, so both copies carry the
+        // same corruption, as a byzantine sender would produce).
+        if self.net_faults.corrupts_sends_of(from) {
+            if let Some(mut hook) = self.corruptor.take() {
+                if hook(from, to, &mut msg, &mut self.rng) {
+                    self.trace.record_net_corrupt();
+                }
+                self.corruptor = Some(hook);
+            }
+        }
         let data_bytes = msg.data_bytes();
         let kind = msg.kind();
+        if faults.sample_drop(&mut self.rng) {
+            // The send happened (and is charged) but the channel lost it.
+            self.trace
+                .record_send(self.now, self.now, from, to, data_bytes, kind, true);
+            self.trace.record_net_drop();
+            return;
+        }
+        if faults.sample_duplicate(&mut self.rng) {
+            let copy = msg.clone();
+            // The duplicate is a channel artifact, not a protocol send: it
+            // is excluded from the sent-side cost accounting (the paper's
+            // communication cost counts what the protocol sends) and shows
+            // up only in `messages_duplicated` and the delivery-side
+            // counters.
+            self.enqueue_delivery(&faults, from, to, copy, data_bytes, kind, false);
+            self.trace.record_net_duplicate();
+        }
+        self.enqueue_delivery(&faults, from, to, msg, data_bytes, kind, true);
+    }
+
+    /// Samples the (possibly adversarially extended) delay for one delivery
+    /// and schedules it. `count_send` is false for adversarial duplicates,
+    /// which must not inflate the protocol's communication cost.
+    #[allow(clippy::too_many_arguments)]
+    fn enqueue_delivery(
+        &mut self,
+        faults: &crate::netfault::LinkFaults,
+        from: ProcessId,
+        to: ProcessId,
+        msg: M,
+        data_bytes: usize,
+        kind: &'static str,
+        count_send: bool,
+    ) {
+        let delay = self.config.delay_for(from, to).sample(&mut self.rng)
+            + faults.sample_extra_delay(&mut self.rng);
+        let at = self.now + delay;
         let already_crashed = self.is_crashed(to);
-        self.trace
-            .record_send(self.now, at, from, to, data_bytes, kind, already_crashed);
+        if count_send {
+            self.trace
+                .record_send(self.now, at, from, to, data_bytes, kind, already_crashed);
+        }
         let seq = self.next_seq();
         self.queue.push(Reverse(Event {
             at,
@@ -365,6 +449,7 @@ impl<M: Message> Simulation<M> {
 mod tests {
     use super::*;
     use crate::config::DelayModel;
+    use crate::netfault::{LinkFaults, NetFaultPlan};
 
     #[derive(Clone, Debug)]
     enum TestMsg {
@@ -598,6 +683,128 @@ mod tests {
         assert!(sim.now() >= SimTime::from_ticks(101));
         let pb: &PingPong = sim.process_as(b).unwrap();
         assert_eq!(pb.received, vec![1]);
+    }
+
+    #[test]
+    fn net_fault_plan_passthrough_preserves_executions_bit_for_bit() {
+        let run = |install_plan: bool| {
+            let (mut sim, a, _b) = two_process_sim(11);
+            if install_plan {
+                sim.set_net_fault_plan(NetFaultPlan::none());
+            }
+            sim.send_external(a, TestMsg::Ping(0));
+            sim.run_to_quiescence();
+            (sim.now(), sim.stats().messages_sent)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn adversarial_drops_lose_messages_and_are_counted() {
+        // Drop everything: the ping never reaches b after the ENV kick-off.
+        let (mut sim, a, b) = two_process_sim(5);
+        sim.set_net_fault_plan(NetFaultPlan::none().with_default(LinkFaults {
+            drop_p: 1.0,
+            ..LinkFaults::NONE
+        }));
+        sim.send_external(a, TestMsg::Ping(0));
+        sim.run_to_quiescence();
+        let pb: &PingPong = sim.process_as(b).unwrap();
+        assert!(pb.received.is_empty(), "every relayed ping was dropped");
+        let stats = sim.stats();
+        assert!(stats.messages_lost > 0);
+        assert!(stats.messages_dropped >= stats.messages_lost);
+    }
+
+    #[test]
+    fn adversarial_duplication_delivers_twice() {
+        struct Counter {
+            seen: u64,
+        }
+        impl Process<TestMsg> for Counter {
+            fn on_message(&mut self, from: ProcessId, _m: TestMsg, ctx: &mut Context<'_, TestMsg>) {
+                self.seen += 1;
+                // First delivery from ENV: fire one process-to-process send
+                // that the adversary can duplicate.
+                if from == ProcessId::ENV {
+                    ctx.send(ProcessId(1), TestMsg::Ping(1));
+                }
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut sim: Simulation<TestMsg> = Simulation::new(3, NetworkConfig::constant(2));
+        let a = sim.add_process(Box::new(Counter { seen: 0 }));
+        let b = sim.add_process(Box::new(Counter { seen: 0 }));
+        sim.set_net_fault_plan(NetFaultPlan::none().with_default(LinkFaults {
+            duplicate_p: 1.0,
+            ..LinkFaults::NONE
+        }));
+        sim.send_external(a, TestMsg::Ping(0));
+        sim.run_to_quiescence();
+        assert_eq!(sim.process_as::<Counter>(b).unwrap().seen, 2);
+        let stats = sim.stats();
+        assert_eq!(stats.messages_duplicated, 1);
+        // The duplicate is a channel artifact: sent-side cost accounting
+        // counts the ENV injection and one protocol send, while the
+        // delivery side sees all three arrivals.
+        assert_eq!(stats.messages_sent, 2);
+        assert_eq!(stats.messages_delivered, 3);
+        assert_eq!(stats.per_process[a.index()].messages_sent, 1);
+        assert_eq!(stats.per_process[b.index()].messages_received, 2);
+    }
+
+    #[test]
+    fn extra_delay_slows_delivery_and_corruption_hook_mutates_payloads() {
+        struct Sink {
+            got: Vec<Vec<u8>>,
+        }
+        impl Process<TestMsg> for Sink {
+            fn on_message(&mut self, from: ProcessId, m: TestMsg, ctx: &mut Context<'_, TestMsg>) {
+                if from == ProcessId::ENV {
+                    ctx.send(ProcessId(1), TestMsg::Data(vec![7, 7, 7]));
+                } else if let TestMsg::Data(d) = m {
+                    self.got.push(d);
+                }
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut sim: Simulation<TestMsg> = Simulation::new(0, NetworkConfig::constant(1));
+        let a = sim.add_process(Box::new(Sink { got: vec![] }));
+        let b = sim.add_process(Box::new(Sink { got: vec![] }));
+        sim.set_net_fault_plan(
+            NetFaultPlan::none()
+                .with_default(LinkFaults {
+                    extra_delay: Some(DelayModel::Constant(100)),
+                    ..LinkFaults::NONE
+                })
+                .with_corrupt_sender(a),
+        );
+        sim.set_corruption_hook(Box::new(|_from, _to, msg, _rng| {
+            if let TestMsg::Data(d) = msg {
+                for byte in d.iter_mut() {
+                    *byte ^= 0xFF;
+                }
+                true
+            } else {
+                false
+            }
+        }));
+        sim.send_external(a, TestMsg::Ping(0));
+        sim.run_to_quiescence();
+        let pb: &Sink = sim.process_as(b).unwrap();
+        assert_eq!(pb.got, vec![vec![0xF8, 0xF8, 0xF8]]);
+        assert!(sim.now() >= SimTime::from_ticks(101), "extra delay applied");
+        assert_eq!(sim.stats().messages_corrupted, 1);
     }
 
     #[test]

@@ -49,8 +49,20 @@ pub struct Stats {
     pub messages_sent: u64,
     /// Total messages delivered.
     pub messages_delivered: u64,
-    /// Messages dropped because the destination crashed.
+    /// Messages dropped because the destination crashed, or lost by the
+    /// network adversary (see [`Stats::messages_lost`] for the latter alone).
     pub messages_dropped: u64,
+    /// Messages dropped by the network adversary
+    /// ([`crate::NetFaultPlan`] drop faults). Also counted in
+    /// [`Stats::messages_dropped`].
+    pub messages_lost: u64,
+    /// Extra deliveries created by adversarial duplication. Duplicates are
+    /// channel artifacts: they are *not* counted in [`Stats::messages_sent`]
+    /// or [`Stats::data_bytes_sent`] (the protocol's communication cost),
+    /// only here and in the delivery-side counters.
+    pub messages_duplicated: u64,
+    /// Messages whose payload the byzantine corruption hook mutated.
+    pub messages_corrupted: u64,
     /// Total object-value data bytes sent (the paper's communication cost,
     /// un-normalized).
     pub data_bytes_sent: u64,
@@ -82,6 +94,9 @@ impl Stats {
             messages_sent: self.messages_sent - earlier.messages_sent,
             messages_delivered: self.messages_delivered - earlier.messages_delivered,
             messages_dropped: self.messages_dropped - earlier.messages_dropped,
+            messages_lost: self.messages_lost - earlier.messages_lost,
+            messages_duplicated: self.messages_duplicated - earlier.messages_duplicated,
+            messages_corrupted: self.messages_corrupted - earlier.messages_corrupted,
             data_bytes_sent: self.data_bytes_sent - earlier.data_bytes_sent,
             metadata_messages: self.metadata_messages - earlier.metadata_messages,
             per_process,
@@ -162,6 +177,23 @@ impl Trace {
     /// destination had crashed in the meantime.
     pub fn record_drop(&mut self) {
         self.stats.messages_dropped += 1;
+    }
+
+    /// Records a message lost to the network adversary. The send itself is
+    /// recorded separately (with `dropped = true`), so this only bumps the
+    /// adversary-specific counter.
+    pub fn record_net_drop(&mut self) {
+        self.stats.messages_lost += 1;
+    }
+
+    /// Records an extra delivery created by adversarial duplication.
+    pub fn record_net_duplicate(&mut self) {
+        self.stats.messages_duplicated += 1;
+    }
+
+    /// Records a payload mutation by the byzantine corruption hook.
+    pub fn record_net_corrupt(&mut self) {
+        self.stats.messages_corrupted += 1;
     }
 
     /// Records a message delivery (called by the simulation at delivery time).

@@ -265,6 +265,18 @@ impl SodaCluster {
         ops
     }
 
+    /// Writes invoked but not completed (the writer is mid-operation, was
+    /// crashed mid-operation, or was starved by a network adversary).
+    /// Adversarial harnesses need these to close the operation history
+    /// before atomicity checking.
+    pub fn pending_writes(&self) -> Vec<crate::record::PendingWrite> {
+        self.writers
+            .iter()
+            .filter_map(|&w| self.sim.process_as::<WriterProcess>(w))
+            .filter_map(|writer| writer.in_flight())
+            .collect()
+    }
+
     /// Typed access to a server's state by rank.
     pub fn server_state(&self, rank: usize) -> &ServerProcess {
         self.sim

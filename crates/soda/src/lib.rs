@@ -64,6 +64,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod adversary;
 pub mod harness;
 
 mod config;
@@ -73,9 +74,10 @@ mod record;
 mod server;
 mod writer;
 
+pub use adversary::coded_element_corruptor;
 pub use config::{DiskFaultModel, SodaConfig, SodaVariant};
 pub use messages::{MetaPayload, OpId, SodaMsg};
 pub use reader::{ReadPhase, ReaderProcess};
-pub use record::{OpKind, OpRecord};
+pub use record::{OpKind, OpRecord, PendingWrite};
 pub use server::ServerProcess;
 pub use writer::{WritePhase, WriterProcess};

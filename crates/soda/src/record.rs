@@ -54,6 +54,28 @@ impl OpRecord {
     }
 }
 
+/// A write that was invoked but has not (yet) completed — because the
+/// execution ended first, the writer crashed mid-operation, or the network
+/// adversary starved it of responses.
+///
+/// Atomicity checking under faults needs these: a *completed* read may
+/// legitimately return the value of an uncompleted write (the write then
+/// linearizes at some point after its invocation), so the checker's history
+/// must contain the pending write as an operation whose response never
+/// happened. The tag is `None` while the writer is still in its `write-get`
+/// phase — no server has seen the value yet, so no read can have observed it.
+#[derive(Clone, Debug)]
+pub struct PendingWrite {
+    /// The operation id.
+    pub op: OpId,
+    /// Simulated time of the invocation step.
+    pub invoked_at: SimTime,
+    /// The tag the writer assigned, once the `write-put` phase started.
+    pub tag: Option<Tag>,
+    /// The value being written.
+    pub value: Vec<u8>,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

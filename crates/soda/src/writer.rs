@@ -91,6 +91,24 @@ impl WriterProcess {
         self.pending.len()
     }
 
+    /// The in-flight write, if one exists (also available after a crash,
+    /// since crashed processes keep their state). Queued-but-not-started
+    /// invocations are not reported: they have had no effect on the system.
+    pub fn in_flight(&self) -> Option<crate::record::PendingWrite> {
+        let op = self.current_op?;
+        Some(crate::record::PendingWrite {
+            op,
+            invoked_at: self.invoked_at,
+            tag: self.current_tag,
+            value: self
+                .current_value
+                .as_ref()
+                .expect("an in-flight write always carries its value")
+                .as_ref()
+                .clone(),
+        })
+    }
+
     fn start_next(&mut self, ctx: &mut Context<'_, SodaMsg>) {
         if self.phase != WritePhase::Idle {
             return;

@@ -1,0 +1,648 @@
+//! Seeded schedule exploration: machine-checked atomicity under an
+//! adversarial network.
+//!
+//! The paper's safety claims are universally quantified over asynchronous,
+//! adversarial executions — *every* schedule of message delays, losses,
+//! reorderings, duplications, crashes and (for SODAerr) in-budget element
+//! corruption must yield an atomic history. This module samples that
+//! quantifier: it generates randomized scenarios from a seed, runs each to
+//! quiescence through the [`soda_registry::RegisterCluster`] facade, closes
+//! the resulting history under pending writes, and feeds it to
+//! [`soda_consistency::History::check_atomicity`].
+//!
+//! On a violation the scenario is **shrunk**: operations, crashes, byzantine
+//! servers and network faults are greedily removed while the violation
+//! persists, producing a minimal reproducer. Everything is derived
+//! deterministically from `(config, seed)`, so a reported counterexample can
+//! be replayed exactly with [`generate_scenario`] + [`run_scenario`].
+//!
+//! ```
+//! use soda_registry::ProtocolKind;
+//! use soda_workload::explore::{explore, ExploreConfig};
+//!
+//! let report = explore(&ExploreConfig::new(ProtocolKind::Soda, 5, 2), 0, 5);
+//! assert!(report.counterexamples.is_empty());
+//! assert!(report.completed_ops > 0);
+//! ```
+//!
+//! The harness is validated against a deliberately broken protocol: ABD with
+//! a sub-majority quorum override
+//! ([`ExploreConfig::quorum_override`]) quickly produces
+//! non-atomic histories, which exploration catches and minimizes — see the
+//! `exploration` integration tests.
+
+use crate::scenario::value_of;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use soda_consistency::{History, Violation};
+use soda_registry::{ClusterBuilder, ProtocolKind};
+use soda_simnet::{LinkFaults, NetFaultPlan, NetworkConfig, SimTime};
+use std::fmt;
+
+/// Upper bounds for the per-scenario sampled network-fault intensities.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdversaryKnobs {
+    /// Maximum per-message drop probability.
+    pub drop_p_max: f64,
+    /// Maximum per-message duplication probability.
+    pub duplicate_p_max: f64,
+    /// Maximum extra delivery delay in ticks (sampled uniformly per message).
+    pub extra_delay_max: u64,
+    /// Maximum probability that a message is held back (reordered).
+    pub reorder_p_max: f64,
+    /// Hold-back window in ticks for reordered messages.
+    pub reorder_window: u64,
+}
+
+impl AdversaryKnobs {
+    /// The default adversary: lossy, duplicating, reordering delivery that
+    /// still lets most operations finish (drop probability stays well below
+    /// the point where quorums become unreachable in every phase).
+    pub fn standard() -> Self {
+        AdversaryKnobs {
+            drop_p_max: 0.15,
+            duplicate_p_max: 0.2,
+            extra_delay_max: 40,
+            reorder_p_max: 0.3,
+            reorder_window: 60,
+        }
+    }
+
+    /// No network faults at all (crash-only exploration).
+    pub fn off() -> Self {
+        AdversaryKnobs {
+            drop_p_max: 0.0,
+            duplicate_p_max: 0.0,
+            extra_delay_max: 0,
+            reorder_p_max: 0.0,
+            reorder_window: 0,
+        }
+    }
+}
+
+/// Parameters of one exploration campaign.
+#[derive(Clone, Debug)]
+pub struct ExploreConfig {
+    /// The protocol under test.
+    pub kind: ProtocolKind,
+    /// Number of servers.
+    pub n: usize,
+    /// Tolerated server crashes.
+    pub f: usize,
+    /// Number of writer handles.
+    pub writers: usize,
+    /// Number of reader handles.
+    pub readers: usize,
+    /// Operations per scenario (reads and writes mixed).
+    pub ops: usize,
+    /// Invocation times are drawn from `[0, horizon]` ticks.
+    pub horizon: u64,
+    /// Size of every written value in bytes.
+    pub value_size: usize,
+    /// Up to this many servers crash per scenario (clamped to `f`).
+    pub max_server_crashes: usize,
+    /// Probability that each individual client is crashed mid-scenario.
+    pub client_crash_p: f64,
+    /// Network-fault intensity bounds.
+    pub knobs: AdversaryKnobs,
+    /// For SODAerr: corrupt up to `e` servers' coded elements in flight
+    /// (ignored for every other kind).
+    pub corruption: bool,
+    /// **Test-only.** Builds ABD clusters with this (possibly sub-majority)
+    /// quorum size, deliberately breaking atomicity so the harness itself can
+    /// be validated. See `ClusterBuilder::with_unsound_quorum`.
+    pub quorum_override: Option<usize>,
+}
+
+impl ExploreConfig {
+    /// A standard campaign against a `kind` cluster of `(n, f)`: 2 writers,
+    /// 2 readers, 8 operations over 250 ticks, 48-byte values, up to `f`
+    /// server crashes, occasional client crashes, the standard adversary,
+    /// and in-budget corruption for SODAerr.
+    pub fn new(kind: ProtocolKind, n: usize, f: usize) -> Self {
+        ExploreConfig {
+            kind,
+            n,
+            f,
+            writers: 2,
+            readers: 2,
+            ops: 8,
+            horizon: 250,
+            value_size: 48,
+            max_server_crashes: f,
+            client_crash_p: 0.2,
+            knobs: AdversaryKnobs::standard(),
+            corruption: true,
+            quorum_override: None,
+        }
+    }
+}
+
+/// One planned client operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlannedOp {
+    /// Invocation time in ticks.
+    pub at: u64,
+    /// Handle index of the respective kind (writer handle for writes,
+    /// reader handle for reads). Generated scenarios keep it in range;
+    /// `run_scenario` reduces it modulo the handle count as a defense for
+    /// hand-built scenarios, and `Display` prints it verbatim.
+    pub client: usize,
+    /// Write (`true`) or read (`false`).
+    pub is_write: bool,
+    /// Fill byte identifying the written value (distinct per planned write,
+    /// so stale reads are distinguishable).
+    pub fill: u8,
+}
+
+/// A fully concrete, seed-derived scenario: operations, crash schedule and
+/// network-fault intensities. `Display` renders it as a reproduction recipe.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    /// The seed this scenario was generated from (also the simulation seed).
+    pub seed: u64,
+    /// Planned operations.
+    pub ops: Vec<PlannedOp>,
+    /// `(rank, at)` server crashes.
+    pub server_crashes: Vec<(usize, u64)>,
+    /// `(writer handle, at)` client crashes.
+    pub writer_crashes: Vec<(usize, u64)>,
+    /// `(reader handle, at)` client crashes.
+    pub reader_crashes: Vec<(usize, u64)>,
+    /// Per-message drop probability for this scenario.
+    pub drop_p: f64,
+    /// Per-message duplication probability.
+    pub duplicate_p: f64,
+    /// Maximum extra delay in ticks (uniform per message when non-zero).
+    pub extra_delay: u64,
+    /// Per-message hold-back (reordering) probability.
+    pub reorder_p: f64,
+    /// Hold-back window in ticks.
+    pub reorder_window: u64,
+    /// Byzantine server ranks (SODA family only; within the error budget
+    /// when generated, beyond it only if a caller builds such a scenario by
+    /// hand).
+    pub byzantine: Vec<usize>,
+}
+
+impl Scenario {
+    fn link_faults(&self) -> LinkFaults {
+        LinkFaults {
+            drop_p: self.drop_p,
+            duplicate_p: self.duplicate_p,
+            extra_delay: (self.extra_delay > 0).then_some(soda_simnet::DelayModel::Uniform {
+                min: 1,
+                max: self.extra_delay,
+            }),
+            reorder_p: self.reorder_p,
+            reorder_window: self.reorder_window,
+        }
+    }
+
+    /// Whether any network fault is active.
+    pub fn has_net_faults(&self) -> bool {
+        !self.link_faults().is_clean()
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(out, "scenario seed={}", self.seed)?;
+        for op in &self.ops {
+            if op.is_write {
+                writeln!(
+                    out,
+                    "  t={:>4} writer[{}] <- write(fill=0x{:02x})",
+                    op.at, op.client, op.fill
+                )?;
+            } else {
+                writeln!(out, "  t={:>4} reader[{}] <- read", op.at, op.client)?;
+            }
+        }
+        for &(rank, at) in &self.server_crashes {
+            writeln!(out, "  t={at:>4} crash server {rank}")?;
+        }
+        for &(w, at) in &self.writer_crashes {
+            writeln!(out, "  t={at:>4} crash writer[{w}]")?;
+        }
+        for &(r, at) in &self.reader_crashes {
+            writeln!(out, "  t={at:>4} crash reader[{r}]")?;
+        }
+        if self.has_net_faults() {
+            writeln!(
+                out,
+                "  net: drop={:.3} dup={:.3} extra_delay<={} reorder={:.3}/{}",
+                self.drop_p,
+                self.duplicate_p,
+                self.extra_delay,
+                self.reorder_p,
+                self.reorder_window
+            )?;
+        }
+        if !self.byzantine.is_empty() {
+            writeln!(out, "  byzantine servers: {:?}", self.byzantine)?;
+        }
+        Ok(())
+    }
+}
+
+fn unit(rng: &mut StdRng) -> f64 {
+    (rng.gen::<u64>() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Deterministically derives the scenario for `(config, seed)`.
+pub fn generate_scenario(cfg: &ExploreConfig, seed: u64) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x50DA_5EED);
+    let mut ops = Vec::with_capacity(cfg.ops);
+    for i in 0..cfg.ops {
+        let write_roll = unit(&mut rng);
+        // Degenerate campaigns (0 writers or 0 readers) only get the op
+        // kind they can execute.
+        let is_write = if cfg.writers == 0 {
+            false
+        } else if cfg.readers == 0 {
+            true
+        } else {
+            write_roll < 0.45
+        };
+        let handles = if is_write { cfg.writers } else { cfg.readers };
+        ops.push(PlannedOp {
+            at: rng.gen_range(0..=cfg.horizon),
+            client: rng.gen::<usize>() % handles.max(1),
+            is_write,
+            fill: (i as u8).wrapping_mul(13).wrapping_add(1),
+        });
+    }
+    let crash_budget = cfg.max_server_crashes.min(cfg.f);
+    let crash_count = if crash_budget > 0 {
+        rng.gen_range(0..=crash_budget)
+    } else {
+        0
+    };
+    let mut ranks: Vec<usize> = (0..cfg.n).collect();
+    let mut server_crashes = Vec::new();
+    for _ in 0..crash_count {
+        let pick = rng.gen_range(0..ranks.len());
+        server_crashes.push((ranks.swap_remove(pick), rng.gen_range(0..=cfg.horizon * 2)));
+    }
+    let mut writer_crashes = Vec::new();
+    for w in 0..cfg.writers {
+        if unit(&mut rng) < cfg.client_crash_p {
+            writer_crashes.push((w, rng.gen_range(0..=cfg.horizon * 2)));
+        }
+    }
+    let mut reader_crashes = Vec::new();
+    for r in 0..cfg.readers {
+        if unit(&mut rng) < cfg.client_crash_p {
+            reader_crashes.push((r, rng.gen_range(0..=cfg.horizon * 2)));
+        }
+    }
+    let knobs = cfg.knobs;
+    let byzantine = match (cfg.corruption, cfg.kind) {
+        (true, ProtocolKind::SodaErr { e }) if e > 0 => {
+            // Up to `e` distinct ranks: always within the budget the decoder
+            // is provisioned for.
+            let count = rng.gen_range(0..=e);
+            let mut pool: Vec<usize> = (0..cfg.n).collect();
+            (0..count)
+                .map(|_| {
+                    let pick = rng.gen_range(0..pool.len());
+                    pool.swap_remove(pick)
+                })
+                .collect()
+        }
+        _ => Vec::new(),
+    };
+    Scenario {
+        seed,
+        ops,
+        server_crashes,
+        writer_crashes,
+        reader_crashes,
+        drop_p: unit(&mut rng) * knobs.drop_p_max,
+        duplicate_p: unit(&mut rng) * knobs.duplicate_p_max,
+        extra_delay: if knobs.extra_delay_max > 0 {
+            rng.gen_range(0..=knobs.extra_delay_max)
+        } else {
+            0
+        },
+        reorder_p: unit(&mut rng) * knobs.reorder_p_max,
+        reorder_window: knobs.reorder_window,
+        byzantine,
+    }
+}
+
+/// The outcome of running one scenario to quiescence.
+#[derive(Clone, Debug)]
+pub struct ScheduleOutcome {
+    /// The atomicity violation, if the history failed the checker.
+    pub violation: Option<Violation>,
+    /// Operations that completed.
+    pub completed_ops: usize,
+    /// Writes still pending at quiescence (starved or writer-crashed).
+    pub pending_writes: usize,
+    /// Whether the simulation hit its event cap (indicates a protocol bug
+    /// such as an infinite relay loop; never expected).
+    pub hit_event_cap: bool,
+    /// The checked history (completed ops closed under pending writes).
+    pub history: History,
+}
+
+/// Builds the cluster for `(config, scenario)` and runs the scenario to
+/// quiescence, returning the checked outcome.
+///
+/// # Panics
+/// Panics if the configuration is invalid for the protocol kind (see
+/// `ClusterBuilder::validate`); campaign entry points validate up front.
+pub fn run_scenario(cfg: &ExploreConfig, scenario: &Scenario) -> ScheduleOutcome {
+    let mut plan = NetFaultPlan::none();
+    let faults = scenario.link_faults();
+    if !faults.is_clean() {
+        plan = plan.with_default(faults);
+    }
+    let mut builder = ClusterBuilder::new(cfg.kind, cfg.n, cfg.f)
+        .with_seed(scenario.seed)
+        .with_clients(cfg.writers, cfg.readers)
+        .with_network(NetworkConfig::uniform(10))
+        .with_net_faults(plan);
+    if !scenario.byzantine.is_empty() {
+        builder = builder.with_byzantine_servers(scenario.byzantine.clone());
+    }
+    if let Some(q) = cfg.quorum_override {
+        builder = builder.with_unsound_quorum(q);
+    }
+    let mut cluster = builder
+        .build()
+        .unwrap_or_else(|e| panic!("invalid exploration config: {e}"));
+    for op in &scenario.ops {
+        let at = SimTime::from_ticks(op.at);
+        if op.is_write {
+            // Hand-built scenarios may plan ops the campaign has no handles
+            // for; skip those instead of indexing an empty client list.
+            if cfg.writers == 0 {
+                continue;
+            }
+            cluster.invoke_write_at(
+                at,
+                op.client % cfg.writers,
+                value_of(cfg.value_size, op.fill),
+            );
+        } else {
+            if cfg.readers == 0 {
+                continue;
+            }
+            cluster.invoke_read_at(at, op.client % cfg.readers);
+        }
+    }
+    for &(rank, at) in &scenario.server_crashes {
+        cluster.crash_server_at(SimTime::from_ticks(at), rank);
+    }
+    for &(w, at) in &scenario.writer_crashes {
+        cluster.crash_writer_at(SimTime::from_ticks(at), w);
+    }
+    for &(r, at) in &scenario.reader_crashes {
+        cluster.crash_reader_at(SimTime::from_ticks(at), r);
+    }
+    let outcome = cluster.run_to_quiescence();
+    let history = cluster.closed_history(&[]);
+    ScheduleOutcome {
+        violation: history.check_atomicity().err(),
+        completed_ops: cluster.completed_ops().len(),
+        pending_writes: cluster.pending_writes().len(),
+        hit_event_cap: outcome.hit_event_cap,
+        history,
+    }
+}
+
+/// A minimized, seed-reproducible atomicity violation.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// The seed that produced the violation (replay with
+    /// [`generate_scenario`] + [`run_scenario`]).
+    pub seed: u64,
+    /// Name of the protocol under test.
+    pub kind: &'static str,
+    /// The violation reported for the *minimized* scenario.
+    pub violation: Violation,
+    /// The scenario as originally generated.
+    pub original: Scenario,
+    /// The greedily minimized scenario (still violating).
+    pub minimized: Scenario,
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            out,
+            "{}: atomicity violation at seed {}: {}",
+            self.kind, self.seed, self.violation
+        )?;
+        writeln!(
+            out,
+            "minimized from {} ops / {} crashes to {} ops / {} crashes:",
+            self.original.ops.len(),
+            self.original.server_crashes.len()
+                + self.original.writer_crashes.len()
+                + self.original.reader_crashes.len(),
+            self.minimized.ops.len(),
+            self.minimized.server_crashes.len()
+                + self.minimized.writer_crashes.len()
+                + self.minimized.reader_crashes.len(),
+        )?;
+        write!(out, "{}", self.minimized)
+    }
+}
+
+/// Greedily shrinks a violating scenario: repeatedly drops single operations,
+/// crashes and byzantine servers, and finally tries switching the network
+/// faults off entirely, keeping any change under which *some* atomicity
+/// violation persists. Deterministic, and terminates because every accepted
+/// step removes something.
+pub fn shrink(cfg: &ExploreConfig, scenario: &Scenario) -> (Scenario, Violation) {
+    let violates = |candidate: &Scenario| run_scenario(cfg, candidate).violation;
+    let mut current = scenario.clone();
+    let mut violation = violates(&current)
+        .expect("shrink requires a violating scenario (run_scenario reported a violation)");
+    loop {
+        let mut changed = false;
+        // Drop one planned operation at a time (from the back, so indices
+        // stay valid as we retry).
+        let mut idx = current.ops.len();
+        while idx > 0 {
+            idx -= 1;
+            let mut candidate = current.clone();
+            candidate.ops.remove(idx);
+            if let Some(v) = violates(&candidate) {
+                current = candidate;
+                violation = v;
+                changed = true;
+            }
+        }
+        macro_rules! shrink_list {
+            ($field:ident) => {
+                let mut idx = current.$field.len();
+                while idx > 0 {
+                    idx -= 1;
+                    let mut candidate = current.clone();
+                    candidate.$field.remove(idx);
+                    if let Some(v) = violates(&candidate) {
+                        current = candidate;
+                        violation = v;
+                        changed = true;
+                    }
+                }
+            };
+        }
+        shrink_list!(server_crashes);
+        shrink_list!(writer_crashes);
+        shrink_list!(reader_crashes);
+        shrink_list!(byzantine);
+        if current.has_net_faults() {
+            let mut candidate = current.clone();
+            candidate.drop_p = 0.0;
+            candidate.duplicate_p = 0.0;
+            candidate.extra_delay = 0;
+            candidate.reorder_p = 0.0;
+            if let Some(v) = violates(&candidate) {
+                current = candidate;
+                violation = v;
+                changed = true;
+            }
+        }
+        if !changed {
+            return (current, violation);
+        }
+    }
+}
+
+/// Aggregate result of an exploration campaign.
+#[derive(Clone, Debug, Default)]
+pub struct ExplorationReport {
+    /// Scenarios run.
+    pub schedules: usize,
+    /// Total operations completed across all scenarios.
+    pub completed_ops: usize,
+    /// Total writes left pending across all scenarios.
+    pub pending_writes: usize,
+    /// Scenarios that hit the event cap (always 0 for healthy protocols).
+    pub event_cap_hits: usize,
+    /// Violations found, each minimized to a reproducer.
+    pub counterexamples: Vec<Counterexample>,
+}
+
+impl ExplorationReport {
+    /// Whether every schedule passed the atomicity checker.
+    pub fn all_atomic(&self) -> bool {
+        self.counterexamples.is_empty()
+    }
+}
+
+/// Runs `schedules` seeded scenarios (`seed_start`, `seed_start + 1`, …) and
+/// returns the aggregate report. Every violation is shrunk to a minimal
+/// reproducer before being recorded.
+///
+/// # Panics
+/// Panics if the configuration is invalid for the protocol kind.
+pub fn explore(cfg: &ExploreConfig, seed_start: u64, schedules: usize) -> ExplorationReport {
+    let mut report = ExplorationReport::default();
+    for seed in seed_start..seed_start + schedules as u64 {
+        let scenario = generate_scenario(cfg, seed);
+        let outcome = run_scenario(cfg, &scenario);
+        report.schedules += 1;
+        report.completed_ops += outcome.completed_ops;
+        report.pending_writes += outcome.pending_writes;
+        report.event_cap_hits += usize::from(outcome.hit_event_cap);
+        if outcome.violation.is_some() {
+            let (minimized, violation) = shrink(cfg, &scenario);
+            report.counterexamples.push(Counterexample {
+                seed,
+                kind: cfg.kind.name(),
+                violation,
+                original: scenario,
+                minimized,
+            });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = ExploreConfig::new(ProtocolKind::Soda, 5, 2);
+        let a = generate_scenario(&cfg, 42);
+        let b = generate_scenario(&cfg, 42);
+        assert_eq!(a, b);
+        let c = generate_scenario(&cfg, 43);
+        assert_ne!(a, c, "different seeds should differ");
+        assert_eq!(a.ops.len(), cfg.ops);
+        assert!(a.server_crashes.len() <= cfg.f);
+        assert!(a.drop_p <= cfg.knobs.drop_p_max);
+    }
+
+    #[test]
+    fn sodaerr_corruption_stays_within_the_error_budget() {
+        let cfg = ExploreConfig::new(ProtocolKind::SodaErr { e: 2 }, 9, 2);
+        for seed in 0..40 {
+            let s = generate_scenario(&cfg, seed);
+            assert!(s.byzantine.len() <= 2, "seed {seed}: {:?}", s.byzantine);
+            let mut unique = s.byzantine.clone();
+            unique.dedup();
+            assert_eq!(unique.len(), s.byzantine.len(), "ranks must be distinct");
+        }
+        let off = ExploreConfig {
+            corruption: false,
+            ..cfg
+        };
+        assert!(generate_scenario(&off, 7).byzantine.is_empty());
+    }
+
+    #[test]
+    fn scenarios_render_as_reproduction_recipes() {
+        let cfg = ExploreConfig::new(ProtocolKind::Soda, 5, 2);
+        let rendered = generate_scenario(&cfg, 3).to_string();
+        assert!(rendered.contains("scenario seed=3"), "{rendered}");
+        assert!(
+            rendered.contains("write") || rendered.contains("read"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn degenerate_campaigns_only_plan_executable_ops() {
+        // 0 readers → writes only; 0 writers → reads only; both run without
+        // panicking and the planned handles stay in range.
+        let write_only = ExploreConfig {
+            readers: 0,
+            ..ExploreConfig::new(ProtocolKind::Soda, 5, 2)
+        };
+        let s = generate_scenario(&write_only, 5);
+        assert!(s.ops.iter().all(|op| op.is_write && op.client < 2));
+        assert!(run_scenario(&write_only, &s).violation.is_none());
+
+        let read_only = ExploreConfig {
+            writers: 0,
+            ..ExploreConfig::new(ProtocolKind::Soda, 5, 2)
+        };
+        let s = generate_scenario(&read_only, 5);
+        assert!(s.ops.iter().all(|op| !op.is_write && op.client < 2));
+        assert!(run_scenario(&read_only, &s).violation.is_none());
+    }
+
+    #[test]
+    fn clean_soda_schedule_is_atomic() {
+        let cfg = ExploreConfig {
+            knobs: AdversaryKnobs::off(),
+            max_server_crashes: 0,
+            client_crash_p: 0.0,
+            ..ExploreConfig::new(ProtocolKind::Soda, 5, 2)
+        };
+        let outcome = run_scenario(&cfg, &generate_scenario(&cfg, 1));
+        assert!(outcome.violation.is_none());
+        assert!(!outcome.hit_event_cap);
+        assert_eq!(outcome.completed_ops, cfg.ops, "all ops finish cleanly");
+    }
+}

@@ -13,12 +13,17 @@
 //!
 //! The `soda-bench` crate's binaries are thin wrappers around the experiment
 //! functions in [`experiments`]; integration tests use the scenario runner in
-//! [`scenario`] directly.
+//! [`scenario`] directly. The [`explore`] module is the adversarial
+//! counterpart of [`scenario`]: instead of measuring costs on clean runs, it
+//! samples thousands of seeded schedules under crash + network faults and
+//! machine-checks atomicity, shrinking any violation to a minimal
+//! reproducer.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod explore;
 pub mod json;
 pub mod scenario;
 
