@@ -1,0 +1,109 @@
+//! Wall-clock throughput of the sharded store (ops/sec) by shard count and
+//! protocol, under the **threaded** runtime — one OS thread per shard, so the
+//! shard axis measures how much parallelism the store actually extracts from
+//! a fleet of independent per-shard simulations.
+//!
+//! Plain `harness = false` timing loop (criterion is unavailable offline).
+//! Run with: `cargo bench -p soda-bench --bench store_throughput [out.json]` —
+//! with a path argument the measurements are also written as JSON rows in the
+//! repo's standard format (see `BENCH_store_throughput.json`).
+
+use soda_bench::maybe_write_json;
+use soda_registry::ProtocolKind;
+use soda_store::{StoreBuilder, StoreRuntime};
+use soda_workload::json::to_json;
+use soda_workload::json_row;
+use std::time::Instant;
+
+#[derive(Clone)]
+struct Row {
+    protocol: String,
+    shards: usize,
+    keys: usize,
+    ops: usize,
+    completed: usize,
+    seconds: f64,
+    ops_per_sec: f64,
+}
+
+json_row!(Row {
+    protocol,
+    shards,
+    keys,
+    ops,
+    completed,
+    seconds,
+    ops_per_sec,
+});
+
+const KEYS_PER_SHARD: usize = 32;
+const ROUNDS: usize = 4;
+
+fn build(kind: ProtocolKind, shards: usize, runtime: StoreRuntime) -> soda_store::ShardedStore {
+    StoreBuilder::new(shards, kind, 5, 2)
+        .with_seed(7)
+        .with_runtime(runtime)
+        .build()
+        .expect("valid store parameters")
+}
+
+/// Queues `ROUNDS` rounds of a put and a get per key, drains, and returns
+/// `(ops issued, tickets settled)`.
+fn drive(store: &mut soda_store::ShardedStore, keys: &[Vec<u8>]) -> (usize, usize) {
+    for round in 0..ROUNDS {
+        store.put_batch(
+            keys.iter()
+                .map(|k| (k.clone(), format!("value/r{round}").into_bytes())),
+        );
+        store.multi_get(keys.iter().cloned());
+    }
+    let outcome = store.run_until_quiescent();
+    assert!(!outcome.hit_event_cap);
+    assert_eq!(
+        outcome.pending_tickets, 0,
+        "fault-free run serves everything"
+    );
+    (keys.len() * ROUNDS * 2, outcome.completed_tickets)
+}
+
+fn measure(kind: ProtocolKind, shards: usize) -> Row {
+    let keys: Vec<Vec<u8>> = (0..shards * KEYS_PER_SHARD)
+        .map(|i| format!("bench/key/{i}").into_bytes())
+        .collect();
+    // Warm-up pass on a fresh store, then the timed run on another.
+    drive(&mut build(kind, shards, StoreRuntime::Threaded), &keys);
+    let mut store = build(kind, shards, StoreRuntime::Threaded);
+    let start = Instant::now();
+    let (ops, completed) = drive(&mut store, &keys);
+    let seconds = start.elapsed().as_secs_f64();
+    store
+        .check_per_key_atomicity()
+        .expect("bench run must stay per-key atomic");
+    Row {
+        protocol: kind.name().to_string(),
+        shards,
+        keys: keys.len(),
+        ops,
+        completed,
+        seconds,
+        ops_per_sec: ops as f64 / seconds,
+    }
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for kind in [ProtocolKind::Soda, ProtocolKind::Abd, ProtocolKind::Cas] {
+        for shards in [1, 2, 4, 8] {
+            let row = measure(kind, shards);
+            println!(
+                "store/{:<5} shards={:<2} {:>9.0} ops/s ({} ops over {} keys in {:.3}s)",
+                row.protocol, row.shards, row.ops_per_sec, row.ops, row.keys, row.seconds
+            );
+            rows.push(row);
+        }
+    }
+    // `cargo bench` forwards flags like `--bench` to the binary; the JSON
+    // output path is the first non-flag argument.
+    let json_path = std::env::args().skip(1).find(|arg| !arg.starts_with('-'));
+    maybe_write_json(json_path.as_deref(), &to_json(&rows));
+}

@@ -28,6 +28,8 @@
 
 mod checker;
 mod history;
+mod keyed;
 
 pub use checker::{check_linearizable, Violation};
 pub use history::{History, Kind, Op, OpId, Version};
+pub use keyed::{KeyViolation, KeyedHistory, KeyedOp};

@@ -22,7 +22,11 @@ use std::any::Any;
 /// and the cost accounting all behave identically across implementations, so
 /// measured numbers are directly comparable — which is the whole point of the
 /// paper's Table I.
-pub trait RegisterCluster {
+///
+/// Clusters are `Send` (every process, message and RNG in the stack is), so
+/// higher layers — the sharded store in `crates/store` — can drive disjoint
+/// clusters from parallel OS threads.
+pub trait RegisterCluster: Send {
     /// The static description of this cluster (protocol, `n`, `f`, client
     /// counts).
     fn descriptor(&self) -> &ClusterDescriptor;

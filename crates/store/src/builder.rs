@@ -1,0 +1,396 @@
+//! Validated construction of a [`ShardedStore`].
+
+use crate::map::ShardMap;
+use crate::store::ShardedStore;
+use soda_registry::{BuildError, ClusterBuilder, ProtocolKind};
+use soda_simnet::{NetFaultPlan, NetworkConfig};
+use std::error::Error;
+use std::fmt;
+
+/// Which backend drives the shards when the store runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum StoreRuntime {
+    /// Every shard is stepped serially on the calling thread, in shard order.
+    /// Fully deterministic: the same store, seed and operation sequence
+    /// reproduce the same histories, which is what tests and the adversarial
+    /// exploration campaigns need.
+    #[default]
+    Simulation,
+    /// Each shard runs on its own OS thread (shards are independent, so this
+    /// is safe parallelism). Per-shard histories stay deterministic — each
+    /// shard still runs its own discrete-event simulation — but wall-clock
+    /// timing is real, which is what the throughput benches measure.
+    Threaded,
+}
+
+/// Per-shard configuration: the register-cluster shape every key placed on
+/// the shard is built with.
+#[derive(Clone, Debug)]
+pub struct ShardSpec {
+    /// The register protocol this shard runs.
+    pub kind: ProtocolKind,
+    /// Servers per register cluster.
+    pub n: usize,
+    /// Tolerated server crashes per register cluster.
+    pub f: usize,
+    /// Writer handles per key.
+    pub writers_per_key: usize,
+    /// Reader handles per key.
+    pub readers_per_key: usize,
+    /// Message delay model for the shard's clusters.
+    pub network: NetworkConfig,
+    /// Network adversary applied to every cluster of the shard.
+    pub net_faults: NetFaultPlan,
+    /// Byzantine (element-corrupting) server ranks (SODA family only).
+    pub byzantine_servers: Vec<usize>,
+}
+
+impl ShardSpec {
+    /// The representative [`ClusterBuilder`] for this spec (used both for
+    /// validation and for building each key's cluster).
+    pub(crate) fn cluster_builder(&self, seed: u64) -> ClusterBuilder {
+        let mut builder = ClusterBuilder::new(self.kind, self.n, self.f)
+            .with_seed(seed)
+            .with_clients(self.writers_per_key, self.readers_per_key)
+            .with_network(self.network.clone())
+            .with_net_faults(self.net_faults.clone());
+        if !self.byzantine_servers.is_empty() {
+            builder = builder.with_byzantine_servers(self.byzantine_servers.clone());
+        }
+        builder
+    }
+}
+
+/// Why a [`StoreBuilder`] refused to build.
+#[derive(Debug)]
+pub enum StoreBuildError {
+    /// The store has no shards.
+    NoShards,
+    /// `with_shard_kinds` was given a list whose length is not the shard
+    /// count.
+    ShardKindsLength {
+        /// Number of shards the store was created with.
+        shards: usize,
+        /// Length of the provided kind list.
+        kinds: usize,
+    },
+    /// A per-shard method named a shard that does not exist.
+    ShardOutOfRange {
+        /// The offending shard index.
+        shard: usize,
+        /// Number of shards.
+        shards: usize,
+    },
+    /// A shard's cluster parameters failed [`ClusterBuilder`] validation.
+    Shard {
+        /// The offending shard index.
+        shard: usize,
+        /// The underlying cluster-builder error.
+        source: BuildError,
+    },
+}
+
+impl fmt::Display for StoreBuildError {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreBuildError::NoShards => write!(out, "store needs at least one shard"),
+            StoreBuildError::ShardKindsLength { shards, kinds } => write!(
+                out,
+                "with_shard_kinds got {kinds} kinds for {shards} shards (lengths must match)"
+            ),
+            StoreBuildError::ShardOutOfRange { shard, shards } => {
+                write!(out, "shard {shard} out of range for {shards} shards")
+            }
+            StoreBuildError::Shard { shard, source } => {
+                write!(out, "shard {shard}: {source}")
+            }
+        }
+    }
+}
+
+impl Error for StoreBuildError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StoreBuildError::Shard { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Builds a [`ShardedStore`]: `S` shards, each a register-cluster fleet with
+/// its own protocol choice, placed under one consistent-hash keyspace.
+///
+/// ```
+/// use soda_registry::ProtocolKind;
+/// use soda_store::StoreBuilder;
+///
+/// let mut store = StoreBuilder::new(4, ProtocolKind::Soda, 5, 2)
+///     .with_seed(7)
+///     .build()
+///     .unwrap();
+/// let put = store.put(b"user:1".to_vec(), b"ada".to_vec());
+/// let get = store.get(b"user:1".to_vec());
+/// store.run_until_quiescent();
+/// assert!(store.poll(put).is_done());
+/// assert_eq!(store.poll(get).value(), Some(b"ada".as_slice()));
+/// store.check_per_key_atomicity().unwrap();
+/// ```
+#[derive(Clone, Debug)]
+pub struct StoreBuilder {
+    specs: Vec<ShardSpec>,
+    vnodes_per_shard: usize,
+    seed: u64,
+    runtime: StoreRuntime,
+    errors: Vec<StoreBuildErrorKind>,
+}
+
+/// Deferred-error bookkeeping so the chained builder methods stay infallible
+/// (errors surface at `build`, like `ClusterBuilder`).
+#[derive(Clone, Debug)]
+enum StoreBuildErrorKind {
+    ShardKindsLength { kinds: usize },
+    ShardOutOfRange { shard: usize },
+}
+
+impl StoreBuilder {
+    /// A store of `shards` shards, all running `kind` clusters of `n` servers
+    /// tolerating `f` crashes, with one writer and one reader handle per key,
+    /// 16 virtual nodes per shard, seed 0 and the deterministic
+    /// [`StoreRuntime::Simulation`] backend.
+    pub fn new(shards: usize, kind: ProtocolKind, n: usize, f: usize) -> Self {
+        let spec = ShardSpec {
+            kind,
+            n,
+            f,
+            writers_per_key: 1,
+            readers_per_key: 1,
+            network: NetworkConfig::uniform(10),
+            net_faults: NetFaultPlan::none(),
+            byzantine_servers: Vec::new(),
+        };
+        StoreBuilder {
+            specs: vec![spec; shards],
+            vnodes_per_shard: 16,
+            seed: 0,
+            runtime: StoreRuntime::Simulation,
+            errors: Vec::new(),
+        }
+    }
+
+    /// Sets the store seed (mixed with each key's hash to derive per-cluster
+    /// simulation seeds).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of virtual nodes per shard on the placement ring.
+    pub fn with_vnodes(mut self, vnodes_per_shard: usize) -> Self {
+        self.vnodes_per_shard = vnodes_per_shard.max(1);
+        self
+    }
+
+    /// Selects the execution backend.
+    pub fn with_runtime(mut self, runtime: StoreRuntime) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
+    /// Gives every shard its own protocol (`kinds[i]` for shard `i`) — mixed
+    /// fleets in one store. The list length must equal the shard count.
+    pub fn with_shard_kinds(mut self, kinds: Vec<ProtocolKind>) -> Self {
+        if kinds.len() != self.specs.len() {
+            self.errors
+                .push(StoreBuildErrorKind::ShardKindsLength { kinds: kinds.len() });
+            return self;
+        }
+        for (spec, kind) in self.specs.iter_mut().zip(kinds) {
+            spec.kind = kind;
+        }
+        self
+    }
+
+    /// Overrides one shard's protocol.
+    pub fn with_shard_kind(mut self, shard: usize, kind: ProtocolKind) -> Self {
+        match self.specs.get_mut(shard) {
+            Some(spec) => spec.kind = kind,
+            None => self
+                .errors
+                .push(StoreBuildErrorKind::ShardOutOfRange { shard }),
+        }
+        self
+    }
+
+    /// Sets writer/reader handles per key, for every shard.
+    pub fn with_clients_per_key(mut self, writers: usize, readers: usize) -> Self {
+        for spec in &mut self.specs {
+            spec.writers_per_key = writers;
+            spec.readers_per_key = readers;
+        }
+        self
+    }
+
+    /// Sets the message delay model for every shard.
+    pub fn with_network(mut self, network: NetworkConfig) -> Self {
+        for spec in &mut self.specs {
+            spec.network = network.clone();
+        }
+        self
+    }
+
+    /// Installs a network adversary on every shard.
+    pub fn with_net_faults(mut self, plan: NetFaultPlan) -> Self {
+        for spec in &mut self.specs {
+            spec.net_faults = plan.clone();
+        }
+        self
+    }
+
+    /// Installs a network adversary on one shard only.
+    pub fn with_shard_net_faults(mut self, shard: usize, plan: NetFaultPlan) -> Self {
+        match self.specs.get_mut(shard) {
+            Some(spec) => spec.net_faults = plan,
+            None => self
+                .errors
+                .push(StoreBuildErrorKind::ShardOutOfRange { shard }),
+        }
+        self
+    }
+
+    /// Marks byzantine servers on one shard (SODA-family shards only;
+    /// rejected at `build` otherwise).
+    pub fn with_shard_byzantine(mut self, shard: usize, ranks: Vec<usize>) -> Self {
+        match self.specs.get_mut(shard) {
+            Some(spec) => spec.byzantine_servers = ranks,
+            None => self
+                .errors
+                .push(StoreBuildErrorKind::ShardOutOfRange { shard }),
+        }
+        self
+    }
+
+    /// Checks every shard's parameters without building anything.
+    pub fn validate(&self) -> Result<(), StoreBuildError> {
+        if let Some(err) = self.errors.first() {
+            return Err(match *err {
+                StoreBuildErrorKind::ShardKindsLength { kinds } => {
+                    StoreBuildError::ShardKindsLength {
+                        shards: self.specs.len(),
+                        kinds,
+                    }
+                }
+                StoreBuildErrorKind::ShardOutOfRange { shard } => {
+                    StoreBuildError::ShardOutOfRange {
+                        shard,
+                        shards: self.specs.len(),
+                    }
+                }
+            });
+        }
+        if self.specs.is_empty() {
+            return Err(StoreBuildError::NoShards);
+        }
+        for (shard, spec) in self.specs.iter().enumerate() {
+            spec.cluster_builder(0)
+                .validate()
+                .map_err(|source| StoreBuildError::Shard { shard, source })?;
+        }
+        Ok(())
+    }
+
+    /// Builds the store.
+    pub fn build(self) -> Result<ShardedStore, StoreBuildError> {
+        self.validate()?;
+        let map = ShardMap::new(self.specs.len(), self.vnodes_per_shard);
+        Ok(ShardedStore::new(map, self.specs, self.seed, self.runtime))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_build() {
+        let store = StoreBuilder::new(4, ProtocolKind::Soda, 5, 2)
+            .build()
+            .unwrap();
+        assert_eq!(store.num_shards(), 4);
+    }
+
+    #[test]
+    fn rejects_zero_shards() {
+        let err = StoreBuilder::new(0, ProtocolKind::Soda, 5, 2)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, StoreBuildError::NoShards), "{err}");
+    }
+
+    #[test]
+    fn rejects_invalid_shard_parameters_with_the_shard_index() {
+        let err = StoreBuilder::new(3, ProtocolKind::Soda, 5, 2)
+            .with_shard_kind(1, ProtocolKind::SodaErr { e: 3 }) // k = 5-2-6 < 1
+            .build()
+            .unwrap_err();
+        match err {
+            StoreBuildError::Shard { shard, source } => {
+                assert_eq!(shard, 1);
+                assert!(matches!(source, BuildError::InvalidCodeDimension { .. }));
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_mismatched_kind_lists_and_bad_shard_indices() {
+        let err = StoreBuilder::new(2, ProtocolKind::Soda, 5, 2)
+            .with_shard_kinds(vec![ProtocolKind::Abd])
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, StoreBuildError::ShardKindsLength { .. }),
+            "{err}"
+        );
+
+        let err = StoreBuilder::new(2, ProtocolKind::Soda, 5, 2)
+            .with_shard_net_faults(5, NetFaultPlan::none())
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StoreBuildError::ShardOutOfRange {
+                    shard: 5,
+                    shards: 2
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn byzantine_servers_are_rejected_on_non_soda_shards() {
+        let err = StoreBuilder::new(2, ProtocolKind::Abd, 5, 2)
+            .with_shard_byzantine(0, vec![1])
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            StoreBuildError::Shard {
+                shard: 0,
+                source: BuildError::ByzantineUnsupported { .. }
+            }
+        ));
+    }
+
+    #[test]
+    fn errors_render_helpfully() {
+        let msg = StoreBuildError::Shard {
+            shard: 2,
+            source: BuildError::TooManyFaults { n: 4, f: 2 },
+        }
+        .to_string();
+        assert!(msg.contains("shard 2"), "{msg}");
+        assert!(msg.contains("n > 2f"), "{msg}");
+    }
+}

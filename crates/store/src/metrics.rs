@@ -1,0 +1,240 @@
+//! Store-level metrics: per-shard and aggregate operation counts,
+//! message/storage costs, and latency histograms.
+
+use std::fmt;
+
+/// A power-of-two latency histogram over simulated ticks: bucket `i` counts
+/// operations with latency in `[2^(i-1), 2^i)` (bucket 0 is latency 0).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; 24],
+    count: u64,
+    total_ticks: u64,
+    max_ticks: u64,
+}
+
+impl LatencyHistogram {
+    /// Records one operation latency.
+    pub fn record(&mut self, ticks: u64) {
+        let bucket = (64 - u64::leading_zeros(ticks) as usize).min(self.buckets.len() - 1);
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.total_ticks += ticks;
+        self.max_ticks = self.max_ticks.max(ticks);
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.total_ticks += other.total_ticks;
+        self.max_ticks = self.max_ticks.max(other.max_ticks);
+    }
+
+    /// Number of recorded operations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in ticks (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ticks as f64 / self.count as f64
+        }
+    }
+
+    /// Maximum recorded latency in ticks.
+    pub fn max(&self) -> u64 {
+        self.max_ticks
+    }
+
+    /// The smallest latency bound `2^i` such that at least `quantile` of the
+    /// recorded operations finished within it (an upper bound on the
+    /// quantile, at bucket resolution). Returns 0 when empty.
+    pub fn quantile_bound(&self, quantile: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let threshold = (self.count as f64 * quantile.clamp(0.0, 1.0)).ceil() as u64;
+        let mut seen = 0;
+        for (i, &bucket) in self.buckets.iter().enumerate() {
+            seen += bucket;
+            if seen >= threshold {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        self.max_ticks
+    }
+
+    /// The raw buckets.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+}
+
+impl fmt::Display for LatencyHistogram {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            out,
+            "n={} mean={:.1} p99≤{} max={}",
+            self.count,
+            self.mean(),
+            self.quantile_bound(0.99),
+            self.max_ticks
+        )
+    }
+}
+
+/// Metrics for one shard, aggregated over all its per-key clusters.
+#[derive(Clone, Debug)]
+pub struct ShardMetrics {
+    /// Shard index.
+    pub shard: usize,
+    /// Name of the protocol the shard runs.
+    pub protocol: &'static str,
+    /// Distinct keys placed on the shard so far.
+    pub keys: usize,
+    /// Completed put operations.
+    pub completed_puts: u64,
+    /// Completed get operations.
+    pub completed_gets: u64,
+    /// Tickets routed to this shard that have not completed.
+    pub pending_tickets: u64,
+    /// Messages sent by the shard's clusters.
+    pub messages_sent: u64,
+    /// Messages the network adversary dropped.
+    pub messages_lost: u64,
+    /// Object-value data bytes sent (the paper's communication cost,
+    /// un-normalized).
+    pub data_bytes_sent: u64,
+    /// Object-value bytes currently stored across the shard's servers.
+    pub stored_bytes: u64,
+    /// Put latency histogram (simulated ticks).
+    pub put_latency: LatencyHistogram,
+    /// Get latency histogram (simulated ticks).
+    pub get_latency: LatencyHistogram,
+}
+
+/// Aggregate totals across all shards.
+#[derive(Clone, Debug, Default)]
+pub struct StoreTotals {
+    /// Distinct keys store-wide.
+    pub keys: usize,
+    /// Completed puts store-wide.
+    pub completed_puts: u64,
+    /// Completed gets store-wide.
+    pub completed_gets: u64,
+    /// Pending tickets store-wide.
+    pub pending_tickets: u64,
+    /// Messages sent store-wide.
+    pub messages_sent: u64,
+    /// Adversary-dropped messages store-wide.
+    pub messages_lost: u64,
+    /// Data bytes sent store-wide.
+    pub data_bytes_sent: u64,
+    /// Stored bytes store-wide.
+    pub stored_bytes: u64,
+    /// Merged put latency histogram.
+    pub put_latency: LatencyHistogram,
+    /// Merged get latency histogram.
+    pub get_latency: LatencyHistogram,
+}
+
+impl StoreTotals {
+    pub(crate) fn from_shards(shards: &[ShardMetrics]) -> Self {
+        let mut totals = StoreTotals::default();
+        for m in shards {
+            totals.keys += m.keys;
+            totals.completed_puts += m.completed_puts;
+            totals.completed_gets += m.completed_gets;
+            totals.pending_tickets += m.pending_tickets;
+            totals.messages_sent += m.messages_sent;
+            totals.messages_lost += m.messages_lost;
+            totals.data_bytes_sent += m.data_bytes_sent;
+            totals.stored_bytes += m.stored_bytes;
+            totals.put_latency.merge(&m.put_latency);
+            totals.get_latency.merge(&m.get_latency);
+        }
+        totals
+    }
+
+    /// Completed operations of both kinds.
+    pub fn completed_ops(&self) -> u64 {
+        self.completed_puts + self.completed_gets
+    }
+}
+
+/// Per-shard metrics plus the aggregate, as returned by
+/// [`crate::ShardedStore::metrics`].
+#[derive(Clone, Debug)]
+pub struct StoreMetrics {
+    /// One entry per shard, in shard order.
+    pub per_shard: Vec<ShardMetrics>,
+    /// Totals across all shards.
+    pub aggregate: StoreTotals,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_records_and_merges() {
+        let mut a = LatencyHistogram::default();
+        a.record(0);
+        a.record(3);
+        a.record(100);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 100);
+        assert!((a.mean() - 103.0 / 3.0).abs() < 1e-9);
+
+        let mut b = LatencyHistogram::default();
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.max(), 1000);
+        // All four ops finished within 2^10 = 1024 ticks.
+        assert!(a.quantile_bound(1.0) <= 1024);
+        // Buckets: 0 → bucket 0; 3 → bucket 2; 100 → bucket 7; 1000 → 10.
+        assert_eq!(a.buckets()[0], 1);
+        assert_eq!(a.buckets()[2], 1);
+        assert_eq!(a.buckets()[7], 1);
+        assert_eq!(a.buckets()[10], 1);
+    }
+
+    #[test]
+    fn empty_histogram_is_benign() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile_bound(0.5), 0);
+        assert!(h.to_string().contains("n=0"));
+    }
+
+    #[test]
+    fn totals_sum_shards() {
+        let shard = |i: usize, puts: u64| ShardMetrics {
+            shard: i,
+            protocol: "SODA",
+            keys: 2,
+            completed_puts: puts,
+            completed_gets: 1,
+            pending_tickets: 0,
+            messages_sent: 10,
+            messages_lost: 1,
+            data_bytes_sent: 100,
+            stored_bytes: 50,
+            put_latency: LatencyHistogram::default(),
+            get_latency: LatencyHistogram::default(),
+        };
+        let totals = StoreTotals::from_shards(&[shard(0, 3), shard(1, 4)]);
+        assert_eq!(totals.keys, 4);
+        assert_eq!(totals.completed_puts, 7);
+        assert_eq!(totals.completed_ops(), 9);
+        assert_eq!(totals.messages_sent, 20);
+        assert_eq!(totals.stored_bytes, 100);
+    }
+}

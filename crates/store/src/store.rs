@@ -1,0 +1,533 @@
+//! The sharded multi-object store proper.
+
+use crate::builder::{ShardSpec, StoreRuntime};
+use crate::map::{fnv1a, ShardMap};
+use crate::metrics::{LatencyHistogram, ShardMetrics, StoreMetrics, StoreTotals};
+use soda_consistency::{KeyViolation, KeyedHistory, KeyedOp};
+use soda_registry::{OpKind, RegisterCluster};
+use soda_simnet::SimTime;
+use std::collections::HashMap;
+
+/// Handle for one asynchronously-invoked store operation. Obtained from
+/// [`ShardedStore::put`] / [`ShardedStore::get`] (and their batched
+/// variants), redeemed with [`ShardedStore::poll`] once the store has been
+/// driven by [`ShardedStore::run_until_quiescent`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Ticket(u64);
+
+/// What happened to a ticketed operation.
+#[derive(Clone, Debug)]
+pub enum TicketStatus {
+    /// The operation has not completed (still queued, in flight, or starved
+    /// by crashes/network faults).
+    Pending,
+    /// The operation completed.
+    Done(OpOutcome),
+}
+
+impl TicketStatus {
+    /// True once the operation completed.
+    pub fn is_done(&self) -> bool {
+        matches!(self, TicketStatus::Done(_))
+    }
+
+    /// The returned value: `Some` for a get that found a value, `None` for a
+    /// pending ticket, a put, or a get of an absent key.
+    pub fn value(&self) -> Option<&[u8]> {
+        match self {
+            TicketStatus::Done(outcome) if outcome.kind == OpKind::Read => outcome.value.as_deref(),
+            _ => None,
+        }
+    }
+}
+
+/// A completed store operation.
+#[derive(Clone, Debug)]
+pub struct OpOutcome {
+    /// The key the operation addressed.
+    pub key: Vec<u8>,
+    /// The shard that served it.
+    pub shard: usize,
+    /// Put ([`OpKind::Write`]) or get ([`OpKind::Read`]).
+    pub kind: OpKind,
+    /// The value written, or the value a get returned (`None` when the key
+    /// had never been written — the store treats the registers' empty initial
+    /// value as *absent*, so empty values cannot be stored).
+    pub value: Option<Vec<u8>>,
+    /// Operation latency in the shard's simulated ticks.
+    pub latency_ticks: u64,
+}
+
+/// Result of one [`ShardedStore::run_until_quiescent`] call.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StoreRunOutcome {
+    /// Tickets completed so far (store lifetime total).
+    pub completed_tickets: usize,
+    /// Tickets still pending after quiescence (their operations were starved
+    /// by crashes or never got a client handle).
+    pub pending_tickets: usize,
+    /// True if any shard's simulation hit its event cap (indicates a protocol
+    /// bug; never expected).
+    pub hit_event_cap: bool,
+}
+
+/// One key's register cluster within a shard, plus the ticket bookkeeping
+/// that maps the cluster's per-client operation records back to store
+/// tickets.
+struct KeyCluster {
+    key: Vec<u8>,
+    cluster: Box<dyn RegisterCluster>,
+    /// Round-robin cursors over the writer/reader handles.
+    next_writer: usize,
+    next_reader: usize,
+    /// FIFO ticket ids per writer handle, in invocation order. A handle's
+    /// operations complete in invocation order (clients queue), so the i-th
+    /// completed record of the handle's process settles the i-th ticket.
+    writer_tickets: Vec<Vec<u64>>,
+    reader_tickets: Vec<Vec<u64>>,
+    /// How many tickets per handle have already been settled.
+    writer_done: Vec<usize>,
+    reader_done: Vec<usize>,
+}
+
+impl KeyCluster {
+    /// Settles newly completed operations into `outcomes`.
+    fn harvest(&mut self, shard: usize, outcomes: &mut HashMap<u64, OpOutcome>) {
+        let ops = self.cluster.completed_ops();
+        let descriptor = *self.cluster.descriptor();
+        for w in 0..descriptor.num_writers {
+            let client = self.cluster.writer_process(w).0 as u64;
+            let mut records: Vec<_> = ops.iter().filter(|op| op.client == client).collect();
+            records.sort_by_key(|op| op.seq);
+            let settled = records.len().min(self.writer_tickets[w].len());
+            for (record, &ticket) in records
+                .iter()
+                .zip(&self.writer_tickets[w])
+                .take(settled)
+                .skip(self.writer_done[w])
+            {
+                outcomes.insert(
+                    ticket,
+                    OpOutcome {
+                        key: self.key.clone(),
+                        shard,
+                        kind: OpKind::Write,
+                        value: record.value.clone(),
+                        latency_ticks: record.latency(),
+                    },
+                );
+            }
+            self.writer_done[w] = settled;
+        }
+        for r in 0..descriptor.num_readers {
+            let client = self.cluster.reader_process(r).0 as u64;
+            let mut records: Vec<_> = ops.iter().filter(|op| op.client == client).collect();
+            records.sort_by_key(|op| op.seq);
+            let settled = records.len().min(self.reader_tickets[r].len());
+            for (record, &ticket) in records
+                .iter()
+                .zip(&self.reader_tickets[r])
+                .take(settled)
+                .skip(self.reader_done[r])
+            {
+                let value = record.value.clone().filter(|v| !v.is_empty());
+                outcomes.insert(
+                    ticket,
+                    OpOutcome {
+                        key: self.key.clone(),
+                        shard,
+                        kind: OpKind::Read,
+                        value,
+                        latency_ticks: record.latency(),
+                    },
+                );
+            }
+            self.reader_done[r] = settled;
+        }
+    }
+
+    fn issued(&self) -> usize {
+        self.writer_tickets.iter().map(Vec::len).sum::<usize>()
+            + self.reader_tickets.iter().map(Vec::len).sum::<usize>()
+    }
+
+    fn settled(&self) -> usize {
+        self.writer_done.iter().sum::<usize>() + self.reader_done.iter().sum::<usize>()
+    }
+}
+
+/// One shard: a fleet of per-key register clusters sharing a [`ShardSpec`]
+/// (protocol, `n`/`f`, fault plan and client-handle shape).
+struct Shard {
+    index: usize,
+    spec: ShardSpec,
+    clusters: Vec<KeyCluster>,
+    key_index: HashMap<Vec<u8>, usize>,
+    /// Server ranks `0..downed_servers` are crashed in every cluster of the
+    /// shard, existing and future.
+    downed_servers: usize,
+}
+
+impl Shard {
+    /// The cluster for `key`, created lazily from the shard spec.
+    fn cluster_for(&mut self, key: &[u8], store_seed: u64) -> &mut KeyCluster {
+        if let Some(&idx) = self.key_index.get(key) {
+            return &mut self.clusters[idx];
+        }
+        let seed = store_seed
+            ^ fnv1a(key).rotate_left(17)
+            ^ (self.index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut cluster = self
+            .spec
+            .cluster_builder(seed)
+            .build()
+            .expect("spec was validated at store build time");
+        for rank in 0..self.downed_servers.min(self.spec.n) {
+            cluster.crash_server_at(cluster.now(), rank);
+        }
+        let descriptor = *cluster.descriptor();
+        let idx = self.clusters.len();
+        self.key_index.insert(key.to_vec(), idx);
+        self.clusters.push(KeyCluster {
+            key: key.to_vec(),
+            cluster,
+            next_writer: 0,
+            next_reader: 0,
+            writer_tickets: vec![Vec::new(); descriptor.num_writers],
+            reader_tickets: vec![Vec::new(); descriptor.num_readers],
+            writer_done: vec![0; descriptor.num_writers],
+            reader_done: vec![0; descriptor.num_readers],
+        });
+        &mut self.clusters[idx]
+    }
+
+    /// Runs every cluster of the shard to quiescence. Returns true if any
+    /// simulation hit its event cap.
+    fn run_to_quiescence(&mut self) -> bool {
+        let mut hit_cap = false;
+        for kc in &mut self.clusters {
+            hit_cap |= kc.cluster.run_to_quiescence().hit_event_cap;
+        }
+        hit_cap
+    }
+}
+
+/// A sharded, multi-object atomic KV store: a byte-string keyspace placed
+/// onto `S` shards by consistent hashing, each shard a register-cluster fleet
+/// with its own protocol choice (mixed fleets allowed), fault plan and client
+/// handles. See the crate docs for the composition argument and
+/// [`StoreBuilder`](crate::StoreBuilder) for construction.
+pub struct ShardedStore {
+    map: ShardMap,
+    shards: Vec<Shard>,
+    seed: u64,
+    runtime: StoreRuntime,
+    next_ticket: u64,
+    outcomes: HashMap<u64, OpOutcome>,
+}
+
+impl std::fmt::Debug for ShardedStore {
+    fn fmt(&self, out: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        out.debug_struct("ShardedStore")
+            .field("shards", &self.shards.len())
+            .field("keys_per_shard", &self.keys_per_shard())
+            .field("runtime", &self.runtime)
+            .field("tickets_issued", &(self.next_ticket - 1))
+            .field("tickets_done", &self.outcomes.len())
+            .finish()
+    }
+}
+
+impl ShardedStore {
+    pub(crate) fn new(
+        map: ShardMap,
+        specs: Vec<ShardSpec>,
+        seed: u64,
+        runtime: StoreRuntime,
+    ) -> Self {
+        let shards = specs
+            .into_iter()
+            .enumerate()
+            .map(|(index, spec)| Shard {
+                index,
+                spec,
+                clusters: Vec::new(),
+                key_index: HashMap::new(),
+                downed_servers: 0,
+            })
+            .collect();
+        ShardedStore {
+            map,
+            shards,
+            seed,
+            runtime,
+            next_ticket: 1,
+            outcomes: HashMap::new(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The placement ring.
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// The shard that serves `key`.
+    pub fn shard_of(&self, key: &[u8]) -> usize {
+        self.map.shard_of(key)
+    }
+
+    /// The spec shard `shard` was built with.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    pub fn shard_spec(&self, shard: usize) -> &ShardSpec {
+        &self.shards[shard].spec
+    }
+
+    /// Distinct keys the store has seen, per shard.
+    pub fn keys_per_shard(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.clusters.len()).collect()
+    }
+
+    /// The execution backend the store was built with.
+    pub fn runtime(&self) -> StoreRuntime {
+        self.runtime
+    }
+
+    fn issue_ticket(&mut self) -> Ticket {
+        let id = self.next_ticket;
+        self.next_ticket += 1;
+        Ticket(id)
+    }
+
+    /// Queues a put of `value` under `key`. Empty values are rejected (the
+    /// registers' empty initial value encodes *absent*).
+    ///
+    /// # Panics
+    /// Panics if `value` is empty or the store has no writer handles.
+    pub fn put(&mut self, key: Vec<u8>, value: Vec<u8>) -> Ticket {
+        assert!(
+            !value.is_empty(),
+            "empty values are reserved for 'absent' (key {:?})",
+            String::from_utf8_lossy(&key)
+        );
+        let ticket = self.issue_ticket();
+        let shard_idx = self.map.shard_of(&key);
+        let seed = self.seed;
+        let shard = &mut self.shards[shard_idx];
+        let kc = shard.cluster_for(&key, seed);
+        let writers = kc.writer_tickets.len();
+        assert!(writers > 0, "store built with zero writer handles per key");
+        let handle = kc.next_writer;
+        kc.next_writer = (kc.next_writer + 1) % writers;
+        kc.writer_tickets[handle].push(ticket.0);
+        kc.cluster.invoke_write(handle, value);
+        ticket
+    }
+
+    /// Queues a get of `key`.
+    ///
+    /// # Panics
+    /// Panics if the store has no reader handles.
+    pub fn get(&mut self, key: Vec<u8>) -> Ticket {
+        let ticket = self.issue_ticket();
+        let shard_idx = self.map.shard_of(&key);
+        let seed = self.seed;
+        let shard = &mut self.shards[shard_idx];
+        let kc = shard.cluster_for(&key, seed);
+        let readers = kc.reader_tickets.len();
+        assert!(readers > 0, "store built with zero reader handles per key");
+        let handle = kc.next_reader;
+        kc.next_reader = (kc.next_reader + 1) % readers;
+        kc.reader_tickets[handle].push(ticket.0);
+        kc.cluster.invoke_read(handle);
+        ticket
+    }
+
+    /// Queues one put per `(key, value)` pair, routing each to its shard.
+    pub fn put_batch(
+        &mut self,
+        pairs: impl IntoIterator<Item = (Vec<u8>, Vec<u8>)>,
+    ) -> Vec<Ticket> {
+        pairs
+            .into_iter()
+            .map(|(key, value)| self.put(key, value))
+            .collect()
+    }
+
+    /// Queues one get per key, routing each to its shard.
+    pub fn multi_get(&mut self, keys: impl IntoIterator<Item = Vec<u8>>) -> Vec<Ticket> {
+        keys.into_iter().map(|key| self.get(key)).collect()
+    }
+
+    /// The status of a ticket. Cheap — completions are harvested by
+    /// [`Self::run_until_quiescent`], not here.
+    ///
+    /// # Panics
+    /// Panics on a ticket this store never issued.
+    pub fn poll(&self, ticket: Ticket) -> TicketStatus {
+        assert!(
+            ticket.0 > 0 && ticket.0 < self.next_ticket,
+            "ticket {} was not issued by this store",
+            ticket.0
+        );
+        match self.outcomes.get(&ticket.0) {
+            Some(outcome) => TicketStatus::Done(outcome.clone()),
+            None => TicketStatus::Pending,
+        }
+    }
+
+    /// Drives every shard until no messages remain anywhere, then settles
+    /// tickets. With [`StoreRuntime::Simulation`] shards run serially in
+    /// shard order (deterministic); with [`StoreRuntime::Threaded`] each
+    /// shard runs on its own OS thread (per-shard histories stay
+    /// deterministic, wall-clock is real).
+    ///
+    /// A shard whose clusters cannot make progress (e.g. a majority of its
+    /// servers crashed) still quiesces — its operations simply stay pending —
+    /// so a dead shard never blocks the others.
+    pub fn run_until_quiescent(&mut self) -> StoreRunOutcome {
+        let hit_event_cap = match self.runtime {
+            StoreRuntime::Simulation => {
+                let mut hit = false;
+                for shard in &mut self.shards {
+                    hit |= shard.run_to_quiescence();
+                }
+                hit
+            }
+            StoreRuntime::Threaded => std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .map(|shard| scope.spawn(move || shard.run_to_quiescence()))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard thread panicked"))
+                    .fold(false, |acc, hit| acc | hit)
+            }),
+        };
+        for shard in &mut self.shards {
+            let index = shard.index;
+            for kc in &mut shard.clusters {
+                kc.harvest(index, &mut self.outcomes);
+            }
+        }
+        StoreRunOutcome {
+            completed_tickets: self.outcomes.len(),
+            pending_tickets: (self.next_ticket - 1) as usize - self.outcomes.len(),
+            hit_event_cap,
+        }
+    }
+
+    /// Crashes server ranks `0..count` in every cluster of `shard`, existing
+    /// and future. With `count > f` the shard loses its majorities: its
+    /// operations stop completing (they stay pending), while other shards are
+    /// unaffected.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    pub fn crash_shard_servers(&mut self, shard: usize, count: usize) {
+        assert!(shard < self.shards.len(), "shard {shard} out of range");
+        let shard = &mut self.shards[shard];
+        shard.downed_servers = shard.downed_servers.max(count.min(shard.spec.n));
+        for kc in &mut shard.clusters {
+            for rank in 0..shard.downed_servers {
+                kc.cluster.crash_server_at(kc.cluster.now(), rank);
+            }
+        }
+    }
+
+    /// The store-wide operation history, labeled by key, with every cluster's
+    /// completed operations closed under its pending writes. Client ids are
+    /// namespaced per cluster so the per-key projections are well-formed.
+    pub fn keyed_history(&self) -> KeyedHistory {
+        let mut history = KeyedHistory::new(Vec::new());
+        for (shard_idx, shard) in self.shards.iter().enumerate() {
+            for (key_idx, kc) in shard.clusters.iter().enumerate() {
+                let namespace = ((shard_idx as u64) << 48) | (((key_idx as u64) & 0xFF_FFFF) << 24);
+                for op in kc.cluster.closed_history(&[]).ops() {
+                    history.push(KeyedOp {
+                        key: kc.key.clone(),
+                        client: namespace | (op.client & 0xFF_FFFF),
+                        kind: op.kind,
+                        invoked: op.invoked,
+                        responded: op.responded,
+                        value: op.value.clone(),
+                        version: op.version,
+                    });
+                }
+            }
+        }
+        history
+    }
+
+    /// Machine-checks atomicity of every key's projected history (atomic
+    /// registers compose, so this is the store-level correctness condition).
+    pub fn check_per_key_atomicity(&self) -> Result<(), KeyViolation> {
+        self.keyed_history().check_each_key()
+    }
+
+    /// Per-shard and aggregate operation counts, message/storage costs and
+    /// latency histograms.
+    pub fn metrics(&self) -> StoreMetrics {
+        let mut per_shard = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let mut m = ShardMetrics {
+                shard: shard.index,
+                protocol: shard.spec.kind.name(),
+                keys: shard.clusters.len(),
+                completed_puts: 0,
+                completed_gets: 0,
+                pending_tickets: 0,
+                messages_sent: 0,
+                messages_lost: 0,
+                data_bytes_sent: 0,
+                stored_bytes: 0,
+                put_latency: LatencyHistogram::default(),
+                get_latency: LatencyHistogram::default(),
+            };
+            for kc in &shard.clusters {
+                let stats = kc.cluster.stats();
+                m.messages_sent += stats.messages_sent;
+                m.messages_lost += stats.messages_lost;
+                m.data_bytes_sent += stats.data_bytes_sent;
+                m.stored_bytes += kc.cluster.total_stored_bytes();
+                m.pending_tickets += (kc.issued() - kc.settled()) as u64;
+                for op in kc.cluster.completed_ops() {
+                    match op.kind {
+                        OpKind::Write => {
+                            m.completed_puts += 1;
+                            m.put_latency.record(op.latency());
+                        }
+                        OpKind::Read => {
+                            m.completed_gets += 1;
+                            m.get_latency.record(op.latency());
+                        }
+                    }
+                }
+            }
+            per_shard.push(m);
+        }
+        let aggregate = StoreTotals::from_shards(&per_shard);
+        StoreMetrics {
+            per_shard,
+            aggregate,
+        }
+    }
+
+    /// Total simulated ticks advanced across all clusters (a deterministic
+    /// "work" proxy usable by either runtime).
+    pub fn total_simulated_ticks(&self) -> u64 {
+        self.shards
+            .iter()
+            .flat_map(|s| s.clusters.iter())
+            .map(|kc| kc.cluster.now().since(SimTime::from_ticks(0)))
+            .sum()
+    }
+}

@@ -246,7 +246,7 @@ impl fmt::Display for Scenario {
     }
 }
 
-fn unit(rng: &mut StdRng) -> f64 {
+pub(crate) fn unit(rng: &mut StdRng) -> f64 {
     (rng.gen::<u64>() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
@@ -453,11 +453,27 @@ impl fmt::Display for Counterexample {
     }
 }
 
+/// One halving step toward zero for a fault probability: values below `1e-3`
+/// snap to `0.0` so the descent terminates instead of chasing denormals.
+fn halve_probability(p: f64) -> f64 {
+    if p < 1e-3 {
+        0.0
+    } else {
+        p / 2.0
+    }
+}
+
 /// Greedily shrinks a violating scenario: repeatedly drops single operations,
-/// crashes and byzantine servers, and finally tries switching the network
-/// faults off entirely, keeping any change under which *some* atomicity
-/// violation persists. Deterministic, and terminates because every accepted
-/// step removes something.
+/// crashes and byzantine servers, tries switching the network faults off
+/// entirely, and bisects each fault *intensity* (drop / duplication /
+/// reordering probabilities, extra-delay and hold-back windows) down by
+/// repeated halving while the violation persists — so a counterexample that
+/// genuinely needs, say, message drops is reported with (roughly) the
+/// smallest drop probability that still reproduces it, and intensities the
+/// violation never needed come back as zero. Every change is kept only if
+/// *some* atomicity violation persists. Deterministic, and terminates because
+/// every accepted step removes something or strictly decreases an intensity
+/// that bottoms out at zero.
 pub fn shrink(cfg: &ExploreConfig, scenario: &Scenario) -> (Scenario, Violation) {
     let violates = |candidate: &Scenario| run_scenario(cfg, candidate).violation;
     let mut current = scenario.clone();
@@ -508,6 +524,46 @@ pub fn shrink(cfg: &ExploreConfig, scenario: &Scenario) -> (Scenario, Violation)
                 violation = v;
                 changed = true;
             }
+        }
+        // All-off failed (or was unnecessary): bisect the surviving
+        // intensities individually. Each loop halves one knob while the
+        // violation persists, stopping at the first halving that loses it.
+        macro_rules! shrink_probability {
+            ($field:ident) => {
+                while current.$field > 0.0 {
+                    let mut candidate = current.clone();
+                    candidate.$field = halve_probability(candidate.$field);
+                    if let Some(v) = violates(&candidate) {
+                        current = candidate;
+                        violation = v;
+                        changed = true;
+                    } else {
+                        break;
+                    }
+                }
+            };
+        }
+        macro_rules! shrink_window {
+            ($field:ident) => {
+                while current.$field > 0 {
+                    let mut candidate = current.clone();
+                    candidate.$field /= 2;
+                    if let Some(v) = violates(&candidate) {
+                        current = candidate;
+                        violation = v;
+                        changed = true;
+                    } else {
+                        break;
+                    }
+                }
+            };
+        }
+        shrink_probability!(drop_p);
+        shrink_probability!(duplicate_p);
+        shrink_probability!(reorder_p);
+        shrink_window!(extra_delay);
+        if current.reorder_p > 0.0 {
+            shrink_window!(reorder_window);
         }
         if !changed {
             return (current, violation);
@@ -630,6 +686,22 @@ mod tests {
         let s = generate_scenario(&read_only, 5);
         assert!(s.ops.iter().all(|op| !op.is_write && op.client < 2));
         assert!(run_scenario(&read_only, &s).violation.is_none());
+    }
+
+    #[test]
+    fn probability_halving_reaches_zero_in_finitely_many_steps() {
+        for start in [1.0, 0.15, 0.2, 0.3, 1e-2, 9.99e-4] {
+            let mut p = start;
+            let mut steps = 0;
+            while p > 0.0 {
+                let next = halve_probability(p);
+                assert!(next < p, "halving must strictly decrease ({p} -> {next})");
+                p = next;
+                steps += 1;
+                assert!(steps < 64, "descent from {start} must terminate");
+            }
+        }
+        assert_eq!(halve_probability(0.0), 0.0);
     }
 
     #[test]

@@ -17,7 +17,9 @@
 //! counterpart of [`scenario`]: instead of measuring costs on clean runs, it
 //! samples thousands of seeded schedules under crash + network faults and
 //! machine-checks atomicity, shrinking any violation to a minimal
-//! reproducer.
+//! reproducer. [`store_explore`] lifts the same adversarial discipline to a
+//! whole sharded, mixed-protocol [`soda_store::ShardedStore`], checking
+//! per-key atomicity across shards.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -26,5 +28,6 @@ pub mod experiments;
 pub mod explore;
 pub mod json;
 pub mod scenario;
+pub mod store_explore;
 
 pub use scenario::{run_scenario, ScenarioOutcome, ScenarioParams};

@@ -1,0 +1,427 @@
+//! Seeded adversarial exploration at the **store** layer.
+//!
+//! [`crate::explore`] samples adversarial schedules against a single register
+//! cluster; this module lifts the same discipline to a whole
+//! [`soda_store::ShardedStore`]: a mixed-protocol fleet serving many keys,
+//! driven through the batched ticket API, with per-scenario sampled network
+//! faults and in-tolerance shard crashes. Every schedule is machine-checked
+//! with [`soda_store::ShardedStore::check_per_key_atomicity`], i.e. the
+//! store-wide history is projected per key and each projection must be
+//! atomic.
+//!
+//! Scenarios derive deterministically from `(config, seed)` —
+//! [`generate_store_scenario`] + [`run_store_scenario`] replay any reported
+//! violation exactly. There is no store-level shrinker: a store scenario is a
+//! composition of per-key register executions, so the cluster-level shrinker
+//! in [`crate::explore`] is the right tool once a violation is localized to
+//! one key's schedule.
+//!
+//! ```
+//! use soda_workload::store_explore::{explore_store, StoreExploreConfig};
+//!
+//! let report = explore_store(&StoreExploreConfig::mixed(4), 0, 3);
+//! assert!(report.all_atomic());
+//! assert!(report.completed_ops > 0);
+//! ```
+
+use crate::explore::{unit, AdversaryKnobs};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use soda_consistency::KeyViolation;
+use soda_registry::ProtocolKind;
+use soda_simnet::{DelayModel, LinkFaults, NetFaultPlan};
+use soda_store::{ShardedStore, StoreBuilder, StoreRuntime};
+use std::fmt;
+
+/// Parameters of one store-level exploration campaign.
+#[derive(Clone, Debug)]
+pub struct StoreExploreConfig {
+    /// Number of shards.
+    pub shards: usize,
+    /// Protocol kinds cycled across the shards (shard `i` runs
+    /// `kinds[i % kinds.len()]`); a single entry gives a homogeneous fleet.
+    pub kinds: Vec<ProtocolKind>,
+    /// Servers per shard cluster.
+    pub n: usize,
+    /// Tolerated crashes per shard cluster.
+    pub f: usize,
+    /// Writer handles per key.
+    pub writers_per_key: usize,
+    /// Reader handles per key.
+    pub readers_per_key: usize,
+    /// Size of the keyspace (`key/0` … `key/{keys-1}`).
+    pub keys: usize,
+    /// Queue-then-drain rounds per scenario.
+    pub phases: usize,
+    /// Operations queued per phase.
+    pub ops_per_phase: usize,
+    /// Probability that each shard loses servers (sampled `1..=f`, so every
+    /// shard stays within its fault tolerance and liveness is preserved).
+    pub shard_crash_p: f64,
+    /// Network-fault intensity bounds (sampled per scenario).
+    pub knobs: AdversaryKnobs,
+}
+
+impl StoreExploreConfig {
+    /// The standard mixed-fleet campaign over `shards` shards: all five
+    /// protocols cycled, `(n, f) = (5, 2)` (SODAerr at `e = 1`, so
+    /// `k = n − f − 2e = 1`), one writer and two readers per key, 12 keys,
+    /// three queue-then-drain phases of 16 operations, in-tolerance shard
+    /// crashes and the standard adversary.
+    pub fn mixed(shards: usize) -> Self {
+        StoreExploreConfig {
+            shards,
+            kinds: vec![
+                ProtocolKind::Soda,
+                ProtocolKind::Abd,
+                ProtocolKind::Cas,
+                ProtocolKind::Casgc { gc: 2 },
+                ProtocolKind::SodaErr { e: 1 },
+            ],
+            n: 5,
+            f: 2,
+            writers_per_key: 1,
+            readers_per_key: 2,
+            keys: 12,
+            phases: 3,
+            ops_per_phase: 16,
+            shard_crash_p: 0.25,
+            knobs: AdversaryKnobs::standard(),
+        }
+    }
+
+    fn shard_kinds(&self) -> Vec<ProtocolKind> {
+        (0..self.shards)
+            .map(|i| self.kinds[i % self.kinds.len()])
+            .collect()
+    }
+}
+
+/// One planned store operation (keys are indices into the campaign keyspace).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StoreOp {
+    /// Key index (`key/{key}` on the wire).
+    pub key: usize,
+    /// Put (`true`) or get (`false`).
+    pub is_write: bool,
+    /// Fill byte identifying the written value (ignored for gets).
+    pub fill: u8,
+}
+
+/// A fully concrete, seed-derived store scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoreScenario {
+    /// The seed this scenario was generated from (also the store seed).
+    pub seed: u64,
+    /// Operations per phase; each phase is queued in order, then the whole
+    /// store is drained to quiescence before the next phase.
+    pub phases: Vec<Vec<StoreOp>>,
+    /// `(shard, crashed servers)` applied before any operation; counts stay
+    /// within each shard's `f` when generated.
+    pub shard_crashes: Vec<(usize, usize)>,
+    /// Per-message drop probability.
+    pub drop_p: f64,
+    /// Per-message duplication probability.
+    pub duplicate_p: f64,
+    /// Maximum extra delivery delay in ticks (uniform when non-zero).
+    pub extra_delay: u64,
+    /// Per-message hold-back (reordering) probability.
+    pub reorder_p: f64,
+    /// Hold-back window in ticks.
+    pub reorder_window: u64,
+}
+
+impl StoreScenario {
+    fn link_faults(&self) -> LinkFaults {
+        LinkFaults {
+            drop_p: self.drop_p,
+            duplicate_p: self.duplicate_p,
+            extra_delay: (self.extra_delay > 0).then_some(DelayModel::Uniform {
+                min: 1,
+                max: self.extra_delay,
+            }),
+            reorder_p: self.reorder_p,
+            reorder_window: self.reorder_window,
+        }
+    }
+
+    /// Whether any network fault is active.
+    pub fn has_net_faults(&self) -> bool {
+        !self.link_faults().is_clean()
+    }
+}
+
+impl fmt::Display for StoreScenario {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(out, "store scenario seed={}", self.seed)?;
+        for (i, phase) in self.phases.iter().enumerate() {
+            writeln!(out, "  phase {i}:")?;
+            for op in phase {
+                if op.is_write {
+                    writeln!(out, "    put key/{} (fill=0x{:02x})", op.key, op.fill)?;
+                } else {
+                    writeln!(out, "    get key/{}", op.key)?;
+                }
+            }
+        }
+        for &(shard, count) in &self.shard_crashes {
+            writeln!(out, "  crash {count} server(s) on shard {shard}")?;
+        }
+        if self.has_net_faults() {
+            writeln!(
+                out,
+                "  net: drop={:.3} dup={:.3} extra_delay<={} reorder={:.3}/{}",
+                self.drop_p,
+                self.duplicate_p,
+                self.extra_delay,
+                self.reorder_p,
+                self.reorder_window
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Deterministically derives the store scenario for `(config, seed)`.
+pub fn generate_store_scenario(cfg: &StoreExploreConfig, seed: u64) -> StoreScenario {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5704_E5EED);
+    let mut fill: u8 = 0;
+    let phases = (0..cfg.phases)
+        .map(|_| {
+            (0..cfg.ops_per_phase)
+                .map(|_| {
+                    let is_write = unit(&mut rng) < 0.5;
+                    fill = fill.wrapping_mul(31).wrapping_add(7);
+                    StoreOp {
+                        key: rng.gen::<usize>() % cfg.keys.max(1),
+                        is_write,
+                        fill,
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let mut shard_crashes = Vec::new();
+    for shard in 0..cfg.shards {
+        if cfg.f > 0 && unit(&mut rng) < cfg.shard_crash_p {
+            shard_crashes.push((shard, rng.gen_range(1..=cfg.f)));
+        }
+    }
+    let knobs = cfg.knobs;
+    StoreScenario {
+        seed,
+        phases,
+        shard_crashes,
+        drop_p: unit(&mut rng) * knobs.drop_p_max,
+        duplicate_p: unit(&mut rng) * knobs.duplicate_p_max,
+        extra_delay: if knobs.extra_delay_max > 0 {
+            rng.gen_range(0..=knobs.extra_delay_max)
+        } else {
+            0
+        },
+        reorder_p: unit(&mut rng) * knobs.reorder_p_max,
+        reorder_window: knobs.reorder_window,
+    }
+}
+
+/// The outcome of running one store scenario to quiescence.
+#[derive(Clone, Debug)]
+pub struct StoreScheduleOutcome {
+    /// The per-key atomicity violation, if any projection failed the checker.
+    pub violation: Option<KeyViolation>,
+    /// Tickets settled across all phases.
+    pub completed_ops: usize,
+    /// Tickets still pending after the final drain.
+    pub pending_tickets: usize,
+    /// Whether any shard simulation hit its event cap (never expected).
+    pub hit_event_cap: bool,
+}
+
+/// Builds the store for `(config, scenario)` under the deterministic
+/// simulation runtime, drives every phase to quiescence, and machine-checks
+/// per-key atomicity over the closed store history.
+///
+/// # Panics
+/// Panics if the configuration is invalid for any shard's protocol kind
+/// (see [`soda_store::StoreBuilder`] validation).
+pub fn run_store_scenario(
+    cfg: &StoreExploreConfig,
+    scenario: &StoreScenario,
+) -> StoreScheduleOutcome {
+    let mut plan = NetFaultPlan::none();
+    let faults = scenario.link_faults();
+    if !faults.is_clean() {
+        plan = plan.with_default(faults);
+    }
+    let mut store: ShardedStore = StoreBuilder::new(
+        cfg.shards,
+        cfg.kinds.first().copied().unwrap_or(ProtocolKind::Soda),
+        cfg.n,
+        cfg.f,
+    )
+    .with_shard_kinds(cfg.shard_kinds())
+    .with_clients_per_key(cfg.writers_per_key, cfg.readers_per_key)
+    .with_net_faults(plan)
+    .with_seed(scenario.seed)
+    .with_runtime(StoreRuntime::Simulation)
+    .build()
+    .unwrap_or_else(|e| panic!("invalid store exploration config: {e}"));
+    for &(shard, count) in &scenario.shard_crashes {
+        store.crash_shard_servers(shard, count);
+    }
+    let mut completed = 0;
+    let mut pending = 0;
+    let mut hit_event_cap = false;
+    for phase in &scenario.phases {
+        for op in phase {
+            let key = format!("key/{}", op.key).into_bytes();
+            if op.is_write {
+                store.put(key, vec![op.fill; 24]);
+            } else {
+                store.get(key);
+            }
+        }
+        let outcome = store.run_until_quiescent();
+        completed = outcome.completed_tickets;
+        pending = outcome.pending_tickets;
+        hit_event_cap |= outcome.hit_event_cap;
+    }
+    StoreScheduleOutcome {
+        violation: store.check_per_key_atomicity().err(),
+        completed_ops: completed,
+        pending_tickets: pending,
+        hit_event_cap,
+    }
+}
+
+/// A seed-reproducible per-key atomicity violation at the store layer.
+#[derive(Clone, Debug)]
+pub struct StoreCounterexample {
+    /// The seed that produced the violation (replay with
+    /// [`generate_store_scenario`] + [`run_store_scenario`]).
+    pub seed: u64,
+    /// The violation, naming the offending key.
+    pub violation: KeyViolation,
+    /// The scenario as generated.
+    pub scenario: StoreScenario,
+}
+
+impl fmt::Display for StoreCounterexample {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            out,
+            "store-level atomicity violation at seed {}: {}",
+            self.seed, self.violation
+        )?;
+        write!(out, "{}", self.scenario)
+    }
+}
+
+/// Aggregate result of a store exploration campaign.
+#[derive(Clone, Debug, Default)]
+pub struct StoreExplorationReport {
+    /// Scenarios run.
+    pub schedules: usize,
+    /// Tickets settled across all scenarios.
+    pub completed_ops: usize,
+    /// Tickets left pending across all scenarios (starved by drops on a
+    /// degraded shard; never on a healthy fault-free store).
+    pub pending_tickets: usize,
+    /// Scenarios that hit a shard's event cap (always 0 for healthy
+    /// protocols).
+    pub event_cap_hits: usize,
+    /// Violations found, each replayable from its seed.
+    pub counterexamples: Vec<StoreCounterexample>,
+}
+
+impl StoreExplorationReport {
+    /// Whether every schedule passed the per-key atomicity checker.
+    pub fn all_atomic(&self) -> bool {
+        self.counterexamples.is_empty()
+    }
+}
+
+/// Runs `schedules` seeded store scenarios (`seed_start`, `seed_start + 1`,
+/// …) and returns the aggregate report.
+///
+/// # Panics
+/// Panics if the configuration is invalid for any shard's protocol kind.
+pub fn explore_store(
+    cfg: &StoreExploreConfig,
+    seed_start: u64,
+    schedules: usize,
+) -> StoreExplorationReport {
+    let mut report = StoreExplorationReport::default();
+    for seed in seed_start..seed_start + schedules as u64 {
+        let scenario = generate_store_scenario(cfg, seed);
+        let outcome = run_store_scenario(cfg, &scenario);
+        report.schedules += 1;
+        report.completed_ops += outcome.completed_ops;
+        report.pending_tickets += outcome.pending_tickets;
+        report.event_cap_hits += usize::from(outcome.hit_event_cap);
+        if let Some(violation) = outcome.violation {
+            report.counterexamples.push(StoreCounterexample {
+                seed,
+                violation,
+                scenario,
+            });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_scenario_generation_is_deterministic_per_seed() {
+        let cfg = StoreExploreConfig::mixed(4);
+        let a = generate_store_scenario(&cfg, 9);
+        assert_eq!(a, generate_store_scenario(&cfg, 9));
+        assert_ne!(a, generate_store_scenario(&cfg, 10));
+        assert_eq!(a.phases.len(), cfg.phases);
+        assert!(a.phases.iter().all(|p| p.len() == cfg.ops_per_phase));
+        assert!(a
+            .shard_crashes
+            .iter()
+            .all(|&(s, c)| s < cfg.shards && c >= 1 && c <= cfg.f));
+        assert!(a.drop_p <= cfg.knobs.drop_p_max);
+    }
+
+    #[test]
+    fn kinds_cycle_across_shards() {
+        let cfg = StoreExploreConfig::mixed(7);
+        let kinds = cfg.shard_kinds();
+        assert_eq!(kinds.len(), 7);
+        assert_eq!(kinds[0], kinds[5], "cycle length is five protocols");
+        assert_ne!(kinds[0], kinds[1]);
+    }
+
+    #[test]
+    fn scenarios_render_as_reproduction_recipes() {
+        let cfg = StoreExploreConfig::mixed(4);
+        let rendered = generate_store_scenario(&cfg, 2).to_string();
+        assert!(rendered.contains("store scenario seed=2"), "{rendered}");
+        assert!(rendered.contains("phase 0"), "{rendered}");
+    }
+
+    #[test]
+    fn a_clean_mixed_store_schedule_is_atomic_and_fully_served() {
+        let cfg = StoreExploreConfig {
+            knobs: AdversaryKnobs::off(),
+            shard_crash_p: 0.0,
+            phases: 2,
+            ops_per_phase: 8,
+            ..StoreExploreConfig::mixed(4)
+        };
+        let outcome = run_store_scenario(&cfg, &generate_store_scenario(&cfg, 1));
+        assert!(outcome.violation.is_none());
+        assert!(!outcome.hit_event_cap);
+        assert_eq!(
+            outcome.pending_tickets, 0,
+            "fault-free runs serve everything"
+        );
+        assert_eq!(outcome.completed_ops, 16);
+    }
+}

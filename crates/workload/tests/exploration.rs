@@ -180,6 +180,88 @@ fn shrinking_strips_irrelevant_faults() {
     }
 }
 
+#[test]
+fn shrinking_bisects_fault_intensities_to_a_local_minimum() {
+    // Network-fault intensities must only shrink, and the shrinker's output
+    // must be locally minimal along each intensity axis: at the fixpoint,
+    // halving any surviving knob (the shrinker's own step) loses the
+    // violation — otherwise the shrinker would have taken that step itself.
+    let cfg = ExploreConfig {
+        quorum_override: Some(1),
+        ..ExploreConfig::new(ProtocolKind::Abd, 5, 2)
+    };
+    // Mirror of the shrinker's probability step (snap-to-zero below 1e-3).
+    let halve = |p: f64| if p < 1e-3 { 0.0 } else { p / 2.0 };
+    let mut checked = 0;
+    for seed in 0..200 {
+        if checked == 4 {
+            break;
+        }
+        let scenario = generate_scenario(&cfg, seed);
+        if !scenario.has_net_faults() || run_scenario(&cfg, &scenario).violation.is_none() {
+            continue;
+        }
+        checked += 1;
+        let (minimized, _) = shrink(&cfg, &scenario);
+
+        // Intensities never grow during shrinking.
+        assert!(minimized.drop_p <= scenario.drop_p, "seed {seed}");
+        assert!(minimized.duplicate_p <= scenario.duplicate_p, "seed {seed}");
+        assert!(minimized.reorder_p <= scenario.reorder_p, "seed {seed}");
+        assert!(minimized.extra_delay <= scenario.extra_delay, "seed {seed}");
+        assert!(
+            minimized.reorder_window <= scenario.reorder_window,
+            "seed {seed}"
+        );
+
+        let still_violates = |candidate: &_| run_scenario(&cfg, candidate).violation.is_some();
+        if minimized.drop_p > 0.0 {
+            let mut c = minimized.clone();
+            c.drop_p = halve(c.drop_p);
+            assert!(
+                !still_violates(&c),
+                "seed {seed}: drop_p not bisected to a minimum"
+            );
+        }
+        if minimized.duplicate_p > 0.0 {
+            let mut c = minimized.clone();
+            c.duplicate_p = halve(c.duplicate_p);
+            assert!(
+                !still_violates(&c),
+                "seed {seed}: duplicate_p not bisected to a minimum"
+            );
+        }
+        if minimized.reorder_p > 0.0 {
+            let mut c = minimized.clone();
+            c.reorder_p = halve(c.reorder_p);
+            assert!(
+                !still_violates(&c),
+                "seed {seed}: reorder_p not bisected to a minimum"
+            );
+        }
+        if minimized.extra_delay > 0 {
+            let mut c = minimized.clone();
+            c.extra_delay /= 2;
+            assert!(
+                !still_violates(&c),
+                "seed {seed}: extra_delay not bisected to a minimum"
+            );
+        }
+        if minimized.reorder_p > 0.0 && minimized.reorder_window > 0 {
+            let mut c = minimized.clone();
+            c.reorder_window /= 2;
+            assert!(
+                !still_violates(&c),
+                "seed {seed}: reorder_window not bisected to a minimum"
+            );
+        }
+    }
+    assert!(
+        checked >= 2,
+        "too few violating seeds with active net faults: {checked}"
+    );
+}
+
 /// The capped fuzz-smoke pass CI runs nightly (and the acceptance run uses
 /// with `EXPLORE_SCHEDULES=1000`). Ignored in tier-1 to keep `cargo test -q`
 /// fast.

@@ -1,0 +1,100 @@
+//! Store-level exploration integration tests: a 4-shard mixed-protocol
+//! [`soda_store::ShardedStore`] must stay per-key atomic across seeded
+//! adversarial schedules (network faults plus in-tolerance shard crashes).
+//!
+//! The tier-1 pass keeps the schedule count small; the `store_fuzz_smoke`
+//! test is `#[ignore]`d and run by the nightly CI job with a larger budget:
+//!
+//! ```text
+//! EXPLORE_SCHEDULES=50 cargo test --release -p soda-workload \
+//!     --test store_exploration -- --ignored --nocapture
+//! ```
+
+use soda_workload::store_explore::{
+    explore_store, generate_store_scenario, run_store_scenario, StoreExploreConfig,
+};
+
+fn schedules_from_env(default: usize) -> usize {
+    std::env::var("EXPLORE_SCHEDULES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[test]
+fn mixed_four_shard_store_survives_adversarial_schedules() {
+    let cfg = StoreExploreConfig::mixed(4);
+    let report = explore_store(&cfg, 0, 6);
+    for cex in &report.counterexamples {
+        eprintln!("{cex}");
+    }
+    assert!(
+        report.all_atomic(),
+        "{} store-level counterexamples (first: {})",
+        report.counterexamples.len(),
+        report.counterexamples[0]
+    );
+    assert_eq!(report.event_cap_hits, 0);
+    assert!(
+        report.completed_ops > 0,
+        "adversary starved every ticket — the campaign is vacuous"
+    );
+}
+
+#[test]
+fn store_campaigns_are_deterministic_per_seed_range() {
+    let cfg = StoreExploreConfig::mixed(4);
+    let digest = |report: &soda_workload::store_explore::StoreExplorationReport| {
+        (
+            report.schedules,
+            report.completed_ops,
+            report.pending_tickets,
+            report.event_cap_hits,
+            report.counterexamples.len(),
+        )
+    };
+    let a = explore_store(&cfg, 7, 3);
+    let b = explore_store(&cfg, 7, 3);
+    assert_eq!(
+        digest(&a),
+        digest(&b),
+        "same seeds must reproduce the same campaign"
+    );
+}
+
+#[test]
+fn store_scenarios_replay_from_their_seed() {
+    let cfg = StoreExploreConfig::mixed(4);
+    let scenario = generate_store_scenario(&cfg, 3);
+    assert_eq!(scenario, generate_store_scenario(&cfg, 3));
+    let a = run_store_scenario(&cfg, &scenario);
+    let b = run_store_scenario(&cfg, &scenario);
+    assert_eq!(a.completed_ops, b.completed_ops);
+    assert_eq!(a.pending_tickets, b.pending_tickets);
+    assert_eq!(a.violation.is_some(), b.violation.is_some());
+}
+
+/// The capped store fuzz-smoke pass CI runs nightly. Ignored in tier-1 to
+/// keep `cargo test -q` fast.
+#[test]
+#[ignore = "nightly fuzz-smoke budget; run with --ignored (EXPLORE_SCHEDULES to scale)"]
+fn store_fuzz_smoke() {
+    let schedules = schedules_from_env(25);
+    let cfg = StoreExploreConfig::mixed(4);
+    let report = explore_store(&cfg, 1_000, schedules);
+    for cex in &report.counterexamples {
+        eprintln!("{cex}");
+    }
+    assert!(
+        report.all_atomic(),
+        "{} store-level counterexamples over {} schedules",
+        report.counterexamples.len(),
+        schedules
+    );
+    assert_eq!(report.event_cap_hits, 0);
+    assert!(report.completed_ops > 0);
+    eprintln!(
+        "store: {} schedules, {} tickets settled, {} pending, all per-key atomic",
+        report.schedules, report.completed_ops, report.pending_tickets
+    );
+}

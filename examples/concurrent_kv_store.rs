@@ -1,72 +1,95 @@
 //! A sharded, erasure-coded key-value store built from SODA registers.
 //!
 //! The paper's model is a single atomic object; a practical store composes one
-//! register per key (atomic objects compose). This example runs 8 keys, each
-//! backed by its own SODA register over the same 7-server layout, drives
-//! concurrent writers and readers against every key through the
-//! `RegisterCluster` facade, and machine-checks atomicity of every per-key
-//! history.
+//! register per key (atomic objects compose). The `soda-store` crate now owns
+//! that composition: `ShardedStore` places a byte-string keyspace onto shards
+//! by consistent hashing, backs every key with its own register cluster built
+//! from the owning shard's spec, and machine-checks per-key atomicity over the
+//! store-wide history. This example drives a 4-shard mixed-protocol fleet
+//! (SODA, SODAerr, ABD, CASGC) through the batched ticket API.
 //!
 //! Run with: `cargo run --example concurrent_kv_store`
 
-use soda_repro::soda_registry::{ClusterBuilder, ProtocolKind};
-use soda_repro::soda_simnet::SimTime;
+use soda_repro::soda_registry::ProtocolKind;
+use soda_repro::soda_store::{StoreBuilder, TicketStatus};
 
 fn main() {
-    println!("== concurrent erasure-coded KV store (one SODA register per key) ==");
+    println!("== concurrent erasure-coded KV store (ShardedStore, mixed fleet) ==");
+    let mut store = StoreBuilder::new(4, ProtocolKind::Soda, 7, 3)
+        .with_shard_kinds(vec![
+            ProtocolKind::Soda,
+            ProtocolKind::SodaErr { e: 1 },
+            ProtocolKind::Abd,
+            ProtocolKind::Casgc { gc: 2 },
+        ])
+        .with_clients_per_key(2, 2)
+        .with_seed(1000)
+        .build()
+        .expect("valid parameters");
+
     let keys = [
         "user:1", "user:2", "cart:1", "cart:2", "inv:1", "inv:2", "cfg", "audit",
     ];
-    let mut total_ops = 0usize;
-    let mut total_messages = 0u64;
 
-    for (i, key) in keys.iter().enumerate() {
-        // Each key gets its own register instance (own simulated cluster) with
-        // 2 writers and 2 readers hammering it concurrently.
-        let mut cluster = ClusterBuilder::new(ProtocolKind::Soda, 7, 3)
-            .with_seed(1000 + i as u64)
-            .with_clients(2, 2)
-            .build()
-            .expect("valid parameters");
+    // Four rounds of writes against every key, with reads queued in the same
+    // batch so they observe genuine write/read concurrency, then one more
+    // round of reads after a drain to pick up the settled values.
+    let mut gets = Vec::new();
+    for round in 0..4u64 {
+        store.put_batch(keys.iter().map(|key| {
+            (
+                key.as_bytes().to_vec(),
+                format!("{key}=v{round}").into_bytes(),
+            )
+        }));
+        gets.extend(store.multi_get(keys.iter().map(|key| key.as_bytes().to_vec())));
+    }
+    let outcome = store.run_until_quiescent();
+    assert!(!outcome.hit_event_cap, "every shard quiesced");
+    assert_eq!(
+        outcome.pending_tickets, 0,
+        "fault-free run serves everything"
+    );
 
-        // Interleave writes and reads at staggered times so reads observe
-        // genuine concurrency.
-        for round in 0..4u64 {
-            for writer in 0..2usize {
-                let value = format!("{key}=v{round}.{writer}").into_bytes();
-                cluster.invoke_write_at(
-                    SimTime::from_ticks(round * 40 + writer as u64),
-                    writer,
-                    value,
-                );
-            }
-            for reader in 0..2usize {
-                cluster
-                    .invoke_read_at(SimTime::from_ticks(round * 40 + 15 + reader as u64), reader);
-            }
-        }
-        let outcome = cluster.run_to_quiescence();
-        assert!(!outcome.hit_event_cap, "register for {key} quiesced");
+    let final_reads = store.multi_get(keys.iter().map(|key| key.as_bytes().to_vec()));
+    store.run_until_quiescent();
 
-        let ops = cluster.completed_ops();
-        cluster
-            .history(&[])
-            .check_atomicity()
-            .unwrap_or_else(|violation| panic!("key {key} violated atomicity: {violation}"));
-        total_ops += ops.len();
-        total_messages += cluster.stats().messages_sent;
+    store
+        .check_per_key_atomicity()
+        .unwrap_or_else(|violation| panic!("per-key atomicity violated: {violation}"));
+
+    for (key, &ticket) in keys.iter().zip(&final_reads) {
+        let status = store.poll(ticket);
+        let TicketStatus::Done(done) = &status else {
+            panic!("final read of {key} left pending");
+        };
         println!(
-            "key {key:>7}: {} ops ({} writes, {} reads), atomic ✓, {} messages",
-            ops.len(),
-            ops.iter().filter(|o| o.kind.is_write()).count(),
-            ops.iter().filter(|o| o.kind.is_read()).count(),
-            cluster.stats().messages_sent
+            "key {key:>7}: shard {} ({}), latest = {:?}, read latency {} ticks",
+            store.shard_of(key.as_bytes()),
+            store.shard_spec(store.shard_of(key.as_bytes())).kind.name(),
+            String::from_utf8_lossy(status.value().expect("written keys read back")),
+            done.latency_ticks,
         );
     }
 
+    let metrics = store.metrics();
     println!("---");
+    for shard in &metrics.per_shard {
+        println!(
+            "shard {} ({:>7}): {} keys, {} puts, {} gets, {} messages",
+            shard.shard,
+            shard.protocol,
+            shard.keys,
+            shard.completed_puts,
+            shard.completed_gets,
+            shard.messages_sent
+        );
+    }
     println!(
-        "total: {total_ops} operations across {} keys, {total_messages} messages, every per-key history atomic",
-        keys.len()
+        "total: {} operations across {} keys on {} shards, {} messages, every per-key history atomic",
+        metrics.aggregate.completed_ops(),
+        keys.len(),
+        store.num_shards(),
+        metrics.aggregate.messages_sent
     );
 }

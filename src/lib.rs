@@ -8,6 +8,8 @@
 //! * [`soda_registry`] — the [`soda_registry::RegisterCluster`] trait and
 //!   [`soda_registry::ClusterBuilder`], one client API over SODA, SODAerr,
 //!   ABD, CAS and CASGC.
+//! * [`soda_store`] — the sharded multi-object KV store layered over the
+//!   register protocols ([`soda_store::ShardedStore`]).
 //! * [`soda_workload`] — the shared measurement scenario and the experiment
 //!   sweeps regenerating the paper's tables.
 
@@ -17,4 +19,5 @@
 pub use soda_consistency;
 pub use soda_registry;
 pub use soda_simnet;
+pub use soda_store;
 pub use soda_workload;
