@@ -92,10 +92,21 @@ pub struct AbdOpRecord {
     pub value: Vec<u8>,
 }
 
+/// In-flight state re-acquisition of a replacement ABD server.
+struct AbdRepair {
+    layout: Layout,
+    seq: u64,
+    tracker: QuorumTracker<(Tag, Value)>,
+    started_at: SimTime,
+    completed_at: Option<SimTime>,
+    traffic_bytes: u64,
+}
+
 /// The ABD server: stores the full `(tag, value)` pair.
 pub struct AbdServer {
     tag: Tag,
     value: Value,
+    repair: Option<AbdRepair>,
 }
 
 impl AbdServer {
@@ -104,6 +115,35 @@ impl AbdServer {
         AbdServer {
             tag: Tag::INITIAL,
             value: initial.clone(),
+            repair: None,
+        }
+    }
+
+    /// Creates a **replacement** server with empty state that repairs itself
+    /// on start: it queries every peer, waits for a majority of responses and
+    /// adopts the maximum `(tag, value)` pair. A majority of survivors
+    /// intersects every completed write's store quorum in at least one full
+    /// replica, so the adopted pair is at least as new as any completed
+    /// write — the same argument that makes ABD reads atomic.
+    ///
+    /// Until the repair completes the replacement answers no queries (its
+    /// `Tag::INITIAL` could otherwise stand in for the crashed server in a
+    /// reader's majority and hide a completed write), but it applies and
+    /// acknowledges stores — a stored pair is durable from that moment on.
+    /// `epoch` distinguishes successive incarnations of the same rank.
+    pub fn replacement(layout: Layout, epoch: u64) -> Self {
+        let majority = layout.majority();
+        AbdServer {
+            tag: Tag::INITIAL,
+            value: value_from(Vec::new()),
+            repair: Some(AbdRepair {
+                layout,
+                seq: epoch,
+                tracker: QuorumTracker::new(majority),
+                started_at: SimTime::ZERO,
+                completed_at: None,
+                traffic_bytes: 0,
+            }),
         }
     }
 
@@ -116,12 +156,47 @@ impl AbdServer {
     pub fn stored_tag(&self) -> Tag {
         self.tag
     }
+
+    /// Whether this server is a replacement whose repair has not finished.
+    pub fn is_repairing(&self) -> bool {
+        matches!(&self.repair, Some(r) if r.completed_at.is_none())
+    }
+
+    /// Repair progress, if this server is (or was) a replacement.
+    pub fn repair_status(&self) -> Option<crate::RepairStatus> {
+        self.repair.as_ref().map(|r| crate::RepairStatus {
+            started_at: r.started_at,
+            completed_at: r.completed_at,
+            traffic_bytes: r.traffic_bytes,
+        })
+    }
 }
 
 impl Process<AbdMsg> for AbdServer {
+    fn on_start(&mut self, ctx: &mut Context<'_, AbdMsg>) {
+        let Some(repair) = self.repair.as_mut() else {
+            return;
+        };
+        repair.started_at = ctx.now();
+        let seq = repair.seq;
+        let peers: Vec<ProcessId> = repair
+            .layout
+            .servers()
+            .iter()
+            .copied()
+            .filter(|&p| p != ctx.self_id())
+            .collect();
+        for peer in peers {
+            ctx.send(peer, AbdMsg::Query { seq });
+        }
+    }
+
     fn on_message(&mut self, from: ProcessId, msg: AbdMsg, ctx: &mut Context<'_, AbdMsg>) {
         match msg {
             AbdMsg::Query { seq } => {
+                if self.is_repairing() {
+                    return;
+                }
                 ctx.send(
                     from,
                     AbdMsg::QueryResp {
@@ -137,6 +212,33 @@ impl Process<AbdMsg> for AbdServer {
                     self.value = value;
                 }
                 ctx.send(from, AbdMsg::StoreAck { seq });
+            }
+            // Peers' responses to this server's own repair query.
+            AbdMsg::QueryResp { seq, tag, value } => {
+                let Some(repair) = self.repair.as_mut() else {
+                    return;
+                };
+                if repair.completed_at.is_some() || seq != repair.seq {
+                    return;
+                }
+                repair.traffic_bytes += value.len() as u64;
+                repair.tracker.record(from, (tag, value));
+                if !repair.tracker.is_complete() {
+                    return;
+                }
+                let (max_tag, max_value) = repair
+                    .tracker
+                    .responses()
+                    .max_by_key(|(_, (tag, _))| *tag)
+                    .map(|(_, (tag, value))| (*tag, value.clone()))
+                    .expect("a complete quorum is non-empty");
+                repair.completed_at = Some(ctx.now());
+                // Monotone adoption: a concurrent write's store may already
+                // have installed a newer pair.
+                if max_tag > self.tag {
+                    self.tag = max_tag;
+                    self.value = max_value;
+                }
             }
             _ => {}
         }
@@ -399,8 +501,11 @@ impl AbdParams {
 /// A complete simulated ABD deployment.
 pub struct AbdCluster {
     sim: Simulation<AbdMsg>,
+    layout: Layout,
     servers: Vec<ProcessId>,
     clients: Vec<ProcessId>,
+    /// Per-rank incarnation counter for replacement servers.
+    epochs: Vec<u64>,
 }
 
 impl AbdCluster {
@@ -432,10 +537,13 @@ impl AbdCluster {
             sim.add_process(Box::new(client));
             clients.push(id);
         }
+        let epochs = vec![0; n];
         AbdCluster {
             sim,
+            layout,
             servers: server_ids,
             clients,
+            epochs,
         }
     }
 
@@ -480,6 +588,43 @@ impl AbdCluster {
     /// Crashes an arbitrary process (e.g. a client) at time `at`.
     pub fn crash_process_at(&mut self, at: SimTime, id: ProcessId) {
         self.sim.schedule_crash(at, id);
+    }
+
+    /// Schedules the repair of the server with the given rank at time `at`:
+    /// a fresh replacement adopts the majority-maximum `(tag, value)` pair
+    /// from survivors (see [`AbdServer::replacement`]).
+    pub fn repair_server_at(&mut self, at: SimTime, rank: usize) {
+        self.epochs[rank] += 1;
+        let replacement = AbdServer::replacement(self.layout.clone(), self.epochs[rank]);
+        self.sim
+            .schedule_recovery(at, self.servers[rank], Box::new(replacement));
+    }
+
+    /// Number of servers currently dead **or under repair**.
+    pub fn dead_or_repairing(&self) -> usize {
+        self.servers
+            .iter()
+            .filter(|&&id| {
+                self.sim.is_crashed(id)
+                    || self
+                        .sim
+                        .process_as::<AbdServer>(id)
+                        .is_some_and(|s| s.is_repairing())
+            })
+            .count()
+    }
+
+    /// Repair status of each rank's current incarnation (`None` for servers
+    /// that were never replaced).
+    pub fn repair_statuses(&self) -> Vec<Option<crate::RepairStatus>> {
+        self.servers
+            .iter()
+            .map(|&id| {
+                self.sim
+                    .process_as::<AbdServer>(id)
+                    .and_then(|s| s.repair_status())
+            })
+            .collect()
     }
 
     /// Runs until quiescent.

@@ -86,6 +86,19 @@ pub enum CasMsg {
         /// The responding server's element for that tag, if stored.
         element: Option<CodedElement>,
     },
+    /// Full-replica state pull from a replacement server (server-to-server).
+    RepairPull {
+        /// Incarnation number of the pulling replacement.
+        seq: u64,
+    },
+    /// Response to [`CasMsg::RepairPull`]: every version the responder knows,
+    /// with its stored coded element (if retained) and finalization flag.
+    RepairState {
+        /// The pull this responds to.
+        seq: u64,
+        /// `(tag, element-if-stored, finalized)` triples.
+        versions: Vec<(Tag, Option<CodedElement>, bool)>,
+    },
 }
 
 impl Message for CasMsg {
@@ -95,6 +108,11 @@ impl Message for CasMsg {
             CasMsg::ReadFinalizeResp {
                 element: Some(e), ..
             } => e.data.len(),
+            CasMsg::RepairState { versions, .. } => versions
+                .iter()
+                .filter_map(|(_, e, _)| e.as_ref())
+                .map(|e| e.data.len())
+                .sum(),
             _ => 0,
         }
     }
@@ -111,6 +129,8 @@ impl Message for CasMsg {
             CasMsg::FinalizeAck { .. } => "finalize-ack",
             CasMsg::ReadFinalize { .. } => "read-finalize",
             CasMsg::ReadFinalizeResp { .. } => "read-finalize-resp",
+            CasMsg::RepairPull { .. } => "repair-pull",
+            CasMsg::RepairState { .. } => "repair-state",
         }
     }
 }
@@ -187,12 +207,24 @@ pub struct CasOpRecord {
     pub value: Vec<u8>,
 }
 
+/// In-flight full-replica state transfer of a replacement CAS server.
+struct CasRepair {
+    seq: u64,
+    responses: QuorumTracker<()>,
+    /// Union of survivor state: tag → (elements by index, finalized).
+    collected: BTreeMap<Tag, (BTreeMap<usize, CodedElement>, bool)>,
+    started_at: SimTime,
+    completed_at: Option<SimTime>,
+    traffic_bytes: u64,
+}
+
 /// A CAS / CASGC server.
 pub struct CasServer {
     config: Arc<CasConfig>,
     my_rank: usize,
     /// All known versions: tag → (element if stored, label).
     versions: BTreeMap<Tag, (Option<CodedElement>, Label)>,
+    repair: Option<CasRepair>,
 }
 
 impl CasServer {
@@ -208,7 +240,79 @@ impl CasServer {
             config,
             my_rank,
             versions,
+            repair: None,
         }
+    }
+
+    /// Creates a **replacement** server with empty state that repairs itself
+    /// on start by *full-replica state transfer*: it pulls every survivor's
+    /// version store, merges labels (`fin` wins) across a quorum of `n − f`
+    /// responses, and re-encodes its own coded element for every tag with at
+    /// least `k` distinct survivor elements. A finalized write pre-wrote its
+    /// elements to a quorum, which intersects the repair quorum in at least
+    /// `k = n − 2f` full replicas — so every finalized version is recovered
+    /// with both its label and its element.
+    ///
+    /// Until the repair completes the replacement answers no `query-tag` or
+    /// `read-finalize` requests (a missing `fin` label could hide a
+    /// finalized write from a reader's quorum maximum), but it applies and
+    /// acknowledges pre-writes and finalizes — those are durable and are
+    /// preserved by the merge. `epoch` distinguishes incarnations.
+    pub fn replacement(config: Arc<CasConfig>, my_rank: usize, epoch: u64) -> Self {
+        let quorum = config.quorum();
+        CasServer {
+            config,
+            my_rank,
+            versions: BTreeMap::new(),
+            repair: Some(CasRepair {
+                seq: epoch,
+                responses: QuorumTracker::new(quorum),
+                collected: BTreeMap::new(),
+                started_at: SimTime::ZERO,
+                completed_at: None,
+                traffic_bytes: 0,
+            }),
+        }
+    }
+
+    /// Whether this server is a replacement whose repair has not finished.
+    pub fn is_repairing(&self) -> bool {
+        matches!(&self.repair, Some(r) if r.completed_at.is_none())
+    }
+
+    /// Repair progress, if this server is (or was) a replacement.
+    pub fn repair_status(&self) -> Option<crate::RepairStatus> {
+        self.repair.as_ref().map(|r| crate::RepairStatus {
+            started_at: r.started_at,
+            completed_at: r.completed_at,
+            traffic_bytes: r.traffic_bytes,
+        })
+    }
+
+    /// Merges the collected survivor state into the local store once a
+    /// quorum of `repair-state` responses has arrived.
+    fn finish_repair(&mut self, now: SimTime) {
+        let Some(repair) = self.repair.as_mut() else {
+            return;
+        };
+        repair.completed_at = Some(now);
+        let collected = std::mem::take(&mut repair.collected);
+        let k = self.config.k();
+        for (tag, (elements, fin)) in collected {
+            let entry = self.versions.entry(tag).or_insert((None, Label::Pre));
+            if fin {
+                entry.1 = Label::Fin;
+            }
+            // Concurrent pre-writes during the repair already stored this
+            // rank's own element; never overwrite it.
+            if entry.0.is_none() && elements.len() >= k {
+                let elems: Vec<CodedElement> = elements.into_values().collect();
+                if let Ok(value) = self.config.code.decode(&elems) {
+                    entry.0 = self.config.code.encode_one(&value, self.my_rank).ok();
+                }
+            }
+        }
+        self.garbage_collect();
     }
 
     /// Bytes of coded-element data currently stored (across all versions).
@@ -265,9 +369,35 @@ impl CasServer {
 }
 
 impl Process<CasMsg> for CasServer {
+    fn on_start(&mut self, ctx: &mut Context<'_, CasMsg>) {
+        let Some(repair) = self.repair.as_mut() else {
+            return;
+        };
+        repair.started_at = ctx.now();
+        let seq = repair.seq;
+        let peers: Vec<ProcessId> = self
+            .config
+            .layout()
+            .servers()
+            .iter()
+            .copied()
+            .filter(|&p| p != ctx.self_id())
+            .collect();
+        for peer in peers {
+            ctx.send(peer, CasMsg::RepairPull { seq });
+        }
+    }
+
     fn on_message(&mut self, from: ProcessId, msg: CasMsg, ctx: &mut Context<'_, CasMsg>) {
         match msg {
+            // A replacement under repair answers no tag queries and serves no
+            // reads: its missing `fin` labels could hide a finalized write
+            // from a quorum maximum. With at most `f` dead-or-repairing
+            // servers the `n − f` full replicas still form a quorum.
             CasMsg::QueryTag { seq } => {
+                if self.is_repairing() {
+                    return;
+                }
                 ctx.send(
                     from,
                     CasMsg::QueryTagResp {
@@ -290,11 +420,49 @@ impl Process<CasMsg> for CasServer {
                 ctx.send(from, CasMsg::FinalizeAck { seq });
             }
             CasMsg::ReadFinalize { seq, tag } => {
+                if self.is_repairing() {
+                    return;
+                }
                 let entry = self.versions.entry(tag).or_insert((None, Label::Pre));
                 entry.1 = Label::Fin;
                 let element = entry.0.clone();
                 self.garbage_collect();
                 ctx.send(from, CasMsg::ReadFinalizeResp { seq, tag, element });
+            }
+            CasMsg::RepairPull { seq } => {
+                // A repairing server has no authoritative state to transfer.
+                if self.is_repairing() {
+                    return;
+                }
+                let versions: Vec<(Tag, Option<CodedElement>, bool)> = self
+                    .versions
+                    .iter()
+                    .map(|(&tag, (element, label))| (tag, element.clone(), *label == Label::Fin))
+                    .collect();
+                ctx.send(from, CasMsg::RepairState { seq, versions });
+            }
+            CasMsg::RepairState { seq, versions } => {
+                {
+                    let Some(repair) = self.repair.as_mut() else {
+                        return;
+                    };
+                    if repair.completed_at.is_some() || seq != repair.seq {
+                        return;
+                    }
+                    for (tag, element, fin) in versions {
+                        let entry = repair.collected.entry(tag).or_default();
+                        entry.1 |= fin;
+                        if let Some(element) = element {
+                            repair.traffic_bytes += element.data.len() as u64;
+                            entry.0.insert(element.index, element);
+                        }
+                    }
+                    repair.responses.record(from, ());
+                    if !repair.responses.is_complete() {
+                        return;
+                    }
+                }
+                self.finish_repair(ctx.now());
             }
             _ => {}
         }
@@ -607,6 +775,8 @@ pub struct CasCluster {
     config: Arc<CasConfig>,
     servers: Vec<ProcessId>,
     clients: Vec<ProcessId>,
+    /// Per-rank incarnation counter for replacement servers.
+    epochs: Vec<u64>,
 }
 
 impl CasCluster {
@@ -635,11 +805,13 @@ impl CasCluster {
             sim.add_process(Box::new(CasClient::new(config.clone(), id)));
             clients.push(id);
         }
+        let epochs = vec![0; n];
         CasCluster {
             sim,
             config,
             servers: server_ids,
             clients,
+            epochs,
         }
     }
 
@@ -684,6 +856,43 @@ impl CasCluster {
     /// Crashes an arbitrary process (e.g. a client) at time `at`.
     pub fn crash_process_at(&mut self, at: SimTime, id: ProcessId) {
         self.sim.schedule_crash(at, id);
+    }
+
+    /// Schedules the repair of the server with the given rank at time `at`:
+    /// a fresh replacement pulls every survivor's version store and
+    /// re-encodes its own elements (see [`CasServer::replacement`]).
+    pub fn repair_server_at(&mut self, at: SimTime, rank: usize) {
+        self.epochs[rank] += 1;
+        let replacement = CasServer::replacement(self.config.clone(), rank, self.epochs[rank]);
+        self.sim
+            .schedule_recovery(at, self.servers[rank], Box::new(replacement));
+    }
+
+    /// Number of servers currently dead **or under repair**.
+    pub fn dead_or_repairing(&self) -> usize {
+        self.servers
+            .iter()
+            .filter(|&&id| {
+                self.sim.is_crashed(id)
+                    || self
+                        .sim
+                        .process_as::<CasServer>(id)
+                        .is_some_and(|s| s.is_repairing())
+            })
+            .count()
+    }
+
+    /// Repair status of each rank's current incarnation (`None` for servers
+    /// that were never replaced).
+    pub fn repair_statuses(&self) -> Vec<Option<crate::RepairStatus>> {
+        self.servers
+            .iter()
+            .map(|&id| {
+                self.sim
+                    .process_as::<CasServer>(id)
+                    .and_then(|s| s.repair_status())
+            })
+            .collect()
     }
 
     /// Runs until quiescent.

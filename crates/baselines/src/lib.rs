@@ -41,3 +41,18 @@ pub type PendingWriteInfo = (
     Option<soda_protocol::Tag>,
     Vec<u8>,
 );
+
+/// Progress of a replacement server's state re-acquisition after a
+/// crash–recovery (see [`abd::AbdServer::replacement`] and
+/// [`cas::CasServer::replacement`]). Until `completed_at` is set the
+/// replacement counts against the crash budget `f` and answers no queries
+/// whose staleness could violate atomicity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RepairStatus {
+    /// When the replacement started pulling state from survivors.
+    pub started_at: soda_simnet::SimTime,
+    /// When the repair finished (`None` while still in progress).
+    pub completed_at: Option<soda_simnet::SimTime>,
+    /// Bytes of value / coded-element data received during the repair.
+    pub traffic_bytes: u64,
+}

@@ -1,0 +1,150 @@
+//! Repair bandwidth and latency per protocol and value size: crash one
+//! server, repair it from the survivors, and measure exactly how many bytes
+//! of value / coded-element data the replacement pulled.
+//!
+//! The point of the measurement is the paper's storage argument carried over
+//! to repair: an erasure-coded replacement re-encodes its element from `k`
+//! survivors (`k + 2e` for SODAerr), so its repair traffic is
+//! `≈ size + O(metadata)` and **bounded by `n · ⌈size/k⌉ + O(metadata)`** —
+//! the `n·size/k` coded bound — while replicated protocols (ABD) must move a
+//! full copy per object. The SODA/SODAerr rows are asserted against the
+//! coded bound, not just reported.
+//!
+//! Plain `harness = false` timing loop (criterion is unavailable offline).
+//! Run with: `cargo bench -p soda-bench --bench repair_bandwidth [out.json]` —
+//! with a path argument the measurements are also written as JSON rows in the
+//! repo's standard format (see `BENCH_repair.json`).
+
+use soda_bench::maybe_write_json;
+use soda_registry::{ClusterBuilder, ProtocolKind};
+use soda_simnet::SimTime;
+use soda_workload::json::to_json;
+use soda_workload::json_row;
+use std::time::Instant;
+
+#[derive(Clone)]
+struct Row {
+    protocol: String,
+    n: usize,
+    f: usize,
+    k: usize,
+    value_size: usize,
+    repair_traffic_bytes: u64,
+    coded_bound_bytes: u64,
+    replicated_bytes: u64,
+    repair_latency_ticks: u64,
+    seconds: f64,
+}
+
+json_row!(Row {
+    protocol,
+    n,
+    f,
+    k,
+    value_size,
+    repair_traffic_bytes,
+    coded_bound_bytes,
+    replicated_bytes,
+    repair_latency_ticks,
+    seconds,
+});
+
+/// `(kind, n, f)` per protocol, mirroring the conformance matrix.
+fn matrix() -> Vec<(ProtocolKind, usize, usize)> {
+    vec![
+        (ProtocolKind::Soda, 5, 2),
+        (ProtocolKind::SodaErr { e: 1 }, 7, 2),
+        (ProtocolKind::Abd, 5, 2),
+        (ProtocolKind::Cas, 5, 2),
+        (ProtocolKind::Casgc { gc: 2 }, 5, 2),
+    ]
+}
+
+/// Code dimension `k` per protocol (1 for replication).
+fn code_k(kind: ProtocolKind, n: usize, f: usize) -> usize {
+    match kind {
+        ProtocolKind::Soda => n - f,
+        ProtocolKind::SodaErr { e } => n - f - 2 * e,
+        ProtocolKind::Cas | ProtocolKind::Casgc { .. } => n - 2 * f,
+        ProtocolKind::Abd => 1,
+    }
+}
+
+fn measure(kind: ProtocolKind, n: usize, f: usize, value_size: usize) -> Row {
+    let mut cluster = ClusterBuilder::new(kind, n, f)
+        .with_seed(29)
+        .build()
+        .expect("valid bench parameters");
+    cluster.invoke_write(0, vec![0xC0; value_size]);
+    cluster.run_to_quiescence();
+
+    let crash_at = cluster.now();
+    cluster.crash_server_at(crash_at, 1);
+    let start = Instant::now();
+    cluster.repair_server_at(SimTime::from_ticks(crash_at.ticks() + 10), 1);
+    cluster.run_to_quiescence();
+    let seconds = start.elapsed().as_secs_f64();
+
+    assert_eq!(cluster.dead_or_repairing(), 0, "{}", kind.name());
+    let report = cluster
+        .repair_reports()
+        .into_iter()
+        .find(|r| r.rank == 1)
+        .expect("repair must be reported");
+    let latency = report.latency().expect("repair must have completed");
+
+    let k = code_k(kind, n, f);
+    // One coded element per server under the [n, k] code, with the shared
+    // 8-byte length header amortized over the split.
+    let elem_len = (value_size + 8).div_ceil(k) as u64;
+    let coded_bound = n as u64 * elem_len;
+    if matches!(kind, ProtocolKind::Soda | ProtocolKind::SodaErr { .. }) {
+        assert!(
+            report.traffic_bytes <= coded_bound,
+            "{}: repair moved {} bytes, coded bound is {coded_bound}",
+            kind.name(),
+            report.traffic_bytes
+        );
+        assert!(
+            report.traffic_bytes < (n * value_size) as u64,
+            "{}: repair must beat full replication",
+            kind.name()
+        );
+    }
+    Row {
+        protocol: kind.name().to_string(),
+        n,
+        f,
+        k,
+        value_size,
+        repair_traffic_bytes: report.traffic_bytes,
+        coded_bound_bytes: coded_bound,
+        replicated_bytes: (n * value_size) as u64,
+        repair_latency_ticks: latency,
+        seconds,
+    }
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for (kind, n, f) in matrix() {
+        for value_size in [256usize, 4096, 65536] {
+            let row = measure(kind, n, f, value_size);
+            println!(
+                "repair/{:<7} n={} size={:>6} {:>8} B moved (coded bound {:>8} B, replicated {:>8} B) in {} ticks",
+                row.protocol,
+                row.n,
+                row.value_size,
+                row.repair_traffic_bytes,
+                row.coded_bound_bytes,
+                row.replicated_bytes,
+                row.repair_latency_ticks
+            );
+            rows.push(row);
+        }
+    }
+    // `cargo bench` forwards flags like `--bench` to the binary; the JSON
+    // output path is the first non-flag argument.
+    let json_path = std::env::args().skip(1).find(|arg| !arg.starts_with('-'));
+    maybe_write_json(json_path.as_deref(), &to_json(&rows));
+}

@@ -3,7 +3,7 @@
 use crate::builder::ClusterBuilder;
 use crate::cluster::RegisterCluster;
 use crate::kind::ClusterDescriptor;
-use crate::record::{sort_records, OpKind, OpRecord, PendingWriteRecord};
+use crate::record::{sort_records, OpKind, OpRecord, PendingWriteRecord, RepairReport};
 use soda_baselines::abd::{AbdCluster, AbdParams};
 use soda_simnet::{ProcessId, RunOutcome, SimTime, Stats};
 use std::any::Any;
@@ -99,6 +99,30 @@ impl RegisterCluster for AbdRegisterCluster {
 
     fn crash_server_at(&mut self, at: SimTime, rank: usize) {
         self.inner.crash_server_at(at, rank);
+    }
+
+    fn repair_server_at(&mut self, at: SimTime, rank: usize) {
+        self.inner.repair_server_at(at, rank);
+    }
+
+    fn dead_or_repairing(&self) -> usize {
+        self.inner.dead_or_repairing()
+    }
+
+    fn repair_reports(&self) -> Vec<RepairReport> {
+        self.inner
+            .repair_statuses()
+            .into_iter()
+            .enumerate()
+            .filter_map(|(rank, status)| {
+                status.map(|s| RepairReport {
+                    rank,
+                    started_at: s.started_at,
+                    completed_at: s.completed_at,
+                    traffic_bytes: s.traffic_bytes,
+                })
+            })
+            .collect()
     }
 
     fn crash_writer_at(&mut self, at: SimTime, writer: usize) {

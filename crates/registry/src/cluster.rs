@@ -2,7 +2,9 @@
 //! deployment.
 
 use crate::kind::ClusterDescriptor;
-use crate::record::{history_from_records, history_with_pending, OpRecord, PendingWriteRecord};
+use crate::record::{
+    history_from_records, history_with_pending, OpRecord, PendingWriteRecord, RepairReport,
+};
 use soda_consistency::History;
 use soda_simnet::{ProcessId, RunOutcome, SimTime, Stats};
 use std::any::Any;
@@ -57,6 +59,33 @@ pub trait RegisterCluster: Send {
 
     /// Crashes the server with the given rank at time `at`.
     fn crash_server_at(&mut self, at: SimTime, rank: usize);
+
+    /// Schedules the **repair** of the server with the given rank at time
+    /// `at`: a fresh replacement with empty state takes over the rank's
+    /// process id and re-acquires its state from survivors — by re-encoding
+    /// coded elements fetched from `k` (SODA) or `k + 2e` (SODAerr)
+    /// survivors, by adopting the majority-maximum `(tag, value)` pair
+    /// (ABD), or by full-replica state transfer (CAS / CASGC).
+    ///
+    /// Until the repair completes the replacement counts against the crash
+    /// budget `f` (see [`RegisterCluster::dead_or_repairing`]); the cluster
+    /// tolerates at most `f` *currently*-dead-or-repairing servers at any
+    /// instant, not `f` crashes in total.
+    fn repair_server_at(&mut self, at: SimTime, rank: usize);
+
+    /// Number of servers currently dead **or still repairing** — the
+    /// quantity the dynamic fault-tolerance invariant bounds by `f`.
+    fn dead_or_repairing(&self) -> usize;
+
+    /// One report per rank whose *current* incarnation is (or was) a
+    /// replacement, carrying repair bandwidth and latency.
+    fn repair_reports(&self) -> Vec<RepairReport>;
+
+    /// Total repair bandwidth (bytes of value / coded-element data received
+    /// by replacements) across all ranks' current incarnations.
+    fn repair_traffic_bytes(&self) -> u64 {
+        self.repair_reports().iter().map(|r| r.traffic_bytes).sum()
+    }
 
     /// Crashes the process behind writer handle `writer` at time `at`.
     fn crash_writer_at(&mut self, at: SimTime, writer: usize);

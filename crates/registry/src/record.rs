@@ -96,6 +96,29 @@ impl From<soda_baselines::PendingWriteInfo> for PendingWriteRecord {
     }
 }
 
+/// Progress report of one server repair, in the shared shape every protocol's
+/// repair bookkeeping is converted into (see
+/// [`crate::RegisterCluster::repair_reports`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Rank of the repaired server.
+    pub rank: usize,
+    /// When the replacement started pulling state from survivors.
+    pub started_at: SimTime,
+    /// When the repair finished (`None` while still in progress).
+    pub completed_at: Option<SimTime>,
+    /// Bytes of value / coded-element data the replacement received during
+    /// the repair (the protocol's repair bandwidth for this server).
+    pub traffic_bytes: u64,
+}
+
+impl RepairReport {
+    /// Repair latency in ticks (`None` while the repair is in progress).
+    pub fn latency(&self) -> Option<u64> {
+        self.completed_at.map(|done| done.since(self.started_at))
+    }
+}
+
 /// Converts a protocol tag into a checker version.
 pub fn version_of_tag(tag: Tag) -> Version {
     Version::new(tag.z, tag.writer.0 as u64)

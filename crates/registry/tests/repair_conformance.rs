@@ -1,0 +1,210 @@
+//! Cross-protocol crash–recovery conformance: every [`ProtocolKind`] must
+//! survive crash → repair → read with an atomic history, produce bit-identical
+//! executions when replayed, keep atomicity when a repair races an in-flight
+//! write, and never double-count a repaired server's replayed acknowledgements
+//! in the closed history.
+
+use soda_registry::{ClusterBuilder, OpRecord, ProtocolKind, RegisterCluster};
+use soda_simnet::SimTime;
+use std::collections::BTreeSet;
+
+/// Representative parameters per protocol: `(kind, n, f)` chosen so every
+/// kind is valid and tolerates the crashes the scenarios inject.
+fn matrix() -> Vec<(ProtocolKind, usize, usize)> {
+    vec![
+        (ProtocolKind::Soda, 5, 2),
+        (ProtocolKind::SodaErr { e: 1 }, 7, 2),
+        (ProtocolKind::Abd, 5, 2),
+        (ProtocolKind::Cas, 5, 2),
+        (ProtocolKind::Casgc { gc: 2 }, 5, 2),
+    ]
+}
+
+/// The shared crash → repair → read scenario: populate, crash rank 0, keep
+/// writing, repair rank 0 with a write still racing it, then read after the
+/// repair has settled.
+fn drive_crash_repair_read(cluster: &mut dyn RegisterCluster) {
+    cluster.invoke_write_at(SimTime::from_ticks(0), 0, b"before-crash".to_vec());
+    cluster.invoke_read_at(SimTime::from_ticks(30), 0);
+    cluster.crash_server_at(SimTime::from_ticks(60), 0);
+    cluster.invoke_write_at(SimTime::from_ticks(80), 0, b"while-down".to_vec());
+    // The repair starts while this write is still in flight.
+    cluster.invoke_write_at(SimTime::from_ticks(160), 0, b"racing-repair".to_vec());
+    cluster.repair_server_at(SimTime::from_ticks(161), 0);
+    cluster.invoke_read_at(SimTime::from_ticks(400), 1);
+    cluster.run_to_quiescence();
+}
+
+fn fingerprint(ops: &[OpRecord]) -> Vec<(u64, u64, bool, u64, u64, Vec<u8>)> {
+    ops.iter()
+        .map(|op| {
+            (
+                op.client,
+                op.seq,
+                op.kind.is_write(),
+                op.invoked_at.ticks(),
+                op.completed_at.ticks(),
+                op.value.clone().unwrap_or_default(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn crash_repair_read_is_atomic_for_every_kind() {
+    for (kind, n, f) in matrix() {
+        let mut cluster = ClusterBuilder::new(kind, n, f)
+            .with_seed(7)
+            .with_clients(1, 2)
+            .build()
+            .unwrap();
+        drive_crash_repair_read(cluster.as_mut());
+
+        // The repair settled: the budget is free again and the report is
+        // complete, with real data traffic and a measurable latency.
+        assert_eq!(cluster.dead_or_repairing(), 0, "{}", kind.name());
+        let reports = cluster.repair_reports();
+        assert_eq!(reports.len(), 1, "{}", kind.name());
+        assert_eq!(reports[0].rank, 0, "{}", kind.name());
+        assert!(reports[0].latency().is_some(), "{}", kind.name());
+        assert!(reports[0].traffic_bytes > 0, "{}", kind.name());
+
+        // Every operation completed (the cluster never lost its quorums) and
+        // the final read saw the last write.
+        let ops = cluster.completed_ops();
+        assert_eq!(ops.len(), 5, "{}", kind.name());
+        let last_read = ops.iter().rfind(|o| o.kind.is_read()).unwrap();
+        assert_eq!(
+            last_read.value.as_deref(),
+            Some(b"racing-repair".as_slice()),
+            "{}",
+            kind.name()
+        );
+        cluster
+            .closed_history(&[])
+            .check_atomicity()
+            .unwrap_or_else(|v| panic!("{}: {v}", kind.name()));
+    }
+}
+
+#[test]
+fn crash_repair_read_replays_bit_identically() {
+    // Two independent builds of the same seeded scenario must produce the
+    // same operations at the same ticks with the same repair traffic — the
+    // property that makes every repair counterexample replayable.
+    for (kind, n, f) in matrix() {
+        let mut runs = Vec::new();
+        for _ in 0..2 {
+            let mut cluster = ClusterBuilder::new(kind, n, f)
+                .with_seed(23)
+                .with_clients(1, 2)
+                .build()
+                .unwrap();
+            drive_crash_repair_read(cluster.as_mut());
+            runs.push((
+                fingerprint(&cluster.completed_ops()),
+                cluster.repair_reports(),
+                cluster.repair_traffic_bytes(),
+                cluster.now(),
+            ));
+        }
+        assert_eq!(runs[0], runs[1], "{}", kind.name());
+    }
+}
+
+#[test]
+fn repair_during_inflight_write_preserves_atomicity_across_seeds() {
+    // Sweep the repair start across the write's whole in-flight window so
+    // every interleaving of repair messages with write propagation is
+    // exercised, not just one lucky tick.
+    for (kind, n, f) in matrix() {
+        for repair_at in [81, 85, 90, 100, 120] {
+            let mut cluster = ClusterBuilder::new(kind, n, f)
+                .with_seed(repair_at)
+                .with_clients(1, 2)
+                .build()
+                .unwrap();
+            cluster.invoke_write_at(SimTime::from_ticks(0), 0, b"base".to_vec());
+            cluster.crash_server_at(SimTime::from_ticks(50), 1);
+            cluster.invoke_write_at(SimTime::from_ticks(80), 0, b"in-flight".to_vec());
+            cluster.repair_server_at(SimTime::from_ticks(repair_at), 1);
+            cluster.invoke_read_at(SimTime::from_ticks(300), 0);
+            cluster.invoke_read_at(SimTime::from_ticks(300), 1);
+            let outcome = cluster.run_to_quiescence();
+            assert!(!outcome.hit_event_cap, "{} at {repair_at}", kind.name());
+            assert_eq!(cluster.dead_or_repairing(), 0, "{}", kind.name());
+            assert_eq!(
+                cluster.completed_ops().len(),
+                4,
+                "{} at {repair_at}",
+                kind.name()
+            );
+            cluster
+                .closed_history(&[])
+                .check_atomicity()
+                .unwrap_or_else(|v| panic!("{} repair at {repair_at}: {v}", kind.name()));
+        }
+    }
+}
+
+#[test]
+fn repaired_runs_never_double_count_operations() {
+    // A replacement replays relay/gossip state from survivors; none of that
+    // may surface as duplicate client acknowledgements. Each (client, seq)
+    // appears at most once among completed operations, never in both the
+    // completed and pending sets, and the closed history's length is exactly
+    // completed + tagged-pending — no operation is counted twice under the
+    // `responded = u64::MAX` pending convention.
+    for (kind, n, f) in matrix() {
+        let mut cluster = ClusterBuilder::new(kind, n, f)
+            .with_seed(31)
+            .with_clients(2, 2)
+            .build()
+            .unwrap();
+        cluster.invoke_write_at(SimTime::from_ticks(0), 0, b"a".to_vec());
+        cluster.invoke_write_at(SimTime::from_ticks(5), 1, b"b".to_vec());
+        cluster.crash_server_at(SimTime::from_ticks(40), 0);
+        cluster.invoke_write_at(SimTime::from_ticks(90), 0, b"c".to_vec());
+        cluster.repair_server_at(SimTime::from_ticks(91), 0);
+        // A writer crashed mid-operation leaves a genuinely pending write in
+        // the closed history, exercising the sentinel path too.
+        cluster.invoke_write_at(SimTime::from_ticks(200), 1, b"never-acked".to_vec());
+        cluster.crash_writer_at(SimTime::from_ticks(201), 1);
+        cluster.invoke_read_at(SimTime::from_ticks(400), 0);
+        cluster.invoke_read_at(SimTime::from_ticks(420), 1);
+        cluster.run_to_quiescence();
+
+        let completed = cluster.completed_ops();
+        let mut seen = BTreeSet::new();
+        for op in &completed {
+            assert!(
+                seen.insert((op.client, op.seq)),
+                "{}: duplicate completed op (client {}, seq {})",
+                kind.name(),
+                op.client,
+                op.seq
+            );
+        }
+        let pending = cluster.pending_writes();
+        for write in &pending {
+            assert!(
+                !seen.contains(&(write.client, write.seq)),
+                "{}: (client {}, seq {}) is both completed and pending",
+                kind.name(),
+                write.client,
+                write.seq
+            );
+        }
+        let tagged_pending = pending.iter().filter(|w| w.tag.is_some()).count();
+        let closed = cluster.closed_history(&[]);
+        assert_eq!(
+            closed.len(),
+            completed.len() + tagged_pending,
+            "{}: closed history double-counts",
+            kind.name()
+        );
+        closed
+            .check_atomicity()
+            .unwrap_or_else(|v| panic!("{}: {v}", kind.name()));
+    }
+}

@@ -16,7 +16,9 @@
 //! * [`Process`] — the actor trait protocol automata implement
 //!   (`on_start` / `on_message` / `on_timer`).
 //! * [`FaultPlan`] / [`Simulation::schedule_crash`] — crash injection at
-//!   arbitrary points, including mid-operation client crashes.
+//!   arbitrary points, including mid-operation client crashes — and
+//!   crash–*recovery*: [`Simulation::schedule_recovery`] replaces a crashed
+//!   process with a fresh (empty-state) one, modelling server repair.
 //! * [`NetFaultPlan`] / [`Simulation::set_net_fault_plan`] — the network
 //!   adversary: per-link message drop, extra delay, reordering (hold-back),
 //!   duplication, and byzantine payload corruption via a message-type
@@ -72,7 +74,7 @@ mod time;
 mod trace;
 
 pub use config::{DelayModel, NetworkConfig};
-pub use fault::{CrashEvent, FaultPlan};
+pub use fault::{CrashEvent, FaultPlan, RecoveryEvent};
 pub use netfault::{LinkFaults, NetFaultPlan};
 pub use process::{Context, Message, Process, ProcessId};
 pub use sim::{CorruptionHook, RunOutcome, Simulation};

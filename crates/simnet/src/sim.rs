@@ -22,7 +22,6 @@ pub type CorruptionHook<M> =
     Box<dyn FnMut(ProcessId, ProcessId, &mut M, &mut ChaCha12Rng) -> bool + Send>;
 
 /// What happens when an event fires.
-#[derive(Debug)]
 enum EventKind<M> {
     /// Deliver a message from `from`.
     Deliver { from: ProcessId, msg: M },
@@ -30,6 +29,26 @@ enum EventKind<M> {
     Timer { token: u64 },
     /// Crash the target process.
     Crash,
+    /// Replace the target process with a fresh one (crash recovery). The
+    /// replacement's `on_start` runs before the next event is processed.
+    Recover { replacement: Box<dyn Process<M>> },
+}
+
+// Manual impl: `Box<dyn Process<M>>` is not `Debug`, so the derive would
+// reject the `Recover` variant.
+impl<M: std::fmt::Debug> std::fmt::Debug for EventKind<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EventKind::Deliver { from, msg } => f
+                .debug_struct("Deliver")
+                .field("from", from)
+                .field("msg", msg)
+                .finish(),
+            EventKind::Timer { token } => f.debug_struct("Timer").field("token", token).finish(),
+            EventKind::Crash => f.write_str("Crash"),
+            EventKind::Recover { .. } => f.write_str("Recover"),
+        }
+    }
 }
 
 /// A scheduled event. Ordering is by `(time, sequence number)`, which makes
@@ -241,10 +260,49 @@ impl<M: Message> Simulation<M> {
         }));
     }
 
-    /// Schedules every crash in the plan.
+    /// Schedules a recovery of `process` at time `at`: `replacement` (a fresh
+    /// process, typically with empty state) takes over the id, the crashed
+    /// flag is cleared, and the replacement's `on_start` runs before the next
+    /// event is processed. Messages still in flight towards the id — whether
+    /// sent before the crash or during the outage — are delivered to the
+    /// replacement, exactly as an asynchronous network may deliver arbitrarily
+    /// old messages to a repaired server.
+    pub fn schedule_recovery(
+        &mut self,
+        at: SimTime,
+        process: ProcessId,
+        replacement: Box<dyn Process<M>>,
+    ) {
+        let at = at.max(self.now);
+        let seq = self.next_seq();
+        self.queue.push(Reverse(Event {
+            at,
+            seq,
+            target: process,
+            kind: EventKind::Recover { replacement },
+            data_bytes: 0,
+        }));
+    }
+
+    /// Schedules every crash in the plan. Recovery events in the plan are
+    /// **ignored** — they need protocol-specific replacement processes; use
+    /// [`Self::apply_fault_plan_with`] to schedule those too.
     pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
         for crash in plan.crashes() {
             self.schedule_crash(crash.at, crash.process);
+        }
+    }
+
+    /// Schedules every crash **and recovery** in the plan; `replacement_for`
+    /// builds the fresh process that takes over each recovering id.
+    pub fn apply_fault_plan_with<F>(&mut self, plan: &FaultPlan, mut replacement_for: F)
+    where
+        F: FnMut(ProcessId) -> Box<dyn Process<M>>,
+    {
+        self.apply_fault_plan(plan);
+        for recovery in plan.recoveries() {
+            let replacement = replacement_for(recovery.process);
+            self.schedule_recovery(recovery.at, recovery.process, replacement);
         }
     }
 
@@ -253,6 +311,25 @@ impl<M: Message> Simulation<M> {
         if let Some(flag) = self.crashed.get_mut(process.index()) {
             *flag = true;
         }
+    }
+
+    /// Replaces a process immediately (see [`Self::schedule_recovery`]). The
+    /// replacement's `on_start` runs before the next event is processed.
+    pub fn recover_now(&mut self, process: ProcessId, replacement: Box<dyn Process<M>>) {
+        let idx = process.index();
+        if idx >= self.processes.len() {
+            return;
+        }
+        self.processes[idx] = Some(replacement);
+        self.crashed[idx] = false;
+        self.started[idx] = false;
+    }
+
+    /// Number of processes currently crashed (and not yet recovered) — the
+    /// quantity the dynamic fault-tolerance invariant "at most `f`
+    /// *currently-dead* servers" is stated over.
+    pub fn crashed_count(&self) -> usize {
+        self.crashed.iter().filter(|&&c| c).count()
     }
 
     /// Ensures `on_start` has run for every registered process.
@@ -391,6 +468,13 @@ impl<M: Message> Simulation<M> {
         match event.kind {
             EventKind::Crash => {
                 self.crash_now(target);
+            }
+            EventKind::Recover { replacement } => {
+                self.recover_now(target, replacement);
+                // Run the replacement's `on_start` before the next event so
+                // repair begins at the recovery time, not at the next
+                // delivery.
+                self.ensure_started();
             }
             EventKind::Timer { token } => {
                 if !self.is_crashed(target) {
@@ -805,6 +889,59 @@ mod tests {
         assert_eq!(pb.got, vec![vec![0xF8, 0xF8, 0xF8]]);
         assert!(sim.now() >= SimTime::from_ticks(101), "extra delay applied");
         assert_eq!(sim.stats().messages_corrupted, 1);
+    }
+
+    #[test]
+    fn recovery_replaces_a_crashed_process_with_fresh_state() {
+        let (mut sim, a, b) = two_process_sim(3);
+        sim.schedule_crash(SimTime::ZERO, b);
+        sim.send_external(a, TestMsg::Ping(0));
+        sim.run_to_quiescence();
+        assert!(sim.is_crashed(b));
+        assert_eq!(sim.crashed_count(), 1);
+
+        // A fresh replacement joins: crashed flag clears, on_start runs, and
+        // new messages reach it.
+        sim.schedule_recovery(sim.now(), b, Box::new(PingPong::new(6)));
+        sim.send_external_at(sim.now() + 50, b, TestMsg::Ping(0));
+        sim.run_to_quiescence();
+        assert!(!sim.is_crashed(b));
+        assert_eq!(sim.crashed_count(), 0);
+        let pb: &PingPong = sim.process_as(b).unwrap();
+        assert!(pb.started, "replacement's on_start must run");
+        assert_eq!(pb.received, vec![0], "replacement state is fresh");
+    }
+
+    #[test]
+    fn messages_in_flight_during_the_outage_reach_the_replacement() {
+        // Crash b, send while dead with a delivery time after the recovery:
+        // the replacement receives it (asynchronous channels may deliver
+        // arbitrarily late).
+        let (mut sim, _a, b) = two_process_sim(5);
+        sim.schedule_crash(SimTime::from_ticks(10), b);
+        sim.send_external_at(SimTime::from_ticks(50), b, TestMsg::Ping(9));
+        sim.schedule_recovery(SimTime::from_ticks(30), b, Box::new(PingPong::new(6)));
+        sim.run_to_quiescence();
+        let pb: &PingPong = sim.process_as(b).unwrap();
+        assert_eq!(pb.received, vec![9]);
+    }
+
+    #[test]
+    fn fault_plan_with_recoveries_applies_both() {
+        let (mut sim, _a, b) = two_process_sim(7);
+        let plan = FaultPlan::none()
+            .crash(b, SimTime::from_ticks(5))
+            .recover(b, SimTime::from_ticks(20));
+        sim.apply_fault_plan_with(&plan, |id| {
+            assert_eq!(id, b);
+            Box::new(PingPong::new(6))
+        });
+        sim.send_external_at(SimTime::from_ticks(10), b, TestMsg::Ping(1));
+        sim.run_until(SimTime::from_ticks(15));
+        assert!(sim.is_crashed(b));
+        sim.run_to_quiescence();
+        assert!(!sim.is_crashed(b));
+        assert!(sim.process_as::<PingPong>(b).unwrap().started);
     }
 
     #[test]

@@ -111,6 +111,10 @@ pub struct SodaCluster {
     servers: Vec<ProcessId>,
     writers: Vec<ProcessId>,
     readers: Vec<ProcessId>,
+    /// Per-rank incarnation counter: bumped on every scheduled repair so each
+    /// replacement gets a fresh message-id namespace (see
+    /// [`ServerProcess::replacement`]).
+    epochs: Vec<u64>,
 }
 
 impl SodaCluster {
@@ -156,12 +160,14 @@ impl SodaCluster {
             debug_assert_eq!(actual, id);
             readers.push(id);
         }
+        let epochs = vec![0; cfg.n];
         SodaCluster {
             sim,
             config,
             servers,
             writers,
             readers,
+            epochs,
         }
     }
 
@@ -226,6 +232,54 @@ impl SodaCluster {
     /// Crashes an arbitrary process (e.g. a client) at time `at`.
     pub fn crash_process_at(&mut self, at: SimTime, id: ProcessId) {
         self.sim.schedule_crash(at, id);
+    }
+
+    /// Schedules the repair of the server with the given rank at time `at`:
+    /// a fresh replacement (empty state) takes over the rank's process id and
+    /// runs the SODA repair protocol, re-encoding its coded element from
+    /// survivor responses. Until the repair completes the replacement counts
+    /// against the crash budget `f` (it answers no tag queries).
+    pub fn repair_server_at(&mut self, at: SimTime, rank: usize) {
+        self.epochs[rank] += 1;
+        let replacement = ServerProcess::replacement(self.config.clone(), rank, self.epochs[rank]);
+        self.sim
+            .schedule_recovery(at, self.servers[rank], Box::new(replacement));
+    }
+
+    /// Number of servers currently dead **or under repair** — the quantity
+    /// the dynamic fault-tolerance invariant bounds by `f`.
+    pub fn dead_or_repairing(&self) -> usize {
+        (0..self.servers.len())
+            .filter(|&rank| {
+                self.sim.is_crashed(self.servers[rank])
+                    || self
+                        .sim
+                        .process_as::<ServerProcess>(self.servers[rank])
+                        .is_some_and(|s| s.is_repairing())
+            })
+            .count()
+    }
+
+    /// Repair status of each rank's *current* incarnation (`None` for
+    /// original servers that were never replaced).
+    pub fn repair_statuses(&self) -> Vec<Option<crate::server::RepairStatus>> {
+        (0..self.servers.len())
+            .map(|rank| {
+                self.sim
+                    .process_as::<ServerProcess>(self.servers[rank])
+                    .and_then(|s| s.repair_status())
+            })
+            .collect()
+    }
+
+    /// Total repair traffic (bytes of coded-element data received by
+    /// replacements during repair) across all ranks' current incarnations.
+    pub fn repair_traffic_bytes(&self) -> u64 {
+        self.repair_statuses()
+            .iter()
+            .flatten()
+            .map(|s| s.traffic_bytes)
+            .sum()
     }
 
     /// Runs the simulation until no events remain.
@@ -324,5 +378,123 @@ impl SodaCluster {
         (0..self.servers.len())
             .map(|rank| self.server_state(rank).history_len())
             .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::OpKind;
+
+    fn t(ticks: u64) -> SimTime {
+        SimTime::from_ticks(ticks)
+    }
+
+    #[test]
+    fn crash_then_repair_restores_the_coded_element() {
+        let mut cluster = SodaCluster::build(
+            ClusterConfig::new(5, 2)
+                .with_seed(7)
+                .with_initial_value(b"v0".to_vec()),
+        );
+        let writer = cluster.writers()[0];
+        let reader = cluster.readers()[0];
+        let value = b"the written value, long enough to split".to_vec();
+        cluster.invoke_write_at(t(10), writer, value.clone());
+        cluster.run_until(t(500));
+        assert_eq!(cluster.completed_ops().len(), 1, "write completed");
+        let healthy_element = cluster.server_state(1).stored_element().clone();
+        let healthy_tag = cluster.server_state(1).stored_tag();
+
+        cluster.crash_server_at(t(600), 1);
+        cluster.run_until(t(700));
+        assert_eq!(cluster.dead_or_repairing(), 1);
+
+        cluster.repair_server_at(t(800), 1);
+        cluster.run_to_quiescence();
+        let repaired = cluster.server_state(1);
+        assert!(!repaired.is_repairing());
+        assert_eq!(repaired.stored_tag(), healthy_tag);
+        assert_eq!(repaired.stored_element().data, healthy_element.data);
+        assert_eq!(cluster.dead_or_repairing(), 0);
+
+        // Repair bandwidth: read_threshold coded elements, well under the
+        // n·(size/k)+metadata acceptance bound.
+        let status = cluster.repair_statuses()[1].clone().expect("was repaired");
+        let elem_len = repaired.stored_bytes() as u64;
+        let threshold = cluster.soda_config().read_threshold() as u64;
+        assert_eq!(status.traffic_bytes, threshold * elem_len);
+        assert!(status.traffic_bytes <= cluster.soda_config().n() as u64 * elem_len);
+        assert_eq!(cluster.repair_traffic_bytes(), status.traffic_bytes);
+
+        // A read after the repair still returns the written value.
+        cluster.invoke_read(reader);
+        cluster.run_to_quiescence();
+        let ops = cluster.completed_ops();
+        let read = ops.iter().find(|op| op.kind == OpKind::Read).unwrap();
+        assert_eq!(read.value.as_ref(), Some(&value));
+    }
+
+    #[test]
+    fn repair_during_inflight_write_reaches_the_replacement() {
+        let mut cluster = SodaCluster::build(
+            ClusterConfig::new(5, 2)
+                .with_seed(11)
+                .with_initial_value(b"v0".to_vec()),
+        );
+        let writer = cluster.writers()[0];
+        cluster.crash_server_at(t(5), 0);
+        // The write starts while rank 0 is down and its replacement repairs
+        // concurrently: the md-value relay must still deliver the new
+        // element to the replacement.
+        cluster.invoke_write_at(t(10), writer, b"concurrent write".to_vec());
+        cluster.repair_server_at(t(12), 0);
+        cluster.run_to_quiescence();
+        assert_eq!(cluster.completed_ops().len(), 1, "write completed");
+        let repaired = cluster.server_state(0);
+        assert!(!repaired.is_repairing());
+        let write_tag = cluster.server_state(1).stored_tag();
+        assert_eq!(repaired.stored_tag(), write_tag);
+        assert_eq!(
+            repaired.stored_element().data,
+            cluster
+                .soda_config()
+                .code()
+                .encode_one(b"concurrent write", 0)
+                .unwrap()
+                .data
+        );
+    }
+
+    #[test]
+    fn sodaerr_repair_collects_k_plus_2e_elements() {
+        let mut cluster = SodaCluster::build(
+            ClusterConfig::new(7, 2)
+                .with_error_tolerance(1)
+                .with_seed(3)
+                .with_initial_value(b"seed value".to_vec()),
+        );
+        let writer = cluster.writers()[0];
+        cluster.invoke_write_at(t(10), writer, b"sodaerr repair".to_vec());
+        cluster.run_until(t(500));
+        cluster.crash_server_at(t(600), 2);
+        cluster.repair_server_at(t(700), 2);
+        cluster.run_to_quiescence();
+        let repaired = cluster.server_state(2);
+        assert!(!repaired.is_repairing());
+        let status = cluster.repair_statuses()[2].clone().unwrap();
+        let elem_len = repaired.stored_bytes() as u64;
+        // k + 2e = 3 + 2 elements for [7, 3] SODAerr with e = 1.
+        assert_eq!(cluster.soda_config().read_threshold(), 5);
+        assert_eq!(status.traffic_bytes, 5 * elem_len);
+        assert_eq!(
+            repaired.stored_element().data,
+            cluster
+                .soda_config()
+                .code()
+                .encode_one(b"sodaerr repair", 2)
+                .unwrap()
+                .data
+        );
     }
 }

@@ -79,5 +79,5 @@ pub use config::{DiskFaultModel, SodaConfig, SodaVariant};
 pub use messages::{MetaPayload, OpId, SodaMsg};
 pub use reader::{ReadPhase, ReaderProcess};
 pub use record::{OpKind, OpRecord, PendingWrite};
-pub use server::ServerProcess;
+pub use server::{RepairPhase, RepairStatus, ServerProcess};
 pub use writer::{WritePhase, WriterProcess};

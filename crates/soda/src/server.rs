@@ -14,15 +14,101 @@
 //! The server participates in both message-disperse primitives: it relays the
 //! MD-VALUE dispersal of writes and the MD-META dispersal of READ-VALUE /
 //! READ-COMPLETE / READ-DISPERSE metadata.
+//!
+//! # Repair (crash recovery)
+//!
+//! A crashed server is replaced by a **fresh process with empty state**
+//! ([`ServerProcess::replacement`]) that must re-acquire a valid
+//! `(tag, coded element)` pair before it may serve get queries again — the
+//! paper's §V discussion and its RADON sequel. The repair procedure is
+//! deliberately *a read that re-encodes*: the replacement runs the reader
+//! automaton of Fig. 4 against the survivors (read-get majority → READ-VALUE
+//! registration → collect `k` / `k + 2e` coded elements → decode), then
+//! re-encodes **its own** coded element from the decoded value via
+//! `encode_one` and adopts the pair. Registration means survivors relay the
+//! elements of concurrent writes to the repairing server exactly as they
+//! would to a reader, so repair inherits the liveness of Theorem 5.1 and the
+//! quorum-intersection safety of reads: the adopted tag is at least the tag
+//! of every write that completed before the repair started.
+//!
+//! While the repair is in flight the replacement:
+//!
+//! * answers **no** `write-get` / `read-get` queries (its `t0` tag is stale;
+//!   an answer could poison a majority's `max` and regress tags) — with at
+//!   most `f` servers dead *or under repair*, `n − f ≥ ⌈(n+1)/2⌉` full
+//!   replicas still answer, so clients stay live;
+//! * fully participates in both message-disperse relays, acks MD-VALUE
+//!   deliveries (it really stores those elements), and registers readers —
+//!   but defers serving its stored element until the repair is done.
+//!
+//! Its outgoing [`MessageId`]s are offset by the repair epoch so they can
+//! never collide with the tombstones survivors hold for the previous
+//! incarnation's dispersals.
 
 use crate::config::{DiskFaultModel, SodaConfig};
 use crate::messages::{MetaPayload, OpId, SodaMsg};
 use soda_protocol::md::{md_meta_send, MdMetaRelay, MdValueMsg, MdValueRelay, MessageId};
-use soda_protocol::{Tag, Value};
+use soda_protocol::{QuorumTracker, Tag, Value};
 use soda_rs_code::CodedElement;
-use soda_simnet::{Context, Process, ProcessId};
+use soda_simnet::{Context, Process, ProcessId, SimTime};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
+
+/// Phase of an in-flight repair (the reader automaton run by a replacement
+/// server).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RepairPhase {
+    /// Waiting for a majority of `read-get` responses from the survivors.
+    Get,
+    /// Registered with the survivors; accumulating coded elements.
+    Value,
+    /// Repair finished; the server is a full replica again.
+    Done,
+}
+
+/// Progress and cost accounting of a replacement server's repair.
+#[derive(Clone, Debug)]
+pub struct RepairStatus {
+    /// Current phase.
+    pub phase: RepairPhase,
+    /// When the repair started (the replacement's `on_start`).
+    pub started_at: SimTime,
+    /// When the repair finished, if it has.
+    pub completed_at: Option<SimTime>,
+    /// Bytes of coded-element data received for the repair — the repair
+    /// bandwidth. Bounded by `n · ⌈size/k⌉` plus relayed concurrent writes.
+    pub traffic_bytes: u64,
+    /// The tag whose value was decoded and re-encoded, once done.
+    pub repaired_tag: Option<Tag>,
+}
+
+/// Internal repair state machine of a replacement server.
+struct RepairState {
+    /// The repair's operation id (unique per incarnation via the epoch).
+    op: OpId,
+    phase: RepairPhase,
+    get_tracker: QuorumTracker<Tag>,
+    /// `t_r`: the tag selected after the get phase.
+    requested: Option<Tag>,
+    /// Elements accumulated, grouped by tag and keyed by sender rank.
+    collected: BTreeMap<Tag, BTreeMap<usize, CodedElement>>,
+    started_at: SimTime,
+    completed_at: Option<SimTime>,
+    traffic_bytes: u64,
+    repaired_tag: Option<Tag>,
+}
+
+impl RepairState {
+    fn status(&self) -> RepairStatus {
+        RepairStatus {
+            phase: self.phase,
+            started_at: self.started_at,
+            completed_at: self.completed_at,
+            traffic_bytes: self.traffic_bytes,
+            repaired_tag: self.repaired_tag,
+        }
+    }
+}
 
 /// A SODA / SODAerr server process.
 pub struct ServerProcess {
@@ -49,6 +135,9 @@ pub struct ServerProcess {
     /// that reader registration + relaying is what makes reads live under
     /// concurrent writes.
     relay_enabled: bool,
+    /// Repair state machine, present on replacement servers. Stays around
+    /// after completion (`RepairPhase::Done`) so metrics remain inspectable.
+    repair: Option<RepairState>,
 }
 
 impl ServerProcess {
@@ -71,6 +160,44 @@ impl ServerProcess {
             md_counter: 0,
             disk_fault: DiskFaultModel::None,
             relay_enabled: true,
+            repair: None,
+        }
+    }
+
+    /// Creates a **replacement** for a crashed server: same rank, empty state.
+    /// On start it runs the repair procedure (see the module docs) against the
+    /// survivors and only then behaves like a full replica. `epoch` counts the
+    /// incarnations of this rank (1 for the first replacement) and must be
+    /// distinct per incarnation: it namespaces the replacement's MD message
+    /// ids and its repair operation id away from anything the previous
+    /// incarnation sent, so survivors' deduplication tombstones cannot
+    /// swallow the new dispersals.
+    pub fn replacement(config: Arc<SodaConfig>, my_rank: usize, epoch: u64) -> Self {
+        let self_pid = config.layout().server(my_rank);
+        let majority = config.layout().majority();
+        ServerProcess {
+            config,
+            my_rank,
+            tag: Tag::INITIAL,
+            element: CodedElement::new(my_rank, Vec::new()),
+            registered: BTreeMap::new(),
+            history: BTreeSet::new(),
+            md_value: MdValueRelay::new(my_rank),
+            md_meta: MdMetaRelay::new(my_rank),
+            md_counter: epoch << 32,
+            disk_fault: DiskFaultModel::None,
+            relay_enabled: true,
+            repair: Some(RepairState {
+                op: OpId::new(self_pid, epoch),
+                phase: RepairPhase::Get,
+                get_tracker: QuorumTracker::new(majority),
+                requested: None,
+                collected: BTreeMap::new(),
+                started_at: SimTime::ZERO,
+                completed_at: None,
+                traffic_bytes: 0,
+                repaired_tag: None,
+            }),
         }
     }
 
@@ -99,6 +226,11 @@ impl ServerProcess {
         self.element.data.len()
     }
 
+    /// The locally stored coded element.
+    pub fn stored_element(&self) -> &CodedElement {
+        &self.element
+    }
+
     /// Number of currently registered readers (`|Rc|`).
     pub fn registered_readers(&self) -> usize {
         self.registered.len()
@@ -113,6 +245,19 @@ impl ServerProcess {
     /// relays (metadata only; see Theorem 3.2).
     pub fn md_tombstones(&self) -> usize {
         self.md_value.tombstones() + self.md_meta.tombstones()
+    }
+
+    /// Whether this server is a replacement whose repair has not finished.
+    /// While true the server answers no get queries and is still "dead" for
+    /// the purposes of the dynamic fault-tolerance budget.
+    pub fn is_repairing(&self) -> bool {
+        matches!(&self.repair, Some(r) if r.phase != RepairPhase::Done)
+    }
+
+    /// Repair progress and cost accounting, if this server is (or was) a
+    /// replacement.
+    pub fn repair_status(&self) -> Option<RepairStatus> {
+        self.repair.as_ref().map(RepairState::status)
     }
 
     fn server_pid(&self, rank: usize) -> ProcessId {
@@ -228,7 +373,10 @@ impl ServerProcess {
             return;
         }
         self.registered.insert(op, requested);
-        if self.tag >= requested {
+        // A replacement under repair has no valid element yet: register the
+        // reader (so concurrent writes are relayed to it) but defer serving
+        // the stored element until the repair completes.
+        if !self.is_repairing() && self.tag >= requested {
             let tag = self.tag;
             let element = self.local_disk_read();
             self.send_element_to_reader(op, tag, element, ctx);
@@ -252,16 +400,192 @@ impl ServerProcess {
         self.history.insert((tag, server_rank, op));
         self.maybe_unregister(tag, op);
     }
+
+    /// Kicks off the repair read: query every survivor for its stored tag.
+    fn begin_repair(&mut self, ctx: &mut Context<'_, SodaMsg>) {
+        let op = {
+            let Some(repair) = self.repair.as_mut() else {
+                return;
+            };
+            if repair.phase != RepairPhase::Get {
+                return;
+            }
+            repair.started_at = ctx.now();
+            repair.op
+        };
+        for rank in 0..self.config.n() {
+            if rank != self.my_rank {
+                ctx.send(self.server_pid(rank), SodaMsg::ReadGet { op });
+            }
+        }
+    }
+
+    /// Handles a `read-get` response during repair: once a majority answered,
+    /// register with the survivors under the highest tag seen.
+    fn on_repair_get_resp(
+        &mut self,
+        from: ProcessId,
+        op: OpId,
+        tag: Tag,
+        ctx: &mut Context<'_, SodaMsg>,
+    ) {
+        let tr = {
+            let Some(repair) = self.repair.as_mut() else {
+                return;
+            };
+            if repair.phase != RepairPhase::Get || repair.op != op {
+                return;
+            }
+            repair.get_tracker.record(from, tag);
+            if !repair.get_tracker.is_complete() {
+                return;
+            }
+            let tr = repair
+                .get_tracker
+                .max_response()
+                .copied()
+                .unwrap_or(Tag::INITIAL);
+            repair.requested = Some(tr);
+            repair.phase = RepairPhase::Value;
+            tr
+        };
+        let mid = self.next_mid();
+        let payload = MetaPayload::ReadValue { op, tag: tr };
+        for dispatch in md_meta_send(self.config.layout(), mid, payload) {
+            let dest = self.server_pid(dispatch.to_rank);
+            ctx.send(dest, SodaMsg::MdMeta(dispatch.msg));
+        }
+    }
+
+    /// Handles a coded element sent to the repairing server (a survivor's
+    /// stored element or the relay of a concurrent write).
+    fn on_repair_element(
+        &mut self,
+        op: OpId,
+        tag: Tag,
+        element: CodedElement,
+        ctx: &mut Context<'_, SodaMsg>,
+    ) {
+        {
+            let Some(repair) = self.repair.as_mut() else {
+                return;
+            };
+            if repair.phase != RepairPhase::Value || repair.op != op {
+                return;
+            }
+            repair.traffic_bytes += element.data.len() as u64;
+            let tr = repair.requested.unwrap_or(Tag::INITIAL);
+            if tag < tr {
+                return;
+            }
+            repair
+                .collected
+                .entry(tag)
+                .or_default()
+                .insert(element.index, element);
+        }
+        self.try_finish_repair(ctx);
+    }
+
+    /// Decodes once enough elements of one tag are collected, re-encodes this
+    /// rank's element, adopts the pair, and flushes deferred reader service.
+    fn try_finish_repair(&mut self, ctx: &mut Context<'_, SodaMsg>) {
+        let threshold = self.config.read_threshold();
+        let candidate = {
+            let Some(repair) = self.repair.as_ref() else {
+                return;
+            };
+            repair
+                .collected
+                .iter()
+                .rev()
+                .find(|(_, elems)| elems.len() >= threshold)
+                .map(|(tag, elems)| (*tag, elems.values().cloned().collect::<Vec<_>>()))
+        };
+        let Some((tag, elements)) = candidate else {
+            return;
+        };
+        let value = match self.config.decode(&elements) {
+            Ok(value) => value,
+            // Over-budget corruption (SODAerr): keep collecting, relays of
+            // concurrent writes may still complete the repair.
+            Err(_) => return,
+        };
+        let my_element = self
+            .config
+            .code()
+            .encode_one(&value, self.my_rank)
+            .expect("rank is within 0..n by construction");
+        // Adopt monotonically: a concurrent write may already have installed
+        // a newer pair via md-value-deliver while the repair was in flight.
+        if tag >= self.tag {
+            self.tag = tag;
+            self.element = my_element;
+        }
+        let (op, tr) = {
+            let repair = self.repair.as_mut().expect("checked above");
+            repair.phase = RepairPhase::Done;
+            repair.completed_at = Some(ctx.now());
+            repair.repaired_tag = Some(tag);
+            repair.collected.clear();
+            (repair.op, repair.requested.unwrap_or(Tag::INITIAL))
+        };
+        // read-complete: let the survivors unregister the repair.
+        let mid = self.next_mid();
+        let payload = MetaPayload::ReadComplete { op, tag: tr };
+        for dispatch in md_meta_send(self.config.layout(), mid, payload) {
+            let dest = self.server_pid(dispatch.to_rank);
+            ctx.send(dest, SodaMsg::MdMeta(dispatch.msg));
+        }
+        // Serve the readers that registered while the repair was in flight
+        // and were deferred (skipping the repair's own self-registration,
+        // which the READ-COMPLETE above cleans up).
+        let interested: Vec<OpId> = self
+            .registered
+            .iter()
+            .filter(|&(&o, &treq)| o != op && self.tag >= treq)
+            .map(|(&o, _)| o)
+            .collect();
+        for reader_op in interested {
+            let tag = self.tag;
+            let element = self.local_disk_read();
+            self.send_element_to_reader(reader_op, tag, element, ctx);
+        }
+    }
 }
 
 impl Process<SodaMsg> for ServerProcess {
+    fn on_start(&mut self, ctx: &mut Context<'_, SodaMsg>) {
+        if self.is_repairing() {
+            self.begin_repair(ctx);
+        }
+    }
+
     fn on_message(&mut self, from: ProcessId, msg: SodaMsg, ctx: &mut Context<'_, SodaMsg>) {
         match msg {
+            // A replacement under repair stays silent on tag queries: its
+            // `Tag::INITIAL` could lower a writer's (or reader's) majority
+            // max below a completed write's tag and break real-time order.
+            // With at most `f` dead-or-repairing servers, `n − f` full
+            // replicas still answer, which meets both the majority and the
+            // `k + 2e` read threshold.
             SodaMsg::WriteGet { op } => {
+                if self.is_repairing() {
+                    return;
+                }
                 ctx.send(from, SodaMsg::WriteGetResp { op, tag: self.tag });
             }
             SodaMsg::ReadGet { op } => {
+                if self.is_repairing() {
+                    return;
+                }
                 ctx.send(from, SodaMsg::ReadGetResp { op, tag: self.tag });
+            }
+            SodaMsg::ReadGetResp { op, tag } => {
+                self.on_repair_get_resp(from, op, tag, ctx);
+            }
+            SodaMsg::CodedToReader { op, tag, element } => {
+                self.on_repair_element(op, tag, element, ctx);
             }
             SodaMsg::MdValue(md_msg) => {
                 let action = match md_msg {
@@ -790,5 +1114,232 @@ mod tests {
             SodaMsg::InvokeWrite(value_from(vec![1])),
         );
         assert!(r.sends.is_empty());
+    }
+
+    /// Drives a replacement through its full repair exchange by hand:
+    /// start → read-get responses → coded elements → done.
+    fn run_repair(
+        cfg: &Arc<SodaConfig>,
+        s: &mut ServerProcess,
+        epoch: u64,
+        tag: Tag,
+        value: &[u8],
+    ) -> Vec<(ProcessId, SodaMsg)> {
+        let self_pid = ProcessId(0);
+        let op = OpId::new(self_pid, epoch);
+        let r = soda_simnet::testkit::start(s, self_pid, t(1));
+        let get_count = r
+            .sends
+            .iter()
+            .filter(|(_, m)| matches!(m, SodaMsg::ReadGet { op: o } if *o == op))
+            .count();
+        assert_eq!(get_count, cfg.n() - 1, "queries every survivor");
+        // Survivors report their stored tag; majority completes the get phase.
+        let mut registration = Vec::new();
+        for rank in 1..=cfg.layout().majority() {
+            let r = deliver(
+                s,
+                self_pid,
+                t(2),
+                ProcessId(rank as u32),
+                SodaMsg::ReadGetResp { op, tag },
+            );
+            registration.extend(r.sends);
+        }
+        assert!(registration.iter().any(|(_, m)| matches!(
+            m,
+            SodaMsg::MdMeta(meta) if matches!(meta.payload, MetaPayload::ReadValue { op: o, tag: tr } if o == op && tr == tag)
+        )), "registers with survivors under the majority max tag");
+        // Survivors send their stored coded elements. `rank` doubles as the
+        // sender's process id and its element index under the code's layout.
+        let elements = cfg.code().encode(value).unwrap();
+        let mut finish = Vec::new();
+        #[allow(clippy::needless_range_loop)]
+        for rank in 1..=cfg.read_threshold() {
+            let r = deliver(
+                s,
+                self_pid,
+                t(3),
+                ProcessId(rank as u32),
+                SodaMsg::CodedToReader {
+                    op,
+                    tag,
+                    element: elements[rank].clone(),
+                },
+            );
+            finish.extend(r.sends);
+        }
+        finish
+    }
+
+    #[test]
+    fn replacement_repairs_by_reencoding_from_survivors() {
+        let cfg = config(5, 2);
+        let mut s = ServerProcess::replacement(cfg.clone(), 0, 1);
+        assert!(s.is_repairing());
+        assert_eq!(s.stored_tag(), Tag::INITIAL);
+
+        let tw = Tag::new(7, WRITER);
+        let value = b"repaired value".to_vec();
+        let finish = run_repair(&cfg, &mut s, 1, tw, &value);
+
+        assert!(!s.is_repairing());
+        assert_eq!(s.stored_tag(), tw);
+        let expected = cfg.code().encode_one(&value, 0).unwrap();
+        assert_eq!(s.stored_element().data, expected.data);
+        // read-complete lets the survivors unregister the repair op.
+        assert!(finish.iter().any(|(_, m)| matches!(
+            m,
+            SodaMsg::MdMeta(meta) if matches!(meta.payload, MetaPayload::ReadComplete { .. })
+        )));
+        let status = s.repair_status().unwrap();
+        assert_eq!(status.phase, RepairPhase::Done);
+        assert_eq!(status.repaired_tag, Some(tw));
+        assert!(status.completed_at.is_some());
+        let element_len = expected.data.len() as u64;
+        assert_eq!(
+            status.traffic_bytes,
+            element_len * cfg.read_threshold() as u64,
+            "repair bandwidth is read_threshold coded elements"
+        );
+    }
+
+    #[test]
+    fn under_repair_server_is_silent_on_gets_and_defers_readers() {
+        let cfg = config(5, 2);
+        let mut s = ServerProcess::replacement(cfg.clone(), 0, 1);
+
+        // Tag queries get no answer: INITIAL would poison majority maxima.
+        let wop = OpId::new(WRITER, 1);
+        let r = deliver(
+            &mut s,
+            ProcessId(0),
+            t(1),
+            WRITER,
+            SodaMsg::WriteGet { op: wop },
+        );
+        assert!(r.sends.is_empty());
+        let rop = OpId::new(READER, 1);
+        let r = deliver(
+            &mut s,
+            ProcessId(0),
+            t(1),
+            READER,
+            SodaMsg::ReadGet { op: rop },
+        );
+        assert!(r.sends.is_empty());
+
+        // A reader registering during the repair is recorded but not served.
+        let tw = Tag::new(3, WRITER);
+        let r = deliver(
+            &mut s,
+            ProcessId(0),
+            t(1),
+            READER,
+            read_value_msg(rop, Tag::INITIAL, 1),
+        );
+        assert!(
+            !r.sends
+                .iter()
+                .any(|(_, m)| matches!(m, SodaMsg::CodedToReader { .. })),
+            "no element served while the stored element is garbage"
+        );
+        assert_eq!(s.registered_readers(), 1);
+
+        // Once the repair completes the deferred reader is served.
+        let finish = run_repair(&cfg, &mut s, 1, tw, b"deferred");
+        let served = finish
+            .iter()
+            .find_map(|(to, m)| match m {
+                SodaMsg::CodedToReader { op, tag, element } if *to == READER => {
+                    Some((*op, *tag, element.clone()))
+                }
+                _ => None,
+            })
+            .expect("deferred reader served after repair");
+        assert_eq!(served.0, rop);
+        assert_eq!(served.1, tw);
+        assert_eq!(
+            served.2.data,
+            cfg.code().encode_one(b"deferred", 0).unwrap().data
+        );
+
+        // After repair the server answers tag queries again.
+        let r = deliver(
+            &mut s,
+            ProcessId(0),
+            t(9),
+            WRITER,
+            SodaMsg::WriteGet { op: wop },
+        );
+        assert!(matches!(r.sends[0].1, SodaMsg::WriteGetResp { tag, .. } if tag == tw));
+    }
+
+    #[test]
+    fn repair_adoption_is_monotone_under_concurrent_writes() {
+        let cfg = config(5, 2);
+        let mut s = ServerProcess::replacement(cfg.clone(), 0, 1);
+
+        // A concurrent write's md-value delivery lands mid-repair and is
+        // stored (the relay/gossip path still reaches the replacement).
+        let newer = Tag::new(9, WRITER);
+        let r = deliver(
+            &mut s,
+            ProcessId(0),
+            t(1),
+            WRITER,
+            full_msg(&cfg, newer, b"newer", 1),
+        );
+        assert!(r
+            .sends
+            .iter()
+            .any(|(to, m)| *to == WRITER && matches!(m, SodaMsg::WriteAck { .. })));
+        assert_eq!(s.stored_tag(), newer);
+        assert!(
+            s.is_repairing(),
+            "md-value delivery does not end the repair"
+        );
+
+        // The repair then decodes an older tag; adoption must not go back.
+        let older = Tag::new(4, WRITER);
+        run_repair(&cfg, &mut s, 1, older, b"older value");
+        assert!(!s.is_repairing());
+        assert_eq!(s.stored_tag(), newer, "adoption is monotone");
+    }
+
+    #[test]
+    fn replacement_epoch_namespaces_message_ids() {
+        let cfg = config(5, 2);
+        let epoch = 3u64;
+        let mut s = ServerProcess::replacement(cfg.clone(), 0, epoch);
+        let self_pid = ProcessId(0);
+        let op = OpId::new(self_pid, epoch);
+        soda_simnet::testkit::start(&mut s, self_pid, t(1));
+        let mut sends = Vec::new();
+        for rank in 1..=cfg.layout().majority() {
+            let r = deliver(
+                &mut s,
+                self_pid,
+                t(2),
+                ProcessId(rank as u32),
+                SodaMsg::ReadGetResp {
+                    op,
+                    tag: Tag::INITIAL,
+                },
+            );
+            sends.extend(r.sends);
+        }
+        let mid = sends
+            .iter()
+            .find_map(|(_, m)| match m {
+                SodaMsg::MdMeta(meta) => Some(meta.mid),
+                _ => None,
+            })
+            .expect("repair registration dispersed");
+        assert_eq!(
+            mid.counter >> 32,
+            epoch,
+            "message ids of incarnation {epoch} cannot collide with tombstones of earlier ones"
+        );
     }
 }

@@ -43,9 +43,27 @@ pub struct ShardSpec {
     pub net_faults: NetFaultPlan,
     /// Byzantine (element-corrupting) server ranks (SODA family only).
     pub byzantine_servers: Vec<usize>,
+    /// **Test-only.** Sub-majority quorum override for ABD shards (rejected
+    /// at `build` for every other kind) — deliberately breaks atomicity so
+    /// the store-level exploration harness and its shrinker can be validated
+    /// against a known-broken protocol.
+    pub unsound_quorum: Option<usize>,
 }
 
 impl ShardSpec {
+    /// How many of the shard's servers may be simultaneously dead or under
+    /// repair without wedging the shard: the declared crash tolerance `f`.
+    ///
+    /// This is the *dynamic* budget — repairing a server returns it to the
+    /// budget once the repair completes, so a long-lived shard can survive
+    /// far more than `f` crashes in total. For SODAerr the corruption budget
+    /// `e` is already priced into the code dimension (`k = n − f − 2e`), so
+    /// its crash budget is still `f`: reads need `k + 2e = n − f` responders,
+    /// and corrupting servers keep responding.
+    pub fn crash_budget(&self) -> usize {
+        self.f
+    }
+
     /// The representative [`ClusterBuilder`] for this spec (used both for
     /// validation and for building each key's cluster).
     pub(crate) fn cluster_builder(&self, seed: u64) -> ClusterBuilder {
@@ -56,6 +74,9 @@ impl ShardSpec {
             .with_net_faults(self.net_faults.clone());
         if !self.byzantine_servers.is_empty() {
             builder = builder.with_byzantine_servers(self.byzantine_servers.clone());
+        }
+        if let Some(quorum) = self.unsound_quorum {
+            builder = builder.with_unsound_quorum(quorum);
         }
         builder
     }
@@ -167,6 +188,7 @@ impl StoreBuilder {
             network: NetworkConfig::uniform(10),
             net_faults: NetFaultPlan::none(),
             byzantine_servers: Vec::new(),
+            unsound_quorum: None,
         };
         StoreBuilder {
             specs: vec![spec; shards],
@@ -265,6 +287,16 @@ impl StoreBuilder {
             None => self
                 .errors
                 .push(StoreBuildErrorKind::ShardOutOfRange { shard }),
+        }
+        self
+    }
+
+    /// **Test-only.** Overrides the ABD quorum size on every shard, below
+    /// majority if asked (see [`ShardSpec::unsound_quorum`]). Rejected at
+    /// `build` unless every shard runs ABD.
+    pub fn with_unsound_quorum(mut self, quorum: usize) -> Self {
+        for spec in &mut self.specs {
+            spec.unsound_quorum = Some(quorum);
         }
         self
     }

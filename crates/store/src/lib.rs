@@ -77,4 +77,4 @@ mod store;
 pub use builder::{ShardSpec, StoreBuildError, StoreBuilder, StoreRuntime};
 pub use map::ShardMap;
 pub use metrics::{LatencyHistogram, ShardMetrics, StoreMetrics, StoreTotals};
-pub use store::{OpOutcome, ShardedStore, StoreRunOutcome, Ticket, TicketStatus};
+pub use store::{OpOutcome, ShardedStore, StoreError, StoreRunOutcome, Ticket, TicketStatus};

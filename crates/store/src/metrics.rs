@@ -117,6 +117,17 @@ pub struct ShardMetrics {
     pub put_latency: LatencyHistogram,
     /// Get latency histogram (simulated ticks).
     pub get_latency: LatencyHistogram,
+    /// Server repairs completed across the shard's clusters (replacement
+    /// servers whose state re-acquisition from survivors finished).
+    pub repairs_completed: u64,
+    /// Repair bandwidth: bytes of value / coded-element data received by
+    /// replacement servers while repairing. For SODA this is bounded by
+    /// `(k + 2e) · ⌈size/k⌉` per repaired server per cluster — the
+    /// erasure-coding advantage over full-replica transfer.
+    pub repair_traffic_bytes: u64,
+    /// Repair latency histogram (simulated ticks from repair start to
+    /// completion).
+    pub repair_latency: LatencyHistogram,
 }
 
 /// Aggregate totals across all shards.
@@ -142,6 +153,12 @@ pub struct StoreTotals {
     pub put_latency: LatencyHistogram,
     /// Merged get latency histogram.
     pub get_latency: LatencyHistogram,
+    /// Server repairs completed store-wide.
+    pub repairs_completed: u64,
+    /// Repair bandwidth store-wide.
+    pub repair_traffic_bytes: u64,
+    /// Merged repair latency histogram.
+    pub repair_latency: LatencyHistogram,
 }
 
 impl StoreTotals {
@@ -158,6 +175,9 @@ impl StoreTotals {
             totals.stored_bytes += m.stored_bytes;
             totals.put_latency.merge(&m.put_latency);
             totals.get_latency.merge(&m.get_latency);
+            totals.repairs_completed += m.repairs_completed;
+            totals.repair_traffic_bytes += m.repair_traffic_bytes;
+            totals.repair_latency.merge(&m.repair_latency);
         }
         totals
     }
@@ -229,6 +249,9 @@ mod tests {
             stored_bytes: 50,
             put_latency: LatencyHistogram::default(),
             get_latency: LatencyHistogram::default(),
+            repairs_completed: 1,
+            repair_traffic_bytes: 30,
+            repair_latency: LatencyHistogram::default(),
         };
         let totals = StoreTotals::from_shards(&[shard(0, 3), shard(1, 4)]);
         assert_eq!(totals.keys, 4);
@@ -236,5 +259,7 @@ mod tests {
         assert_eq!(totals.completed_ops(), 9);
         assert_eq!(totals.messages_sent, 20);
         assert_eq!(totals.stored_bytes, 100);
+        assert_eq!(totals.repairs_completed, 2);
+        assert_eq!(totals.repair_traffic_bytes, 60);
     }
 }

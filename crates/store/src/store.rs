@@ -6,7 +6,85 @@ use crate::metrics::{LatencyHistogram, ShardMetrics, StoreMetrics, StoreTotals};
 use soda_consistency::{KeyViolation, KeyedHistory, KeyedOp};
 use soda_registry::{OpKind, RegisterCluster};
 use soda_simnet::SimTime;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// Why the store refused a runtime fault-injection request.
+///
+/// Unlike [`StoreBuildError`](crate::StoreBuildError) (construction-time
+/// parameter validation), these arise while a built store is being driven —
+/// most importantly when a crash request would push a shard past its declared
+/// fault tolerance and silently wedge every operation routed to it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// The named shard does not exist.
+    ShardOutOfRange {
+        /// The offending shard index.
+        shard: usize,
+        /// Number of shards in the store.
+        shards: usize,
+    },
+    /// The named server rank does not exist in the shard's clusters.
+    RankOutOfRange {
+        /// The shard addressed.
+        shard: usize,
+        /// The offending rank.
+        rank: usize,
+        /// Servers per cluster on that shard.
+        n: usize,
+    },
+    /// Applying the crash would leave more than `f` servers simultaneously
+    /// dead or under repair, so the shard would lose its quorums and wedge
+    /// with pending operations. The budget is *dynamic*: repaired servers
+    /// return to it, so the bound is on currently-dead servers, not crashes
+    /// in total.
+    ExceedsCrashBudget {
+        /// The shard addressed.
+        shard: usize,
+        /// Servers that would be dead or repairing after the request.
+        requested: usize,
+        /// The shard's crash budget ([`ShardSpec::crash_budget`](crate::ShardSpec::crash_budget)).
+        tolerated: usize,
+    },
+    /// Repair was requested for a server that is not currently down.
+    ServerNotDown {
+        /// The shard addressed.
+        shard: usize,
+        /// The rank that is already healthy (or already repairing).
+        rank: usize,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::ShardOutOfRange { shard, shards } => {
+                write!(out, "shard {shard} out of range for {shards} shards")
+            }
+            StoreError::RankOutOfRange { shard, rank, n } => {
+                write!(
+                    out,
+                    "shard {shard}: server rank {rank} out of range for n = {n}"
+                )
+            }
+            StoreError::ExceedsCrashBudget {
+                shard,
+                requested,
+                tolerated,
+            } => write!(
+                out,
+                "shard {shard}: {requested} servers would be dead or repairing, \
+                 exceeding the crash budget f = {tolerated} (the shard would wedge)"
+            ),
+            StoreError::ServerNotDown { shard, rank } => write!(
+                out,
+                "shard {shard}: server rank {rank} is not down (nothing to repair)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
 
 /// Handle for one asynchronously-invoked store operation. Obtained from
 /// [`ShardedStore::put`] / [`ShardedStore::get`] (and their batched
@@ -163,9 +241,12 @@ struct Shard {
     spec: ShardSpec,
     clusters: Vec<KeyCluster>,
     key_index: HashMap<Vec<u8>, usize>,
-    /// Server ranks `0..downed_servers` are crashed in every cluster of the
-    /// shard, existing and future.
-    downed_servers: usize,
+    /// Ranks currently crashed in every cluster of the shard, existing and
+    /// future.
+    downed: BTreeSet<usize>,
+    /// Ranks whose repair has been scheduled but not yet observed complete in
+    /// every existing cluster. They still count against the crash budget.
+    repairing: BTreeSet<usize>,
 }
 
 impl Shard {
@@ -182,7 +263,10 @@ impl Shard {
             .cluster_builder(seed)
             .build()
             .expect("spec was validated at store build time");
-        for rank in 0..self.downed_servers.min(self.spec.n) {
+        // A fresh cluster starts with all servers alive; only the ranks that
+        // are *currently* down get crashed. Ranks mid-repair elsewhere were
+        // never crashed here, so they simply stay healthy.
+        for &rank in &self.downed {
             cluster.crash_server_at(cluster.now(), rank);
         }
         let descriptor = *cluster.descriptor();
@@ -253,7 +337,8 @@ impl ShardedStore {
                 spec,
                 clusters: Vec::new(),
                 key_index: HashMap::new(),
-                downed_servers: 0,
+                downed: BTreeSet::new(),
+                repairing: BTreeSet::new(),
             })
             .collect();
         ShardedStore {
@@ -417,6 +502,17 @@ impl ShardedStore {
             for kc in &mut shard.clusters {
                 kc.harvest(index, &mut self.outcomes);
             }
+            // Settle repairs: once every cluster reports exactly the
+            // still-crashed ranks as dead-or-repairing, the scheduled repairs
+            // have completed and those ranks return to the crash budget.
+            if !shard.repairing.is_empty()
+                && shard
+                    .clusters
+                    .iter()
+                    .all(|kc| kc.cluster.dead_or_repairing() == shard.downed.len())
+            {
+                shard.repairing.clear();
+            }
         }
         StoreRunOutcome {
             completed_tickets: self.outcomes.len(),
@@ -426,21 +522,140 @@ impl ShardedStore {
     }
 
     /// Crashes server ranks `0..count` in every cluster of `shard`, existing
-    /// and future. With `count > f` the shard loses its majorities: its
-    /// operations stop completing (they stay pending), while other shards are
-    /// unaffected.
+    /// and future, after validating the shard's **dynamic** fault-tolerance
+    /// invariant: at most [`ShardSpec::crash_budget`](crate::ShardSpec::crash_budget)
+    /// (`= f`) servers simultaneously dead or under repair. A request that
+    /// would exceed the budget is refused with
+    /// [`StoreError::ExceedsCrashBudget`] and changes nothing — previously
+    /// such a request silently wedged the shard with pending operations.
+    pub fn crash_shard_servers(&mut self, shard: usize, count: usize) -> Result<(), StoreError> {
+        self.crash_shard_ranks(shard, 0..count)
+    }
+
+    /// Crashes one specific server rank in every cluster of `shard`, existing
+    /// and future, under the same validation as
+    /// [`Self::crash_shard_servers`].
+    pub fn crash_shard_server(&mut self, shard: usize, rank: usize) -> Result<(), StoreError> {
+        self.crash_shard_ranks(shard, std::iter::once(rank))
+    }
+
+    fn crash_shard_ranks(
+        &mut self,
+        shard: usize,
+        ranks: impl IntoIterator<Item = usize>,
+    ) -> Result<(), StoreError> {
+        let shards = self.shards.len();
+        let s = self
+            .shards
+            .get_mut(shard)
+            .ok_or(StoreError::ShardOutOfRange { shard, shards })?;
+        let ranks: BTreeSet<usize> = ranks.into_iter().collect();
+        if let Some(&rank) = ranks.iter().find(|&&r| r >= s.spec.n) {
+            return Err(StoreError::RankOutOfRange {
+                shard,
+                rank,
+                n: s.spec.n,
+            });
+        }
+        let mut down_after: BTreeSet<usize> = s.downed.union(&s.repairing).copied().collect();
+        down_after.extend(ranks.iter().copied());
+        let tolerated = s.spec.crash_budget();
+        if down_after.len() > tolerated {
+            return Err(StoreError::ExceedsCrashBudget {
+                shard,
+                requested: down_after.len(),
+                tolerated,
+            });
+        }
+        for rank in ranks {
+            if s.downed.insert(rank) {
+                // Crashing a server that was mid-repair kills its replacement;
+                // either way the rank is now plain dead.
+                s.repairing.remove(&rank);
+                for kc in &mut s.clusters {
+                    kc.cluster.crash_server_at(kc.cluster.now(), rank);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Crashes server ranks `0..count` in every cluster of `shard` **without**
+    /// the fault-tolerance validation of [`Self::crash_shard_servers`]. With
+    /// `count > f` the shard loses its quorums: its operations stop
+    /// completing (they stay pending), while other shards are unaffected.
+    /// This is the adversarial entry point for tests that deliberately kill a
+    /// shard.
     ///
     /// # Panics
     /// Panics if `shard` is out of range.
-    pub fn crash_shard_servers(&mut self, shard: usize, count: usize) {
+    pub fn crash_shard_servers_unchecked(&mut self, shard: usize, count: usize) {
         assert!(shard < self.shards.len(), "shard {shard} out of range");
-        let shard = &mut self.shards[shard];
-        shard.downed_servers = shard.downed_servers.max(count.min(shard.spec.n));
-        for kc in &mut shard.clusters {
-            for rank in 0..shard.downed_servers {
-                kc.cluster.crash_server_at(kc.cluster.now(), rank);
+        let s = &mut self.shards[shard];
+        for rank in 0..count.min(s.spec.n) {
+            if s.downed.insert(rank) {
+                s.repairing.remove(&rank);
+                for kc in &mut s.clusters {
+                    kc.cluster.crash_server_at(kc.cluster.now(), rank);
+                }
             }
         }
+    }
+
+    /// Schedules the **repair** of a downed server rank in every existing
+    /// cluster of `shard`: a fresh replacement with empty state takes over
+    /// the rank and re-acquires its state from survivors (re-encoding fetched
+    /// coded elements on SODA/SODAerr shards, adopting the majority maximum
+    /// on ABD shards, full-replica state transfer on CAS/CASGC shards — see
+    /// [`soda_registry::RegisterCluster::repair_server_at`]).
+    ///
+    /// The rank keeps counting against the crash budget until the next
+    /// [`Self::run_until_quiescent`] observes every cluster's repair
+    /// complete; after that the budget is free again, so a *different* rank
+    /// can be crashed — the dynamic invariant the static `downed_servers`
+    /// watermark could not express. Clusters created for new keys after the
+    /// repair start healthy at this rank.
+    pub fn repair_shard_server(&mut self, shard: usize, rank: usize) -> Result<(), StoreError> {
+        let shards = self.shards.len();
+        let s = self
+            .shards
+            .get_mut(shard)
+            .ok_or(StoreError::ShardOutOfRange { shard, shards })?;
+        if rank >= s.spec.n {
+            return Err(StoreError::RankOutOfRange {
+                shard,
+                rank,
+                n: s.spec.n,
+            });
+        }
+        if !s.downed.remove(&rank) {
+            return Err(StoreError::ServerNotDown { shard, rank });
+        }
+        s.repairing.insert(rank);
+        for kc in &mut s.clusters {
+            kc.cluster.repair_server_at(kc.cluster.now(), rank);
+        }
+        Ok(())
+    }
+
+    /// The ranks currently crashed on `shard` (repaired ranks have left the
+    /// set).
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    pub fn shard_downed_servers(&self, shard: usize) -> Vec<usize> {
+        self.shards[shard].downed.iter().copied().collect()
+    }
+
+    /// Servers on `shard` currently dead or still under repair — the quantity
+    /// the dynamic fault-tolerance invariant bounds by the shard's crash
+    /// budget.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    pub fn shard_dead_or_repairing(&self, shard: usize) -> usize {
+        let s = &self.shards[shard];
+        s.downed.len() + s.repairing.len()
     }
 
     /// The store-wide operation history, labeled by key, with every cluster's
@@ -491,6 +706,9 @@ impl ShardedStore {
                 stored_bytes: 0,
                 put_latency: LatencyHistogram::default(),
                 get_latency: LatencyHistogram::default(),
+                repairs_completed: 0,
+                repair_traffic_bytes: 0,
+                repair_latency: LatencyHistogram::default(),
             };
             for kc in &shard.clusters {
                 let stats = kc.cluster.stats();
@@ -499,6 +717,13 @@ impl ShardedStore {
                 m.data_bytes_sent += stats.data_bytes_sent;
                 m.stored_bytes += kc.cluster.total_stored_bytes();
                 m.pending_tickets += (kc.issued() - kc.settled()) as u64;
+                for report in kc.cluster.repair_reports() {
+                    m.repair_traffic_bytes += report.traffic_bytes;
+                    if let Some(latency) = report.latency() {
+                        m.repairs_completed += 1;
+                        m.repair_latency.record(latency);
+                    }
+                }
                 for op in kc.cluster.completed_ops() {
                     match op.kind {
                         OpKind::Write => {

@@ -4,7 +4,7 @@
 
 use soda_registry::ProtocolKind;
 use soda_simnet::{DelayModel, LinkFaults, NetFaultPlan};
-use soda_store::{ShardedStore, StoreBuilder, StoreRuntime, TicketStatus};
+use soda_store::{ShardedStore, StoreBuilder, StoreError, StoreRuntime, TicketStatus};
 
 fn adversary() -> NetFaultPlan {
     NetFaultPlan::none().with_default(LinkFaults {
@@ -113,8 +113,21 @@ fn a_crashed_shard_does_not_block_the_others() {
         .clone();
 
     // Kill the victim's shard beyond its fault tolerance (f = 2, so three
-    // crashed servers leave no majority).
-    store.crash_shard_servers(dead_shard, 3);
+    // crashed servers leave no majority). The checked API refuses …
+    let err = store.crash_shard_servers(dead_shard, 3).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            StoreError::ExceedsCrashBudget {
+                requested: 3,
+                tolerated: 2,
+                ..
+            }
+        ),
+        "{err}"
+    );
+    // … so wedging the shard takes the explicitly-adversarial entry point.
+    store.crash_shard_servers_unchecked(dead_shard, 3);
 
     let doomed_put = store.put(victim.clone(), b"lost".to_vec());
     let doomed_get = store.get(victim);

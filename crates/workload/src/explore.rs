@@ -99,8 +99,17 @@ pub struct ExploreConfig {
     pub horizon: u64,
     /// Size of every written value in bytes.
     pub value_size: usize,
-    /// Up to this many servers crash per scenario (clamped to `f`).
+    /// Up to this many servers crash per scenario (clamped to `f`). Bounds
+    /// the servers *concurrently* dead, not total crashes: repaired ranks
+    /// free their budget slot, and the generator may spend it on a further
+    /// crash (see [`ExploreConfig::repair_p`]).
     pub max_server_crashes: usize,
+    /// Probability that each crashed server is later **repaired** — replaced
+    /// by a fresh, empty server that re-acquires its state from survivors.
+    /// Each repair may be followed by a crash of a *different* rank, so
+    /// scenarios exercise crash → repair → crash interleavings that exceed
+    /// `f` crashes in total while staying within `f` at any instant.
+    pub repair_p: f64,
     /// Probability that each individual client is crashed mid-scenario.
     pub client_crash_p: f64,
     /// Network-fault intensity bounds.
@@ -130,6 +139,7 @@ impl ExploreConfig {
             horizon: 250,
             value_size: 48,
             max_server_crashes: f,
+            repair_p: 0.5,
             client_crash_p: 0.2,
             knobs: AdversaryKnobs::standard(),
             corruption: true,
@@ -163,8 +173,15 @@ pub struct Scenario {
     pub seed: u64,
     /// Planned operations.
     pub ops: Vec<PlannedOp>,
-    /// `(rank, at)` server crashes.
+    /// `(rank, at)` server crashes. May exceed `f` entries in total when
+    /// repairs interleave; `run_scenario` applies them **dynamically**,
+    /// skipping any crash that would push the *currently*-dead-or-repairing
+    /// count past `f`.
     pub server_crashes: Vec<(usize, u64)>,
+    /// `(rank, at)` server repairs: at `at`, a fresh replacement takes over
+    /// the rank and re-acquires its state from survivors. Repairs of ranks
+    /// that are not down at `at` are skipped.
+    pub server_repairs: Vec<(usize, u64)>,
     /// `(writer handle, at)` client crashes.
     pub writer_crashes: Vec<(usize, u64)>,
     /// `(reader handle, at)` client crashes.
@@ -221,6 +238,9 @@ impl fmt::Display for Scenario {
         }
         for &(rank, at) in &self.server_crashes {
             writeln!(out, "  t={at:>4} crash server {rank}")?;
+        }
+        for &(rank, at) in &self.server_repairs {
+            writeln!(out, "  t={at:>4} repair server {rank}")?;
         }
         for &(w, at) in &self.writer_crashes {
             writeln!(out, "  t={at:>4} crash writer[{w}]")?;
@@ -313,20 +333,45 @@ pub fn generate_scenario(cfg: &ExploreConfig, seed: u64) -> Scenario {
         }
         _ => Vec::new(),
     };
+    let drop_p = unit(&mut rng) * knobs.drop_p_max;
+    let duplicate_p = unit(&mut rng) * knobs.duplicate_p_max;
+    let extra_delay = if knobs.extra_delay_max > 0 {
+        rng.gen_range(0..=knobs.extra_delay_max)
+    } else {
+        0
+    };
+    let reorder_p = unit(&mut rng) * knobs.reorder_p_max;
+    // Crash → repair → crash interleavings (drawn last so the draw order of
+    // everything above is unchanged across seeds): each crashed rank may be
+    // repaired, and a completed repair frees a budget slot the adversary may
+    // immediately spend on a *different* rank.
+    let mut server_repairs = Vec::new();
+    let mut follow_up_crashes = Vec::new();
+    for &(rank, at) in &server_crashes {
+        if unit(&mut rng) < cfg.repair_p {
+            let repair_at = at + 1 + rng.gen_range(0..=cfg.horizon);
+            server_repairs.push((rank, repair_at));
+            if !ranks.is_empty() && unit(&mut rng) < 0.5 {
+                let pick = rng.gen_range(0..ranks.len());
+                follow_up_crashes.push((
+                    ranks.swap_remove(pick),
+                    repair_at + 1 + rng.gen_range(0..=cfg.horizon),
+                ));
+            }
+        }
+    }
+    server_crashes.extend(follow_up_crashes);
     Scenario {
         seed,
         ops,
         server_crashes,
+        server_repairs,
         writer_crashes,
         reader_crashes,
-        drop_p: unit(&mut rng) * knobs.drop_p_max,
-        duplicate_p: unit(&mut rng) * knobs.duplicate_p_max,
-        extra_delay: if knobs.extra_delay_max > 0 {
-            rng.gen_range(0..=knobs.extra_delay_max)
-        } else {
-            0
-        },
-        reorder_p: unit(&mut rng) * knobs.reorder_p_max,
+        drop_p,
+        duplicate_p,
+        extra_delay,
+        reorder_p,
         reorder_window: knobs.reorder_window,
         byzantine,
     }
@@ -394,14 +439,55 @@ pub fn run_scenario(cfg: &ExploreConfig, scenario: &Scenario) -> ScheduleOutcome
             cluster.invoke_read_at(at, op.client % cfg.readers);
         }
     }
-    for &(rank, at) in &scenario.server_crashes {
-        cluster.crash_server_at(SimTime::from_ticks(at), rank);
-    }
     for &(w, at) in &scenario.writer_crashes {
         cluster.crash_writer_at(SimTime::from_ticks(at), w);
     }
     for &(r, at) in &scenario.reader_crashes {
         cluster.crash_reader_at(SimTime::from_ticks(at), r);
+    }
+    // Server crashes and repairs are applied *dynamically*, in time order:
+    // the crash budget is the number of currently-dead-or-repairing servers
+    // (at most `f`), not a static count, so a crash drawn while the budget is
+    // full — e.g. before an interleaved repair completes — is skipped rather
+    // than wedging the cluster beyond its declared tolerance.
+    const CRASH: u8 = 0;
+    const REPAIR: u8 = 1;
+    let mut fault_events: Vec<(u64, u8, usize)> = scenario
+        .server_crashes
+        .iter()
+        .map(|&(rank, at)| (at, CRASH, rank))
+        .chain(
+            scenario
+                .server_repairs
+                .iter()
+                .map(|&(rank, at)| (at, REPAIR, rank)),
+        )
+        .collect();
+    fault_events.sort_unstable();
+    let mut down: Vec<usize> = Vec::new();
+    for (at, kind, rank) in fault_events {
+        cluster.run_until(SimTime::from_ticks(at));
+        match kind {
+            CRASH => {
+                if rank < cfg.n && !down.contains(&rank) && cluster.dead_or_repairing() < cfg.f {
+                    cluster.crash_server_at(SimTime::from_ticks(at), rank);
+                    // Drain the just-scheduled event so dead_or_repairing()
+                    // stays authoritative for later same-tick decisions
+                    // (run_until is deadline-inclusive).
+                    cluster.run_until(SimTime::from_ticks(at));
+                    down.push(rank);
+                }
+            }
+            _ => {
+                // Repairing a rank that is not down would replace a healthy
+                // server with an empty one; only down ranks are repaired.
+                if let Some(pos) = down.iter().position(|&r| r == rank) {
+                    down.swap_remove(pos);
+                    cluster.repair_server_at(SimTime::from_ticks(at), rank);
+                    cluster.run_until(SimTime::from_ticks(at));
+                }
+            }
+        }
     }
     let outcome = cluster.run_to_quiescence();
     let history = cluster.closed_history(&[]);
@@ -455,7 +541,7 @@ impl fmt::Display for Counterexample {
 
 /// One halving step toward zero for a fault probability: values below `1e-3`
 /// snap to `0.0` so the descent terminates instead of chasing denormals.
-fn halve_probability(p: f64) -> f64 {
+pub(crate) fn halve_probability(p: f64) -> f64 {
     if p < 1e-3 {
         0.0
     } else {
@@ -510,6 +596,7 @@ pub fn shrink(cfg: &ExploreConfig, scenario: &Scenario) -> (Scenario, Violation)
             };
         }
         shrink_list!(server_crashes);
+        shrink_list!(server_repairs);
         shrink_list!(writer_crashes);
         shrink_list!(reader_crashes);
         shrink_list!(byzantine);
@@ -635,8 +722,72 @@ mod tests {
         let c = generate_scenario(&cfg, 43);
         assert_ne!(a, c, "different seeds should differ");
         assert_eq!(a.ops.len(), cfg.ops);
-        assert!(a.server_crashes.len() <= cfg.f);
+        // Total crashes may exceed `f` only by way of interleaved repairs;
+        // the *concurrent* budget is enforced dynamically by `run_scenario`.
+        assert!(a.server_crashes.len() <= cfg.f + a.server_repairs.len());
         assert!(a.drop_p <= cfg.knobs.drop_p_max);
+    }
+
+    #[test]
+    fn repair_events_are_generated_and_stay_causal() {
+        let cfg = ExploreConfig {
+            repair_p: 1.0,
+            ..ExploreConfig::new(ProtocolKind::Soda, 5, 2)
+        };
+        let mut saw_repair = false;
+        let mut saw_follow_up = false;
+        for seed in 0..64 {
+            let s = generate_scenario(&cfg, seed);
+            // Every crash gets a repair at repair_p = 1, and each repair
+            // strictly follows its crash.
+            for (i, &(rank, crash_at)) in s.server_crashes.iter().enumerate() {
+                if let Some(&(_, repair_at)) = s.server_repairs.iter().find(|&&(r, _)| r == rank) {
+                    saw_repair = true;
+                    if i < s.server_repairs.len() {
+                        assert!(repair_at > crash_at, "seed {seed}: repair before crash");
+                    }
+                }
+            }
+            saw_follow_up |=
+                s.server_crashes.len() > s.server_repairs.len() && !s.server_repairs.is_empty();
+            // Follow-up crashes target ranks distinct from every other crash.
+            let mut ranks: Vec<usize> = s.server_crashes.iter().map(|&(r, _)| r).collect();
+            ranks.sort_unstable();
+            ranks.dedup();
+            assert_eq!(ranks.len(), s.server_crashes.len(), "seed {seed}");
+        }
+        assert!(saw_repair, "repair_p = 1 must generate repairs");
+        assert!(saw_follow_up, "crash→repair→crash chains must occur");
+    }
+
+    #[test]
+    fn zero_repair_probability_generates_none() {
+        let cfg = ExploreConfig {
+            repair_p: 0.0,
+            ..ExploreConfig::new(ProtocolKind::Soda, 5, 2)
+        };
+        for seed in 0..16 {
+            assert!(generate_scenario(&cfg, seed).server_repairs.is_empty());
+        }
+    }
+
+    #[test]
+    fn crash_repair_crash_schedules_run_and_stay_within_budget() {
+        // A hand-built chain that would exceed f = 2 statically (three
+        // crashes) but never concurrently: rank 0 is repaired before rank 2
+        // goes down.
+        let cfg = ExploreConfig {
+            knobs: AdversaryKnobs::off(),
+            client_crash_p: 0.0,
+            ..ExploreConfig::new(ProtocolKind::Soda, 5, 2)
+        };
+        let mut scenario = generate_scenario(&cfg, 8);
+        scenario.server_crashes = vec![(0, 20), (1, 30), (2, 700)];
+        scenario.server_repairs = vec![(0, 400)];
+        let outcome = run_scenario(&cfg, &scenario);
+        assert!(outcome.violation.is_none(), "{:?}", outcome.violation);
+        assert!(!outcome.hit_event_cap);
+        assert!(outcome.completed_ops > 0);
     }
 
     #[test]

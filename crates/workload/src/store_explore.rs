@@ -11,10 +11,15 @@
 //!
 //! Scenarios derive deterministically from `(config, seed)` —
 //! [`generate_store_scenario`] + [`run_store_scenario`] replay any reported
-//! violation exactly. There is no store-level shrinker: a store scenario is a
-//! composition of per-key register executions, so the cluster-level shrinker
-//! in [`crate::explore`] is the right tool once a violation is localized to
-//! one key's schedule.
+//! violation exactly. Beyond the phase-boundary crashes, scenarios sample
+//! crash → repair → crash interleavings: a downed shard server is repaired at
+//! a later phase boundary (a fresh replacement re-acquires its state from
+//! survivors) and the freed budget may be spent on a *different* rank. A
+//! violating scenario is **shrunk** by [`shrink_store`] — operations,
+//! crashes, repairs and network-fault intensities are greedily removed while
+//! the violation persists — before it is reported, and the cluster-level
+//! shrinker in [`crate::explore`] remains the right tool once a violation is
+//! localized to one key's schedule.
 //!
 //! ```
 //! use soda_workload::store_explore::{explore_store, StoreExploreConfig};
@@ -24,7 +29,7 @@
 //! assert!(report.completed_ops > 0);
 //! ```
 
-use crate::explore::{unit, AdversaryKnobs};
+use crate::explore::{halve_probability, unit, AdversaryKnobs};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use soda_consistency::KeyViolation;
@@ -58,8 +63,18 @@ pub struct StoreExploreConfig {
     /// Probability that each shard loses servers (sampled `1..=f`, so every
     /// shard stays within its fault tolerance and liveness is preserved).
     pub shard_crash_p: f64,
+    /// Probability that a crashed shard is repaired at a later phase boundary
+    /// (the replacement re-acquires its state from survivors); half of those
+    /// repairs are followed by a crash of a *different* rank, exercising the
+    /// dynamic crash budget.
+    pub repair_p: f64,
     /// Network-fault intensity bounds (sampled per scenario).
     pub knobs: AdversaryKnobs,
+    /// **Test-only.** Builds every shard's ABD clusters with this (possibly
+    /// sub-majority) quorum size, deliberately breaking atomicity so the
+    /// store-level harness and shrinker can themselves be validated. See
+    /// `ClusterBuilder::with_unsound_quorum`.
+    pub quorum_override: Option<usize>,
 }
 
 impl StoreExploreConfig {
@@ -86,7 +101,9 @@ impl StoreExploreConfig {
             phases: 3,
             ops_per_phase: 16,
             shard_crash_p: 0.25,
+            repair_p: 0.5,
             knobs: AdversaryKnobs::standard(),
+            quorum_override: None,
         }
     }
 
@@ -119,6 +136,15 @@ pub struct StoreScenario {
     /// `(shard, crashed servers)` applied before any operation; counts stay
     /// within each shard's `f` when generated.
     pub shard_crashes: Vec<(usize, usize)>,
+    /// `(phase, shard, rank)` repairs applied at that phase's start —
+    /// the replacement re-acquires its state from survivors while the phase's
+    /// operations are in flight.
+    pub shard_repairs: Vec<(usize, usize, usize)>,
+    /// `(phase, shard, rank)` crashes of a *different* rank applied at that
+    /// phase's start, after a repair has freed the budget. Applied
+    /// best-effort: if the budget is still spent (e.g. the enabling repair
+    /// was shrunk away), the crash is skipped.
+    pub follow_up_crashes: Vec<(usize, usize, usize)>,
     /// Per-message drop probability.
     pub drop_p: f64,
     /// Per-message duplication probability.
@@ -167,6 +193,15 @@ impl fmt::Display for StoreScenario {
         for &(shard, count) in &self.shard_crashes {
             writeln!(out, "  crash {count} server(s) on shard {shard}")?;
         }
+        for &(phase, shard, rank) in &self.shard_repairs {
+            writeln!(
+                out,
+                "  phase {phase}: repair server {rank} on shard {shard}"
+            )?;
+        }
+        for &(phase, shard, rank) in &self.follow_up_crashes {
+            writeln!(out, "  phase {phase}: crash server {rank} on shard {shard}")?;
+        }
         if self.has_net_faults() {
             writeln!(
                 out,
@@ -208,18 +243,46 @@ pub fn generate_store_scenario(cfg: &StoreExploreConfig, seed: u64) -> StoreScen
         }
     }
     let knobs = cfg.knobs;
+    let drop_p = unit(&mut rng) * knobs.drop_p_max;
+    let duplicate_p = unit(&mut rng) * knobs.duplicate_p_max;
+    let extra_delay = if knobs.extra_delay_max > 0 {
+        rng.gen_range(0..=knobs.extra_delay_max)
+    } else {
+        0
+    };
+    let reorder_p = unit(&mut rng) * knobs.reorder_p_max;
+    // Repair draws are appended at the END of the draw order so every
+    // existing seed keeps its operation schedule, crash set and network
+    // intensities unchanged.
+    let mut shard_repairs = Vec::new();
+    let mut follow_up_crashes = Vec::new();
+    for &(shard, count) in &shard_crashes {
+        if cfg.phases > 1 && unit(&mut rng) < cfg.repair_p {
+            let repair_phase = rng.gen_range(1..cfg.phases);
+            for rank in 0..count {
+                shard_repairs.push((repair_phase, shard, rank));
+            }
+            // Spend the freed budget on a rank the initial crash never
+            // touched, one phase (or more) after the repair settles.
+            if repair_phase + 1 < cfg.phases && count < cfg.n && unit(&mut rng) < 0.5 {
+                follow_up_crashes.push((
+                    rng.gen_range(repair_phase + 1..cfg.phases),
+                    shard,
+                    rng.gen_range(count..cfg.n),
+                ));
+            }
+        }
+    }
     StoreScenario {
         seed,
         phases,
         shard_crashes,
-        drop_p: unit(&mut rng) * knobs.drop_p_max,
-        duplicate_p: unit(&mut rng) * knobs.duplicate_p_max,
-        extra_delay: if knobs.extra_delay_max > 0 {
-            rng.gen_range(0..=knobs.extra_delay_max)
-        } else {
-            0
-        },
-        reorder_p: unit(&mut rng) * knobs.reorder_p_max,
+        shard_repairs,
+        follow_up_crashes,
+        drop_p,
+        duplicate_p,
+        extra_delay,
+        reorder_p,
         reorder_window: knobs.reorder_window,
     }
 }
@@ -253,7 +316,7 @@ pub fn run_store_scenario(
     if !faults.is_clean() {
         plan = plan.with_default(faults);
     }
-    let mut store: ShardedStore = StoreBuilder::new(
+    let mut builder = StoreBuilder::new(
         cfg.shards,
         cfg.kinds.first().copied().unwrap_or(ProtocolKind::Soda),
         cfg.n,
@@ -263,16 +326,37 @@ pub fn run_store_scenario(
     .with_clients_per_key(cfg.writers_per_key, cfg.readers_per_key)
     .with_net_faults(plan)
     .with_seed(scenario.seed)
-    .with_runtime(StoreRuntime::Simulation)
-    .build()
-    .unwrap_or_else(|e| panic!("invalid store exploration config: {e}"));
+    .with_runtime(StoreRuntime::Simulation);
+    if let Some(quorum) = cfg.quorum_override {
+        builder = builder.with_unsound_quorum(quorum);
+    }
+    let mut store: ShardedStore = builder
+        .build()
+        .unwrap_or_else(|e| panic!("invalid store exploration config: {e}"));
     for &(shard, count) in &scenario.shard_crashes {
-        store.crash_shard_servers(shard, count);
+        store
+            .crash_shard_servers(shard, count)
+            .expect("generated crash counts stay within each shard's budget");
     }
     let mut completed = 0;
     let mut pending = 0;
     let mut hit_event_cap = false;
-    for phase in &scenario.phases {
+    for (phase_idx, phase) in scenario.phases.iter().enumerate() {
+        // Fault events fire at the phase boundary, racing this phase's
+        // operations. Both are best-effort (`.ok()`): after shrinking, a
+        // repair may target a rank that was never crashed, and a follow-up
+        // crash may find the budget still spent — the scenario must stay
+        // runnable under any subset of its events.
+        for &(at, shard, rank) in &scenario.shard_repairs {
+            if at == phase_idx {
+                store.repair_shard_server(shard, rank).ok();
+            }
+        }
+        for &(at, shard, rank) in &scenario.follow_up_crashes {
+            if at == phase_idx {
+                store.crash_shard_server(shard, rank).ok();
+            }
+        }
         for op in phase {
             let key = format!("key/{}", op.key).into_bytes();
             if op.is_write {
@@ -294,16 +378,106 @@ pub fn run_store_scenario(
     }
 }
 
+/// Greedily minimizes a violating store scenario: operations (back to
+/// front, per phase), follow-up crashes, repairs, initial crashes, and
+/// finally the network-fault intensities are removed or halved as long as
+/// the per-key atomicity violation persists. Returns the minimized scenario
+/// and the violation it still reproduces.
+///
+/// # Panics
+/// Panics if `scenario` does not actually violate per-key atomicity under
+/// `cfg`.
+pub fn shrink_store(
+    cfg: &StoreExploreConfig,
+    scenario: &StoreScenario,
+) -> (StoreScenario, KeyViolation) {
+    let mut best_violation = run_store_scenario(cfg, scenario)
+        .violation
+        .expect("shrink_store requires a violating scenario");
+    let mut best = scenario.clone();
+    // Accept a candidate iff it still violates (any key's violation counts:
+    // the goal is a minimal repro, not the same repro).
+    let try_candidate =
+        |candidate: StoreScenario, best: &mut StoreScenario, violation: &mut KeyViolation| {
+            if let Some(v) = run_store_scenario(cfg, &candidate).violation {
+                *best = candidate;
+                *violation = v;
+                true
+            } else {
+                false
+            }
+        };
+    let mut progress = true;
+    while progress {
+        progress = false;
+        // Drop individual operations, newest first, so the repro keeps only
+        // the ops the violation actually needs.
+        for phase in (0..best.phases.len()).rev() {
+            let mut idx = best.phases[phase].len();
+            while idx > 0 {
+                idx -= 1;
+                let mut candidate = best.clone();
+                candidate.phases[phase].remove(idx);
+                progress |= try_candidate(candidate, &mut best, &mut best_violation);
+            }
+        }
+        // Drop fault events — follow-up crashes before the repairs that
+        // enabled them, repairs before the initial crashes they answer.
+        macro_rules! shrink_list {
+            ($field:ident) => {
+                let mut idx = best.$field.len();
+                while idx > 0 {
+                    idx -= 1;
+                    let mut candidate = best.clone();
+                    candidate.$field.remove(idx);
+                    progress |= try_candidate(candidate, &mut best, &mut best_violation);
+                }
+            };
+        }
+        shrink_list!(follow_up_crashes);
+        shrink_list!(shard_repairs);
+        shrink_list!(shard_crashes);
+        // Network faults: try all-off in one step, else halve each axis.
+        if best.has_net_faults() {
+            let mut candidate = best.clone();
+            candidate.drop_p = 0.0;
+            candidate.duplicate_p = 0.0;
+            candidate.extra_delay = 0;
+            candidate.reorder_p = 0.0;
+            if !try_candidate(candidate, &mut best, &mut best_violation) {
+                for axis in 0..4usize {
+                    let mut candidate = best.clone();
+                    match axis {
+                        0 => candidate.drop_p = halve_probability(candidate.drop_p),
+                        1 => candidate.duplicate_p = halve_probability(candidate.duplicate_p),
+                        2 => candidate.extra_delay /= 2,
+                        _ => candidate.reorder_p = halve_probability(candidate.reorder_p),
+                    }
+                    if candidate != best {
+                        progress |= try_candidate(candidate, &mut best, &mut best_violation);
+                    }
+                }
+            } else {
+                progress = true;
+            }
+        }
+    }
+    (best, best_violation)
+}
+
 /// A seed-reproducible per-key atomicity violation at the store layer.
 #[derive(Clone, Debug)]
 pub struct StoreCounterexample {
     /// The seed that produced the violation (replay with
     /// [`generate_store_scenario`] + [`run_store_scenario`]).
     pub seed: u64,
-    /// The violation, naming the offending key.
+    /// The violation reproduced by the *minimized* scenario.
     pub violation: KeyViolation,
     /// The scenario as generated.
     pub scenario: StoreScenario,
+    /// The scenario after [`shrink_store`]: the smallest sub-scenario the
+    /// shrinker found that still violates.
+    pub minimized: StoreScenario,
 }
 
 impl fmt::Display for StoreCounterexample {
@@ -313,7 +487,8 @@ impl fmt::Display for StoreCounterexample {
             "store-level atomicity violation at seed {}: {}",
             self.seed, self.violation
         )?;
-        write!(out, "{}", self.scenario)
+        writeln!(out, "minimized repro:")?;
+        write!(out, "{}", self.minimized)
     }
 }
 
@@ -359,11 +534,13 @@ pub fn explore_store(
         report.completed_ops += outcome.completed_ops;
         report.pending_tickets += outcome.pending_tickets;
         report.event_cap_hits += usize::from(outcome.hit_event_cap);
-        if let Some(violation) = outcome.violation {
+        if outcome.violation.is_some() {
+            let (minimized, violation) = shrink_store(cfg, &scenario);
             report.counterexamples.push(StoreCounterexample {
                 seed,
                 violation,
                 scenario,
+                minimized,
             });
         }
     }
@@ -404,6 +581,172 @@ mod tests {
         let rendered = generate_store_scenario(&cfg, 2).to_string();
         assert!(rendered.contains("store scenario seed=2"), "{rendered}");
         assert!(rendered.contains("phase 0"), "{rendered}");
+    }
+
+    #[test]
+    fn repair_events_are_generated_and_stay_causal() {
+        let cfg = StoreExploreConfig {
+            shard_crash_p: 1.0,
+            repair_p: 1.0,
+            ..StoreExploreConfig::mixed(6)
+        };
+        let mut saw_repair = false;
+        let mut saw_follow_up = false;
+        for seed in 0..32 {
+            let s = generate_store_scenario(&cfg, seed);
+            saw_repair |= !s.shard_repairs.is_empty();
+            saw_follow_up |= !s.follow_up_crashes.is_empty();
+            for &(phase, shard, rank) in &s.shard_repairs {
+                // A repair answers an initial crash of that exact rank, at a
+                // phase boundary strictly after the crash (phase 0 start).
+                assert!(phase >= 1 && phase < cfg.phases);
+                let count = s
+                    .shard_crashes
+                    .iter()
+                    .find(|&&(sh, _)| sh == shard)
+                    .map(|&(_, c)| c)
+                    .expect("repair without a crash");
+                assert!(rank < count, "repairing a rank that never crashed");
+            }
+            for &(phase, shard, rank) in &s.follow_up_crashes {
+                // A follow-up spends budget freed by that shard's repair, so
+                // it must come at least one phase later and hit a fresh rank.
+                let repair_phase = s
+                    .shard_repairs
+                    .iter()
+                    .find(|&&(_, sh, _)| sh == shard)
+                    .map(|&(p, _, _)| p)
+                    .expect("follow-up crash without an enabling repair");
+                assert!(phase > repair_phase);
+                let count = s
+                    .shard_crashes
+                    .iter()
+                    .find(|&&(sh, _)| sh == shard)
+                    .map(|&(_, c)| c)
+                    .unwrap();
+                assert!(rank >= count && rank < cfg.n);
+            }
+        }
+        assert!(saw_repair, "repair_p = 1.0 must generate repairs");
+        assert!(saw_follow_up, "follow-up crashes must be sampled");
+    }
+
+    #[test]
+    fn zero_repair_probability_generates_no_repairs() {
+        let cfg = StoreExploreConfig {
+            shard_crash_p: 1.0,
+            repair_p: 0.0,
+            ..StoreExploreConfig::mixed(6)
+        };
+        for seed in 0..16 {
+            let s = generate_store_scenario(&cfg, seed);
+            assert!(s.shard_repairs.is_empty());
+            assert!(s.follow_up_crashes.is_empty());
+        }
+    }
+
+    #[test]
+    fn crash_repair_crash_schedules_stay_atomic() {
+        // Force repairs on and run real scenarios: crash → repair → crash a
+        // different rank, with operations racing every transition.
+        let cfg = StoreExploreConfig {
+            shard_crash_p: 1.0,
+            repair_p: 1.0,
+            knobs: AdversaryKnobs::off(),
+            shards: 3,
+            keys: 6,
+            ops_per_phase: 8,
+            ..StoreExploreConfig::mixed(3)
+        };
+        let mut ran_with_repairs = 0;
+        for seed in 0..6 {
+            let scenario = generate_store_scenario(&cfg, seed);
+            ran_with_repairs += usize::from(!scenario.shard_repairs.is_empty());
+            let outcome = run_store_scenario(&cfg, &scenario);
+            assert!(outcome.violation.is_none(), "seed {seed}");
+            assert!(!outcome.hit_event_cap, "seed {seed}");
+        }
+        assert!(ran_with_repairs > 0);
+    }
+
+    #[test]
+    fn the_store_shrinker_drops_irrelevant_repair_events() {
+        // Validate the shrinker against a deliberately broken protocol: a
+        // homogeneous weakened-ABD fleet (quorum 1) violates even fault-free.
+        // Shards are independent simulations, so crash/repair/follow-up
+        // events injected on the shard that does NOT host the violating key
+        // are provably irrelevant — the shrinker must strip every one.
+        let cfg = StoreExploreConfig {
+            kinds: vec![ProtocolKind::Abd],
+            quorum_override: Some(1),
+            shard_crash_p: 0.0,
+            knobs: AdversaryKnobs::off(),
+            keys: 2,
+            phases: 3,
+            ops_per_phase: 6,
+            ..StoreExploreConfig::mixed(2)
+        };
+        let base = (0..64)
+            .find_map(|seed| {
+                let scenario = generate_store_scenario(&cfg, seed);
+                run_store_scenario(&cfg, &scenario)
+                    .violation
+                    .map(|_| scenario)
+            })
+            .expect("weakened ABD must violate within 64 seeds");
+        // At least one of the two shards is not where the violation lives;
+        // events injected there keep the violation alive.
+        let scenario = (0..cfg.shards)
+            .find_map(|shard| {
+                let mut candidate = base.clone();
+                candidate.shard_crashes = vec![(shard, 1)];
+                candidate.shard_repairs = vec![(1, shard, 0)];
+                candidate.follow_up_crashes = vec![(2, shard, 1)];
+                run_store_scenario(&cfg, &candidate)
+                    .violation
+                    .map(|_| candidate)
+            })
+            .expect("one shard must be irrelevant to the violation");
+        let (minimized, violation) = shrink_store(&cfg, &scenario);
+        // The minimized scenario still reproduces …
+        assert!(run_store_scenario(&cfg, &minimized).violation.is_some());
+        assert_eq!(
+            run_store_scenario(&cfg, &minimized).violation.unwrap().key,
+            violation.key
+        );
+        // … with the noise gone: injected crash, repair and follow-up are
+        // all stripped, the op schedule shrank, and no net faults remain.
+        assert!(minimized.shard_repairs.is_empty(), "{minimized}");
+        assert!(minimized.follow_up_crashes.is_empty(), "{minimized}");
+        assert!(minimized.shard_crashes.is_empty(), "{minimized}");
+        let ops = |s: &StoreScenario| s.phases.iter().map(Vec::len).sum::<usize>();
+        assert!(ops(&minimized) < ops(&scenario), "{minimized}");
+        assert!(!minimized.has_net_faults());
+    }
+
+    #[test]
+    fn counterexamples_are_minimized_by_exploration() {
+        let cfg = StoreExploreConfig {
+            kinds: vec![ProtocolKind::Abd],
+            quorum_override: Some(1),
+            knobs: AdversaryKnobs::off(),
+            shard_crash_p: 0.0,
+            keys: 2,
+            phases: 2,
+            ops_per_phase: 6,
+            ..StoreExploreConfig::mixed(2)
+        };
+        let report = explore_store(&cfg, 0, 24);
+        assert!(!report.all_atomic(), "weakened ABD must be caught");
+        let cex = &report.counterexamples[0];
+        let ops = |s: &StoreScenario| s.phases.iter().map(Vec::len).sum::<usize>();
+        assert!(ops(&cex.minimized) <= ops(&cex.scenario));
+        assert!(cex.to_string().contains("minimized repro"), "{cex}");
+        // The rendered counterexample is a replayable recipe.
+        assert!(
+            run_store_scenario(&cfg, &cex.minimized).violation.is_some(),
+            "minimized scenario must replay"
+        );
     }
 
     #[test]

@@ -262,6 +262,71 @@ fn shrinking_bisects_fault_intensities_to_a_local_minimum() {
     );
 }
 
+/// The repair-focused fuzz-smoke pass CI runs nightly: every crash is
+/// repaired (`repair_p = 1.0`), so the campaign is dense in
+/// crash → repair → crash chains exercising the dynamic fault budget.
+/// Ignored in tier-1; scale with `EXPLORE_SCHEDULES`.
+#[test]
+#[ignore = "nightly fuzz-smoke budget; run with --ignored (EXPLORE_SCHEDULES to scale)"]
+fn repair_fuzz_smoke() {
+    let schedules = schedules_from_env(200);
+    let seed_start = 5_000u64;
+    for mut cfg in campaigns() {
+        cfg.repair_p = 1.0;
+        // The campaign is vacuous unless repairs (and post-repair crashes)
+        // actually fire: count them over the exact seed range first.
+        let mut with_repairs = 0usize;
+        let mut with_follow_up = 0usize;
+        for seed in seed_start..seed_start + schedules as u64 {
+            let scenario = generate_scenario(&cfg, seed);
+            if scenario.server_repairs.is_empty() {
+                continue;
+            }
+            with_repairs += 1;
+            let first_repair = scenario.server_repairs.iter().map(|&(_, at)| at).min();
+            if let Some(at) = first_repair {
+                with_follow_up += usize::from(
+                    scenario
+                        .server_crashes
+                        .iter()
+                        .any(|&(_, crash_at)| crash_at > at),
+                );
+            }
+        }
+        assert!(
+            with_repairs * 4 >= schedules,
+            "{}: only {with_repairs}/{schedules} schedules contain repairs",
+            cfg.kind.name()
+        );
+        assert!(
+            with_follow_up > 0,
+            "{}: no crash → repair → crash chain in {schedules} schedules",
+            cfg.kind.name()
+        );
+        let report = explore(&cfg, seed_start, schedules);
+        for cex in &report.counterexamples {
+            eprintln!("{cex}");
+        }
+        assert!(
+            report.all_atomic(),
+            "{}: {} counterexamples over {} repair schedules",
+            cfg.kind.name(),
+            report.counterexamples.len(),
+            schedules
+        );
+        assert_eq!(report.event_cap_hits, 0, "{}", cfg.kind.name());
+        assert!(report.completed_ops > 0, "{}", cfg.kind.name());
+        eprintln!(
+            "{:>7}: {} schedules ({} with repairs, {} crash→repair→crash), {} ops, all atomic",
+            cfg.kind.name(),
+            report.schedules,
+            with_repairs,
+            with_follow_up,
+            report.completed_ops
+        );
+    }
+}
+
 /// The capped fuzz-smoke pass CI runs nightly (and the acceptance run uses
 /// with `EXPLORE_SCHEDULES=1000`). Ignored in tier-1 to keep `cargo test -q`
 /// fast.

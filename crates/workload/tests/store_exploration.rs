@@ -74,6 +74,53 @@ fn store_scenarios_replay_from_their_seed() {
     assert_eq!(a.violation.is_some(), b.violation.is_some());
 }
 
+/// The repair-focused store fuzz-smoke CI runs nightly: every shard crash is
+/// repaired at a later phase boundary and half the repairs are followed by a
+/// crash of a different rank, so schedules are dense in the
+/// crash → repair → crash chains that exercise the dynamic shard budget.
+/// Ignored in tier-1; scale with `EXPLORE_SCHEDULES`.
+#[test]
+#[ignore = "nightly fuzz-smoke budget; run with --ignored (EXPLORE_SCHEDULES to scale)"]
+fn store_repair_fuzz_smoke() {
+    let schedules = schedules_from_env(25);
+    let seed_start = 9_000u64;
+    let cfg = StoreExploreConfig {
+        shard_crash_p: 0.75,
+        repair_p: 1.0,
+        ..StoreExploreConfig::mixed(4)
+    };
+    let (mut with_repairs, mut with_follow_up) = (0usize, 0usize);
+    for seed in seed_start..seed_start + schedules as u64 {
+        let scenario = generate_store_scenario(&cfg, seed);
+        with_repairs += usize::from(!scenario.shard_repairs.is_empty());
+        with_follow_up += usize::from(!scenario.follow_up_crashes.is_empty());
+    }
+    assert!(
+        with_repairs * 2 >= schedules,
+        "only {with_repairs}/{schedules} store schedules contain repairs"
+    );
+    assert!(
+        with_follow_up > 0,
+        "no crash → repair → crash chain in {schedules} store schedules"
+    );
+    let report = explore_store(&cfg, seed_start, schedules);
+    for cex in &report.counterexamples {
+        eprintln!("{cex}");
+    }
+    assert!(
+        report.all_atomic(),
+        "{} store-level counterexamples over {} repair schedules",
+        report.counterexamples.len(),
+        schedules
+    );
+    assert_eq!(report.event_cap_hits, 0);
+    assert!(report.completed_ops > 0);
+    eprintln!(
+        "store-repair: {} schedules ({} with repairs, {} follow-up crashes), {} tickets, all per-key atomic",
+        report.schedules, with_repairs, with_follow_up, report.completed_ops
+    );
+}
+
 /// The capped store fuzz-smoke pass CI runs nightly. Ignored in tier-1 to
 /// keep `cargo test -q` fast.
 #[test]
