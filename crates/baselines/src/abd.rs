@@ -336,8 +336,7 @@ impl AbdClient {
             .current_value
             .as_ref()
             .expect("an in-flight write always carries its value")
-            .as_ref()
-            .clone();
+            .to_vec();
         Some((self.seq, self.invoked_at, self.store_tag, value))
     }
 
@@ -408,7 +407,7 @@ impl AbdClient {
             value: self
                 .store_value
                 .take()
-                .map(|v| v.as_ref().clone())
+                .map(|v| v.to_vec())
                 .unwrap_or_default(),
         };
         self.completed.push(record);

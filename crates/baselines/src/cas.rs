@@ -548,8 +548,7 @@ impl CasClient {
             .current_value
             .as_ref()
             .expect("an in-flight write always carries its value")
-            .as_ref()
-            .clone();
+            .to_vec();
         Some((self.seq, self.invoked_at, self.current_tag, value))
     }
 
@@ -699,7 +698,7 @@ impl Process<CasMsg> for CasClient {
                     let value = self
                         .current_value
                         .clone()
-                        .map(|v| v.as_ref().clone())
+                        .map(|v| v.to_vec())
                         .unwrap_or_default();
                     self.complete(value, ctx);
                 }

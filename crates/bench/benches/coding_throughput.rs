@@ -1,0 +1,182 @@
+//! Throughput of the coded hot path in MB/s: full encode, erasure decode and
+//! single-element repair re-encode, for the slice-kernel GF(256) backend
+//! against a byte-at-a-time scalar reference.
+//!
+//! The scalar backend reproduces the pre-optimization hot path: byte-by-byte
+//! field multiplies (no nibble tables, no `u64` word batching), a fresh
+//! survivor-submatrix inversion on every decode (no decode cache), and full
+//! encodes for single-element repair (no single-row product).
+//!
+//! Plain `harness = false` timing loop (criterion is unavailable offline).
+//! Run with: `cargo bench -p soda-bench --bench coding_throughput [out.json]`
+//! — with a path argument the measurements are also written as JSON rows (see
+//! `BENCH_coding.json`). Set `CODING_SMOKE=1` for a seconds-long CI smoke run
+//! on reduced sizes and iteration counts.
+
+use soda_bench::{maybe_write_json, timeit};
+use soda_gf::{Gf256, Matrix};
+use soda_rs_code::{pad_and_split, MdsCode, VandermondeCode};
+use soda_workload::json::to_json;
+use soda_workload::json_row;
+
+#[derive(Clone)]
+struct Row {
+    op: String,
+    backend: String,
+    n: usize,
+    k: usize,
+    value_bytes: usize,
+    mib_per_sec: f64,
+}
+
+json_row!(Row {
+    op,
+    backend,
+    n,
+    k,
+    value_bytes,
+    mib_per_sec,
+});
+
+fn value_of(len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| (i.wrapping_mul(131) % 256) as u8)
+        .collect()
+}
+
+/// Byte-at-a-time matrix × shards product: the pre-kernel reference path.
+fn scalar_apply(matrix: &Matrix, shards: &[&[u8]]) -> Vec<Vec<u8>> {
+    let shard_len = shards[0].len();
+    let mut out = vec![vec![0u8; shard_len]; matrix.rows()];
+    for (i, row_out) in out.iter_mut().enumerate() {
+        for (j, shard) in shards.iter().enumerate() {
+            let c = matrix[(i, j)];
+            for (dst, &src) in row_out.iter_mut().zip(shard.iter()) {
+                *dst = (Gf256::new(*dst) + c * Gf256::new(src)).value();
+            }
+        }
+    }
+    out
+}
+
+struct Workload {
+    code: VandermondeCode,
+    n: usize,
+    k: usize,
+    size: usize,
+    iters: u32,
+}
+
+impl Workload {
+    fn bench_encode(&self, rows: &mut Vec<Row>) {
+        let value = value_of(self.size);
+        let (n, k, size) = (self.n, self.k, self.size);
+        let label = format!("encode/kernel/[{n},{k}]/{size}B");
+        let mib = timeit(&label, size as u64, self.iters, || {
+            std::hint::black_box(self.code.encode(std::hint::black_box(&value)).unwrap());
+        });
+        rows.push(self.row("encode", "kernel", mib));
+
+        let matrix = self.code.encoding_matrix().clone();
+        let label = format!("encode/scalar/[{n},{k}]/{size}B");
+        let mib = timeit(&label, size as u64, self.iters, || {
+            let shards = pad_and_split(std::hint::black_box(&value), k);
+            let refs: Vec<&[u8]> = shards.iter().map(|s| s.as_slice()).collect();
+            std::hint::black_box(scalar_apply(&matrix, &refs));
+        });
+        rows.push(self.row("encode", "scalar", mib));
+    }
+
+    fn bench_decode(&self, rows: &mut Vec<Row>) {
+        let value = value_of(self.size);
+        let (n, k, size) = (self.n, self.k, self.size);
+        let elements = self.code.encode(&value).unwrap();
+        // Decode from the parity-heavy tail so the product is not an identity
+        // pass-through of systematic elements.
+        let survivors: Vec<_> = elements.into_iter().skip(n - k).collect();
+        let label = format!("decode/kernel/[{n},{k}]/{size}B");
+        let mib = timeit(&label, size as u64, self.iters, || {
+            std::hint::black_box(self.code.decode(std::hint::black_box(&survivors)).unwrap());
+        });
+        rows.push(self.row("decode", "kernel", mib));
+
+        // The pre-optimization decode inverted the survivor submatrix on
+        // every call and applied it byte-at-a-time; reproduce that faithfully.
+        let encoding = self.code.encoding_matrix().clone();
+        let label = format!("decode/scalar/[{n},{k}]/{size}B");
+        let mib = timeit(&label, size as u64, self.iters, || {
+            let indices: Vec<usize> = survivors.iter().map(|e| e.index).collect();
+            let inverse = encoding.select_rows(&indices).inverse().unwrap();
+            let refs: Vec<&[u8]> = survivors.iter().map(|e| &e.data[..]).collect();
+            let shards = scalar_apply(&inverse, std::hint::black_box(&refs));
+            std::hint::black_box(soda_rs_code::reassemble(&shards).unwrap());
+        });
+        rows.push(self.row("decode", "scalar", mib));
+    }
+
+    fn bench_repair(&self, rows: &mut Vec<Row>) {
+        let value = value_of(self.size);
+        let (n, k, size) = (self.n, self.k, self.size);
+        // Repair re-encodes the last (parity) element from the decoded value.
+        let label = format!("repair/kernel/[{n},{k}]/{size}B");
+        let mib = timeit(&label, size as u64, self.iters, || {
+            std::hint::black_box(
+                self.code
+                    .encode_one(std::hint::black_box(&value), n - 1)
+                    .unwrap(),
+            );
+        });
+        rows.push(self.row("repair", "kernel", mib));
+
+        let matrix = self.code.encoding_matrix().clone();
+        let label = format!("repair/scalar/[{n},{k}]/{size}B");
+        let mib = timeit(&label, size as u64, self.iters, || {
+            // Scalar reference: full encode, keep one element (the pre-kernel
+            // repair path had no single-row product).
+            let shards = pad_and_split(std::hint::black_box(&value), k);
+            let refs: Vec<&[u8]> = shards.iter().map(|s| s.as_slice()).collect();
+            std::hint::black_box(scalar_apply(&matrix, &refs).swap_remove(n - 1));
+        });
+        rows.push(self.row("repair", "scalar", mib));
+    }
+
+    fn row(&self, op: &str, backend: &str, mib_per_sec: f64) -> Row {
+        Row {
+            op: op.to_string(),
+            backend: backend.to_string(),
+            n: self.n,
+            k: self.k,
+            value_bytes: self.size,
+            mib_per_sec,
+        }
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("CODING_SMOKE").is_ok();
+    let sizes: &[usize] = if smoke {
+        &[4 * 1024]
+    } else {
+        &[4 * 1024, 64 * 1024, 1024 * 1024]
+    };
+    let shapes: &[(usize, usize)] = &[(5, 3), (12, 8)];
+    let iters: u32 = if smoke { 5 } else { 50 };
+
+    let mut rows = Vec::new();
+    for &(n, k) in shapes {
+        for &size in sizes {
+            let workload = Workload {
+                code: VandermondeCode::new(n, k).unwrap(),
+                n,
+                k,
+                size,
+                iters,
+            };
+            workload.bench_encode(&mut rows);
+            workload.bench_decode(&mut rows);
+            workload.bench_repair(&mut rows);
+        }
+    }
+    let json_path = std::env::args().skip(1).find(|arg| !arg.starts_with('-'));
+    maybe_write_json(json_path.as_deref(), &to_json(&rows));
+}

@@ -63,7 +63,7 @@ fn bench_error_decode() {
             let mut elements = code.encode(&value).unwrap();
             elements.truncate(n - f);
             for element in elements.iter_mut().take(e) {
-                for b in element.data.iter_mut() {
+                for b in element.data.make_mut() {
                     *b ^= 0xA5;
                 }
             }

@@ -1,0 +1,241 @@
+//! Wide slice kernels for GF(2^8) multiply and multiply-accumulate.
+//!
+//! The scalar loops in [`Gf256`] ([`Gf256::scale_slice`],
+//! [`Gf256::mul_acc_slice`]) walk one byte at a time through the log/exp
+//! tables, with a data-dependent branch per byte for the zero case. The
+//! kernels here use the classic *split-nibble* technique instead: for a fixed
+//! constant `c`, the products `c·x` for all 256 values of `x` decompose as
+//!
+//! ```text
+//! c·x = c·(x_lo ⊕ (x_hi << 4)) = c·x_lo ⊕ c·(x_hi << 4)
+//! ```
+//!
+//! by linearity of GF(2^8) multiplication over XOR, so two 16-entry tables
+//! per constant (one indexed by the low nibble, one by the high nibble)
+//! replace the log/exp lookups and the zero branch entirely. Both tables for
+//! one constant fit in a single 32-byte row — one cache line — and the whole
+//! table set for all 256 constants is 8 KiB, built at compile time.
+//!
+//! Slices are processed eight bytes per iteration over `u64` words: one load
+//! of the source word, eight table lookups assembled into a product word, one
+//! XOR against the destination word, one store. The scalar `Gf256` loops are
+//! kept untouched as the *reference implementation*; randomized equivalence
+//! tests in `tests/kernel_equivalence.rs` pin the kernels to them for every
+//! constant, ragged lengths and unaligned offsets.
+
+use crate::Gf256;
+
+/// Carry-less multiply modulo the primitive polynomial, usable in const
+/// context (the log/exp tables of `gf256.rs` are private and not needed
+/// here — this runs only at compile time).
+const fn const_mul(a: u8, b: u8) -> u8 {
+    let mut result: u16 = 0;
+    let mut a16 = a as u16;
+    let mut b16 = b as u16;
+    while b16 != 0 {
+        if b16 & 1 != 0 {
+            result ^= a16;
+        }
+        b16 >>= 1;
+        a16 <<= 1;
+        if a16 & 0x100 != 0 {
+            a16 ^= crate::gf256::PRIMITIVE_POLY;
+        }
+    }
+    result as u8
+}
+
+/// Split-nibble product tables: `NIB[c][x] = c·x` for `x < 16` (low nibble)
+/// and `NIB[c][16 + x] = c·(x << 4)` (high nibble). Row `c` is 32 bytes —
+/// one cache line per constant.
+static NIB: [[u8; 32]; 256] = build_nibble_tables();
+
+const fn build_nibble_tables() -> [[u8; 32]; 256] {
+    let mut tables = [[0u8; 32]; 256];
+    let mut c = 0usize;
+    while c < 256 {
+        let mut x = 0usize;
+        while x < 16 {
+            tables[c][x] = const_mul(c as u8, x as u8);
+            tables[c][16 + x] = const_mul(c as u8, (x << 4) as u8);
+            x += 1;
+        }
+        c += 1;
+    }
+    tables
+}
+
+/// Number of bytes processed per wide iteration.
+const WORD: usize = 8;
+
+/// Looks up the product word for eight source bytes packed in `s`.
+#[inline(always)]
+fn product_word(tab: &[u8; 32], s: u64) -> u64 {
+    let bytes = s.to_le_bytes();
+    let mut out = [0u8; WORD];
+    let mut i = 0;
+    while i < WORD {
+        let b = bytes[i] as usize;
+        out[i] = tab[b & 0xf] ^ tab[16 + (b >> 4)];
+        i += 1;
+    }
+    u64::from_le_bytes(out)
+}
+
+/// Multiplies every byte of `data` (as a GF(2^8) element) by the constant
+/// `c`, in place: `data[i] = c * data[i]`.
+///
+/// Wide split-nibble kernel; equivalent to [`Gf256::scale_slice`].
+pub fn mul_slice(c: Gf256, data: &mut [u8]) {
+    if c.is_zero() {
+        data.fill(0);
+        return;
+    }
+    if c == Gf256::ONE {
+        return;
+    }
+    let tab = &NIB[c.value() as usize];
+    let mut chunks = data.chunks_exact_mut(WORD);
+    for chunk in chunks.by_ref() {
+        let s = u64::from_le_bytes(chunk.try_into().expect("exact chunk"));
+        chunk.copy_from_slice(&product_word(tab, s).to_le_bytes());
+    }
+    for byte in chunks.into_remainder() {
+        let b = *byte as usize;
+        *byte = tab[b & 0xf] ^ tab[16 + (b >> 4)];
+    }
+}
+
+/// Multiply-accumulate over whole slices: `dst[i] ^= c * src[i]`.
+///
+/// Wide split-nibble kernel; equivalent to [`Gf256::mul_acc_slice`]. This is
+/// the inner loop of every Reed–Solomon matrix × shard product.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn mul_slice_xor(c: Gf256, src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len(), "mul_slice_xor length mismatch");
+    if c.is_zero() {
+        return;
+    }
+    if c == Gf256::ONE {
+        xor_slice(src, dst);
+        return;
+    }
+    let tab = &NIB[c.value() as usize];
+    let mut dst_chunks = dst.chunks_exact_mut(WORD);
+    let mut src_chunks = src.chunks_exact(WORD);
+    for (d, s) in dst_chunks.by_ref().zip(src_chunks.by_ref()) {
+        let sw = u64::from_le_bytes(s.try_into().expect("exact chunk"));
+        let dw = u64::from_le_bytes((&*d).try_into().expect("exact chunk"));
+        d.copy_from_slice(&(dw ^ product_word(tab, sw)).to_le_bytes());
+    }
+    for (d, &s) in dst_chunks
+        .into_remainder()
+        .iter_mut()
+        .zip(src_chunks.remainder())
+    {
+        let b = s as usize;
+        *d ^= tab[b & 0xf] ^ tab[16 + (b >> 4)];
+    }
+}
+
+/// XOR of whole slices, eight bytes per iteration: `dst[i] ^= src[i]` (the
+/// `c = 1` case of [`mul_slice_xor`], also useful on its own for parity).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn xor_slice(src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len(), "xor_slice length mismatch");
+    let mut dst_chunks = dst.chunks_exact_mut(WORD);
+    let mut src_chunks = src.chunks_exact(WORD);
+    for (d, s) in dst_chunks.by_ref().zip(src_chunks.by_ref()) {
+        let sw = u64::from_le_bytes(s.try_into().expect("exact chunk"));
+        let dw = u64::from_le_bytes((&*d).try_into().expect("exact chunk"));
+        d.copy_from_slice(&(dw ^ sw).to_le_bytes());
+    }
+    for (d, &s) in dst_chunks
+        .into_remainder()
+        .iter_mut()
+        .zip(src_chunks.remainder())
+    {
+        *d ^= s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nibble_tables_match_field_multiplication() {
+        for c in 0..=255u8 {
+            for x in 0..16u8 {
+                assert_eq!(
+                    Gf256::new(NIB[c as usize][x as usize]),
+                    Gf256::new(c) * Gf256::new(x),
+                    "lo table c={c} x={x}"
+                );
+                assert_eq!(
+                    Gf256::new(NIB[c as usize][16 + x as usize]),
+                    Gf256::new(c) * Gf256::new(x << 4),
+                    "hi table c={c} x={x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mul_slice_matches_scalar_reference() {
+        let data: Vec<u8> = (0..=255).cycle().take(300).collect();
+        for c in [0u8, 1, 2, 0x1d, 0x80, 0xff] {
+            let mut kernel = data.clone();
+            let mut scalar = data.clone();
+            mul_slice(Gf256::new(c), &mut kernel);
+            Gf256::scale_slice(Gf256::new(c), &mut scalar);
+            assert_eq!(kernel, scalar, "c={c}");
+        }
+    }
+
+    #[test]
+    fn mul_slice_xor_matches_scalar_reference() {
+        let src: Vec<u8> = (0..=255).cycle().take(300).collect();
+        let base: Vec<u8> = (0..=255).rev().cycle().take(300).collect();
+        for c in [0u8, 1, 3, 0x1d, 0x80, 0xff] {
+            let mut kernel = base.clone();
+            let mut scalar = base.clone();
+            mul_slice_xor(Gf256::new(c), &src, &mut kernel);
+            Gf256::mul_acc_slice(Gf256::new(c), &src, &mut scalar);
+            assert_eq!(kernel, scalar, "c={c}");
+        }
+    }
+
+    #[test]
+    fn short_and_ragged_lengths() {
+        for len in 0..=17usize {
+            let src: Vec<u8> = (0..len as u8).map(|i| i.wrapping_mul(37)).collect();
+            let mut kernel = vec![0xAB; len];
+            let mut scalar = vec![0xAB; len];
+            mul_slice_xor(Gf256::new(0x57), &src, &mut kernel);
+            Gf256::mul_acc_slice(Gf256::new(0x57), &src, &mut scalar);
+            assert_eq!(kernel, scalar, "len={len}");
+        }
+    }
+
+    #[test]
+    fn xor_slice_is_plain_xor() {
+        let src: Vec<u8> = (0..100).collect();
+        let mut dst: Vec<u8> = (100..200).collect();
+        let expected: Vec<u8> = src.iter().zip(dst.iter()).map(|(a, b)| a ^ b).collect();
+        xor_slice(&src, &mut dst);
+        assert_eq!(dst, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let src = [1u8, 2];
+        let mut dst = [0u8; 3];
+        mul_slice_xor(Gf256::ONE, &src, &mut dst);
+    }
+}

@@ -6,6 +6,10 @@
 //! * [`Gf256`] — the finite field GF(2^8) with the AES/Rijndael-compatible
 //!   primitive polynomial `x^8 + x^4 + x^3 + x^2 + 1` (0x11d), implemented with
 //!   precomputed exponential/logarithm tables.
+//! * [`mul_slice`] / [`mul_slice_xor`] / [`xor_slice`] — wide slice kernels
+//!   over split 4-bit-nibble lookup tables, processing eight bytes per
+//!   iteration. These are the bulk-data hot path; the per-byte loops on
+//!   [`Gf256`] remain as the reference implementation.
 //! * [`Poly`] — dense polynomials over GF(2^8) (addition, multiplication,
 //!   Euclidean division, evaluation, formal derivative). Used by the
 //!   error-correcting decoder (syndromes, Berlekamp–Massey, Chien search,
@@ -35,9 +39,11 @@
 #![forbid(unsafe_code)]
 
 mod gf256;
+mod kernel;
 mod matrix;
 mod poly;
 
 pub use gf256::Gf256;
+pub use kernel::{mul_slice, mul_slice_xor, xor_slice};
 pub use matrix::{Matrix, MatrixError};
 pub use poly::Poly;

@@ -222,7 +222,8 @@ impl Matrix {
     /// `self.rows()` output shards: `out[i] = Σ_j self[i][j] * shards[j]`.
     ///
     /// This is the bulk-data path used by the Reed–Solomon encoder; it avoids
-    /// materializing per-byte `Gf256` vectors.
+    /// materializing per-byte `Gf256` vectors and runs on the wide
+    /// split-nibble kernel ([`crate::mul_slice_xor`]).
     pub fn apply_to_shards(&self, shards: &[&[u8]]) -> Result<Vec<Vec<u8>>, MatrixError> {
         if shards.len() != self.cols {
             return Err(MatrixError::DimensionMismatch {
@@ -238,8 +239,37 @@ impl Matrix {
         let mut out = vec![vec![0u8; shard_len]; self.rows];
         for i in 0..self.rows {
             for (j, shard) in shards.iter().enumerate() {
-                Gf256::mul_acc_slice(self[(i, j)], shard, &mut out[i]);
+                crate::mul_slice_xor(self[(i, j)], shard, &mut out[i]);
             }
+        }
+        Ok(out)
+    }
+
+    /// Applies a single row of the matrix to `k` equal-length byte shards,
+    /// producing one output shard: `out = Σ_j self[row][j] * shards[j]`.
+    ///
+    /// This is the `Φ_i(v)` fast path: encoding only one server's coded
+    /// element (server state init, repair re-encoding) without computing the
+    /// other `n − 1` rows.
+    pub fn apply_row_to_shards(
+        &self,
+        row: usize,
+        shards: &[&[u8]],
+    ) -> Result<Vec<u8>, MatrixError> {
+        if shards.len() != self.cols {
+            return Err(MatrixError::DimensionMismatch {
+                context: "apply_row_to_shards",
+            });
+        }
+        let shard_len = shards.first().map_or(0, |s| s.len());
+        if shards.iter().any(|s| s.len() != shard_len) {
+            return Err(MatrixError::DimensionMismatch {
+                context: "apply_row_to_shards: unequal shard lengths",
+            });
+        }
+        let mut out = vec![0u8; shard_len];
+        for (j, shard) in shards.iter().enumerate() {
+            crate::mul_slice_xor(self[(row, j)], shard, &mut out);
         }
         Ok(out)
     }
@@ -483,6 +513,20 @@ mod tests {
                 assert_eq!(Gf256::new(row[byte_idx]), expected[i]);
             }
         }
+    }
+
+    #[test]
+    fn apply_row_to_shards_matches_full_apply() {
+        let m = Matrix::vandermonde(5, 3);
+        let shards: Vec<Vec<u8>> = vec![vec![1, 2, 3, 4], vec![5, 6, 7, 8], vec![9, 10, 11, 12]];
+        let shard_refs: Vec<&[u8]> = shards.iter().map(|s| s.as_slice()).collect();
+        let full = m.apply_to_shards(&shard_refs).unwrap();
+        for (i, expected) in full.iter().enumerate() {
+            assert_eq!(&m.apply_row_to_shards(i, &shard_refs).unwrap(), expected);
+        }
+        let ragged: Vec<&[u8]> = vec![&[1, 2], &[3]];
+        assert!(m.apply_row_to_shards(0, &ragged).is_err());
+        assert!(m.apply_row_to_shards(0, &shard_refs[..2]).is_err());
     }
 
     #[test]

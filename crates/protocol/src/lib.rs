@@ -35,5 +35,6 @@ mod value;
 
 pub use layout::Layout;
 pub use quorum::QuorumTracker;
+pub use soda_rs_code::{CodeCacheStats, MdsCode};
 pub use tag::Tag;
 pub use value::{value_from, value_len, Value};

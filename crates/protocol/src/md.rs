@@ -26,8 +26,8 @@
 
 use crate::{Layout, Tag, Value};
 use soda_rs_code::{CodedElement, MdsCode};
+use soda_simnet::FastHashSet;
 use soda_simnet::ProcessId;
-use std::collections::HashSet;
 
 /// Unique identifier of one invocation of a message-disperse primitive.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -97,24 +97,22 @@ pub struct Dispatch<M> {
 
 /// Sender side of MD-VALUE: the messages the invoking process (a writer in
 /// SODA) must send, in order. The full value goes to the first `f + 1`
-/// servers.
+/// servers. Returned lazily: the hot path iterates straight into the
+/// network without materializing a dispatch vector.
 pub fn md_value_send(
     layout: &Layout,
     mid: MessageId,
     tag: Tag,
     value: Value,
-) -> Vec<Dispatch<MdValueMsg>> {
-    layout
-        .relay_set()
-        .map(|rank| Dispatch {
-            to_rank: rank,
-            msg: MdValueMsg::Full {
-                mid,
-                tag,
-                value: value.clone(),
-            },
-        })
-        .collect()
+) -> impl Iterator<Item = Dispatch<MdValueMsg>> {
+    layout.relay_set().map(move |rank| Dispatch {
+        to_rank: rank,
+        msg: MdValueMsg::Full {
+            mid,
+            tag,
+            value: value.clone(),
+        },
+    })
 }
 
 /// What a server does after receiving an MD-VALUE message: possibly deliver a
@@ -134,7 +132,7 @@ pub struct MdValueAction {
 #[derive(Debug)]
 pub struct MdValueRelay {
     my_rank: usize,
-    handled: HashSet<MessageId>,
+    handled: FastHashSet<MessageId>,
 }
 
 impl MdValueRelay {
@@ -142,7 +140,7 @@ impl MdValueRelay {
     pub fn new(my_rank: usize) -> Self {
         MdValueRelay {
             my_rank,
-            handled: HashSet::new(),
+            handled: FastHashSet::default(),
         }
     }
 
@@ -163,18 +161,35 @@ impl MdValueRelay {
         tag: Tag,
         value: &Value,
     ) -> MdValueAction {
+        let mut relays = Vec::new();
+        let deliver = self.on_full_with(layout, code, mid, tag, value, |d| relays.push(d));
+        MdValueAction { deliver, relays }
+    }
+
+    /// Allocation-free variant of [`Self::on_full`]: relays are handed to the
+    /// `relay` callback as they are produced instead of being collected. This
+    /// is the form the server hot path uses — it feeds dispatches straight
+    /// into the network context.
+    pub fn on_full_with(
+        &mut self,
+        layout: &Layout,
+        code: &dyn MdsCode,
+        mid: MessageId,
+        tag: Tag,
+        value: &Value,
+        mut relay: impl FnMut(Dispatch<MdValueMsg>),
+    ) -> Option<(Tag, CodedElement)> {
         if !self.handled.insert(mid) {
-            return MdValueAction::default();
+            return None;
         }
         let n = layout.n();
         let relay_top = layout.relay_set().end; // f + 1 (capped at n)
         let elements = code
             .encode(value)
             .expect("layout and code dimensions agree");
-        let mut relays = Vec::new();
         // (a) forward the full value to higher-ranked servers in D.
         for rank in (self.my_rank + 1)..relay_top {
-            relays.push(Dispatch {
+            relay(Dispatch {
                 to_rank: rank,
                 msg: MdValueMsg::Full {
                     mid,
@@ -188,7 +203,7 @@ impl MdValueRelay {
         for rank in
             (0..n).filter(|&r| r != self.my_rank && !((self.my_rank + 1)..relay_top).contains(&r))
         {
-            relays.push(Dispatch {
+            relay(Dispatch {
                 to_rank: rank,
                 msg: MdValueMsg::Coded {
                     mid,
@@ -198,8 +213,7 @@ impl MdValueRelay {
             });
         }
         // (c) deliver the local element.
-        let deliver = Some((tag, elements[self.my_rank].clone()));
-        MdValueAction { deliver, relays }
+        Some((tag, elements[self.my_rank].clone()))
     }
 
     /// Handles receipt of a coded element addressed to this server. Delivers
@@ -228,21 +242,19 @@ pub struct MdMetaMsg<P> {
 }
 
 /// Sender side of MD-META: send the payload to the first `f + 1` servers.
+/// Returned lazily, like [`md_value_send`].
 pub fn md_meta_send<P: Clone>(
     layout: &Layout,
     mid: MessageId,
     payload: P,
-) -> Vec<Dispatch<MdMetaMsg<P>>> {
-    layout
-        .relay_set()
-        .map(|rank| Dispatch {
-            to_rank: rank,
-            msg: MdMetaMsg {
-                mid,
-                payload: payload.clone(),
-            },
-        })
-        .collect()
+) -> impl Iterator<Item = Dispatch<MdMetaMsg<P>>> {
+    layout.relay_set().map(move |rank| Dispatch {
+        to_rank: rank,
+        msg: MdMetaMsg {
+            mid,
+            payload: payload.clone(),
+        },
+    })
 }
 
 /// Result of a server receiving an MD-META message.
@@ -268,7 +280,7 @@ impl<P> Default for MdMetaAction<P> {
 #[derive(Debug)]
 pub struct MdMetaRelay {
     my_rank: usize,
-    handled: HashSet<MessageId>,
+    handled: FastHashSet<MessageId>,
 }
 
 impl MdMetaRelay {
@@ -276,7 +288,7 @@ impl MdMetaRelay {
     pub fn new(my_rank: usize) -> Self {
         MdMetaRelay {
             my_rank,
-            handled: HashSet::new(),
+            handled: FastHashSet::default(),
         }
     }
 
@@ -298,16 +310,29 @@ impl MdMetaRelay {
         mid: MessageId,
         payload: &P,
     ) -> MdMetaAction<P> {
-        if !self.handled.insert(mid) {
-            return MdMetaAction::default();
-        }
         let mut relays = Vec::new();
+        let deliver = self.on_meta_with(layout, mid, payload, |d| relays.push(d));
+        MdMetaAction { deliver, relays }
+    }
+
+    /// Allocation-free variant of [`Self::on_meta`]: relays are handed to the
+    /// `relay` callback as they are produced instead of being collected.
+    pub fn on_meta_with<P: Clone>(
+        &mut self,
+        layout: &Layout,
+        mid: MessageId,
+        payload: &P,
+        mut relay: impl FnMut(Dispatch<MdMetaMsg<P>>),
+    ) -> Option<P> {
+        if !self.handled.insert(mid) {
+            return None;
+        }
         if layout.in_relay_set(self.my_rank) {
             let relay_top = layout.relay_set().end;
             // Higher-ranked backbone servers get the payload (continuing the
             // chain), and every server outside the backbone gets it directly.
             for rank in (self.my_rank + 1)..relay_top {
-                relays.push(Dispatch {
+                relay(Dispatch {
                     to_rank: rank,
                     msg: MdMetaMsg {
                         mid,
@@ -316,7 +341,7 @@ impl MdMetaRelay {
                 });
             }
             for rank in relay_top..layout.n() {
-                relays.push(Dispatch {
+                relay(Dispatch {
                     to_rank: rank,
                     msg: MdMetaMsg {
                         mid,
@@ -328,7 +353,7 @@ impl MdMetaRelay {
             // crashed part-way through its ordered send; cover them too so the
             // uniformity property holds regardless of where the sender stopped.
             for rank in 0..self.my_rank {
-                relays.push(Dispatch {
+                relay(Dispatch {
                     to_rank: rank,
                     msg: MdMetaMsg {
                         mid,
@@ -337,10 +362,7 @@ impl MdMetaRelay {
                 });
             }
         }
-        MdMetaAction {
-            deliver: Some(payload.clone()),
-            relays,
-        }
+        Some(payload.clone())
     }
 }
 
@@ -366,7 +388,7 @@ mod tests {
     fn sender_targets_first_f_plus_one_servers_in_order() {
         let l = layout(7, 2);
         let v = value_from(vec![1u8; 30]);
-        let sends = md_value_send(&l, mid(1), tag(), v.clone());
+        let sends: Vec<_> = md_value_send(&l, mid(1), tag(), v.clone()).collect();
         assert_eq!(sends.len(), 3);
         for (i, d) in sends.iter().enumerate() {
             assert_eq!(d.to_rank, i);
@@ -540,7 +562,7 @@ mod tests {
     #[test]
     fn meta_sender_and_backbone_relay() {
         let l = layout(6, 2);
-        let sends = md_meta_send(&l, mid(1), "READ-VALUE");
+        let sends: Vec<_> = md_meta_send(&l, mid(1), "READ-VALUE").collect();
         assert_eq!(sends.len(), 3);
         assert_eq!(sends[0].to_rank, 0);
         assert_eq!(sends[2].msg.payload, "READ-VALUE");

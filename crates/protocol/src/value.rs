@@ -1,19 +1,20 @@
 //! Object values.
 //!
-//! The simulated network clones messages on every hop, so values are wrapped
-//! in an `Arc` to keep cloning O(1). Cost accounting still reports the full
-//! byte length of the value for every message that carries it, matching the
-//! paper's model where sending a value costs its size regardless of any
-//! sharing tricks inside the simulator.
+//! The simulated network clones messages on every hop, so values are
+//! [`Bytes`] — a shared immutable buffer whose clone is O(1) (an `Arc` bump,
+//! no copy). Cost accounting still reports the full byte length of the value
+//! for every message that carries it, matching the paper's model where
+//! sending a value costs its size regardless of any sharing tricks inside the
+//! simulator.
 
-use std::sync::Arc;
+pub use soda_rs_code::Bytes;
 
 /// A cheaply clonable object value.
-pub type Value = Arc<Vec<u8>>;
+pub type Value = Bytes;
 
 /// Wraps raw bytes as a [`Value`].
 pub fn value_from(bytes: Vec<u8>) -> Value {
-    Arc::new(bytes)
+    Bytes::from(bytes)
 }
 
 /// Byte length of a value.
@@ -30,7 +31,7 @@ mod tests {
         let v = value_from(vec![1, 2, 3, 4]);
         assert_eq!(value_len(&v), 4);
         let v2 = v.clone();
-        assert!(Arc::ptr_eq(&v, &v2), "clone shares the allocation");
+        assert!(Bytes::ptr_eq(&v, &v2), "clone shares the allocation");
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::cluster::RegisterCluster;
 use crate::kind::{ClusterDescriptor, ProtocolKind};
 use crate::record::{sort_records, OpKind, OpRecord, PendingWriteRecord, RepairReport};
 use soda_baselines::cas::{CasCluster, CasParams};
+use soda_protocol::MdsCode;
 use soda_simnet::{ProcessId, RunOutcome, SimTime, Stats};
 use std::any::Any;
 
@@ -159,6 +160,10 @@ impl RegisterCluster for CasRegisterCluster {
 
     fn stats(&self) -> Stats {
         self.inner.stats()
+    }
+
+    fn decode_cache_stats(&self) -> soda_protocol::CodeCacheStats {
+        self.inner.config().code().cache_stats()
     }
 
     fn completed_ops(&self) -> Vec<OpRecord> {

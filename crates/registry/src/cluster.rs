@@ -125,6 +125,13 @@ pub trait RegisterCluster: Send {
         self.stored_bytes_per_server().iter().sum()
     }
 
+    /// Decode-matrix cache counters of the cluster's erasure code (hits,
+    /// misses, inversions). Replication-based protocols, which never invert a
+    /// matrix, report all zeros.
+    fn decode_cache_stats(&self) -> soda_protocol::CodeCacheStats {
+        soda_protocol::CodeCacheStats::default()
+    }
+
     /// The value-data bytes attributable to one read, given a windowed
     /// [`Stats`] covering it (see [`Stats::since`]).
     ///

@@ -194,6 +194,10 @@ impl RegisterCluster for SodaRegisterCluster {
         self.inner.stats()
     }
 
+    fn decode_cache_stats(&self) -> soda_protocol::CodeCacheStats {
+        self.inner.soda_config().code().cache_stats()
+    }
+
     fn completed_ops(&self) -> Vec<OpRecord> {
         let mut ops: Vec<OpRecord> = self
             .inner

@@ -174,7 +174,7 @@ impl BerlekampWelchCode {
                 shard[col] = p.eval(Self::point(i)).value();
             }
         }
-        reassemble(&data_shards).ok_or(CodeError::CorruptPayload)
+        Ok(reassemble(&data_shards)?)
     }
 }
 
@@ -191,8 +191,16 @@ impl MdsCode for BerlekampWelchCode {
         self.inner.encode(value)
     }
 
+    fn encode_one(&self, value: &[u8], index: usize) -> Result<CodedElement, CodeError> {
+        self.inner.encode_one(value, index)
+    }
+
     fn decode(&self, elements: &[CodedElement]) -> Result<Vec<u8>, CodeError> {
         self.inner.decode(elements)
+    }
+
+    fn cache_stats(&self) -> crate::CodeCacheStats {
+        self.inner.cache_stats()
     }
 
     fn decode_with_errors(
@@ -328,7 +336,7 @@ mod tests {
     }
 
     fn corrupt(element: &mut CodedElement, seed: u8) {
-        for (i, b) in element.data.iter_mut().enumerate() {
+        for (i, b) in element.data.make_mut().iter_mut().enumerate() {
             *b ^= seed.wrapping_add(i as u8) | 1;
         }
     }
@@ -381,7 +389,7 @@ mod tests {
         let mut elements = code.encode(&value).unwrap();
         let original_first = elements[3].data[0];
         corrupt(&mut elements[3], 0x55);
-        elements[3].data[0] = original_first;
+        elements[3].data.make_mut()[0] = original_first;
         let decoded = code.decode_with_errors(&elements, 2).unwrap();
         assert_eq!(decoded, value);
     }
@@ -393,7 +401,7 @@ mod tests {
         let value = sample_value(30);
         let mut elements = code.encode(&value).unwrap();
         let mid = elements[2].data.len() / 2;
-        elements[2].data[mid] ^= 0xFF;
+        elements[2].data.make_mut()[mid] ^= 0xFF;
         assert_eq!(code.decode_with_errors(&elements, 1).unwrap(), value);
     }
 

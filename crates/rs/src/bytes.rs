@@ -1,0 +1,206 @@
+//! A cheaply-clonable immutable byte buffer.
+//!
+//! Coded-element payloads flow through the simulated network (which clones
+//! every message on duplication and relay), through per-server storage, and
+//! through reader-side collection maps. With `Vec<u8>` payloads each of those
+//! steps memcpy'd the element bytes; [`Bytes`] wraps them in an `Arc<[u8]>`
+//! so a clone is one atomic increment and the bytes are shared — a single
+//! allocation with no extra indirection (unlike `Arc<Vec<u8>>`, the length
+//! lives in the fat pointer, not behind a second pointer chase).
+//!
+//! Cost accounting is unaffected: every message still reports the full byte
+//! length of the payload it carries, matching the paper's model where sending
+//! a value costs its size regardless of sharing tricks inside the simulator.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, cheaply-clonable byte buffer (`Arc<[u8]>` with ergonomics).
+#[derive(Clone, PartialOrd, Ord)]
+pub struct Bytes(Arc<[u8]>);
+
+// Manual impl alongside the manual `PartialEq`: both look only at the byte
+// contents, so equal buffers hash equally whether or not they share an
+// allocation.
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.hash(state);
+    }
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation is shared, but creation is cheap).
+    pub fn new() -> Self {
+        Bytes(Arc::from(&[][..]))
+    }
+
+    /// The bytes as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Copies the bytes into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.to_vec()
+    }
+
+    /// Mutable access via copy-on-write: if this buffer is shared, the bytes
+    /// are copied into a fresh unique allocation first. Used by fault
+    /// injection (disk corruption, byzantine senders) and tests; the protocol
+    /// hot paths never mutate payloads.
+    pub fn make_mut(&mut self) -> &mut [u8] {
+        if Arc::get_mut(&mut self.0).is_none() {
+            self.0 = Arc::from(&self.0[..]);
+        }
+        Arc::get_mut(&mut self.0).expect("unique after copy-on-write")
+    }
+
+    /// True if two buffers share the same allocation (zero-copy check).
+    pub fn ptr_eq(a: &Bytes, b: &Bytes) -> bool {
+        Arc::ptr_eq(&a.0, &b.0)
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    #[inline]
+    fn borrow(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(Arc::from(v))
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes(Arc::from(v))
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Bytes {
+    fn from(v: [u8; N]) -> Self {
+        Bytes(Arc::from(&v[..]))
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Bytes {
+    fn from(v: &[u8; N]) -> Self {
+        Bytes(Arc::from(&v[..]))
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Bytes(iter.into_iter().collect())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self.0[..] == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        &self.0[..] == other.as_slice()
+    }
+}
+
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == &other.0[..]
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.0[..] == other[..]
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes({} bytes)", self.0.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_the_allocation() {
+        let a = Bytes::from(vec![1u8, 2, 3]);
+        let b = a.clone();
+        assert!(Bytes::ptr_eq(&a, &b));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn make_mut_copies_only_when_shared() {
+        let mut a = Bytes::from(vec![1u8, 2, 3]);
+        let b = a.clone();
+        a.make_mut()[0] = 9;
+        assert_eq!(a, vec![9u8, 2, 3]);
+        assert_eq!(b, vec![1u8, 2, 3], "shared copy untouched");
+        assert!(!Bytes::ptr_eq(&a, &b));
+        // Unique buffer: mutation happens in place, no new allocation.
+        let before = a.as_slice().as_ptr();
+        a.make_mut()[1] = 8;
+        assert_eq!(a.as_slice().as_ptr(), before);
+        assert_eq!(a, vec![9u8, 8, 3]);
+    }
+
+    #[test]
+    fn equality_and_conversions() {
+        let a = Bytes::from(vec![5u8, 6]);
+        assert_eq!(a, [5u8, 6]);
+        assert_eq!(a, vec![5u8, 6]);
+        assert_eq!(a[..], [5u8, 6][..]);
+        assert_eq!(a.to_vec(), vec![5, 6]);
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+        assert!(Bytes::new().is_empty());
+        assert!(Bytes::default().is_empty());
+        let c: Bytes = (0u8..4).collect();
+        assert_eq!(c, vec![0u8, 1, 2, 3]);
+        assert_eq!(Bytes::from(&[7u8, 8][..]), Bytes::from([7u8, 8]));
+        assert!(format!("{a:?}").contains("2 bytes"));
+    }
+}

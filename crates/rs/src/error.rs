@@ -45,6 +45,14 @@ pub enum CodeError {
     CorruptPayload,
 }
 
+impl From<crate::ReassembleError> for CodeError {
+    /// Any reassembly failure after a successful decode means the decoded
+    /// symbols are structurally corrupt.
+    fn from(_: crate::ReassembleError) -> Self {
+        CodeError::CorruptPayload
+    }
+}
+
 impl fmt::Display for CodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -42,13 +42,17 @@
 #![forbid(unsafe_code)]
 
 mod bw;
+mod bytes;
+mod cache;
 mod error;
 mod shard;
 mod vandermonde;
 
 pub use bw::BerlekampWelchCode;
+pub use bytes::Bytes;
+pub use cache::CodeCacheStats;
 pub use error::CodeError;
-pub use shard::{pad_and_split, reassemble, CodedElement};
+pub use shard::{pad_and_split, reassemble, CodedElement, ReassembleError, LENGTH_HEADER};
 pub use vandermonde::VandermondeCode;
 
 /// Common interface of the `[n, k]` MDS codes used by the protocols.
@@ -101,6 +105,12 @@ pub trait MdsCode: Send + Sync {
     /// element (`n/k` in the paper's cost model).
     fn total_storage_fraction(&self) -> f64 {
         self.n() as f64 / self.k() as f64
+    }
+
+    /// Decode-matrix cache counters of this code instance (hits, misses,
+    /// inversions performed). Codes without a cache report all zeros.
+    fn cache_stats(&self) -> CodeCacheStats {
+        CodeCacheStats::default()
     }
 }
 

@@ -7,22 +7,31 @@
 //! message word, so shard length = coded-element length = `ceil((len+8)/k)`,
 //! matching the paper's "each coded element has size 1/k" accounting.
 
+use crate::Bytes;
 use std::fmt;
 
 /// One coded element `c_i = Φ_i(v)`: the index identifies which of the `n`
 /// code positions (equivalently, which server) this element belongs to.
+///
+/// The payload is a [`Bytes`] buffer: cloning an element — which the
+/// simulated network does on every relay, duplication and storage step — is
+/// O(1) and shares the underlying bytes.
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct CodedElement {
     /// Code position in `0..n`.
     pub index: usize,
     /// The element payload (all elements of one codeword have equal length).
-    pub data: Vec<u8>,
+    pub data: Bytes,
 }
 
 impl CodedElement {
-    /// Creates a coded element.
-    pub fn new(index: usize, data: Vec<u8>) -> Self {
-        CodedElement { index, data }
+    /// Creates a coded element from anything convertible to [`Bytes`]
+    /// (`Vec<u8>`, `&[u8]`, an existing `Bytes`, …).
+    pub fn new(index: usize, data: impl Into<Bytes>) -> Self {
+        CodedElement {
+            index,
+            data: data.into(),
+        }
     }
 
     /// Length of the payload in bytes.
@@ -50,6 +59,50 @@ impl fmt::Debug for CodedElement {
 /// Length of the length header prepended to every value before splitting.
 pub const LENGTH_HEADER: usize = 8;
 
+/// Why [`reassemble`] rejected its input. Every variant indicates corruption
+/// (or a protocol bug): honestly encoded shards always reassemble.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReassembleError {
+    /// No shards were supplied.
+    NoShards,
+    /// The shards do not all have the same length.
+    RaggedShards,
+    /// The combined shards are shorter than the 8-byte length header, so no
+    /// length can even be read.
+    TruncatedHeader {
+        /// Combined payload bytes available.
+        available: usize,
+    },
+    /// The embedded length header claims more payload bytes than the shards
+    /// can hold (`shards.len() * shard_len − 8`).
+    LengthOutOfBounds {
+        /// The length the header claims.
+        claimed: usize,
+        /// Maximum payload the shards could carry.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for ReassembleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReassembleError::NoShards => write!(f, "no shards to reassemble"),
+            ReassembleError::RaggedShards => write!(f, "shards have unequal lengths"),
+            ReassembleError::TruncatedHeader { available } => write!(
+                f,
+                "shards too short for the {LENGTH_HEADER}-byte length header \
+                 ({available} bytes available)"
+            ),
+            ReassembleError::LengthOutOfBounds { claimed, capacity } => write!(
+                f,
+                "length header claims {claimed} bytes but shards hold at most {capacity}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReassembleError {}
+
 /// Prefixes the value with its length, pads it to a multiple of `k`, and
 /// splits it into `k` equal-length data shards.
 ///
@@ -67,41 +120,56 @@ pub fn pad_and_split(value: &[u8], k: usize) -> Vec<Vec<u8>> {
     padded.resize(padded_len, 0);
 
     let mut shards = vec![vec![0u8; shard_len]; k];
-    for (pos, &byte) in padded.iter().enumerate() {
-        shards[pos % k][pos / k] = byte;
+    // Gather stride-k: sequential writes per shard, no div/mod per byte.
+    for (i, shard) in shards.iter_mut().enumerate() {
+        for (slot, &byte) in shard.iter_mut().zip(padded[i..].iter().step_by(k)) {
+            *slot = byte;
+        }
     }
     shards
 }
 
 /// Inverse of [`pad_and_split`]: reassembles the original value from the `k`
-/// data shards. Returns `None` if the embedded length header is inconsistent
-/// with the shard sizes (which indicates corruption).
-pub fn reassemble(shards: &[Vec<u8>]) -> Option<Vec<u8>> {
+/// data shards, validating the 8-byte length header against the shard
+/// capacity before trusting it.
+pub fn reassemble(shards: &[Vec<u8>]) -> Result<Vec<u8>, ReassembleError> {
     let k = shards.len();
     if k == 0 {
-        return None;
+        return Err(ReassembleError::NoShards);
     }
     let shard_len = shards[0].len();
     if shards.iter().any(|s| s.len() != shard_len) {
-        return None;
+        return Err(ReassembleError::RaggedShards);
     }
     let padded_len = shard_len * k;
     if padded_len < LENGTH_HEADER {
-        return None;
+        return Err(ReassembleError::TruncatedHeader {
+            available: padded_len,
+        });
     }
     let mut padded = vec![0u8; padded_len];
+    // Scatter stride-k: sequential reads per shard, no multiply per byte.
     for (i, shard) in shards.iter().enumerate() {
-        for (j, &byte) in shard.iter().enumerate() {
-            padded[j * k + i] = byte;
+        for (slot, &byte) in padded[i..].iter_mut().step_by(k).zip(shard.iter()) {
+            *slot = byte;
         }
     }
     let mut len_bytes = [0u8; 8];
     len_bytes.copy_from_slice(&padded[..LENGTH_HEADER]);
-    let value_len = u64::from_le_bytes(len_bytes) as usize;
-    if value_len > padded_len - LENGTH_HEADER {
-        return None;
+    let claimed = u64::from_le_bytes(len_bytes);
+    let capacity = padded_len - LENGTH_HEADER;
+    // Compare in u64: a header claiming close to 2^64 must not wrap when cast
+    // to usize on 32-bit targets.
+    if claimed > capacity as u64 {
+        return Err(ReassembleError::LengthOutOfBounds {
+            claimed: claimed.min(usize::MAX as u64) as usize,
+            capacity,
+        });
     }
-    Some(padded[LENGTH_HEADER..LENGTH_HEADER + value_len].to_vec())
+    let value_len = claimed as usize;
+    padded.truncate(LENGTH_HEADER + value_len);
+    padded.drain(..LENGTH_HEADER);
+    Ok(padded)
 }
 
 #[cfg(test)]
@@ -143,22 +211,88 @@ mod tests {
     fn reassemble_rejects_ragged_shards() {
         let mut shards = pad_and_split(b"hello world", 3);
         shards[1].push(0);
-        assert!(reassemble(&shards).is_none());
+        assert_eq!(reassemble(&shards), Err(ReassembleError::RaggedShards));
     }
 
     #[test]
     fn reassemble_rejects_empty_input() {
-        assert!(reassemble(&[]).is_none());
+        assert_eq!(reassemble(&[]), Err(ReassembleError::NoShards));
     }
 
     #[test]
-    fn reassemble_rejects_corrupt_length_header() {
+    fn reassemble_rejects_truncated_header() {
+        // 3 shards of 2 bytes = 6 bytes total, shorter than the 8-byte header.
+        let shards = vec![vec![0u8; 2]; 3];
+        assert_eq!(
+            reassemble(&shards),
+            Err(ReassembleError::TruncatedHeader { available: 6 })
+        );
+        // Zero-length shards: 0 bytes available.
+        let shards = vec![Vec::new(); 4];
+        assert_eq!(
+            reassemble(&shards),
+            Err(ReassembleError::TruncatedHeader { available: 0 })
+        );
+    }
+
+    #[test]
+    fn reassemble_rejects_oversized_length_header() {
         let mut shards = pad_and_split(b"abc", 2);
         // Overwrite the length header with an absurd value.
         shards[0][0] = 0xff;
         shards[1][0] = 0xff;
         shards[0][1] = 0xff;
-        assert!(reassemble(&shards).is_none());
+        let err = reassemble(&shards).unwrap_err();
+        assert!(
+            matches!(err, ReassembleError::LengthOutOfBounds { claimed, capacity }
+                if claimed > capacity),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn reassemble_rejects_length_one_past_capacity() {
+        // The tightest off-by-one: header claims exactly capacity + 1.
+        let value = vec![7u8; 10];
+        let mut shards = pad_and_split(&value, 3);
+        let capacity = shards[0].len() * 3 - LENGTH_HEADER;
+        let claimed = (capacity + 1) as u64;
+        for (pos, byte) in claimed.to_le_bytes().into_iter().enumerate() {
+            shards[pos % 3][pos / 3] = byte;
+        }
+        assert_eq!(
+            reassemble(&shards),
+            Err(ReassembleError::LengthOutOfBounds {
+                claimed: capacity + 1,
+                capacity,
+            })
+        );
+        // Claiming exactly `capacity` is structurally valid (padding bytes
+        // become payload, but the header is in bounds).
+        let claimed = capacity as u64;
+        for (pos, byte) in claimed.to_le_bytes().into_iter().enumerate() {
+            shards[pos % 3][pos / 3] = byte;
+        }
+        assert_eq!(reassemble(&shards).unwrap().len(), capacity);
+    }
+
+    #[test]
+    fn reassemble_error_display_is_informative() {
+        let msgs = [
+            ReassembleError::NoShards.to_string(),
+            ReassembleError::RaggedShards.to_string(),
+            ReassembleError::TruncatedHeader { available: 4 }.to_string(),
+            ReassembleError::LengthOutOfBounds {
+                claimed: 100,
+                capacity: 8,
+            }
+            .to_string(),
+        ];
+        for m in &msgs {
+            assert!(!m.is_empty());
+        }
+        assert!(msgs[3].contains("100"));
+        assert!(msgs[3].contains('8'));
     }
 
     #[test]
@@ -176,5 +310,12 @@ mod tests {
         assert!(CodedElement::new(0, vec![]).is_empty());
         let dbg = format!("{e:?}");
         assert!(dbg.contains("idx=3"));
+    }
+
+    #[test]
+    fn coded_element_clone_shares_payload() {
+        let e = CodedElement::new(1, vec![1u8; 4096]);
+        let f = e.clone();
+        assert!(Bytes::ptr_eq(&e.data, &f.data), "clone must be zero-copy");
     }
 }

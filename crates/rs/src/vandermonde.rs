@@ -7,17 +7,32 @@
 //! `k` rows of the resulting matrix remain linearly independent (the MDS
 //! property is preserved by column operations), so the value can be decoded
 //! from any `k` coded elements by inverting the corresponding row submatrix.
+//!
+//! Matrix construction and inversion are cached (see [`crate::cache`]): the
+//! encoding matrix is shared process-wide per `(n, k)`, and decode matrices
+//! are memoized per survivor index set in an LRU shared by clones of the
+//! instance — one inversion per survivor set, not one per decode.
 
-use crate::{pad_and_split, reassemble, validate_params, CodeError, CodedElement, MdsCode};
+use crate::cache::{encode_matrix_for, DecodeCache};
+use crate::{
+    pad_and_split, reassemble, validate_params, CodeCacheStats, CodeError, CodedElement, MdsCode,
+};
 use soda_gf::Matrix;
+use std::sync::Arc;
 
 /// Systematic Vandermonde-derived `[n, k]` MDS code (erasure decoding only).
 #[derive(Clone)]
 pub struct VandermondeCode {
     n: usize,
     k: usize,
-    /// The full `n × k` systematic encoding matrix.
-    encoding: Matrix,
+    /// The full `n × k` systematic encoding matrix (shared per `(n, k)`).
+    encoding: Arc<Matrix>,
+    /// Rows `k..n` of `encoding` — the parity rows. Encoding only multiplies
+    /// these: the systematic rows are the identity, so the data shards are
+    /// the first `k` coded elements verbatim.
+    parity: Matrix,
+    /// Survivor-set → inverted-matrix LRU, shared by clones of this instance.
+    decode_cache: Arc<DecodeCache>,
 }
 
 impl std::fmt::Debug for VandermondeCode {
@@ -31,16 +46,26 @@ impl VandermondeCode {
     /// representable in GF(2^8) (`k = 0`, `k > n`, or `n > 255`).
     pub fn new(n: usize, k: usize) -> Result<Self, CodeError> {
         validate_params(n, k)?;
-        let vandermonde = Matrix::vandermonde(n, k);
-        let top: Vec<usize> = (0..k).collect();
-        let top_inv = vandermonde
-            .select_rows(&top)
-            .inverse()
-            .expect("top block of a Vandermonde matrix is invertible");
-        let encoding = vandermonde
-            .mul(&top_inv)
-            .expect("dimensions agree by construction");
-        Ok(VandermondeCode { n, k, encoding })
+        let encoding = encode_matrix_for(n, k, || {
+            let vandermonde = Matrix::vandermonde(n, k);
+            let top: Vec<usize> = (0..k).collect();
+            let top_inv = vandermonde
+                .select_rows(&top)
+                .inverse()
+                .expect("top block of a Vandermonde matrix is invertible");
+            vandermonde
+                .mul(&top_inv)
+                .expect("dimensions agree by construction")
+        });
+        let parity_rows: Vec<usize> = (k..n).collect();
+        let parity = encoding.select_rows(&parity_rows);
+        Ok(VandermondeCode {
+            n,
+            k,
+            encoding,
+            parity,
+            decode_cache: Arc::new(DecodeCache::default()),
+        })
     }
 
     /// Convenience constructor matching SODA's choice `k = n - f`.
@@ -57,8 +82,10 @@ impl VandermondeCode {
     }
 
     /// Validates a set of coded elements: distinct in-range indices, equal
-    /// lengths, at least `need` of them. Returns the (index, data) selection
-    /// truncated to exactly `need` elements.
+    /// lengths, at least `need` of them. Returns the selection truncated to
+    /// exactly `need` elements, **sorted by index** — decode output is
+    /// independent of row order, and the sorted index set is the canonical
+    /// decode-cache key.
     fn validate_elements<'a>(
         &self,
         elements: &'a [CodedElement],
@@ -87,7 +114,9 @@ impl VandermondeCode {
                 return Err(CodeError::InconsistentElementLength);
             }
         }
-        Ok(elements.iter().take(need).collect())
+        let mut chosen: Vec<&CodedElement> = elements.iter().take(need).collect();
+        chosen.sort_unstable_by_key(|e| e.index);
+        Ok(chosen)
     }
 }
 
@@ -101,29 +130,62 @@ impl MdsCode for VandermondeCode {
     }
 
     fn encode(&self, value: &[u8]) -> Result<Vec<CodedElement>, CodeError> {
+        // Systematic fast path: rows `0..k` of the encoding matrix are the
+        // identity, so the data shards *are* the first `k` coded elements —
+        // only the `n - k` parity rows need GF multiplies.
         let data_shards = pad_and_split(value, self.k);
         let refs: Vec<&[u8]> = data_shards.iter().map(|s| s.as_slice()).collect();
-        let coded = self
-            .encoding
+        let parity = self
+            .parity
             .apply_to_shards(&refs)
             .expect("shard count equals k by construction");
-        Ok(coded
-            .into_iter()
-            .enumerate()
-            .map(|(i, data)| CodedElement::new(i, data))
-            .collect())
+        let mut out = Vec::with_capacity(self.n);
+        out.extend(
+            data_shards
+                .into_iter()
+                .enumerate()
+                .map(|(i, data)| CodedElement::new(i, data)),
+        );
+        out.extend(
+            parity
+                .into_iter()
+                .enumerate()
+                .map(|(j, data)| CodedElement::new(self.k + j, data)),
+        );
+        Ok(out)
+    }
+
+    fn encode_one(&self, value: &[u8], index: usize) -> Result<CodedElement, CodeError> {
+        if index >= self.n {
+            return Err(CodeError::InvalidIndex { index, n: self.n });
+        }
+        let mut data_shards = pad_and_split(value, self.k);
+        if index < self.k {
+            // Systematic row: the coded element is the data shard itself.
+            return Ok(CodedElement::new(index, data_shards.swap_remove(index)));
+        }
+        let refs: Vec<&[u8]> = data_shards.iter().map(|s| s.as_slice()).collect();
+        let data = self
+            .parity
+            .apply_row_to_shards(index - self.k, &refs)
+            .expect("shard count equals k by construction");
+        Ok(CodedElement::new(index, data))
     }
 
     fn decode(&self, elements: &[CodedElement]) -> Result<Vec<u8>, CodeError> {
         let chosen = self.validate_elements(elements, self.k)?;
         let indices: Vec<usize> = chosen.iter().map(|e| e.index).collect();
-        let sub = self.encoding.select_rows(&indices);
-        let inv = sub.inverse().map_err(|_| CodeError::TooManyErrors)?;
-        let shard_refs: Vec<&[u8]> = chosen.iter().map(|e| e.data.as_slice()).collect();
+        let inv = self.decode_cache.get_or_invert(&indices, || {
+            self.encoding
+                .select_rows(&indices)
+                .inverse()
+                .map_err(|_| CodeError::TooManyErrors)
+        })?;
+        let shard_refs: Vec<&[u8]> = chosen.iter().map(|e| &e.data[..]).collect();
         let data_shards = inv
             .apply_to_shards(&shard_refs)
             .expect("dimensions agree by construction");
-        reassemble(&data_shards).ok_or(CodeError::CorruptPayload)
+        Ok(reassemble(&data_shards)?)
     }
 
     fn decode_with_errors(
@@ -135,6 +197,10 @@ impl MdsCode for VandermondeCode {
             return self.decode(elements);
         }
         Err(CodeError::ErrorsNotSupported)
+    }
+
+    fn cache_stats(&self) -> CodeCacheStats {
+        self.decode_cache.stats()
     }
 }
 
@@ -178,6 +244,75 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn decode_is_order_independent() {
+        let code = VandermondeCode::new(6, 3).unwrap();
+        let value = sample_value(64);
+        let elements = code.encode(&value).unwrap();
+        let orders: [[usize; 3]; 4] = [[5, 1, 3], [3, 5, 1], [1, 3, 5], [5, 3, 1]];
+        for order in orders {
+            let subset: Vec<CodedElement> = order.iter().map(|&i| elements[i].clone()).collect();
+            assert_eq!(code.decode(&subset).unwrap(), value, "order {order:?}");
+        }
+        // All four permutations share one survivor set {1, 3, 5}: exactly one
+        // inversion.
+        let stats = code.cache_stats();
+        assert_eq!(stats.inversions, 1);
+        assert_eq!(stats.hits, 3);
+    }
+
+    #[test]
+    fn repeated_decodes_invert_once_per_survivor_set() {
+        let code = VandermondeCode::new(5, 3).unwrap();
+        let value = sample_value(80);
+        let elements = code.encode(&value).unwrap();
+        let set_a = vec![
+            elements[0].clone(),
+            elements[1].clone(),
+            elements[4].clone(),
+        ];
+        let set_b = vec![
+            elements[2].clone(),
+            elements[3].clone(),
+            elements[4].clone(),
+        ];
+        for _ in 0..10 {
+            assert_eq!(code.decode(&set_a).unwrap(), value);
+        }
+        for _ in 0..5 {
+            assert_eq!(code.decode(&set_b).unwrap(), value);
+        }
+        let stats = code.cache_stats();
+        assert_eq!(stats.inversions, 2, "one inversion per survivor set");
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.hits, 13);
+        assert!(stats.hit_rate() > 0.85);
+    }
+
+    #[test]
+    fn clones_share_the_decode_cache() {
+        let code = VandermondeCode::new(5, 2).unwrap();
+        let value = sample_value(16);
+        let elements = code.encode(&value).unwrap();
+        let subset = vec![elements[0].clone(), elements[3].clone()];
+        code.decode(&subset).unwrap();
+        let clone = code.clone();
+        clone.decode(&subset).unwrap();
+        assert_eq!(clone.cache_stats().hits, 1, "clone hits the shared cache");
+        assert_eq!(code.cache_stats().inversions, 1);
+    }
+
+    #[test]
+    fn separate_instances_have_separate_counters() {
+        let a = VandermondeCode::new(5, 3).unwrap();
+        let b = VandermondeCode::new(5, 3).unwrap();
+        let value = sample_value(30);
+        let elements = a.encode(&value).unwrap();
+        a.decode(&elements[..3]).unwrap();
+        assert_eq!(a.cache_stats().misses, 1);
+        assert_eq!(b.cache_stats(), CodeCacheStats::default());
     }
 
     #[test]
@@ -234,7 +369,9 @@ mod tests {
         let code = VandermondeCode::new(4, 2).unwrap();
         let value = sample_value(20);
         let mut elements = code.encode(&value).unwrap();
-        elements[1].data.pop();
+        let mut shorter = elements[1].data.to_vec();
+        shorter.pop();
+        elements[1].data = shorter.into();
         assert_eq!(
             code.decode(&elements[..2]),
             Err(CodeError::InconsistentElementLength)
@@ -285,6 +422,20 @@ mod tests {
         assert!(VandermondeCode::new(3, 5).is_err());
         assert!(VandermondeCode::new(0, 0).is_err());
         assert!(VandermondeCode::new(300, 10).is_err());
+    }
+
+    #[test]
+    fn encoding_matrix_is_shared_across_instances() {
+        let a = VandermondeCode::new(11, 7).unwrap();
+        let b = VandermondeCode::new(11, 7).unwrap();
+        assert!(
+            std::ptr::eq(a.encoding_matrix(), a.encoding_matrix()),
+            "sanity"
+        );
+        assert!(
+            Arc::ptr_eq(&a.encoding, &b.encoding),
+            "same (n, k) shares one matrix"
+        );
     }
 
     #[test]

@@ -73,7 +73,7 @@ fn bw_code_corrects_random_corruption() {
         let mut indices: Vec<usize> = (0..kept.len()).collect();
         indices.shuffle(&mut rng);
         for &i in indices.iter().take(corrupt_count) {
-            for b in kept[i].data.iter_mut() {
+            for b in kept[i].data.make_mut() {
                 *b ^= 0x5A;
             }
         }
@@ -96,14 +96,48 @@ fn bw_partial_byte_corruption_is_corrected() {
         let mut elements = code.encode(&value).unwrap();
         // Corrupt a random subset of bytes within one random element.
         let victim = rng.gen_range(0usize..n);
-        let len = elements[victim].data.len();
-        for j in 0..len {
+        let bytes = elements[victim].data.make_mut();
+        for byte in bytes.iter_mut() {
             if rng.gen_bool(0.5) {
-                elements[victim].data[j] ^= 0xFF;
+                *byte ^= 0xFF;
             }
         }
         let decoded = code.decode_with_errors(&elements, 1).unwrap();
         assert_eq!(decoded, value);
+    }
+}
+
+#[test]
+fn encode_one_repair_matches_full_encode() {
+    // Server repair re-encodes a single element from the decoded value; the
+    // single-row fast path must produce bit-identical elements to Φ(v).
+    let mut rng = rng(6);
+    for _ in 0..CASES {
+        let (n, k, value) = code_params(&mut rng);
+        let code = VandermondeCode::new(n, k).unwrap();
+        let all = code.encode(&value).unwrap();
+        let index = rng.gen_range(0usize..n);
+        let one = code.encode_one(&value, index).unwrap();
+        assert_eq!(one, all[index], "n={n} k={k} index={index}");
+        let bw = BerlekampWelchCode::new(n, k).unwrap();
+        assert_eq!(bw.encode_one(&value, index).unwrap(), all[index]);
+    }
+}
+
+#[test]
+fn decode_after_cache_hit_is_identical_to_first_decode() {
+    // The cached inverted matrix must yield byte-identical reconstructions.
+    let mut rng = rng(7);
+    for _ in 0..CASES {
+        let (n, k, value) = code_params(&mut rng);
+        let code = VandermondeCode::new(n, k).unwrap();
+        let mut subset = code.encode(&value).unwrap();
+        subset.shuffle(&mut rng);
+        subset.truncate(k);
+        let first = code.decode(&subset).unwrap();
+        let second = code.decode(&subset).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(first, value);
     }
 }
 
@@ -118,7 +152,7 @@ fn decode_never_panics_on_garbage() {
             .map(|_| {
                 let idx = rng.gen_range(0usize..16);
                 let len = rng.gen_range(0usize..32);
-                CodedElement::new(idx, (0..len).map(|_| rng.gen()).collect())
+                CodedElement::new(idx, (0..len).map(|_| rng.gen()).collect::<Vec<u8>>())
             })
             .collect();
         // Must return an error or a value, never panic.

@@ -106,6 +106,11 @@ impl NetworkConfig {
 
     /// The delay model applying to a particular directed link.
     pub fn delay_for(&self, from: ProcessId, to: ProcessId) -> DelayModel {
+        // Fast path: without overrides (the common case) skip the hash-map
+        // probe — it would hash the pair on every single message.
+        if self.link_overrides.is_empty() {
+            return self.default_delay;
+        }
         self.link_overrides
             .get(&(from, to))
             .copied()

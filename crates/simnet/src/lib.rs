@@ -64,6 +64,7 @@
 #![forbid(unsafe_code)]
 
 mod config;
+mod fasthash;
 mod fault;
 mod netfault;
 mod process;
@@ -72,8 +73,10 @@ pub mod testkit;
 pub mod threaded;
 mod time;
 mod trace;
+mod wheel;
 
 pub use config::{DelayModel, NetworkConfig};
+pub use fasthash::{BuildFastHasher, FastHashMap, FastHashSet, FastHasher};
 pub use fault::{CrashEvent, FaultPlan, RecoveryEvent};
 pub use netfault::{LinkFaults, NetFaultPlan};
 pub use process::{Context, Message, Process, ProcessId};

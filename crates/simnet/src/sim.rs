@@ -6,10 +6,10 @@ use crate::netfault::NetFaultPlan;
 use crate::process::{Action, Context, Message, Process, ProcessId};
 use crate::time::SimTime;
 use crate::trace::{Stats, Trace};
+use crate::wheel::{EventWheel, Scheduled};
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
-use std::cmp::{Ordering, Reverse};
-use std::collections::BinaryHeap;
+use std::cmp::Ordering;
 
 /// Message-type-specific payload corruption, applied to sends of processes a
 /// [`NetFaultPlan`] marks as byzantine. Receives `(from, to, message, rng)`
@@ -80,6 +80,14 @@ impl<M> Ord for Event<M> {
         (self.at, self.seq).cmp(&(other.at, other.seq))
     }
 }
+impl<M> Scheduled for Event<M> {
+    fn at_ticks(&self) -> u64 {
+        self.at.ticks()
+    }
+    fn seq(&self) -> u64 {
+        self.seq
+    }
+}
 
 /// Result of running the simulation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -101,13 +109,24 @@ pub struct Simulation<M: Message> {
     processes: Vec<Option<Box<dyn Process<M>>>>,
     crashed: Vec<bool>,
     started: Vec<bool>,
-    queue: BinaryHeap<Reverse<Event<M>>>,
+    queue: EventWheel<Event<M>>,
     now: SimTime,
     seq: u64,
+    /// True once every registered, non-crashed process has had `on_start`
+    /// run; cleared when a process is added or replaced. Lets the event loop
+    /// skip the all-processes scan on the hot path.
+    all_started: bool,
+    /// Scratch buffer handed to handlers through [`Context`], reused across
+    /// dispatches so the hot path does not allocate an actions vector per
+    /// event.
+    scratch_actions: Vec<Action<M>>,
     rng: ChaCha12Rng,
     trace: Trace,
     event_cap: u64,
     net_faults: NetFaultPlan,
+    /// Cached [`NetFaultPlan::is_passthrough`] so the per-send fast path is a
+    /// single flag test instead of a per-link fault lookup.
+    net_passthrough: bool,
     corruptor: Option<CorruptionHook<M>>,
 }
 
@@ -119,13 +138,16 @@ impl<M: Message> Simulation<M> {
             processes: Vec::new(),
             crashed: Vec::new(),
             started: Vec::new(),
-            queue: BinaryHeap::new(),
+            queue: EventWheel::new(),
             now: SimTime::ZERO,
             seq: 0,
+            all_started: true,
+            scratch_actions: Vec::new(),
             rng: ChaCha12Rng::seed_from_u64(seed),
             trace: Trace::new(false),
             event_cap: 50_000_000,
             net_faults: NetFaultPlan::none(),
+            net_passthrough: true,
             corruptor: None,
         }
     }
@@ -135,6 +157,7 @@ impl<M: Message> Simulation<M> {
     /// A passthrough plan consumes no randomness, so installing
     /// [`NetFaultPlan::none`] leaves executions bit-identical.
     pub fn set_net_fault_plan(&mut self, plan: NetFaultPlan) {
+        self.net_passthrough = plan.is_passthrough();
         self.net_faults = plan;
     }
 
@@ -170,6 +193,7 @@ impl<M: Message> Simulation<M> {
         self.processes.push(Some(process));
         self.crashed.push(false);
         self.started.push(false);
+        self.all_started = false;
         id
     }
 
@@ -235,7 +259,7 @@ impl<M: Message> Simulation<M> {
         self.trace
             .record_send(self.now, at, ProcessId::ENV, to, data_bytes, kind, false);
         let seq = self.next_seq();
-        self.queue.push(Reverse(Event {
+        self.queue.push(Event {
             at,
             seq,
             target: to,
@@ -244,20 +268,20 @@ impl<M: Message> Simulation<M> {
                 msg,
             },
             data_bytes,
-        }));
+        });
     }
 
     /// Schedules a crash of `process` at time `at`.
     pub fn schedule_crash(&mut self, at: SimTime, process: ProcessId) {
         let at = at.max(self.now);
         let seq = self.next_seq();
-        self.queue.push(Reverse(Event {
+        self.queue.push(Event {
             at,
             seq,
             target: process,
             kind: EventKind::Crash,
             data_bytes: 0,
-        }));
+        });
     }
 
     /// Schedules a recovery of `process` at time `at`: `replacement` (a fresh
@@ -275,13 +299,13 @@ impl<M: Message> Simulation<M> {
     ) {
         let at = at.max(self.now);
         let seq = self.next_seq();
-        self.queue.push(Reverse(Event {
+        self.queue.push(Event {
             at,
             seq,
             target: process,
             kind: EventKind::Recover { replacement },
             data_bytes: 0,
-        }));
+        });
     }
 
     /// Schedules every crash in the plan. Recovery events in the plan are
@@ -323,6 +347,7 @@ impl<M: Message> Simulation<M> {
         self.processes[idx] = Some(replacement);
         self.crashed[idx] = false;
         self.started[idx] = false;
+        self.all_started = false;
     }
 
     /// Number of processes currently crashed (and not yet recovered) — the
@@ -332,8 +357,14 @@ impl<M: Message> Simulation<M> {
         self.crashed.iter().filter(|&&c| c).count()
     }
 
-    /// Ensures `on_start` has run for every registered process.
+    /// Ensures `on_start` has run for every registered process. A dirty
+    /// flag makes the per-event call a single branch once everything has
+    /// started.
     fn ensure_started(&mut self) {
+        if self.all_started {
+            return;
+        }
+        self.all_started = true;
         for idx in 0..self.processes.len() {
             if self.started[idx] || self.crashed[idx] {
                 continue;
@@ -358,7 +389,7 @@ impl<M: Message> Simulation<M> {
         let mut ctx = Context {
             self_id: target,
             now: self.now,
-            actions: Vec::new(),
+            actions: std::mem::take(&mut self.scratch_actions),
             rng: &mut self.rng,
         };
         handler(process.as_mut(), &mut ctx);
@@ -367,29 +398,56 @@ impl<M: Message> Simulation<M> {
         self.apply_actions(target, actions);
     }
 
-    fn apply_actions(&mut self, source: ProcessId, actions: Vec<Action<M>>) {
-        for action in actions {
+    fn apply_actions(&mut self, source: ProcessId, mut actions: Vec<Action<M>>) {
+        for action in actions.drain(..) {
             match action {
                 Action::Send { to, msg } => self.enqueue_send(source, to, msg),
                 Action::SetTimer { delay, token } => {
                     let at = self.now + delay.max(1);
                     let seq = self.next_seq();
-                    self.queue.push(Reverse(Event {
+                    self.queue.push(Event {
                         at,
                         seq,
                         target: source,
                         kind: EventKind::Timer { token },
                         data_bytes: 0,
-                    }));
+                    });
                 }
                 Action::Halt => {
                     self.crash_now(source);
                 }
             }
         }
+        // Hand the (now empty) buffer back for the next dispatch. Nested
+        // dispatches (recovery on_start) already took the scratch, so only
+        // keep the larger buffer.
+        if actions.capacity() > self.scratch_actions.capacity() {
+            self.scratch_actions = actions;
+        }
     }
 
     fn enqueue_send(&mut self, from: ProcessId, to: ProcessId, mut msg: M) {
+        if self.net_passthrough {
+            // Reliable network (the common case): no drop/duplicate/corrupt
+            // sampling to do. A passthrough plan consumes no randomness, so
+            // this is the exact same execution as the general path below.
+            let data_bytes = msg.data_bytes();
+            let kind = msg.kind();
+            let delay = self.config.delay_for(from, to).sample(&mut self.rng);
+            let at = self.now + delay;
+            let already_crashed = self.is_crashed(to);
+            self.trace
+                .record_send(self.now, at, from, to, data_bytes, kind, already_crashed);
+            let seq = self.next_seq();
+            self.queue.push(Event {
+                at,
+                seq,
+                target: to,
+                kind: EventKind::Deliver { from, msg },
+                data_bytes,
+            });
+            return;
+        }
         let faults = self.net_faults.faults_for(from, to);
         // Byzantine senders: let the installed hook corrupt the payload
         // before delivery (and before duplication, so both copies carry the
@@ -447,20 +505,20 @@ impl<M: Message> Simulation<M> {
                 .record_send(self.now, at, from, to, data_bytes, kind, already_crashed);
         }
         let seq = self.next_seq();
-        self.queue.push(Reverse(Event {
+        self.queue.push(Event {
             at,
             seq,
             target: to,
             kind: EventKind::Deliver { from, msg },
             data_bytes,
-        }));
+        });
     }
 
     /// Processes the next scheduled event. Returns `false` when the queue is
     /// empty.
     pub fn step(&mut self) -> bool {
         self.ensure_started();
-        let Some(Reverse(event)) = self.queue.pop() else {
+        let Some(event) = self.queue.pop() else {
             return false;
         };
         self.now = self.now.max(event.at);
@@ -511,9 +569,9 @@ impl<M: Message> Simulation<M> {
                     hit_event_cap: true,
                 };
             }
-            match self.queue.peek() {
+            match self.queue.peek_at() {
                 None => break,
-                Some(Reverse(event)) if event.at > deadline => break,
+                Some(at) if at > deadline.ticks() => break,
                 Some(_) => {}
             }
             if !self.step() {

@@ -1,0 +1,271 @@
+//! A timing-wheel event queue: the scheduler's hot path.
+//!
+//! The simulator schedules almost every event a handful of ticks into the
+//! future (message delays are small integers), so a classic binary heap pays
+//! an `O(log n)` sift of large event structs on every push and pop for
+//! ordering power it never needs. This wheel keeps a ring of FIFO buckets for
+//! the next [`SPAN`] ticks — push and pop are `O(1)` — and spills the rare
+//! far-future event (long timers, fault-plan crashes) into an overflow heap
+//! that migrates events into the ring as the cursor approaches them.
+//!
+//! Pop order is exactly ascending `(at, seq)`, identical to the binary heap
+//! it replaces, so seeded executions are bit-for-bit unchanged:
+//!
+//! * Within one bucket, events are FIFO. Sequence numbers are assigned in
+//!   push order, so FIFO equals ascending `seq`.
+//! * A tick's bucket only receives *near* pushes after the tick has entered
+//!   the wheel's window, and all overflow events for that tick migrate (in
+//!   heap order) at the moment the window reaches it — before any near push
+//!   can target it — so migrated events keep their lower sequence numbers
+//!   ahead of later near pushes.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Width of the near window in ticks. Power of two (the bucket index is
+/// `at % SPAN`); comfortably larger than every delay model's typical range so
+/// the overflow heap stays empty in ordinary executions.
+const SPAN: u64 = 64;
+
+/// An entry the wheel can order: a scheduled time in ticks plus the
+/// monotonically increasing sequence number assigned at push time.
+pub(crate) trait Scheduled {
+    /// Scheduled time in ticks.
+    fn at_ticks(&self) -> u64;
+    /// Global push sequence number (strictly increasing across pushes).
+    fn seq(&self) -> u64;
+}
+
+/// Overflow-heap wrapper ordering events by `(at, seq)` without requiring
+/// `Ord` on the event type itself.
+struct FarEntry<E>(E);
+
+impl<E: Scheduled> PartialEq for FarEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.at_ticks() == other.0.at_ticks() && self.0.seq() == other.0.seq()
+    }
+}
+impl<E: Scheduled> Eq for FarEntry<E> {}
+impl<E: Scheduled> PartialOrd for FarEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E: Scheduled> Ord for FarEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.0.at_ticks(), self.0.seq()).cmp(&(other.0.at_ticks(), other.0.seq()))
+    }
+}
+
+/// The event queue: a near ring of FIFO buckets plus a far overflow heap.
+pub(crate) struct EventWheel<E: Scheduled> {
+    /// `near[t % SPAN]` holds the events scheduled for tick `t` with
+    /// `cursor <= t < cursor + SPAN`, in push (= seq) order.
+    near: Vec<VecDeque<E>>,
+    /// Events at `cursor + SPAN` or later, ordered by `(at, seq)`.
+    far: BinaryHeap<Reverse<FarEntry<E>>>,
+    /// The earliest tick that may still hold events. Monotone.
+    cursor: u64,
+    near_len: usize,
+    len: usize,
+}
+
+impl<E: Scheduled> EventWheel<E> {
+    pub(crate) fn new() -> Self {
+        EventWheel {
+            near: (0..SPAN).map(|_| VecDeque::with_capacity(8)).collect(),
+            far: BinaryHeap::new(),
+            cursor: 0,
+            near_len: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of queued events (used by the equivalence tests).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    pub(crate) fn push(&mut self, event: E) {
+        // Past times cannot occur (delays are >= 1 and external injections
+        // clamp to `now`), but clamping keeps the wheel safe regardless.
+        let at = event.at_ticks().max(self.cursor);
+        self.len += 1;
+        if at - self.cursor < SPAN {
+            self.near[(at % SPAN) as usize].push_back(event);
+            self.near_len += 1;
+        } else {
+            self.far.push(Reverse(FarEntry(event)));
+        }
+    }
+
+    /// Time of the next event, if any.
+    pub(crate) fn peek_at(&self) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.near_len > 0 {
+            let mut tick = self.cursor;
+            loop {
+                if !self.near[(tick % SPAN) as usize].is_empty() {
+                    return Some(tick);
+                }
+                tick += 1;
+            }
+        }
+        self.far.peek().map(|Reverse(e)| e.0.at_ticks())
+    }
+
+    /// Removes and returns the next event in ascending `(at, seq)` order.
+    pub(crate) fn pop(&mut self) -> Option<E> {
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            if self.near_len > 0 {
+                if let Some(event) = self.near[(self.cursor % SPAN) as usize].pop_front() {
+                    self.len -= 1;
+                    self.near_len -= 1;
+                    return Some(event);
+                }
+                self.cursor += 1;
+            } else {
+                // Near ring drained: jump straight to the overflow head.
+                let head_at = self
+                    .far
+                    .peek()
+                    .map(|Reverse(e)| e.0.at_ticks())
+                    .expect("len > 0 and near empty imply far non-empty");
+                self.cursor = head_at;
+            }
+            self.migrate();
+        }
+    }
+
+    /// Moves every overflow event that has entered the near window into its
+    /// bucket. The heap yields them in `(at, seq)` order, so same-tick events
+    /// land in their bucket in seq order, ahead of any later near push.
+    fn migrate(&mut self) {
+        let horizon = self.cursor.saturating_add(SPAN);
+        while let Some(Reverse(head)) = self.far.peek() {
+            if head.0.at_ticks() >= horizon {
+                break;
+            }
+            let Reverse(FarEntry(event)) = self.far.pop().expect("peeked above");
+            self.near[(event.at_ticks() % SPAN) as usize].push_back(event);
+            self.near_len += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha12Rng;
+
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    struct Ev {
+        at: u64,
+        seq: u64,
+    }
+    impl Scheduled for Ev {
+        fn at_ticks(&self) -> u64 {
+            self.at
+        }
+        fn seq(&self) -> u64 {
+            self.seq
+        }
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut wheel = EventWheel::new();
+        wheel.push(Ev { at: 5, seq: 1 });
+        wheel.push(Ev { at: 3, seq: 2 });
+        wheel.push(Ev { at: 5, seq: 3 });
+        wheel.push(Ev { at: 3, seq: 4 });
+        let order: Vec<_> = std::iter::from_fn(|| wheel.pop()).collect();
+        assert_eq!(
+            order,
+            vec![
+                Ev { at: 3, seq: 2 },
+                Ev { at: 3, seq: 4 },
+                Ev { at: 5, seq: 1 },
+                Ev { at: 5, seq: 3 },
+            ]
+        );
+    }
+
+    #[test]
+    fn far_events_interleave_correctly_with_near_pushes() {
+        let mut wheel = EventWheel::new();
+        // Far event for tick 100, pushed first (lowest seq).
+        wheel.push(Ev { at: 100, seq: 1 });
+        wheel.push(Ev { at: 1, seq: 2 });
+        assert_eq!(wheel.pop(), Some(Ev { at: 1, seq: 2 }));
+        // Cursor is now at tick 1; tick 100 is outside the window until the
+        // queue drains towards it. A near push for 100 after it has entered
+        // the window must pop *after* the far event despite arriving through
+        // a different path.
+        assert_eq!(wheel.pop(), Some(Ev { at: 100, seq: 1 }));
+        assert_eq!(wheel.pop(), None);
+    }
+
+    #[test]
+    fn empty_wheel_behaves() {
+        let mut wheel: EventWheel<Ev> = EventWheel::new();
+        assert_eq!(wheel.len(), 0);
+        assert_eq!(wheel.peek_at(), None);
+        assert_eq!(wheel.pop(), None);
+    }
+
+    #[test]
+    fn matches_reference_heap_on_random_workload() {
+        // Drive the wheel and a (at, seq)-ordered reference heap with the
+        // same randomized monotone workload and demand identical pop order,
+        // including pushes relative to the advancing current time and
+        // far-future outliers.
+        let mut rng = ChaCha12Rng::seed_from_u64(42);
+        let mut wheel = EventWheel::new();
+        let mut reference: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut now = 0u64;
+        let mut seq = 0u64;
+        let mut popped = 0usize;
+        for _ in 0..20_000 {
+            if rng.gen_bool(0.55) || reference.is_empty() {
+                // Mostly short delays, occasionally far-future ones.
+                let delay = if rng.gen_bool(0.05) {
+                    rng.gen_range(SPAN..SPAN * 20)
+                } else {
+                    rng.gen_range(0..12)
+                };
+                seq += 1;
+                wheel.push(Ev {
+                    at: now + delay,
+                    seq,
+                });
+                reference.push(Reverse((now + delay, seq)));
+            } else {
+                let Reverse((at, expect_seq)) = reference.pop().unwrap();
+                let got = wheel.pop().expect("wheel has the same events");
+                assert_eq!((got.at, got.seq), (at, expect_seq));
+                assert!(at >= now, "time went backwards");
+                now = at;
+                popped += 1;
+            }
+            assert_eq!(wheel.len(), reference.len());
+            assert_eq!(
+                wheel.peek_at(),
+                reference.peek().map(|Reverse((at, _))| *at)
+            );
+        }
+        assert!(popped > 5_000, "workload actually exercised pops");
+        while let Some(Reverse((at, expect_seq))) = reference.pop() {
+            let got = wheel.pop().unwrap();
+            assert_eq!((got.at, got.seq), (at, expect_seq));
+        }
+        assert_eq!(wheel.pop(), None);
+    }
+}

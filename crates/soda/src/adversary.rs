@@ -51,7 +51,7 @@ pub fn coded_element_corruptor(ranks: BTreeSet<usize>) -> CorruptionHook<SodaMsg
             // flip; report them unmutated so the corruption counter stays
             // honest.
             SodaMsg::CodedToReader { element, .. } if !element.data.is_empty() => {
-                corrupt_element_data(&mut element.data);
+                corrupt_element_data(element.data.make_mut());
                 true
             }
             _ => false,
@@ -69,10 +69,7 @@ mod tests {
     use soda_rs_code::CodedElement;
 
     fn element() -> CodedElement {
-        CodedElement {
-            index: 3,
-            data: vec![1, 2, 3, 4],
-        }
+        CodedElement::new(3, vec![1, 2, 3, 4])
     }
 
     #[test]
@@ -113,10 +110,7 @@ mod tests {
         let mut msg = SodaMsg::CodedToReader {
             op,
             tag,
-            element: CodedElement {
-                index: 2,
-                data: Vec::new(),
-            },
+            element: CodedElement::new(2, Vec::new()),
         };
         assert!(!hook(ProcessId(2), ProcessId(9), &mut msg, &mut rng));
         let mut msg = SodaMsg::InvokeWrite(value_from(vec![1]));

@@ -190,7 +190,7 @@ mod tests {
         let cfg = SodaConfig::soda_err(layout(7, 2), 1);
         let mut elements = cfg.code().encode(&value).unwrap();
         // Corrupt one element; SODAerr must still decode from k + 2e = 5.
-        for b in elements[1].data.iter_mut() {
+        for b in elements[1].data.make_mut() {
             *b ^= 0xFF;
         }
         elements.truncate(5);

@@ -494,7 +494,7 @@ mod tests {
         let value = b"guarded against silent disk corruption".to_vec();
         let mut elements = code.encode(&value).unwrap();
         // One of the five delivered elements is silently corrupted.
-        for b in elements[3].data.iter_mut() {
+        for b in elements[3].data.make_mut() {
             *b ^= 0xA5;
         }
         for (rank, element) in elements.iter().enumerate().take(4) {

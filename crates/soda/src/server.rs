@@ -51,7 +51,7 @@ use soda_protocol::md::{md_meta_send, MdMetaRelay, MdValueMsg, MdValueRelay, Mes
 use soda_protocol::{QuorumTracker, Tag, Value};
 use soda_rs_code::CodedElement;
 use soda_simnet::{Context, Process, ProcessId, SimTime};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Phase of an in-flight repair (the reader automaton run by a replacement
@@ -119,8 +119,13 @@ pub struct ServerProcess {
     element: CodedElement,
     /// `Rc`: registered readers and the tag each requested.
     registered: BTreeMap<OpId, Tag>,
-    /// `H`: `(tag, sender rank, reader op)` triples.
-    history: BTreeSet<(Tag, usize, OpId)>,
+    /// `H`: the `(tag, sender rank, reader op)` triples of the paper, indexed
+    /// by reader op. Every query the protocol makes is per-op (count distinct
+    /// senders of one tag, drop a finished read's triples, check the
+    /// READ-COMPLETE marker), so the per-op index makes those O(own triples)
+    /// instead of a scan over every in-flight read's entries — the scan is
+    /// quadratic in long-lived clusters where stale triples accumulate.
+    history: BTreeMap<OpId, Vec<(Tag, usize)>>,
     /// Relay state of the MD-VALUE primitive.
     md_value: MdValueRelay,
     /// Relay state of the MD-META primitive.
@@ -138,6 +143,9 @@ pub struct ServerProcess {
     /// Repair state machine, present on replacement servers. Stays around
     /// after completion (`RepairPhase::Done`) so metrics remain inspectable.
     repair: Option<RepairState>,
+    /// Scratch for the reader fan-out of `on_md_value_deliver`, reused across
+    /// deliveries so the per-message hot path does not allocate.
+    scratch_interested: Vec<OpId>,
 }
 
 impl ServerProcess {
@@ -154,13 +162,14 @@ impl ServerProcess {
             tag: Tag::INITIAL,
             element,
             registered: BTreeMap::new(),
-            history: BTreeSet::new(),
+            history: BTreeMap::new(),
             md_value: MdValueRelay::new(my_rank),
             md_meta: MdMetaRelay::new(my_rank),
             md_counter: 0,
             disk_fault: DiskFaultModel::None,
             relay_enabled: true,
             repair: None,
+            scratch_interested: Vec::new(),
         }
     }
 
@@ -181,7 +190,7 @@ impl ServerProcess {
             tag: Tag::INITIAL,
             element: CodedElement::new(my_rank, Vec::new()),
             registered: BTreeMap::new(),
-            history: BTreeSet::new(),
+            history: BTreeMap::new(),
             md_value: MdValueRelay::new(my_rank),
             md_meta: MdMetaRelay::new(my_rank),
             md_counter: epoch << 32,
@@ -198,6 +207,7 @@ impl ServerProcess {
                 traffic_bytes: 0,
                 repaired_tag: None,
             }),
+            scratch_interested: Vec::new(),
         }
     }
 
@@ -238,7 +248,7 @@ impl ServerProcess {
 
     /// Number of entries in the history set `H`.
     pub fn history_len(&self) -> usize {
-        self.history.len()
+        self.history.values().map(Vec::len).sum()
     }
 
     /// Number of message-id tombstones retained by the two message-disperse
@@ -275,12 +285,13 @@ impl ServerProcess {
     fn local_disk_read(&self) -> CodedElement {
         let mut element = self.element.clone();
         if self.disk_fault.corrupts() {
-            for byte in element.data.iter_mut() {
+            let data = element.data.make_mut();
+            for byte in data.iter_mut() {
                 *byte ^= 0x5A;
             }
             // An all-zero element would still differ; also perturb the first
             // byte deterministically so even empty payloads change shape.
-            if let Some(first) = element.data.first_mut() {
+            if let Some(first) = data.first_mut() {
                 *first = first.wrapping_add(1);
             }
         }
@@ -299,7 +310,7 @@ impl ServerProcess {
         ctx: &mut Context<'_, SodaMsg>,
     ) {
         ctx.send(op.client, SodaMsg::CodedToReader { op, tag, element });
-        self.history.insert((tag, self.my_rank, op));
+        Self::record_triple(self.history.entry(op).or_default(), (tag, self.my_rank));
         let mid = self.next_mid();
         let payload = MetaPayload::ReadDisperse {
             tag,
@@ -313,6 +324,16 @@ impl ServerProcess {
         self.maybe_unregister(tag, op);
     }
 
+    /// Adds one `(tag, sender rank)` triple to a reader's history entry,
+    /// preserving set semantics. A reader's entry holds at most one triple
+    /// per (sender, tag) — a handful of elements — so a linear dedup scan
+    /// over a flat `Vec` beats a tree set and its per-node allocations.
+    fn record_triple(triples: &mut Vec<(Tag, usize)>, triple: (Tag, usize)) {
+        if !triples.contains(&triple) {
+            triples.push(triple);
+        }
+    }
+
     /// Fig. 5 lines 30-37 (with the Fig. 6 threshold): once `H` records that
     /// at least `k` (SODA) or `k + 2e` (SODAerr) distinct servers have sent the
     /// element of some tag to reader `op`, unregister the reader and drop its
@@ -321,14 +342,12 @@ impl ServerProcess {
         if !self.registered.contains_key(&op) {
             return;
         }
-        let sent_count = self
-            .history
-            .iter()
-            .filter(|(t, _, o)| *t == tag && *o == op)
-            .count();
+        let sent_count = self.history.get(&op).map_or(0, |triples| {
+            triples.iter().filter(|(t, _)| *t == tag).count()
+        });
         if sent_count >= self.config.read_threshold() {
             self.registered.remove(&op);
-            self.history.retain(|(_, _, o)| *o != op);
+            self.history.remove(&op);
         }
     }
 
@@ -341,20 +360,22 @@ impl ServerProcess {
         element: CodedElement,
         ctx: &mut Context<'_, SodaMsg>,
     ) {
-        let interested: Vec<(OpId, Tag)> = if self.relay_enabled {
-            self.registered
-                .iter()
-                .map(|(&op, &tr)| (op, tr))
-                .filter(|&(_, tr)| tag >= tr)
-                .collect()
-        } else {
-            Vec::new()
-        };
-        for (op, _) in interested {
+        let mut interested = std::mem::take(&mut self.scratch_interested);
+        if self.relay_enabled {
+            interested.extend(
+                self.registered
+                    .iter()
+                    .filter(|&(_, &tr)| tag >= tr)
+                    .map(|(&op, _)| op),
+            );
+        }
+        for &op in &interested {
             // Relayed elements come straight from memory, so the disk-fault
             // model does not apply here.
             self.send_element_to_reader(op, tag, element.clone(), ctx);
         }
+        interested.clear();
+        self.scratch_interested = interested;
         if tag > self.tag {
             self.tag = tag;
             self.element = element;
@@ -367,9 +388,9 @@ impl ServerProcess {
         // If the READ-COMPLETE marker `(t0, s, r)` is already present, the read
         // finished before its registration arrived here: drop the stale
         // bookkeeping and do not register.
-        let marker = (Tag::INITIAL, self.my_rank, op);
-        if self.history.contains(&marker) {
-            self.history.retain(|(_, _, o)| *o != op);
+        let marker = (Tag::INITIAL, self.my_rank);
+        if self.history.get(&op).is_some_and(|t| t.contains(&marker)) {
+            self.history.remove(&op);
             return;
         }
         self.registered.insert(op, requested);
@@ -386,18 +407,21 @@ impl ServerProcess {
     /// Handles delivery of a READ-COMPLETE (Fig. 5, response 6).
     fn on_read_complete(&mut self, op: OpId) {
         if self.registered.remove(&op).is_some() {
-            self.history.retain(|(_, _, o)| *o != op);
+            self.history.remove(&op);
         } else {
             // Registration has not arrived yet; leave a marker so the later
             // READ-VALUE is ignored instead of re-registering a finished read.
-            self.history.insert((Tag::INITIAL, self.my_rank, op));
+            Self::record_triple(
+                self.history.entry(op).or_default(),
+                (Tag::INITIAL, self.my_rank),
+            );
         }
     }
 
     /// Handles delivery of a READ-DISPERSE report (Fig. 5, response 7 /
     /// Fig. 6 for SODAerr).
     fn on_read_disperse(&mut self, tag: Tag, server_rank: usize, op: OpId) {
-        self.history.insert((tag, server_rank, op));
+        Self::record_triple(self.history.entry(op).or_default(), (tag, server_rank));
         self.maybe_unregister(tag, op);
     }
 
@@ -588,36 +612,39 @@ impl Process<SodaMsg> for ServerProcess {
                 self.on_repair_element(op, tag, element, ctx);
             }
             SodaMsg::MdValue(md_msg) => {
-                let action = match md_msg {
-                    MdValueMsg::Full { mid, tag, value } => self.md_value.on_full(
-                        self.config.layout(),
-                        self.config.code().as_ref(),
+                let config = &self.config;
+                let deliver = match md_msg {
+                    MdValueMsg::Full { mid, tag, value } => self.md_value.on_full_with(
+                        config.layout(),
+                        config.code().as_ref(),
                         mid,
                         tag,
                         &value,
+                        |dispatch| {
+                            let dest = config.layout().server(dispatch.to_rank);
+                            ctx.send(dest, SodaMsg::MdValue(dispatch.msg));
+                        },
                     ),
-                    MdValueMsg::Coded { mid, tag, element } => soda_protocol::md::MdValueAction {
-                        deliver: self.md_value.on_coded(mid, tag, element),
-                        relays: Vec::new(),
-                    },
+                    MdValueMsg::Coded { mid, tag, element } => {
+                        self.md_value.on_coded(mid, tag, element)
+                    }
                 };
-                for dispatch in action.relays {
-                    let dest = self.server_pid(dispatch.to_rank);
-                    ctx.send(dest, SodaMsg::MdValue(dispatch.msg));
-                }
-                if let Some((tag, element)) = action.deliver {
+                if let Some((tag, element)) = deliver {
                     self.on_md_value_deliver(tag, element, ctx);
                 }
             }
             SodaMsg::MdMeta(meta) => {
-                let action = self
-                    .md_meta
-                    .on_meta(self.config.layout(), meta.mid, &meta.payload);
-                for dispatch in action.relays {
-                    let dest = self.server_pid(dispatch.to_rank);
-                    ctx.send(dest, SodaMsg::MdMeta(dispatch.msg));
-                }
-                if let Some(payload) = action.deliver {
+                let config = &self.config;
+                let deliver = self.md_meta.on_meta_with(
+                    config.layout(),
+                    meta.mid,
+                    &meta.payload,
+                    |dispatch| {
+                        let dest = config.layout().server(dispatch.to_rank);
+                        ctx.send(dest, SodaMsg::MdMeta(dispatch.msg));
+                    },
+                );
+                if let Some(payload) = deliver {
                     match payload {
                         MetaPayload::ReadValue { op, tag } => self.on_read_value(op, tag, ctx),
                         MetaPayload::ReadComplete { op, .. } => self.on_read_complete(op),

@@ -104,8 +104,7 @@ impl WriterProcess {
                 .current_value
                 .as_ref()
                 .expect("an in-flight write always carries its value")
-                .as_ref()
-                .clone(),
+                .to_vec(),
         })
     }
 
@@ -154,7 +153,7 @@ impl WriterProcess {
     fn complete(&mut self, ctx: &mut Context<'_, SodaMsg>) {
         let op = self.current_op.take().expect("completing without an op");
         let tag = self.current_tag.take().expect("completing without a tag");
-        let value = self.current_value.take().map(|v| v.as_ref().clone());
+        let value = self.current_value.take().map(|v| v.to_vec());
         self.completed.push(OpRecord {
             op,
             kind: OpKind::Write,

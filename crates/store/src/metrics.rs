@@ -128,6 +128,13 @@ pub struct ShardMetrics {
     /// Repair latency histogram (simulated ticks from repair start to
     /// completion).
     pub repair_latency: LatencyHistogram,
+    /// Decode-matrix cache hits across the shard's clusters (coded protocols
+    /// only; replication shards report 0).
+    pub decode_cache_hits: u64,
+    /// Decode-matrix cache misses across the shard's clusters.
+    pub decode_cache_misses: u64,
+    /// Matrix inversions actually performed by the shard's erasure decoders.
+    pub decode_inversions: u64,
 }
 
 /// Aggregate totals across all shards.
@@ -159,6 +166,12 @@ pub struct StoreTotals {
     pub repair_traffic_bytes: u64,
     /// Merged repair latency histogram.
     pub repair_latency: LatencyHistogram,
+    /// Decode-matrix cache hits store-wide.
+    pub decode_cache_hits: u64,
+    /// Decode-matrix cache misses store-wide.
+    pub decode_cache_misses: u64,
+    /// Matrix inversions performed store-wide.
+    pub decode_inversions: u64,
 }
 
 impl StoreTotals {
@@ -178,6 +191,9 @@ impl StoreTotals {
             totals.repairs_completed += m.repairs_completed;
             totals.repair_traffic_bytes += m.repair_traffic_bytes;
             totals.repair_latency.merge(&m.repair_latency);
+            totals.decode_cache_hits += m.decode_cache_hits;
+            totals.decode_cache_misses += m.decode_cache_misses;
+            totals.decode_inversions += m.decode_inversions;
         }
         totals
     }
@@ -252,6 +268,9 @@ mod tests {
             repairs_completed: 1,
             repair_traffic_bytes: 30,
             repair_latency: LatencyHistogram::default(),
+            decode_cache_hits: 9,
+            decode_cache_misses: 1,
+            decode_inversions: 1,
         };
         let totals = StoreTotals::from_shards(&[shard(0, 3), shard(1, 4)]);
         assert_eq!(totals.keys, 4);
@@ -261,5 +280,8 @@ mod tests {
         assert_eq!(totals.stored_bytes, 100);
         assert_eq!(totals.repairs_completed, 2);
         assert_eq!(totals.repair_traffic_bytes, 60);
+        assert_eq!(totals.decode_cache_hits, 18);
+        assert_eq!(totals.decode_cache_misses, 2);
+        assert_eq!(totals.decode_inversions, 2);
     }
 }

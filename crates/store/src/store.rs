@@ -5,8 +5,9 @@ use crate::map::{fnv1a, ShardMap};
 use crate::metrics::{LatencyHistogram, ShardMetrics, StoreMetrics, StoreTotals};
 use soda_consistency::{KeyViolation, KeyedHistory, KeyedOp};
 use soda_registry::{OpKind, RegisterCluster};
+use soda_simnet::FastHashMap;
 use soda_simnet::SimTime;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// Why the store refused a runtime fault-injection request.
@@ -85,6 +86,18 @@ impl fmt::Display for StoreError {
 }
 
 impl std::error::Error for StoreError {}
+
+/// Hardware thread count, queried once — `available_parallelism` hits the OS
+/// on every call and the answer cannot change under us.
+fn hardware_parallelism() -> usize {
+    use std::sync::OnceLock;
+    static PARALLELISM: OnceLock<usize> = OnceLock::new();
+    *PARALLELISM.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
 
 /// Handle for one asynchronously-invoked store operation. Obtained from
 /// [`ShardedStore::put`] / [`ShardedStore::get`] (and their batched
@@ -170,7 +183,7 @@ struct KeyCluster {
 
 impl KeyCluster {
     /// Settles newly completed operations into `outcomes`.
-    fn harvest(&mut self, shard: usize, outcomes: &mut HashMap<u64, OpOutcome>) {
+    fn harvest(&mut self, shard: usize, outcomes: &mut FastHashMap<u64, OpOutcome>) {
         let ops = self.cluster.completed_ops();
         let descriptor = *self.cluster.descriptor();
         for w in 0..descriptor.num_writers {
@@ -240,7 +253,7 @@ struct Shard {
     index: usize,
     spec: ShardSpec,
     clusters: Vec<KeyCluster>,
-    key_index: HashMap<Vec<u8>, usize>,
+    key_index: FastHashMap<Vec<u8>, usize>,
     /// Ranks currently crashed in every cluster of the shard, existing and
     /// future.
     downed: BTreeSet<usize>,
@@ -307,7 +320,7 @@ pub struct ShardedStore {
     seed: u64,
     runtime: StoreRuntime,
     next_ticket: u64,
-    outcomes: HashMap<u64, OpOutcome>,
+    outcomes: FastHashMap<u64, OpOutcome>,
 }
 
 impl std::fmt::Debug for ShardedStore {
@@ -336,7 +349,7 @@ impl ShardedStore {
                 index,
                 spec,
                 clusters: Vec::new(),
-                key_index: HashMap::new(),
+                key_index: FastHashMap::default(),
                 downed: BTreeSet::new(),
                 repairing: BTreeSet::new(),
             })
@@ -347,7 +360,7 @@ impl ShardedStore {
             seed,
             runtime,
             next_ticket: 1,
-            outcomes: HashMap::new(),
+            outcomes: FastHashMap::default(),
         }
     }
 
@@ -471,21 +484,26 @@ impl ShardedStore {
     /// tickets. With [`StoreRuntime::Simulation`] shards run serially in
     /// shard order (deterministic); with [`StoreRuntime::Threaded`] each
     /// shard runs on its own OS thread (per-shard histories stay
-    /// deterministic, wall-clock is real).
+    /// deterministic, wall-clock is real). On a single-hardware-thread host
+    /// (or with a single shard) the threaded runtime degrades to the serial
+    /// loop: spawning threads there buys no parallelism and costs real time,
+    /// and per-shard executions are identical either way.
     ///
     /// A shard whose clusters cannot make progress (e.g. a majority of its
     /// servers crashed) still quiesces — its operations simply stay pending —
     /// so a dead shard never blocks the others.
     pub fn run_until_quiescent(&mut self) -> StoreRunOutcome {
-        let hit_event_cap = match self.runtime {
-            StoreRuntime::Simulation => {
-                let mut hit = false;
-                for shard in &mut self.shards {
-                    hit |= shard.run_to_quiescence();
-                }
-                hit
+        let serial = matches!(self.runtime, StoreRuntime::Simulation)
+            || self.shards.len() <= 1
+            || hardware_parallelism() <= 1;
+        let hit_event_cap = if serial {
+            let mut hit = false;
+            for shard in &mut self.shards {
+                hit |= shard.run_to_quiescence();
             }
-            StoreRuntime::Threaded => std::thread::scope(|scope| {
+            hit
+        } else {
+            std::thread::scope(|scope| {
                 let handles: Vec<_> = self
                     .shards
                     .iter_mut()
@@ -495,7 +513,7 @@ impl ShardedStore {
                     .into_iter()
                     .map(|h| h.join().expect("shard thread panicked"))
                     .fold(false, |acc, hit| acc | hit)
-            }),
+            })
         };
         for shard in &mut self.shards {
             let index = shard.index;
@@ -709,9 +727,16 @@ impl ShardedStore {
                 repairs_completed: 0,
                 repair_traffic_bytes: 0,
                 repair_latency: LatencyHistogram::default(),
+                decode_cache_hits: 0,
+                decode_cache_misses: 0,
+                decode_inversions: 0,
             };
             for kc in &shard.clusters {
                 let stats = kc.cluster.stats();
+                let cache = kc.cluster.decode_cache_stats();
+                m.decode_cache_hits += cache.hits;
+                m.decode_cache_misses += cache.misses;
+                m.decode_inversions += cache.inversions;
                 m.messages_sent += stats.messages_sent;
                 m.messages_lost += stats.messages_lost;
                 m.data_bytes_sent += stats.data_bytes_sent;
