@@ -100,6 +100,11 @@ struct AbdRepair {
     started_at: SimTime,
     completed_at: Option<SimTime>,
     traffic_bytes: u64,
+    /// Fan-out attempts so far (the initial send counts as one).
+    attempts: u32,
+    /// The retry budget ran out with the survivors unreachable; the
+    /// replacement halted itself and the rank is plain dead again.
+    failed: bool,
 }
 
 /// The ABD server: stores the full `(tag, value)` pair.
@@ -143,6 +148,8 @@ impl AbdServer {
                 started_at: SimTime::ZERO,
                 completed_at: None,
                 traffic_bytes: 0,
+                attempts: 0,
+                failed: false,
             }),
         }
     }
@@ -159,7 +166,13 @@ impl AbdServer {
 
     /// Whether this server is a replacement whose repair has not finished.
     pub fn is_repairing(&self) -> bool {
-        matches!(&self.repair, Some(r) if r.completed_at.is_none())
+        matches!(&self.repair, Some(r) if r.completed_at.is_none() && !r.failed)
+    }
+
+    /// Whether this replacement gave up (retry budget exhausted with the
+    /// survivors unreachable) and halted itself.
+    pub fn repair_failed(&self) -> bool {
+        matches!(&self.repair, Some(r) if r.failed)
     }
 
     /// Repair progress, if this server is (or was) a replacement.
@@ -168,16 +181,15 @@ impl AbdServer {
             started_at: r.started_at,
             completed_at: r.completed_at,
             traffic_bytes: r.traffic_bytes,
+            failed: r.failed,
         })
     }
-}
 
-impl Process<AbdMsg> for AbdServer {
-    fn on_start(&mut self, ctx: &mut Context<'_, AbdMsg>) {
-        let Some(repair) = self.repair.as_mut() else {
+    /// Sends (or re-sends) the repair query fan-out to every peer.
+    fn send_repair_queries(&mut self, ctx: &mut Context<'_, AbdMsg>) {
+        let Some(repair) = self.repair.as_ref() else {
             return;
         };
-        repair.started_at = ctx.now();
         let seq = repair.seq;
         let peers: Vec<ProcessId> = repair
             .layout
@@ -189,6 +201,47 @@ impl Process<AbdMsg> for AbdServer {
         for peer in peers {
             ctx.send(peer, AbdMsg::Query { seq });
         }
+    }
+}
+
+impl Process<AbdMsg> for AbdServer {
+    fn on_start(&mut self, ctx: &mut Context<'_, AbdMsg>) {
+        {
+            let Some(repair) = self.repair.as_mut() else {
+                return;
+            };
+            repair.started_at = ctx.now();
+            repair.attempts = 1;
+        }
+        self.send_repair_queries(ctx);
+        ctx.set_timer(crate::REPAIR_RETRY_INTERVAL, crate::REPAIR_RETRY_TOKEN);
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_, AbdMsg>) {
+        if token != crate::REPAIR_RETRY_TOKEN {
+            return;
+        }
+        {
+            let Some(repair) = self.repair.as_mut() else {
+                return;
+            };
+            if repair.completed_at.is_some() || repair.failed {
+                return;
+            }
+            if repair.attempts >= crate::REPAIR_MAX_ATTEMPTS {
+                // Survivors unreachable for the whole retry budget: give up
+                // and halt, reverting the rank to plain dead so the
+                // crash-budget slot can be reclaimed by a later repair.
+                repair.failed = true;
+                ctx.halt();
+                return;
+            }
+            repair.attempts += 1;
+        }
+        // Duplicate queries are idempotent: the quorum tracker records each
+        // responder once.
+        self.send_repair_queries(ctx);
+        ctx.set_timer(crate::REPAIR_RETRY_INTERVAL, crate::REPAIR_RETRY_TOKEN);
     }
 
     fn on_message(&mut self, from: ProcessId, msg: AbdMsg, ctx: &mut Context<'_, AbdMsg>) {

@@ -216,6 +216,11 @@ struct CasRepair {
     started_at: SimTime,
     completed_at: Option<SimTime>,
     traffic_bytes: u64,
+    /// Fan-out attempts so far (the initial send counts as one).
+    attempts: u32,
+    /// The retry budget ran out with the survivors unreachable; the
+    /// replacement halted itself and the rank is plain dead again.
+    failed: bool,
 }
 
 /// A CAS / CASGC server.
@@ -271,13 +276,21 @@ impl CasServer {
                 started_at: SimTime::ZERO,
                 completed_at: None,
                 traffic_bytes: 0,
+                attempts: 0,
+                failed: false,
             }),
         }
     }
 
     /// Whether this server is a replacement whose repair has not finished.
     pub fn is_repairing(&self) -> bool {
-        matches!(&self.repair, Some(r) if r.completed_at.is_none())
+        matches!(&self.repair, Some(r) if r.completed_at.is_none() && !r.failed)
+    }
+
+    /// Whether this replacement gave up (retry budget exhausted with the
+    /// survivors unreachable) and halted itself.
+    pub fn repair_failed(&self) -> bool {
+        matches!(&self.repair, Some(r) if r.failed)
     }
 
     /// Repair progress, if this server is (or was) a replacement.
@@ -286,7 +299,27 @@ impl CasServer {
             started_at: r.started_at,
             completed_at: r.completed_at,
             traffic_bytes: r.traffic_bytes,
+            failed: r.failed,
         })
+    }
+
+    /// Sends (or re-sends) the repair pull fan-out to every peer.
+    fn send_repair_pulls(&mut self, ctx: &mut Context<'_, CasMsg>) {
+        let Some(repair) = self.repair.as_ref() else {
+            return;
+        };
+        let seq = repair.seq;
+        let peers: Vec<ProcessId> = self
+            .config
+            .layout()
+            .servers()
+            .iter()
+            .copied()
+            .filter(|&p| p != ctx.self_id())
+            .collect();
+        for peer in peers {
+            ctx.send(peer, CasMsg::RepairPull { seq });
+        }
     }
 
     /// Merges the collected survivor state into the local store once a
@@ -370,22 +403,44 @@ impl CasServer {
 
 impl Process<CasMsg> for CasServer {
     fn on_start(&mut self, ctx: &mut Context<'_, CasMsg>) {
-        let Some(repair) = self.repair.as_mut() else {
-            return;
-        };
-        repair.started_at = ctx.now();
-        let seq = repair.seq;
-        let peers: Vec<ProcessId> = self
-            .config
-            .layout()
-            .servers()
-            .iter()
-            .copied()
-            .filter(|&p| p != ctx.self_id())
-            .collect();
-        for peer in peers {
-            ctx.send(peer, CasMsg::RepairPull { seq });
+        {
+            let Some(repair) = self.repair.as_mut() else {
+                return;
+            };
+            repair.started_at = ctx.now();
+            repair.attempts = 1;
         }
+        self.send_repair_pulls(ctx);
+        ctx.set_timer(crate::REPAIR_RETRY_INTERVAL, crate::REPAIR_RETRY_TOKEN);
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_, CasMsg>) {
+        if token != crate::REPAIR_RETRY_TOKEN {
+            return;
+        }
+        {
+            let Some(repair) = self.repair.as_mut() else {
+                return;
+            };
+            if repair.completed_at.is_some() || repair.failed {
+                return;
+            }
+            if repair.attempts >= crate::REPAIR_MAX_ATTEMPTS {
+                // Survivors unreachable for the whole retry budget: give up
+                // and halt, reverting the rank to plain dead so the
+                // crash-budget slot can be reclaimed by a later repair.
+                repair.failed = true;
+                ctx.halt();
+                return;
+            }
+            repair.attempts += 1;
+        }
+        // Duplicate pulls are idempotent for state (the collected map merges
+        // by tag and element index; the quorum tracker records each
+        // responder once), though re-transferred elements are charged to
+        // `traffic_bytes` — retried repairs genuinely cost that bandwidth.
+        self.send_repair_pulls(ctx);
+        ctx.set_timer(crate::REPAIR_RETRY_INTERVAL, crate::REPAIR_RETRY_TOKEN);
     }
 
     fn on_message(&mut self, from: ProcessId, msg: CasMsg, ctx: &mut Context<'_, CasMsg>) {

@@ -55,4 +55,19 @@ pub struct RepairStatus {
     pub completed_at: Option<soda_simnet::SimTime>,
     /// Bytes of value / coded-element data received during the repair.
     pub traffic_bytes: u64,
+    /// Whether the repair gave up: its retry budget ran out with the
+    /// survivors unreachable (e.g. a partition that outlived every retry).
+    /// The replacement halted itself, so the rank is plain dead again and
+    /// can be repaired anew.
+    pub failed: bool,
 }
+
+/// Ticks between repair retries, shared by the ABD and CAS replacement
+/// servers (the SODA server uses the same cadence). Comfortably above one
+/// network round trip, so a clean-path repair completes before the first
+/// retry fires.
+pub(crate) const REPAIR_RETRY_INTERVAL: u64 = 400;
+/// Total repair attempts (first fan-out + retries) before giving up.
+pub(crate) const REPAIR_MAX_ATTEMPTS: u32 = 8;
+/// Timer token of the repair retry loop.
+pub(crate) const REPAIR_RETRY_TOKEN: u64 = u64::MAX;

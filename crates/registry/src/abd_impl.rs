@@ -120,6 +120,7 @@ impl RegisterCluster for AbdRegisterCluster {
                     started_at: s.started_at,
                     completed_at: s.completed_at,
                     traffic_bytes: s.traffic_bytes,
+                    error: s.failed.then_some(crate::record::RepairError::Unreachable),
                 })
             })
             .collect()

@@ -131,6 +131,7 @@ impl RegisterCluster for CasRegisterCluster {
                     started_at: s.started_at,
                     completed_at: s.completed_at,
                     traffic_bytes: s.traffic_bytes,
+                    error: s.failed.then_some(crate::record::RepairError::Unreachable),
                 })
             })
             .collect()

@@ -60,7 +60,7 @@ pub use cluster::RegisterCluster;
 pub use kind::{ClusterDescriptor, ProtocolKind};
 pub use record::{
     history_from_records, history_with_pending, version_of_tag, OpKind, OpRecord,
-    PendingWriteRecord, RepairReport,
+    PendingWriteRecord, RepairError, RepairReport,
 };
 pub use soda_impl::SodaRegisterCluster;
 

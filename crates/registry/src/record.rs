@@ -96,6 +96,30 @@ impl From<soda_baselines::PendingWriteInfo> for PendingWriteRecord {
     }
 }
 
+/// Why a repair gave up (see [`RepairReport::error`]).
+///
+/// A failed repair is *retryable*: the replacement halted itself, so the
+/// rank is plain dead again, the crash-budget slot it held is released back
+/// to "dead" accounting, and a later
+/// [`crate::RegisterCluster::repair_server_at`] starts a fresh incarnation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RepairError {
+    /// The replacement exhausted its bounded retry budget without assembling
+    /// a quorum of survivor responses — typically because a partition window
+    /// outlived every retry.
+    Unreachable,
+}
+
+impl std::fmt::Display for RepairError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RepairError::Unreachable => {
+                write!(f, "survivors unreachable for the whole retry budget")
+            }
+        }
+    }
+}
+
 /// Progress report of one server repair, in the shared shape every protocol's
 /// repair bookkeeping is converted into (see
 /// [`crate::RegisterCluster::repair_reports`]).
@@ -105,17 +129,27 @@ pub struct RepairReport {
     pub rank: usize,
     /// When the replacement started pulling state from survivors.
     pub started_at: SimTime,
-    /// When the repair finished (`None` while still in progress).
+    /// When the repair finished (`None` while still in progress — or, when
+    /// [`RepairReport::error`] is set, never).
     pub completed_at: Option<SimTime>,
     /// Bytes of value / coded-element data the replacement received during
     /// the repair (the protocol's repair bandwidth for this server).
     pub traffic_bytes: u64,
+    /// Set when the repair gave up instead of completing. The error is
+    /// typed and retryable: the rank is plain dead again and
+    /// `repair_server_at` can be called anew.
+    pub error: Option<RepairError>,
 }
 
 impl RepairReport {
     /// Repair latency in ticks (`None` while the repair is in progress).
     pub fn latency(&self) -> Option<u64> {
         self.completed_at.map(|done| done.since(self.started_at))
+    }
+
+    /// Whether this repair gave up with a typed error.
+    pub fn failed(&self) -> bool {
+        self.error.is_some()
     }
 }
 

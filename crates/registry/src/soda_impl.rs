@@ -163,6 +163,8 @@ impl RegisterCluster for SodaRegisterCluster {
                     started_at: s.started_at,
                     completed_at: s.completed_at,
                     traffic_bytes: s.traffic_bytes,
+                    error: (s.phase == soda::RepairPhase::Failed)
+                        .then_some(crate::record::RepairError::Unreachable),
                 })
             })
             .collect()

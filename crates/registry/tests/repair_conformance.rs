@@ -4,8 +4,8 @@
 //! write, and never double-count a repaired server's replayed acknowledgements
 //! in the closed history.
 
-use soda_registry::{ClusterBuilder, OpRecord, ProtocolKind, RegisterCluster};
-use soda_simnet::SimTime;
+use soda_registry::{ClusterBuilder, OpRecord, ProtocolKind, RegisterCluster, RepairError};
+use soda_simnet::{NetFaultPlan, Partition, ProcessId, SimTime};
 use std::collections::BTreeSet;
 
 /// Representative parameters per protocol: `(kind, n, f)` chosen so every
@@ -144,6 +144,152 @@ fn repair_during_inflight_write_preserves_atomicity_across_seeds() {
                 .check_atomicity()
                 .unwrap_or_else(|v| panic!("{} repair at {repair_at}: {v}", kind.name()));
         }
+    }
+}
+
+/// A plan that cuts rank 0 off from every other process — servers *and*
+/// client handles — during `[start, end)` ticks. The cluster has 1 writer
+/// and 2 readers, so process ids run `0..n + 3`.
+fn isolate_rank_zero(n: usize, start: u64, end: u64) -> NetFaultPlan {
+    let isolated = vec![ProcessId(0)];
+    let rest: Vec<ProcessId> = (1..(n + 3) as u32).map(ProcessId).collect();
+    NetFaultPlan::none().with_partition(Partition::split(
+        &[isolated, rest],
+        SimTime::from_ticks(start),
+        SimTime::from_ticks(end),
+    ))
+}
+
+/// The crash → partition(repairer ⟂ survivors) → heal → repair-settles
+/// scenario: rank 0 crashes behind a window that outlives the repair's first
+/// attempts, and the retry cadence crosses the heal.
+fn drive_partitioned_repair(cluster: &mut dyn RegisterCluster) {
+    cluster.invoke_write_at(SimTime::from_ticks(0), 0, b"pre-partition".to_vec());
+    cluster.crash_server_at(SimTime::from_ticks(60), 0);
+    // The replacement's survivor fan-out is cut (and retried) until the heal
+    // at tick 1000; the retry at 1300 is the first to get through.
+    cluster.repair_server_at(SimTime::from_ticks(100), 0);
+    cluster.invoke_read_at(SimTime::from_ticks(1500), 0);
+    cluster.run_to_quiescence();
+}
+
+#[test]
+fn repair_behind_a_partition_settles_after_the_heal_for_every_kind() {
+    for (kind, n, f) in matrix() {
+        let mut cluster = ClusterBuilder::new(kind, n, f)
+            .with_seed(11)
+            .with_clients(1, 2)
+            .with_net_faults(isolate_rank_zero(n, 50, 1000))
+            .build()
+            .unwrap();
+        drive_partitioned_repair(cluster.as_mut());
+
+        assert_eq!(cluster.dead_or_repairing(), 0, "{}", kind.name());
+        let reports = cluster.repair_reports();
+        assert_eq!(reports.len(), 1, "{}", kind.name());
+        assert!(!reports[0].failed(), "{}", kind.name());
+        assert!(reports[0].error.is_none(), "{}", kind.name());
+        let settled = reports[0].completed_at.expect("repair must settle");
+        assert!(
+            settled.ticks() >= 1000,
+            "{}: settled at {} — inside the window",
+            kind.name(),
+            settled.ticks()
+        );
+        assert!(reports[0].traffic_bytes > 0, "{}", kind.name());
+
+        let ops = cluster.completed_ops();
+        let last_read = ops.iter().rfind(|o| o.kind.is_read()).unwrap();
+        assert_eq!(
+            last_read.value.as_deref(),
+            Some(b"pre-partition".as_slice()),
+            "{}",
+            kind.name()
+        );
+        cluster
+            .closed_history(&[])
+            .check_atomicity()
+            .unwrap_or_else(|v| panic!("{}: {v}", kind.name()));
+    }
+}
+
+#[test]
+fn partitioned_repair_replays_bit_identically() {
+    // Two independent builds of the partitioned scenario must agree on every
+    // operation tick, the repair report, and the final clock — partition cuts
+    // consume no RNG draws, so window plans cannot perturb the schedule.
+    for (kind, n, f) in matrix() {
+        let mut runs = Vec::new();
+        for _ in 0..2 {
+            let mut cluster = ClusterBuilder::new(kind, n, f)
+                .with_seed(29)
+                .with_clients(1, 2)
+                .with_net_faults(isolate_rank_zero(n, 50, 1000))
+                .build()
+                .unwrap();
+            drive_partitioned_repair(cluster.as_mut());
+            runs.push((
+                fingerprint(&cluster.completed_ops()),
+                cluster.repair_reports(),
+                cluster.repair_traffic_bytes(),
+                cluster.now(),
+            ));
+        }
+        assert_eq!(runs[0], runs[1], "{}", kind.name());
+    }
+}
+
+#[test]
+fn repair_that_outlives_the_window_fails_retryably_for_every_kind() {
+    // The window outlives the whole retry budget (8 attempts spanning 2800
+    // ticks): the repair must give up with the typed, retryable error and
+    // return the crash-budget slot — and a second repair after the heal must
+    // settle and replace the failure report.
+    for (kind, n, f) in matrix() {
+        let mut cluster = ClusterBuilder::new(kind, n, f)
+            .with_seed(13)
+            .with_clients(1, 2)
+            .with_net_faults(isolate_rank_zero(n, 50, 5000))
+            .build()
+            .unwrap();
+        cluster.invoke_write_at(SimTime::from_ticks(0), 0, b"outlives".to_vec());
+        cluster.crash_server_at(SimTime::from_ticks(60), 0);
+        cluster.repair_server_at(SimTime::from_ticks(100), 0);
+        cluster.run_to_quiescence();
+
+        // Gave up: the rank is plain dead again, still holding its budget
+        // slot, with the typed error on the report.
+        assert_eq!(cluster.dead_or_repairing(), 1, "{}", kind.name());
+        let reports = cluster.repair_reports();
+        assert_eq!(reports.len(), 1, "{}", kind.name());
+        assert!(reports[0].failed(), "{}", kind.name());
+        assert_eq!(
+            reports[0].error,
+            Some(RepairError::Unreachable),
+            "{}",
+            kind.name()
+        );
+
+        // Retry after the heal: settles promptly and replaces the report.
+        cluster.repair_server_at(SimTime::from_ticks(5100), 0);
+        cluster.invoke_read_at(SimTime::from_ticks(6000), 1);
+        cluster.run_to_quiescence();
+        assert_eq!(cluster.dead_or_repairing(), 0, "{}", kind.name());
+        let reports = cluster.repair_reports();
+        assert_eq!(reports.len(), 1, "{}", kind.name());
+        assert!(!reports[0].failed(), "{}", kind.name());
+        let ops = cluster.completed_ops();
+        let last_read = ops.iter().rfind(|o| o.kind.is_read()).unwrap();
+        assert_eq!(
+            last_read.value.as_deref(),
+            Some(b"outlives".as_slice()),
+            "{}",
+            kind.name()
+        );
+        cluster
+            .closed_history(&[])
+            .check_atomicity()
+            .unwrap_or_else(|v| panic!("{}: {v}", kind.name()));
     }
 }
 

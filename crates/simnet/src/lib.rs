@@ -21,8 +21,10 @@
 //!   process with a fresh (empty-state) one, modelling server repair.
 //! * [`NetFaultPlan`] / [`Simulation::set_net_fault_plan`] — the network
 //!   adversary: per-link message drop, extra delay, reordering (hold-back),
-//!   duplication, and byzantine payload corruption via a message-type
-//!   specific [`CorruptionHook`].
+//!   duplication, byzantine payload corruption via a message-type specific
+//!   [`CorruptionHook`], and scheduled [`LinkWindow`] / [`Partition`]
+//!   outages that cut links during `[start, end)` and heal — without
+//!   consuming any randomness, so seeds keep their schedules.
 //! * [`Trace`] / [`Stats`] — accounting of messages and **data bytes** (bytes
 //!   of object-value payload, excluding metadata) exactly mirroring the
 //!   paper's storage/communication cost model, which ignores metadata.
@@ -78,7 +80,7 @@ mod wheel;
 pub use config::{DelayModel, NetworkConfig};
 pub use fasthash::{BuildFastHasher, FastHashMap, FastHashSet, FastHasher};
 pub use fault::{CrashEvent, FaultPlan, RecoveryEvent};
-pub use netfault::{LinkFaults, NetFaultPlan};
+pub use netfault::{LinkFaults, LinkWindow, NetFaultPlan, Partition};
 pub use process::{Context, Message, Process, ProcessId};
 pub use sim::{CorruptionHook, RunOutcome, Simulation};
 pub use time::SimTime;

@@ -18,20 +18,27 @@
 //! mutation itself is performed by a [`crate::CorruptionHook`] installed
 //! with [`crate::Simulation::set_corruption_hook`].
 //!
-//! Faults here are probabilistic per message and sampled from the
-//! simulation's seeded RNG, so a given `(seed, plan)` pair still produces a
-//! fully deterministic execution — failing schedules can be replayed
-//! exactly.
+//! Probabilistic faults are sampled per message from the simulation's seeded
+//! RNG, so a given `(seed, plan)` pair still produces a fully deterministic
+//! execution — failing schedules can be replayed exactly.
 //!
-//! What is *not* modeled: link partitions that heal (compose per-link drop
-//! probabilities over time windows instead), and unbounded delay (delays are
-//! finite so that `run_to_quiescence` terminates; liveness under a fair
-//! adversary is approximated by `drop_p < 1`).
+//! On top of the probabilistic adversary, the plan carries *scheduled*
+//! [`LinkWindow`]s: a directed link is unreachable during `[start, end)` and
+//! heals at `end`. Windows are deterministic — a partitioned send is dropped
+//! by a membership test that consumes **no** RNG draws, so adding windows to
+//! a plan never perturbs the schedule an existing seed produces on the
+//! still-connected links. The [`Partition`] helper expands a symmetric
+//! multi-group partition into the cross-group windows it implies.
+//!
+//! What is *not* modeled: unbounded delay (delays are finite so that
+//! `run_to_quiescence` terminates; liveness under a fair adversary is
+//! approximated by `drop_p < 1` and by partitions that heal).
 
 use crate::config::DelayModel;
 use crate::process::ProcessId;
+use crate::time::SimTime;
 use rand::Rng;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Adversarial behaviour of one directed link (probabilities are per
 /// message).
@@ -106,6 +113,84 @@ impl Default for LinkFaults {
     }
 }
 
+/// A scheduled outage of one directed link: messages sent from `from` to
+/// `to` while `start <= now < end` are dropped deterministically (no RNG
+/// draw), and the link heals at `end`. Use `end = SimTime::MAX` for a
+/// partition that never heals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkWindow {
+    /// Sender side of the cut link.
+    pub from: ProcessId,
+    /// Receiver side of the cut link.
+    pub to: ProcessId,
+    /// First instant at which sends are cut (inclusive).
+    pub start: SimTime,
+    /// Heal time: first instant at which sends go through again (exclusive
+    /// end of the outage).
+    pub end: SimTime,
+}
+
+impl LinkWindow {
+    /// A window cutting `from → to` during `[start, end)`.
+    pub fn new(from: ProcessId, to: ProcessId, start: SimTime, end: SimTime) -> Self {
+        LinkWindow {
+            from,
+            to,
+            start,
+            end,
+        }
+    }
+
+    /// Whether a send at `now` falls inside the outage.
+    pub fn covers(&self, now: SimTime) -> bool {
+        self.start <= now && now < self.end
+    }
+}
+
+/// A symmetric network partition: during `[start, end)` every link that
+/// crosses a group boundary is cut in both directions; links inside a group
+/// are untouched. Expands to the [`LinkWindow`]s it implies via
+/// [`Partition::split`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    windows: Vec<LinkWindow>,
+}
+
+impl Partition {
+    /// Cuts all cross-group links symmetrically during `[start, end)`; the
+    /// partition heals at `end`. Processes not listed in any group are
+    /// unaffected (they stay reachable from everyone). A process listed in
+    /// two groups keeps its links to both (the groups overlap there), so
+    /// callers normally pass disjoint groups.
+    pub fn split(groups: &[Vec<ProcessId>], start: SimTime, end: SimTime) -> Self {
+        let mut windows = Vec::new();
+        for (i, a) in groups.iter().enumerate() {
+            for b in groups.iter().skip(i + 1) {
+                for &p in a {
+                    for &q in b {
+                        if p == q {
+                            continue;
+                        }
+                        windows.push(LinkWindow::new(p, q, start, end));
+                        windows.push(LinkWindow::new(q, p, start, end));
+                    }
+                }
+            }
+        }
+        Partition { windows }
+    }
+
+    /// The directed link windows this partition expands to.
+    pub fn windows(&self) -> &[LinkWindow] {
+        &self.windows
+    }
+
+    /// Consumes the partition, yielding its link windows.
+    pub fn into_windows(self) -> Vec<LinkWindow> {
+        self.windows
+    }
+}
+
 /// The network adversary for one execution: per-link fault behaviour plus the
 /// set of byzantine (payload-corrupting) senders.
 ///
@@ -118,6 +203,9 @@ pub struct NetFaultPlan {
     default: LinkFaults,
     link_overrides: HashMap<(ProcessId, ProcessId), LinkFaults>,
     corrupt_senders: BTreeSet<ProcessId>,
+    /// Scheduled outages per directed link (sorted map so iteration — e.g.
+    /// for display — is deterministic).
+    windows: BTreeMap<(ProcessId, ProcessId), Vec<(SimTime, SimTime)>>,
 }
 
 impl NetFaultPlan {
@@ -152,6 +240,65 @@ impl NetFaultPlan {
         self
     }
 
+    /// Adds one scheduled link outage.
+    pub fn with_window(mut self, window: LinkWindow) -> Self {
+        self.windows
+            .entry((window.from, window.to))
+            .or_default()
+            .push((window.start, window.end));
+        self
+    }
+
+    /// Adds several scheduled link outages.
+    pub fn with_windows<I: IntoIterator<Item = LinkWindow>>(mut self, windows: I) -> Self {
+        for w in windows {
+            self = self.with_window(w);
+        }
+        self
+    }
+
+    /// Adds every link window a symmetric [`Partition`] implies.
+    pub fn with_partition(self, partition: Partition) -> Self {
+        self.with_windows(partition.into_windows())
+    }
+
+    /// Whether a send from `from` to `to` at time `now` falls inside a
+    /// scheduled outage. This is a pure membership test — it consumes no
+    /// randomness — so plans that only differ in windows produce identical
+    /// RNG streams on the links that stay connected.
+    pub fn is_partitioned(&self, from: ProcessId, to: ProcessId, now: SimTime) -> bool {
+        if self.windows.is_empty() {
+            return false;
+        }
+        self.windows
+            .get(&(from, to))
+            .is_some_and(|spans| spans.iter().any(|&(start, end)| start <= now && now < end))
+    }
+
+    /// Whether the plan carries any scheduled link outages (past, present or
+    /// future).
+    pub fn has_windows(&self) -> bool {
+        !self.windows.is_empty()
+    }
+
+    /// The scheduled link outages, in deterministic (link, insertion) order.
+    pub fn link_windows(&self) -> impl Iterator<Item = LinkWindow> + '_ {
+        self.windows.iter().flat_map(|(&(from, to), spans)| {
+            spans
+                .iter()
+                .map(move |&(start, end)| LinkWindow::new(from, to, start, end))
+        })
+    }
+
+    /// When the last scheduled outage heals: `None` if the plan has no
+    /// windows, `Some(SimTime::MAX)` if any window never heals.
+    pub fn final_heal(&self) -> Option<SimTime> {
+        self.windows
+            .values()
+            .flat_map(|spans| spans.iter().map(|&(_, end)| end))
+            .max()
+    }
+
     /// The fault behaviour applying to a particular directed link.
     pub fn faults_for(&self, from: ProcessId, to: ProcessId) -> LinkFaults {
         self.link_overrides
@@ -173,10 +320,16 @@ impl NetFaultPlan {
     /// Whether the plan changes nothing about delivery (the state a fresh
     /// [`crate::Simulation`] starts in). A passthrough plan consumes no
     /// randomness, so executions with and without it are identical.
+    ///
+    /// Any scheduled window disqualifies the plan — even one entirely in the
+    /// past or future. The simulation caches this answer once at
+    /// [`crate::Simulation::set_net_fault_plan`] time, so a plan that is
+    /// clean *now* but partitions *later* must never report passthrough.
     pub fn is_passthrough(&self) -> bool {
         self.default.is_clean()
             && self.link_overrides.values().all(LinkFaults::is_clean)
             && self.corrupt_senders.is_empty()
+            && self.windows.is_empty()
     }
 }
 
@@ -221,6 +374,80 @@ mod tests {
         // `b` was never advanced; the streams must still agree.
         use rand::Rng;
         assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn windowed_plan_is_never_passthrough() {
+        // Regression: the simulation caches `is_passthrough` once, so a plan
+        // that is clean at t=0 but partitions later must not pass through.
+        let future = NetFaultPlan::none().with_window(LinkWindow::new(
+            ProcessId(0),
+            ProcessId(1),
+            SimTime::from_ticks(100),
+            SimTime::from_ticks(200),
+        ));
+        assert!(!future.is_partitioned(ProcessId(0), ProcessId(1), SimTime::ZERO));
+        assert!(!future.is_passthrough(), "clean-now, partitioned-later");
+
+        // Even a window entirely in the past keeps the general path.
+        let past = NetFaultPlan::none().with_window(LinkWindow::new(
+            ProcessId(0),
+            ProcessId(1),
+            SimTime::ZERO,
+            SimTime::from_ticks(1),
+        ));
+        assert!(!past.is_passthrough());
+    }
+
+    #[test]
+    fn window_membership_is_half_open() {
+        let plan = NetFaultPlan::none().with_window(LinkWindow::new(
+            ProcessId(2),
+            ProcessId(3),
+            SimTime::from_ticks(10),
+            SimTime::from_ticks(20),
+        ));
+        let cut = |t| plan.is_partitioned(ProcessId(2), ProcessId(3), SimTime::from_ticks(t));
+        assert!(!cut(9));
+        assert!(cut(10), "start is inclusive");
+        assert!(cut(19));
+        assert!(!cut(20), "end is the heal instant");
+        // Only the scheduled direction is cut.
+        assert!(!plan.is_partitioned(ProcessId(3), ProcessId(2), SimTime::from_ticks(15)));
+        assert_eq!(plan.final_heal(), Some(SimTime::from_ticks(20)));
+        assert!(plan.has_windows());
+        assert_eq!(plan.link_windows().count(), 1);
+    }
+
+    #[test]
+    fn partition_split_cuts_cross_group_links_symmetrically() {
+        let g0 = vec![ProcessId(0), ProcessId(1)];
+        let g1 = vec![ProcessId(2)];
+        let part = Partition::split(&[g0, g1], SimTime::from_ticks(5), SimTime::from_ticks(15));
+        // 2 cross-group pairs, both directions.
+        assert_eq!(part.windows().len(), 4);
+        let plan = NetFaultPlan::none().with_partition(part);
+        let at = SimTime::from_ticks(7);
+        assert!(plan.is_partitioned(ProcessId(0), ProcessId(2), at));
+        assert!(plan.is_partitioned(ProcessId(2), ProcessId(0), at));
+        assert!(plan.is_partitioned(ProcessId(1), ProcessId(2), at));
+        assert!(plan.is_partitioned(ProcessId(2), ProcessId(1), at));
+        // Intra-group links stay connected.
+        assert!(!plan.is_partitioned(ProcessId(0), ProcessId(1), at));
+        // Heals at end.
+        assert!(!plan.is_partitioned(ProcessId(0), ProcessId(2), SimTime::from_ticks(15)));
+    }
+
+    #[test]
+    fn never_healing_window_reports_max_heal() {
+        let plan = NetFaultPlan::none().with_window(LinkWindow::new(
+            ProcessId(0),
+            ProcessId(1),
+            SimTime::from_ticks(3),
+            SimTime::MAX,
+        ));
+        assert_eq!(plan.final_heal(), Some(SimTime::MAX));
+        assert!(plan.is_partitioned(ProcessId(0), ProcessId(1), SimTime::from_ticks(1 << 40)));
     }
 
     #[test]

@@ -448,6 +448,19 @@ impl<M: Message> Simulation<M> {
             });
             return;
         }
+        // Scheduled partition windows cut the link deterministically. The
+        // membership test consumes no randomness and runs before every
+        // sampling step (including the corruption hook), so seeds without
+        // windows keep their schedules and seeds with windows keep the RNG
+        // stream of the still-connected links.
+        if self.net_faults.is_partitioned(from, to, self.now) {
+            let data_bytes = msg.data_bytes();
+            let kind = msg.kind();
+            self.trace
+                .record_send(self.now, self.now, from, to, data_bytes, kind, true);
+            self.trace.record_net_partition();
+            return;
+        }
         let faults = self.net_faults.faults_for(from, to);
         // Byzantine senders: let the installed hook corrupt the payload
         // before delivery (and before duplication, so both copies carry the
@@ -839,6 +852,58 @@ mod tests {
             (sim.now(), sim.stats().messages_sent)
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn future_partition_window_disables_passthrough_but_keeps_the_schedule() {
+        // A window that never overlaps the execution forces the general
+        // (non-passthrough) send path; since the membership test consumes no
+        // randomness the execution must still be bit-identical.
+        let run = |with_window: bool| {
+            let (mut sim, a, _b) = two_process_sim(11);
+            if with_window {
+                let plan = NetFaultPlan::none().with_window(crate::netfault::LinkWindow::new(
+                    ProcessId(0),
+                    ProcessId(1),
+                    SimTime::from_ticks(1_000_000),
+                    SimTime::from_ticks(2_000_000),
+                ));
+                assert!(!plan.is_passthrough());
+                sim.set_net_fault_plan(plan);
+            }
+            sim.send_external(a, TestMsg::Ping(0));
+            sim.run_to_quiescence();
+            (
+                sim.now(),
+                sim.stats().messages_sent,
+                sim.stats().messages_delivered,
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn partition_window_cuts_then_heals_and_is_counted_separately() {
+        let (mut sim, a, b) = two_process_sim(13);
+        // Cut a → b during [0, 50): the first relay is lost; a retry kicked
+        // off after the heal goes through and the ping-pong completes.
+        sim.set_net_fault_plan(
+            NetFaultPlan::none().with_window(crate::netfault::LinkWindow::new(
+                a,
+                b,
+                SimTime::ZERO,
+                SimTime::from_ticks(50),
+            )),
+        );
+        sim.send_external(a, TestMsg::Ping(0));
+        sim.send_external_at(SimTime::from_ticks(100), a, TestMsg::Ping(0));
+        sim.run_to_quiescence();
+        let pb: &PingPong = sim.process_as(b).unwrap();
+        assert_eq!(pb.received, vec![1, 3, 5], "post-heal traffic flows");
+        let stats = sim.stats();
+        assert_eq!(stats.messages_partitioned, 1, "one send hit the window");
+        assert_eq!(stats.messages_lost, 0, "partition drops are not net drops");
+        assert!(stats.messages_dropped >= 1);
     }
 
     #[test]

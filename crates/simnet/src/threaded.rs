@@ -5,8 +5,13 @@
 //! parallel execution and wall-clock timings for the benchmark harness, at the
 //! cost of determinism (interleavings depend on the OS scheduler). Crash
 //! injection is supported by marking a process halted before the run starts or
-//! through [`Context::halt`]; timers are not supported (the SODA family of
-//! protocols is purely message driven and never sets timers).
+//! through [`Context::halt`]; timers are ignored. The protocols' client/server
+//! message flow never needs them — the only timers in the workspace drive
+//! repair *retries* against partition windows, and this runtime has neither
+//! partitions nor loss (channels deliver everything), so the initial attempt
+//! always gets through and the retry/give-up machinery stays idle. (The
+//! store's `Threaded` runtime is unaffected: it runs full deterministic
+//! `Simulation`s on OS threads, timers included.)
 //!
 //! Quiescence detection uses an in-flight message counter: every enqueue
 //! increments it and every completed handler decrements it, so the run

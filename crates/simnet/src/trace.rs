@@ -56,6 +56,11 @@ pub struct Stats {
     /// ([`crate::NetFaultPlan`] drop faults). Also counted in
     /// [`Stats::messages_dropped`].
     pub messages_lost: u64,
+    /// Messages cut by a scheduled partition window
+    /// ([`crate::LinkWindow`]). Deterministic drops, counted separately from
+    /// the probabilistic [`Stats::messages_lost`]; also counted in
+    /// [`Stats::messages_dropped`].
+    pub messages_partitioned: u64,
     /// Extra deliveries created by adversarial duplication. Duplicates are
     /// channel artifacts: they are *not* counted in [`Stats::messages_sent`]
     /// or [`Stats::data_bytes_sent`] (the protocol's communication cost),
@@ -95,6 +100,7 @@ impl Stats {
             messages_delivered: self.messages_delivered - earlier.messages_delivered,
             messages_dropped: self.messages_dropped - earlier.messages_dropped,
             messages_lost: self.messages_lost - earlier.messages_lost,
+            messages_partitioned: self.messages_partitioned - earlier.messages_partitioned,
             messages_duplicated: self.messages_duplicated - earlier.messages_duplicated,
             messages_corrupted: self.messages_corrupted - earlier.messages_corrupted,
             data_bytes_sent: self.data_bytes_sent - earlier.data_bytes_sent,
@@ -184,6 +190,13 @@ impl Trace {
     /// adversary-specific counter.
     pub fn record_net_drop(&mut self) {
         self.stats.messages_lost += 1;
+    }
+
+    /// Records a message cut by a scheduled partition window. The send itself
+    /// is recorded separately (with `dropped = true`), so this only bumps the
+    /// partition-specific counter.
+    pub fn record_net_partition(&mut self) {
+        self.stats.messages_partitioned += 1;
     }
 
     /// Records an extra delivery created by adversarial duplication.

@@ -64,7 +64,24 @@ pub enum RepairPhase {
     Value,
     /// Repair finished; the server is a full replica again.
     Done,
+    /// The retry budget ran out with the survivors still unreachable (e.g. a
+    /// partition that outlived every retry). The replacement halted itself:
+    /// the rank is plain dead again and can be repaired anew.
+    Failed,
 }
+
+/// Ticks between repair retries. Comfortably above one network round trip,
+/// so a clean-path repair completes before the first retry fires (the timer
+/// then finds the repair done and does nothing).
+pub(crate) const REPAIR_RETRY_INTERVAL: u64 = 400;
+/// Total attempts (first try + retries) before a repair gives up. The
+/// product with [`REPAIR_RETRY_INTERVAL`] bounds how long a repair survives
+/// a partition — long enough to straddle the heal of any window the
+/// exploration harness samples, short enough that `run_to_quiescence`
+/// terminates when survivors never come back.
+pub(crate) const REPAIR_MAX_ATTEMPTS: u32 = 8;
+/// Timer token of the repair retry loop.
+const REPAIR_RETRY_TOKEN: u64 = u64::MAX;
 
 /// Progress and cost accounting of a replacement server's repair.
 #[derive(Clone, Debug)]
@@ -96,6 +113,8 @@ struct RepairState {
     completed_at: Option<SimTime>,
     traffic_bytes: u64,
     repaired_tag: Option<Tag>,
+    /// Fan-out attempts so far (the initial send counts as one).
+    attempts: u32,
 }
 
 impl RepairState {
@@ -206,6 +225,7 @@ impl ServerProcess {
                 completed_at: None,
                 traffic_bytes: 0,
                 repaired_tag: None,
+                attempts: 0,
             }),
             scratch_interested: Vec::new(),
         }
@@ -261,7 +281,17 @@ impl ServerProcess {
     /// While true the server answers no get queries and is still "dead" for
     /// the purposes of the dynamic fault-tolerance budget.
     pub fn is_repairing(&self) -> bool {
-        matches!(&self.repair, Some(r) if r.phase != RepairPhase::Done)
+        matches!(
+            &self.repair,
+            Some(r) if r.phase != RepairPhase::Done && r.phase != RepairPhase::Failed
+        )
+    }
+
+    /// Whether this replacement gave up: the retry budget ran out with the
+    /// survivors unreachable. The process has halted itself, so the rank is
+    /// plain dead and a later `repair_server_at` can try again.
+    pub fn repair_failed(&self) -> bool {
+        matches!(&self.repair, Some(r) if r.phase == RepairPhase::Failed)
     }
 
     /// Repair progress and cost accounting, if this server is (or was) a
@@ -425,7 +455,10 @@ impl ServerProcess {
         self.maybe_unregister(tag, op);
     }
 
-    /// Kicks off the repair read: query every survivor for its stored tag.
+    /// Kicks off the repair read: query every survivor for its stored tag,
+    /// and arm the retry timer that makes the repair survive partition/heal
+    /// cycles (a lost fan-out is re-sent until the survivors answer or the
+    /// attempt budget runs out).
     fn begin_repair(&mut self, ctx: &mut Context<'_, SodaMsg>) {
         let op = {
             let Some(repair) = self.repair.as_mut() else {
@@ -435,6 +468,7 @@ impl ServerProcess {
                 return;
             }
             repair.started_at = ctx.now();
+            repair.attempts = 1;
             repair.op
         };
         for rank in 0..self.config.n() {
@@ -442,6 +476,65 @@ impl ServerProcess {
                 ctx.send(self.server_pid(rank), SodaMsg::ReadGet { op });
             }
         }
+        ctx.set_timer(REPAIR_RETRY_INTERVAL, REPAIR_RETRY_TOKEN);
+    }
+
+    /// Retry tick of an in-flight repair. Re-sends the current phase's
+    /// fan-out (all repair messages are idempotent: trackers and the element
+    /// map deduplicate, and survivors re-register the same op id), or gives
+    /// up once the attempt budget is exhausted — the replacement then halts,
+    /// reverting the rank to plain dead so the crash-budget slot can be
+    /// reclaimed by a later repair.
+    fn on_repair_retry(&mut self, ctx: &mut Context<'_, SodaMsg>) {
+        enum Step {
+            ResendGet(OpId),
+            ResendRegister(OpId, Tag),
+            GiveUp,
+        }
+        let step = {
+            let Some(repair) = self.repair.as_mut() else {
+                return;
+            };
+            match repair.phase {
+                RepairPhase::Done | RepairPhase::Failed => return,
+                _ if repair.attempts >= REPAIR_MAX_ATTEMPTS => {
+                    repair.phase = RepairPhase::Failed;
+                    Step::GiveUp
+                }
+                RepairPhase::Get => {
+                    repair.attempts += 1;
+                    Step::ResendGet(repair.op)
+                }
+                RepairPhase::Value => {
+                    repair.attempts += 1;
+                    Step::ResendRegister(repair.op, repair.requested.unwrap_or(Tag::INITIAL))
+                }
+            }
+        };
+        match step {
+            Step::GiveUp => {
+                ctx.halt();
+                return;
+            }
+            Step::ResendGet(op) => {
+                for rank in 0..self.config.n() {
+                    if rank != self.my_rank {
+                        ctx.send(self.server_pid(rank), SodaMsg::ReadGet { op });
+                    }
+                }
+            }
+            Step::ResendRegister(op, tr) => {
+                // A fresh message id: the survivors' tombstones for the
+                // earlier dispersal must not swallow the re-registration.
+                let mid = self.next_mid();
+                let payload = MetaPayload::ReadValue { op, tag: tr };
+                for dispatch in md_meta_send(self.config.layout(), mid, payload) {
+                    let dest = self.server_pid(dispatch.to_rank);
+                    ctx.send(dest, SodaMsg::MdMeta(dispatch.msg));
+                }
+            }
+        }
+        ctx.set_timer(REPAIR_RETRY_INTERVAL, REPAIR_RETRY_TOKEN);
     }
 
     /// Handles a `read-get` response during repair: once a majority answered,
@@ -582,6 +675,12 @@ impl Process<SodaMsg> for ServerProcess {
     fn on_start(&mut self, ctx: &mut Context<'_, SodaMsg>) {
         if self.is_repairing() {
             self.begin_repair(ctx);
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_, SodaMsg>) {
+        if token == REPAIR_RETRY_TOKEN {
+            self.on_repair_retry(ctx);
         }
     }
 

@@ -3,7 +3,7 @@
 use crate::map::ShardMap;
 use crate::store::ShardedStore;
 use soda_registry::{BuildError, ClusterBuilder, ProtocolKind};
-use soda_simnet::{NetFaultPlan, NetworkConfig};
+use soda_simnet::{NetFaultPlan, NetworkConfig, Partition, ProcessId, SimTime};
 use std::error::Error;
 use std::fmt;
 
@@ -21,6 +21,32 @@ pub enum StoreRuntime {
     /// shard still runs its own discrete-event simulation — but wall-clock
     /// timing is real, which is what the throughput benches measure.
     Threaded,
+}
+
+/// A scheduled partition window on one shard: the named server `ranks` are
+/// unreachable from **every other process** of each key's cluster (surviving
+/// servers and all client handles, both directions) during `[start, end)`
+/// simulated ticks, after which the links heal.
+///
+/// Converted into [`soda_simnet::Partition::split`] link windows when each
+/// key's cluster is built, so the cuts are deterministic — they consume no
+/// randomness and leave the rest of the schedule untouched (see
+/// [`soda_simnet::LinkWindow`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardPartition {
+    /// Server ranks isolated by the window.
+    pub ranks: Vec<usize>,
+    /// First tick of the outage (inclusive).
+    pub start: u64,
+    /// First tick after the heal (exclusive end).
+    pub end: u64,
+}
+
+impl ShardPartition {
+    /// A window isolating `ranks` during `[start, end)`.
+    pub fn new(ranks: Vec<usize>, start: u64, end: u64) -> Self {
+        ShardPartition { ranks, start, end }
+    }
 }
 
 /// Per-shard configuration: the register-cluster shape every key placed on
@@ -43,6 +69,8 @@ pub struct ShardSpec {
     pub net_faults: NetFaultPlan,
     /// Byzantine (element-corrupting) server ranks (SODA family only).
     pub byzantine_servers: Vec<usize>,
+    /// Scheduled partition windows applied to every cluster of the shard.
+    pub partitions: Vec<ShardPartition>,
     /// **Test-only.** Sub-majority quorum override for ABD shards (rejected
     /// at `build` for every other kind) — deliberately breaks atomicity so
     /// the store-level exploration harness and its shrinker can be validated
@@ -67,11 +95,30 @@ impl ShardSpec {
     /// The representative [`ClusterBuilder`] for this spec (used both for
     /// validation and for building each key's cluster).
     pub(crate) fn cluster_builder(&self, seed: u64) -> ClusterBuilder {
+        let mut plan = self.net_faults.clone();
+        if !self.partitions.is_empty() {
+            // Servers are ProcessId(0..n), client handles follow — true for
+            // all five protocols' process layouts.
+            let total = self.n + self.writers_per_key + self.readers_per_key;
+            for window in &self.partitions {
+                let isolated: Vec<ProcessId> =
+                    window.ranks.iter().map(|&r| ProcessId(r as u32)).collect();
+                let rest: Vec<ProcessId> = (0..total as u32)
+                    .map(ProcessId)
+                    .filter(|pid| !isolated.contains(pid))
+                    .collect();
+                plan = plan.with_partition(Partition::split(
+                    &[isolated, rest],
+                    SimTime::from_ticks(window.start),
+                    SimTime::from_ticks(window.end),
+                ));
+            }
+        }
         let mut builder = ClusterBuilder::new(self.kind, self.n, self.f)
             .with_seed(seed)
             .with_clients(self.writers_per_key, self.readers_per_key)
             .with_network(self.network.clone())
-            .with_net_faults(self.net_faults.clone());
+            .with_net_faults(plan);
         if !self.byzantine_servers.is_empty() {
             builder = builder.with_byzantine_servers(self.byzantine_servers.clone());
         }
@@ -109,6 +156,25 @@ pub enum StoreBuildError {
         /// The underlying cluster-builder error.
         source: BuildError,
     },
+    /// A [`ShardPartition`] names a server rank the shard does not have.
+    PartitionRankOutOfRange {
+        /// The offending shard index.
+        shard: usize,
+        /// The out-of-range rank.
+        rank: usize,
+        /// Servers per cluster on that shard.
+        n: usize,
+    },
+    /// A [`ShardPartition`] window is empty (`start >= end`) or isolates no
+    /// ranks — it could never cut a link, so it is almost certainly a typo.
+    PartitionEmptyWindow {
+        /// The offending shard index.
+        shard: usize,
+        /// The window's start tick.
+        start: u64,
+        /// The window's end tick.
+        end: u64,
+    },
 }
 
 impl fmt::Display for StoreBuildError {
@@ -125,6 +191,14 @@ impl fmt::Display for StoreBuildError {
             StoreBuildError::Shard { shard, source } => {
                 write!(out, "shard {shard}: {source}")
             }
+            StoreBuildError::PartitionRankOutOfRange { shard, rank, n } => write!(
+                out,
+                "shard {shard}: partition isolates rank {rank} but clusters have {n} servers"
+            ),
+            StoreBuildError::PartitionEmptyWindow { shard, start, end } => write!(
+                out,
+                "shard {shard}: partition window [{start}, {end}) isolates nothing"
+            ),
         }
     }
 }
@@ -188,6 +262,7 @@ impl StoreBuilder {
             network: NetworkConfig::uniform(10),
             net_faults: NetFaultPlan::none(),
             byzantine_servers: Vec::new(),
+            partitions: Vec::new(),
             unsound_quorum: None,
         };
         StoreBuilder {
@@ -279,6 +354,27 @@ impl StoreBuilder {
         self
     }
 
+    /// Schedules a partition window on one shard: the named server ranks are
+    /// cut off from every other process of each key's cluster during
+    /// `[start, end)` ticks, healing at `end`. Windows may be stacked (call
+    /// repeatedly) and overlap freely. Rejected at `build` if a rank is out
+    /// of range or the window is empty.
+    pub fn with_shard_partition(
+        mut self,
+        shard: usize,
+        ranks: Vec<usize>,
+        start: u64,
+        end: u64,
+    ) -> Self {
+        match self.specs.get_mut(shard) {
+            Some(spec) => spec.partitions.push(ShardPartition::new(ranks, start, end)),
+            None => self
+                .errors
+                .push(StoreBuildErrorKind::ShardOutOfRange { shard }),
+        }
+        self
+    }
+
     /// Marks byzantine servers on one shard (SODA-family shards only;
     /// rejected at `build` otherwise).
     pub fn with_shard_byzantine(mut self, shard: usize, ranks: Vec<usize>) -> Self {
@@ -323,6 +419,22 @@ impl StoreBuilder {
             return Err(StoreBuildError::NoShards);
         }
         for (shard, spec) in self.specs.iter().enumerate() {
+            for window in &spec.partitions {
+                if window.start >= window.end || window.ranks.is_empty() {
+                    return Err(StoreBuildError::PartitionEmptyWindow {
+                        shard,
+                        start: window.start,
+                        end: window.end,
+                    });
+                }
+                if let Some(&rank) = window.ranks.iter().find(|&&r| r >= spec.n) {
+                    return Err(StoreBuildError::PartitionRankOutOfRange {
+                        shard,
+                        rank,
+                        n: spec.n,
+                    });
+                }
+            }
             spec.cluster_builder(0)
                 .validate()
                 .map_err(|source| StoreBuildError::Shard { shard, source })?;

@@ -74,7 +74,7 @@ mod map;
 mod metrics;
 mod store;
 
-pub use builder::{ShardSpec, StoreBuildError, StoreBuilder, StoreRuntime};
+pub use builder::{ShardPartition, ShardSpec, StoreBuildError, StoreBuilder, StoreRuntime};
 pub use map::ShardMap;
 pub use metrics::{LatencyHistogram, ShardMetrics, StoreMetrics, StoreTotals};
 pub use store::{OpOutcome, ShardedStore, StoreError, StoreRunOutcome, Ticket, TicketStatus};

@@ -108,6 +108,9 @@ pub struct ShardMetrics {
     pub messages_sent: u64,
     /// Messages the network adversary dropped.
     pub messages_lost: u64,
+    /// Messages cut by scheduled partition windows (deterministic outages,
+    /// counted separately from the probabilistic `messages_lost`).
+    pub messages_partitioned: u64,
     /// Object-value data bytes sent (the paper's communication cost,
     /// un-normalized).
     pub data_bytes_sent: u64,
@@ -128,6 +131,10 @@ pub struct ShardMetrics {
     /// Repair latency histogram (simulated ticks from repair start to
     /// completion).
     pub repair_latency: LatencyHistogram,
+    /// Repairs that gave up with a typed error (survivors unreachable for
+    /// the whole retry budget — e.g. behind a partition window). Failed
+    /// repairs are retryable; this counts the give-ups, not the ranks.
+    pub repairs_failed: u64,
     /// Decode-matrix cache hits across the shard's clusters (coded protocols
     /// only; replication shards report 0).
     pub decode_cache_hits: u64,
@@ -152,6 +159,8 @@ pub struct StoreTotals {
     pub messages_sent: u64,
     /// Adversary-dropped messages store-wide.
     pub messages_lost: u64,
+    /// Partition-window-cut messages store-wide.
+    pub messages_partitioned: u64,
     /// Data bytes sent store-wide.
     pub data_bytes_sent: u64,
     /// Stored bytes store-wide.
@@ -166,6 +175,8 @@ pub struct StoreTotals {
     pub repair_traffic_bytes: u64,
     /// Merged repair latency histogram.
     pub repair_latency: LatencyHistogram,
+    /// Repair give-ups store-wide.
+    pub repairs_failed: u64,
     /// Decode-matrix cache hits store-wide.
     pub decode_cache_hits: u64,
     /// Decode-matrix cache misses store-wide.
@@ -184,6 +195,7 @@ impl StoreTotals {
             totals.pending_tickets += m.pending_tickets;
             totals.messages_sent += m.messages_sent;
             totals.messages_lost += m.messages_lost;
+            totals.messages_partitioned += m.messages_partitioned;
             totals.data_bytes_sent += m.data_bytes_sent;
             totals.stored_bytes += m.stored_bytes;
             totals.put_latency.merge(&m.put_latency);
@@ -191,6 +203,7 @@ impl StoreTotals {
             totals.repairs_completed += m.repairs_completed;
             totals.repair_traffic_bytes += m.repair_traffic_bytes;
             totals.repair_latency.merge(&m.repair_latency);
+            totals.repairs_failed += m.repairs_failed;
             totals.decode_cache_hits += m.decode_cache_hits;
             totals.decode_cache_misses += m.decode_cache_misses;
             totals.decode_inversions += m.decode_inversions;
@@ -261,6 +274,7 @@ mod tests {
             pending_tickets: 0,
             messages_sent: 10,
             messages_lost: 1,
+            messages_partitioned: 2,
             data_bytes_sent: 100,
             stored_bytes: 50,
             put_latency: LatencyHistogram::default(),
@@ -268,6 +282,7 @@ mod tests {
             repairs_completed: 1,
             repair_traffic_bytes: 30,
             repair_latency: LatencyHistogram::default(),
+            repairs_failed: 1,
             decode_cache_hits: 9,
             decode_cache_misses: 1,
             decode_inversions: 1,
@@ -277,9 +292,11 @@ mod tests {
         assert_eq!(totals.completed_puts, 7);
         assert_eq!(totals.completed_ops(), 9);
         assert_eq!(totals.messages_sent, 20);
+        assert_eq!(totals.messages_partitioned, 4);
         assert_eq!(totals.stored_bytes, 100);
         assert_eq!(totals.repairs_completed, 2);
         assert_eq!(totals.repair_traffic_bytes, 60);
+        assert_eq!(totals.repairs_failed, 2);
         assert_eq!(totals.decode_cache_hits, 18);
         assert_eq!(totals.decode_cache_misses, 2);
         assert_eq!(totals.decode_inversions, 2);

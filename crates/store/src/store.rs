@@ -520,16 +520,47 @@ impl ShardedStore {
             for kc in &mut shard.clusters {
                 kc.harvest(index, &mut self.outcomes);
             }
-            // Settle repairs: once every cluster reports exactly the
-            // still-crashed ranks as dead-or-repairing, the scheduled repairs
-            // have completed and those ranks return to the crash budget.
-            if !shard.repairing.is_empty()
-                && shard
-                    .clusters
-                    .iter()
-                    .all(|kc| kc.cluster.dead_or_repairing() == shard.downed.len())
-            {
-                shard.repairing.clear();
+            // Settle repairs per rank from the clusters' typed repair
+            // reports. A rank leaves `repairing` once every cluster that
+            // repaired it reports completion (clusters created after the
+            // crash never repaired it and stay healthy there). A rank whose
+            // repair *failed* anywhere (RepairError::Unreachable — the
+            // replacement exhausted its retry budget, e.g. behind a partition
+            // that outlived every retry) goes back to `downed`: it is crashed
+            // in any cluster where it is still healthy so the whole shard
+            // agrees the rank is plain dead, and a later
+            // `repair_shard_server` may retry it.
+            if !shard.repairing.is_empty() {
+                let mut settled = Vec::new();
+                let mut failed = Vec::new();
+                'ranks: for &rank in &shard.repairing {
+                    let mut any_failed = false;
+                    for kc in &shard.clusters {
+                        match kc.cluster.repair_reports().iter().find(|r| r.rank == rank) {
+                            Some(report) if report.failed() => any_failed = true,
+                            // Still pulling state somewhere (only reachable
+                            // when a simulation hit its event cap) — leave
+                            // the rank in `repairing` for the next run.
+                            Some(report) if report.completed_at.is_none() => continue 'ranks,
+                            _ => {}
+                        }
+                    }
+                    if any_failed {
+                        failed.push(rank);
+                    } else {
+                        settled.push(rank);
+                    }
+                }
+                for rank in settled {
+                    shard.repairing.remove(&rank);
+                }
+                for rank in failed {
+                    shard.repairing.remove(&rank);
+                    shard.downed.insert(rank);
+                    for kc in &mut shard.clusters {
+                        kc.cluster.crash_server_at(kc.cluster.now(), rank);
+                    }
+                }
             }
         }
         StoreRunOutcome {
@@ -720,6 +751,7 @@ impl ShardedStore {
                 pending_tickets: 0,
                 messages_sent: 0,
                 messages_lost: 0,
+                messages_partitioned: 0,
                 data_bytes_sent: 0,
                 stored_bytes: 0,
                 put_latency: LatencyHistogram::default(),
@@ -727,6 +759,7 @@ impl ShardedStore {
                 repairs_completed: 0,
                 repair_traffic_bytes: 0,
                 repair_latency: LatencyHistogram::default(),
+                repairs_failed: 0,
                 decode_cache_hits: 0,
                 decode_cache_misses: 0,
                 decode_inversions: 0,
@@ -739,6 +772,7 @@ impl ShardedStore {
                 m.decode_inversions += cache.inversions;
                 m.messages_sent += stats.messages_sent;
                 m.messages_lost += stats.messages_lost;
+                m.messages_partitioned += stats.messages_partitioned;
                 m.data_bytes_sent += stats.data_bytes_sent;
                 m.stored_bytes += kc.cluster.total_stored_bytes();
                 m.pending_tickets += (kc.issued() - kc.settled()) as u64;
@@ -747,6 +781,9 @@ impl ShardedStore {
                     if let Some(latency) = report.latency() {
                         m.repairs_completed += 1;
                         m.repair_latency.record(latency);
+                    }
+                    if report.failed() {
+                        m.repairs_failed += 1;
                     }
                 }
                 for op in kc.cluster.completed_ops() {

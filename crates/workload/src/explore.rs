@@ -36,7 +36,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use soda_consistency::{History, Violation};
 use soda_registry::{ClusterBuilder, ProtocolKind};
-use soda_simnet::{LinkFaults, NetFaultPlan, NetworkConfig, SimTime};
+use soda_simnet::{LinkFaults, NetFaultPlan, NetworkConfig, Partition, ProcessId, SimTime};
 use std::fmt;
 
 /// Upper bounds for the per-scenario sampled network-fault intensities.
@@ -112,6 +112,16 @@ pub struct ExploreConfig {
     pub repair_p: f64,
     /// Probability that each individual client is crashed mid-scenario.
     pub client_crash_p: f64,
+    /// Probability that the scenario gets scheduled **partition windows**:
+    /// time-windowed cuts isolating 1..=`f` server ranks from every other
+    /// process, healing at the window's end (see [`PartitionWindow`]).
+    /// Default `0.0`; at `0.0` partition generation consumes **no** RNG
+    /// draws, so existing seeds reproduce bit-identical scenarios.
+    pub partition_p: f64,
+    /// Maximum length of a sampled partition window in ticks. Kept below the
+    /// repair retry budget (8 attempts spanning 2800 ticks) by default so a
+    /// repair scheduled mid-window can settle after the heal.
+    pub partition_len_max: u64,
     /// Network-fault intensity bounds.
     pub knobs: AdversaryKnobs,
     /// For SODAerr: corrupt up to `e` servers' coded elements in flight
@@ -141,10 +151,20 @@ impl ExploreConfig {
             max_server_crashes: f,
             repair_p: 0.5,
             client_crash_p: 0.2,
+            partition_p: 0.0,
+            partition_len_max: 1600,
             knobs: AdversaryKnobs::standard(),
             corruption: true,
             quorum_override: None,
         }
+    }
+
+    /// Enables partition-window sampling with probability `partition_p` per
+    /// scenario (windows up to `partition_len_max` ticks long).
+    pub fn with_partitions(mut self, partition_p: f64, partition_len_max: u64) -> Self {
+        self.partition_p = partition_p;
+        self.partition_len_max = partition_len_max;
+        self
     }
 }
 
@@ -163,6 +183,36 @@ pub struct PlannedOp {
     /// Fill byte identifying the written value (distinct per planned write,
     /// so stale reads are distinguishable).
     pub fill: u8,
+}
+
+/// A scheduled partition: the server `ranks` are unreachable from **every
+/// other process** (surviving servers and all clients, both directions)
+/// during `[start, end)` ticks, healing at `end`.
+///
+/// Installed as deterministic [`soda_simnet::LinkWindow`]s via
+/// [`soda_simnet::Partition::split`], so the cuts consume no randomness: a
+/// scenario with windows and one without sample identical RNG streams for
+/// everything else.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionWindow {
+    /// Isolated server ranks.
+    pub ranks: Vec<usize>,
+    /// First tick of the outage (inclusive).
+    pub start: u64,
+    /// First tick after the heal (exclusive end).
+    pub end: u64,
+}
+
+impl PartitionWindow {
+    /// Window length in ticks.
+    pub fn len(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Whether the window is degenerate (cuts nothing).
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end || self.ranks.is_empty()
+    }
 }
 
 /// A fully concrete, seed-derived scenario: operations, crash schedule and
@@ -200,6 +250,10 @@ pub struct Scenario {
     /// when generated, beyond it only if a caller builds such a scenario by
     /// hand).
     pub byzantine: Vec<usize>,
+    /// Scheduled partition windows (empty unless
+    /// [`ExploreConfig::partition_p`] is positive or a caller adds them by
+    /// hand).
+    pub partitions: Vec<PartitionWindow>,
 }
 
 impl Scenario {
@@ -261,6 +315,13 @@ impl fmt::Display for Scenario {
         }
         if !self.byzantine.is_empty() {
             writeln!(out, "  byzantine servers: {:?}", self.byzantine)?;
+        }
+        for w in &self.partitions {
+            writeln!(
+                out,
+                "  t=[{:>4},{:>4}) partition servers {:?} from everyone",
+                w.start, w.end, w.ranks
+            )?;
         }
         Ok(())
     }
@@ -361,6 +422,31 @@ pub fn generate_scenario(cfg: &ExploreConfig, seed: u64) -> Scenario {
         }
     }
     server_crashes.extend(follow_up_crashes);
+    // Partition windows are drawn last of all, and the whole block is gated
+    // on `partition_p > 0.0` *before* touching the RNG: campaigns without
+    // partitions consume zero extra draws, so their seeds keep reproducing
+    // bit-identical scenarios.
+    let mut partitions = Vec::new();
+    if cfg.partition_p > 0.0 && cfg.f > 0 && unit(&mut rng) < cfg.partition_p {
+        let windows = 1 + usize::from(unit(&mut rng) < 0.3);
+        for _ in 0..windows {
+            let count = rng.gen_range(1..=cfg.f);
+            let mut pool: Vec<usize> = (0..cfg.n).collect();
+            let ranks = (0..count)
+                .map(|_| {
+                    let pick = rng.gen_range(0..pool.len());
+                    pool.swap_remove(pick)
+                })
+                .collect();
+            let start = rng.gen_range(0..=cfg.horizon);
+            let len = rng.gen_range(1..=cfg.partition_len_max.max(1));
+            partitions.push(PartitionWindow {
+                ranks,
+                start,
+                end: start + len,
+            });
+        }
+    }
     Scenario {
         seed,
         ops,
@@ -374,6 +460,54 @@ pub fn generate_scenario(cfg: &ExploreConfig, seed: u64) -> Scenario {
         reorder_p,
         reorder_window: knobs.reorder_window,
         byzantine,
+        partitions,
+    }
+}
+
+/// A **liveness** violation: an operation that was *guaranteed* to complete
+/// by quiescence — invoked by a client that never crashed, in a scenario
+/// with no probabilistic message loss, where the servers that were ever
+/// crashed or partitioned away total at most `f` — yet never completed.
+///
+/// The guarantee is deliberately conservative. Clients do not retransmit, so
+/// an op that fans out while more than `f` servers are (cumulatively) dead
+/// or isolated may starve legitimately; and a server that sat out a window
+/// can be permanently stale (it missed writes the way a crashed server
+/// would), so window-isolated ranks count against the budget for the whole
+/// scenario, heal or no heal. Within that budget, every protocol's quorums
+/// (`n − f`, or an ABD majority) stay reachable from invocation onward —
+/// including for ops invoked only after the final heal — so an incomplete op
+/// is a protocol liveness bug, not an adversarial artifact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LivenessViolation {
+    /// `true` for a writer handle, `false` for a reader handle.
+    pub is_writer: bool,
+    /// The starved client handle (writer or reader index per `is_writer`).
+    pub handle: usize,
+    /// Planned invocation tick of the first starved op on the handle.
+    pub invoked_at: u64,
+    /// Whether the starved op is a write.
+    pub is_write: bool,
+    /// Ops that did complete on this handle before the starved one (clients
+    /// execute their queue FIFO).
+    pub completed_before: usize,
+    /// Total ops planned on this handle.
+    pub planned: usize,
+}
+
+impl fmt::Display for LivenessViolation {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            out,
+            "liveness: {}[{}] {} invoked at t={} never completed although a quorum stayed \
+             reachable ({}/{} earlier ops on the handle completed)",
+            if self.is_writer { "writer" } else { "reader" },
+            self.handle,
+            if self.is_write { "write" } else { "read" },
+            self.invoked_at,
+            self.completed_before,
+            self.planned,
+        )
     }
 }
 
@@ -382,6 +516,9 @@ pub fn generate_scenario(cfg: &ExploreConfig, seed: u64) -> Scenario {
 pub struct ScheduleOutcome {
     /// The atomicity violation, if the history failed the checker.
     pub violation: Option<Violation>,
+    /// The liveness violation, if a guaranteed op starved (see
+    /// [`LivenessViolation`]).
+    pub liveness: Option<LivenessViolation>,
     /// Operations that completed.
     pub completed_ops: usize,
     /// Writes still pending at quiescence (starved or writer-crashed).
@@ -391,6 +528,86 @@ pub struct ScheduleOutcome {
     pub hit_event_cap: bool,
     /// The checked history (completed ops closed under pending writes).
     pub history: History,
+}
+
+/// Decides whether a scenario's outcome contains a [`LivenessViolation`].
+///
+/// Guarantee predicate, evaluated scenario-wide (conservative on purpose —
+/// every exemption is an execution where starvation can be legitimate):
+///
+/// * exempt everything if messages could be *lost* (`drop_p > 0`; delays,
+///   duplication and reordering all still deliver), or the event cap hit;
+/// * exempt everything if the ranks ever crashed **or** ever isolated by a
+///   partition window total more than `f` — beyond the budget, quorums can
+///   be genuinely unreachable, and a once-isolated server can stay stale
+///   forever (clients do not retransmit through heals);
+/// * exempt a crashed client's own handle; and exempt reader handles
+///   entirely when any *writer* crashed (a read can commit to a
+///   half-propagated tag whose remaining elements will never arrive).
+///
+/// For every non-exempt handle the client executes its planned queue FIFO,
+/// so the first `completed` ops of the queue (in invocation-time order) are
+/// the completed ones; the first op past that count is the starved witness.
+fn liveness_violation(
+    cfg: &ExploreConfig,
+    scenario: &Scenario,
+    completed_per_client: &[(u64, usize)],
+    hit_event_cap: bool,
+) -> Option<LivenessViolation> {
+    if hit_event_cap || scenario.drop_p > 0.0 {
+        return None;
+    }
+    let mut budget: Vec<usize> = scenario.server_crashes.iter().map(|&(r, _)| r).collect();
+    budget.extend(
+        scenario
+            .partitions
+            .iter()
+            .flat_map(|w| w.ranks.iter().copied()),
+    );
+    budget.sort_unstable();
+    budget.dedup();
+    if budget.len() > cfg.f {
+        return None;
+    }
+    let any_writer_crashed = !scenario.writer_crashes.is_empty();
+    let completed_by = |client: u64| -> usize {
+        completed_per_client
+            .iter()
+            .find(|&&(c, _)| c == client)
+            .map_or(0, |&(_, n)| n)
+    };
+    for (is_writer, handles, crashes) in [
+        (true, cfg.writers, &scenario.writer_crashes),
+        (false, cfg.readers, &scenario.reader_crashes),
+    ] {
+        for handle in 0..handles {
+            if crashes.iter().any(|&(h, _)| h == handle) || (!is_writer && any_writer_crashed) {
+                continue;
+            }
+            // The handle's queue in delivery order: invocation messages
+            // arrive at their planned tick, ties in plan order.
+            let mut queue: Vec<&PlannedOp> = scenario
+                .ops
+                .iter()
+                .filter(|op| op.is_write == is_writer && op.client % handles == handle)
+                .collect();
+            queue.sort_by_key(|op| op.at);
+            let client = (cfg.n + if is_writer { 0 } else { cfg.writers } + handle) as u64;
+            let done = completed_by(client);
+            if done < queue.len() {
+                let starved = queue[done];
+                return Some(LivenessViolation {
+                    is_writer,
+                    handle,
+                    invoked_at: starved.at,
+                    is_write: starved.is_write,
+                    completed_before: done,
+                    planned: queue.len(),
+                });
+            }
+        }
+    }
+    None
 }
 
 /// Builds the cluster for `(config, scenario)` and runs the scenario to
@@ -404,6 +621,29 @@ pub fn run_scenario(cfg: &ExploreConfig, scenario: &Scenario) -> ScheduleOutcome
     let faults = scenario.link_faults();
     if !faults.is_clean() {
         plan = plan.with_default(faults);
+    }
+    for window in &scenario.partitions {
+        if window.is_empty() {
+            continue;
+        }
+        // Servers are ProcessId(0..n), writer then reader handles follow —
+        // the same layout in all five protocols.
+        let total = cfg.n + cfg.writers + cfg.readers;
+        let isolated: Vec<ProcessId> = window
+            .ranks
+            .iter()
+            .filter(|&&r| r < cfg.n)
+            .map(|&r| ProcessId(r as u32))
+            .collect();
+        let rest: Vec<ProcessId> = (0..total as u32)
+            .map(ProcessId)
+            .filter(|pid| !isolated.contains(pid))
+            .collect();
+        plan = plan.with_partition(Partition::split(
+            &[isolated, rest],
+            SimTime::from_ticks(window.start),
+            SimTime::from_ticks(window.end),
+        ));
     }
     let mut builder = ClusterBuilder::new(cfg.kind, cfg.n, cfg.f)
         .with_seed(scenario.seed)
@@ -491,9 +731,22 @@ pub fn run_scenario(cfg: &ExploreConfig, scenario: &Scenario) -> ScheduleOutcome
     }
     let outcome = cluster.run_to_quiescence();
     let history = cluster.closed_history(&[]);
+    let completed = cluster.completed_ops();
+    let mut completed_per_client: Vec<(u64, usize)> = Vec::new();
+    for op in &completed {
+        match completed_per_client
+            .iter_mut()
+            .find(|(c, _)| *c == op.client)
+        {
+            Some((_, n)) => *n += 1,
+            None => completed_per_client.push((op.client, 1)),
+        }
+    }
+    let liveness = liveness_violation(cfg, scenario, &completed_per_client, outcome.hit_event_cap);
     ScheduleOutcome {
         violation: history.check_atomicity().err(),
-        completed_ops: cluster.completed_ops().len(),
+        liveness,
+        completed_ops: completed.len(),
         pending_writes: cluster.pending_writes().len(),
         hit_event_cap: outcome.hit_event_cap,
         history,
@@ -539,6 +792,49 @@ impl fmt::Display for Counterexample {
     }
 }
 
+/// A minimized, seed-reproducible **liveness** violation (the counterpart of
+/// [`Counterexample`] for starved-but-guaranteed operations).
+#[derive(Clone, Debug)]
+pub struct LivenessCounterexample {
+    /// The seed that produced the violation (replay with
+    /// [`generate_scenario`] + [`run_scenario`]).
+    pub seed: u64,
+    /// Name of the protocol under test.
+    pub kind: &'static str,
+    /// The violation reported for the *minimized* scenario.
+    pub violation: LivenessViolation,
+    /// The scenario as originally generated.
+    pub original: Scenario,
+    /// The greedily minimized scenario (still violating).
+    pub minimized: Scenario,
+}
+
+impl fmt::Display for LivenessCounterexample {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            out,
+            "{}: liveness violation at seed {}: {}",
+            self.kind, self.seed, self.violation
+        )?;
+        writeln!(
+            out,
+            "minimized from {} ops / {} crashes / {} partitions to {} ops / {} crashes / {} \
+             partitions:",
+            self.original.ops.len(),
+            self.original.server_crashes.len()
+                + self.original.writer_crashes.len()
+                + self.original.reader_crashes.len(),
+            self.original.partitions.len(),
+            self.minimized.ops.len(),
+            self.minimized.server_crashes.len()
+                + self.minimized.writer_crashes.len()
+                + self.minimized.reader_crashes.len(),
+            self.minimized.partitions.len(),
+        )?;
+        write!(out, "{}", self.minimized)
+    }
+}
+
 /// One halving step toward zero for a fault probability: values below `1e-3`
 /// snap to `0.0` so the descent terminates instead of chasing denormals.
 pub(crate) fn halve_probability(p: f64) -> f64 {
@@ -550,18 +846,32 @@ pub(crate) fn halve_probability(p: f64) -> f64 {
 }
 
 /// Greedily shrinks a violating scenario: repeatedly drops single operations,
-/// crashes and byzantine servers, tries switching the network faults off
-/// entirely, and bisects each fault *intensity* (drop / duplication /
-/// reordering probabilities, extra-delay and hold-back windows) down by
-/// repeated halving while the violation persists — so a counterexample that
-/// genuinely needs, say, message drops is reported with (roughly) the
-/// smallest drop probability that still reproduces it, and intensities the
-/// violation never needed come back as zero. Every change is kept only if
-/// *some* atomicity violation persists. Deterministic, and terminates because
-/// every accepted step removes something or strictly decreases an intensity
-/// that bottoms out at zero.
+/// crashes, byzantine servers and whole partition windows, tries switching
+/// the network faults off entirely, bisects each fault *intensity* (drop /
+/// duplication / reordering probabilities, extra-delay and hold-back
+/// windows) down by repeated halving, and bisects each surviving partition
+/// window's start and length, all while the violation persists — so a
+/// counterexample that genuinely needs, say, message drops is reported with
+/// (roughly) the smallest drop probability that still reproduces it, and
+/// intensities the violation never needed come back as zero. Every change is
+/// kept only if *some* atomicity violation persists. Deterministic, and
+/// terminates because every accepted step removes something or strictly
+/// decreases an intensity that bottoms out at zero.
 pub fn shrink(cfg: &ExploreConfig, scenario: &Scenario) -> (Scenario, Violation) {
-    let violates = |candidate: &Scenario| run_scenario(cfg, candidate).violation;
+    shrink_with(scenario, |candidate| run_scenario(cfg, candidate).violation)
+}
+
+/// [`shrink`], but against the **liveness** checker: minimizes a scenario
+/// whose [`run_scenario`] outcome reports a [`LivenessViolation`], with the
+/// same passes (including dropping partition events and bisecting window
+/// starts and lengths).
+pub fn shrink_liveness(cfg: &ExploreConfig, scenario: &Scenario) -> (Scenario, LivenessViolation) {
+    shrink_with(scenario, |candidate| run_scenario(cfg, candidate).liveness)
+}
+
+/// The shared greedy minimizer: keeps any candidate for which `violates`
+/// still reports a violation of the caller's chosen kind.
+fn shrink_with<V>(scenario: &Scenario, violates: impl Fn(&Scenario) -> Option<V>) -> (Scenario, V) {
     let mut current = scenario.clone();
     let mut violation = violates(&current)
         .expect("shrink requires a violating scenario (run_scenario reported a violation)");
@@ -600,6 +910,7 @@ pub fn shrink(cfg: &ExploreConfig, scenario: &Scenario) -> (Scenario, Violation)
         shrink_list!(writer_crashes);
         shrink_list!(reader_crashes);
         shrink_list!(byzantine);
+        shrink_list!(partitions);
         if current.has_net_faults() {
             let mut candidate = current.clone();
             candidate.drop_p = 0.0;
@@ -652,6 +963,44 @@ pub fn shrink(cfg: &ExploreConfig, scenario: &Scenario) -> (Scenario, Violation)
         if current.reorder_p > 0.0 {
             shrink_window!(reorder_window);
         }
+        // Bisect surviving partition windows: halve each window's length
+        // (healing earlier), then advance its start toward the end — so the
+        // reported window is (roughly) the shortest, latest outage that
+        // still reproduces the violation.
+        for idx in 0..current.partitions.len() {
+            loop {
+                let w = &current.partitions[idx];
+                let len = w.len();
+                if len <= 1 {
+                    break;
+                }
+                let mut candidate = current.clone();
+                candidate.partitions[idx].end = w.start + len / 2;
+                if let Some(v) = violates(&candidate) {
+                    current = candidate;
+                    violation = v;
+                    changed = true;
+                } else {
+                    break;
+                }
+            }
+            loop {
+                let w = &current.partitions[idx];
+                let len = w.len();
+                if len <= 1 {
+                    break;
+                }
+                let mut candidate = current.clone();
+                candidate.partitions[idx].start = w.start + len.div_ceil(2);
+                if let Some(v) = violates(&candidate) {
+                    current = candidate;
+                    violation = v;
+                    changed = true;
+                } else {
+                    break;
+                }
+            }
+        }
         if !changed {
             return (current, violation);
         }
@@ -669,14 +1018,22 @@ pub struct ExplorationReport {
     pub pending_writes: usize,
     /// Scenarios that hit the event cap (always 0 for healthy protocols).
     pub event_cap_hits: usize,
-    /// Violations found, each minimized to a reproducer.
+    /// Atomicity violations found, each minimized to a reproducer.
     pub counterexamples: Vec<Counterexample>,
+    /// Liveness violations found (guaranteed ops that starved), each
+    /// minimized to a reproducer.
+    pub liveness_counterexamples: Vec<LivenessCounterexample>,
 }
 
 impl ExplorationReport {
     /// Whether every schedule passed the atomicity checker.
     pub fn all_atomic(&self) -> bool {
         self.counterexamples.is_empty()
+    }
+
+    /// Whether every schedule passed the liveness checker.
+    pub fn all_live(&self) -> bool {
+        self.liveness_counterexamples.is_empty()
     }
 }
 
@@ -701,9 +1058,21 @@ pub fn explore(cfg: &ExploreConfig, seed_start: u64, schedules: usize) -> Explor
                 seed,
                 kind: cfg.kind.name(),
                 violation,
-                original: scenario,
+                original: scenario.clone(),
                 minimized,
             });
+        }
+        if outcome.liveness.is_some() {
+            let (minimized, violation) = shrink_liveness(cfg, &scenario);
+            report
+                .liveness_counterexamples
+                .push(LivenessCounterexample {
+                    seed,
+                    kind: cfg.kind.name(),
+                    violation,
+                    original: scenario,
+                    minimized,
+                });
         }
     }
     report
@@ -853,6 +1222,123 @@ mod tests {
             }
         }
         assert_eq!(halve_probability(0.0), 0.0);
+    }
+
+    #[test]
+    fn partition_draws_are_appended_and_gated() {
+        // With partition_p = 0 the generator takes zero partition draws, so
+        // scenarios are identical (minus the empty window list) to those of
+        // a partition-enabled config — the draws are appended strictly after
+        // everything else.
+        let base = ExploreConfig::new(ProtocolKind::Soda, 5, 2);
+        let with = base.clone().with_partitions(1.0, 800);
+        for seed in 0..32 {
+            let a = generate_scenario(&base, seed);
+            let b = generate_scenario(&with, seed);
+            assert!(a.partitions.is_empty());
+            assert!(!b.partitions.is_empty(), "partition_p = 1 must sample");
+            let stripped = Scenario {
+                partitions: Vec::new(),
+                ..b.clone()
+            };
+            assert_eq!(a, stripped, "seed {seed}: non-partition draws differ");
+            for w in &b.partitions {
+                assert!(!w.is_empty());
+                assert!(!w.ranks.is_empty() && w.ranks.len() <= 2);
+                assert!(w.ranks.iter().all(|&r| r < 5));
+                assert!(w.len() <= 800);
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_clean_scenarios_stay_atomic_and_live() {
+        // No probabilistic faults, no crashes: the only adversity is the
+        // partition windows, which isolate at most f ranks — every op is
+        // guaranteed, and the checker must agree.
+        for kind in [ProtocolKind::Soda, ProtocolKind::Abd] {
+            let cfg = ExploreConfig {
+                knobs: AdversaryKnobs::off(),
+                client_crash_p: 0.0,
+                max_server_crashes: 0,
+                ..ExploreConfig::new(kind, 5, 2).with_partitions(1.0, 600)
+            };
+            let report = explore(&cfg, 0, 12);
+            assert!(report.all_atomic(), "{:?}", report.counterexamples);
+            assert!(report.all_live(), "{}", report.liveness_counterexamples[0]);
+            assert!(report.completed_ops > 0);
+        }
+    }
+
+    #[test]
+    fn unsound_quorum_starvation_is_a_shrunk_replayable_liveness_violation() {
+        // ABD waiting for all n = 5 responses with one server crashed: every
+        // op starves, while the guarantee predicate (1 crash ≤ f, no loss,
+        // clients alive) says they must complete. The checker must flag it,
+        // the shrinker must minimize it, and the seed must replay it.
+        let cfg = ExploreConfig {
+            knobs: AdversaryKnobs::off(),
+            client_crash_p: 0.0,
+            repair_p: 0.0,
+            quorum_override: Some(5),
+            ..ExploreConfig::new(ProtocolKind::Abd, 5, 2)
+        };
+        let mut found = None;
+        for seed in 0..32 {
+            let scenario = generate_scenario(&cfg, seed);
+            if scenario.server_crashes.is_empty() {
+                continue;
+            }
+            let outcome = run_scenario(&cfg, &scenario);
+            if outcome.liveness.is_some() {
+                found = Some((seed, scenario));
+                break;
+            }
+        }
+        let (seed, scenario) = found.expect("a crashy seed must starve the unsound quorum");
+        let (minimized, violation) = shrink_liveness(&cfg, &scenario);
+        assert!(minimized.ops.len() <= scenario.ops.len());
+        assert_eq!(
+            minimized.server_crashes.len(),
+            1,
+            "one crash suffices: {minimized}"
+        );
+        assert!(violation.completed_before <= violation.planned);
+        // Replay from the seed alone.
+        let replayed = run_scenario(&cfg, &generate_scenario(&cfg, seed));
+        assert!(replayed.liveness.is_some(), "seed {seed} must reproduce");
+        // And the campaign surfaces it as a first-class counterexample.
+        let report = explore(&cfg, seed, 1);
+        assert!(!report.all_live());
+        let cx = &report.liveness_counterexamples[0];
+        assert_eq!(cx.seed, seed);
+        assert!(cx.to_string().contains("liveness"), "{cx}");
+    }
+
+    #[test]
+    fn liveness_checker_exempts_lossy_and_overbudget_scenarios() {
+        let cfg = ExploreConfig::new(ProtocolKind::Abd, 5, 2);
+        let mut scenario = generate_scenario(&cfg, 3);
+        // Lossy: exempt regardless of what completed.
+        scenario.drop_p = 0.1;
+        assert!(liveness_violation(&cfg, &scenario, &[], false).is_none());
+        // Over budget: crashes ∪ isolated ranks > f.
+        scenario.drop_p = 0.0;
+        scenario.server_crashes = vec![(0, 10)];
+        scenario.partitions = vec![PartitionWindow {
+            ranks: vec![1, 2],
+            start: 0,
+            end: 50,
+        }];
+        scenario.writer_crashes.clear();
+        scenario.reader_crashes.clear();
+        assert!(liveness_violation(&cfg, &scenario, &[], false).is_none());
+        // Event cap: exempt.
+        scenario.partitions.clear();
+        assert!(liveness_violation(&cfg, &scenario, &[], true).is_none());
+        // Within budget, nothing completed, clients alive: flagged.
+        let flagged = liveness_violation(&cfg, &scenario, &[], false);
+        assert!(flagged.is_some());
     }
 
     #[test]

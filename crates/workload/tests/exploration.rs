@@ -262,6 +262,103 @@ fn shrinking_bisects_fault_intensities_to_a_local_minimum() {
     );
 }
 
+#[test]
+fn all_five_protocols_survive_partitioned_schedules() {
+    // Partition windows on top of the full adversary: atomicity must hold,
+    // and the liveness checker must stay quiet (lossy scenarios are exempt
+    // by design; clean ones must actually complete everything).
+    for cfg in campaigns() {
+        let cfg = cfg.with_partitions(0.7, 1200);
+        let report = explore(&cfg, 0, 15);
+        assert!(
+            report.all_atomic(),
+            "{}: {}",
+            cfg.kind.name(),
+            report.counterexamples[0]
+        );
+        assert!(
+            report.all_live(),
+            "{}: {}",
+            cfg.kind.name(),
+            report.liveness_counterexamples[0]
+        );
+        assert_eq!(report.event_cap_hits, 0, "{}", cfg.kind.name());
+        assert!(report.completed_ops > 0, "{}", cfg.kind.name());
+    }
+}
+
+/// The partition-focused fuzz-smoke pass CI runs nightly: every scenario
+/// samples partition/heal windows (`partition_p = 1.0`) on top of the full
+/// adversary, and repairs stay on, so the campaign is dense in
+/// crash → partition → heal → repair chains. Asserts **zero atomicity and
+/// zero liveness** violations. Ignored in tier-1; scale with
+/// `EXPLORE_SCHEDULES`.
+#[test]
+#[ignore = "nightly fuzz-smoke budget; run with --ignored (EXPLORE_SCHEDULES to scale)"]
+fn partition_fuzz_smoke() {
+    let schedules = schedules_from_env(200);
+    let seed_start = 9_000u64;
+    for mut cfg in campaigns() {
+        cfg = cfg.with_partitions(1.0, 1600);
+        cfg.repair_p = 1.0;
+        // Vacuity guard: the seed range must actually contain windows, and
+        // scenarios combining crashes, repairs and windows (the chains).
+        let mut with_windows = 0usize;
+        let mut with_chains = 0usize;
+        for seed in seed_start..seed_start + schedules as u64 {
+            let scenario = generate_scenario(&cfg, seed);
+            with_windows += usize::from(!scenario.partitions.is_empty());
+            with_chains += usize::from(
+                !scenario.partitions.is_empty()
+                    && !scenario.server_crashes.is_empty()
+                    && !scenario.server_repairs.is_empty(),
+            );
+        }
+        assert!(
+            with_windows * 2 >= schedules,
+            "{}: only {with_windows}/{schedules} schedules contain windows",
+            cfg.kind.name()
+        );
+        assert!(
+            with_chains > 0,
+            "{}: no crash → partition → heal → repair chain in {schedules} schedules",
+            cfg.kind.name()
+        );
+        let report = explore(&cfg, seed_start, schedules);
+        for cex in &report.counterexamples {
+            eprintln!("{cex}");
+        }
+        for cex in &report.liveness_counterexamples {
+            eprintln!("{cex}");
+        }
+        assert!(
+            report.all_atomic(),
+            "{}: {} atomicity counterexamples over {} partitioned schedules",
+            cfg.kind.name(),
+            report.counterexamples.len(),
+            schedules
+        );
+        assert!(
+            report.all_live(),
+            "{}: {} liveness counterexamples over {} partitioned schedules",
+            cfg.kind.name(),
+            report.liveness_counterexamples.len(),
+            schedules
+        );
+        assert_eq!(report.event_cap_hits, 0, "{}", cfg.kind.name());
+        assert!(report.completed_ops > 0, "{}", cfg.kind.name());
+        eprintln!(
+            "{:>7}: {} schedules ({} with windows, {} crash→partition→heal→repair), \
+             {} ops, all atomic, all live",
+            cfg.kind.name(),
+            report.schedules,
+            with_windows,
+            with_chains,
+            report.completed_ops
+        );
+    }
+}
+
 /// The repair-focused fuzz-smoke pass CI runs nightly: every crash is
 /// repaired (`repair_p = 1.0`), so the campaign is dense in
 /// crash → repair → crash chains exercising the dynamic fault budget.

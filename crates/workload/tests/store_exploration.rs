@@ -74,6 +74,84 @@ fn store_scenarios_replay_from_their_seed() {
     assert_eq!(a.violation.is_some(), b.violation.is_some());
 }
 
+#[test]
+fn partitioned_store_schedules_stay_atomic_and_live() {
+    let cfg = StoreExploreConfig {
+        shard_crash_p: 0.5,
+        repair_p: 1.0,
+        ..StoreExploreConfig::mixed(4).with_partitions(0.7, 800)
+    };
+    let report = explore_store(&cfg, 0, 4);
+    assert!(report.all_atomic(), "{}", report.counterexamples[0]);
+    assert!(report.all_live(), "{}", report.liveness_counterexamples[0]);
+    assert_eq!(report.event_cap_hits, 0);
+    assert!(report.completed_ops > 0);
+}
+
+/// The partition-focused store fuzz-smoke CI runs nightly: every shard
+/// samples partition/heal windows on top of the full adversary, with crashes
+/// and repairs on, so schedules are dense in the store-level
+/// crash → partition → heal → repair chains. Asserts **zero per-key
+/// atomicity and zero liveness** violations. Ignored in tier-1; scale with
+/// `EXPLORE_SCHEDULES`.
+#[test]
+#[ignore = "nightly fuzz-smoke budget; run with --ignored (EXPLORE_SCHEDULES to scale)"]
+fn store_partition_fuzz_smoke() {
+    let schedules = schedules_from_env(25);
+    let seed_start = 13_000u64;
+    let cfg = StoreExploreConfig {
+        shard_crash_p: 0.75,
+        repair_p: 1.0,
+        ..StoreExploreConfig::mixed(4).with_partitions(1.0, 1200)
+    };
+    let (mut with_windows, mut with_chains) = (0usize, 0usize);
+    for seed in seed_start..seed_start + schedules as u64 {
+        let scenario = generate_store_scenario(&cfg, seed);
+        with_windows += usize::from(!scenario.shard_partitions.is_empty());
+        // A chain: some crashed-then-repaired shard also carries a window.
+        with_chains += usize::from(
+            scenario
+                .shard_partitions
+                .iter()
+                .any(|w| scenario.shard_repairs.iter().any(|&(_, s, _)| s == w.shard)),
+        );
+    }
+    assert!(
+        with_windows * 2 >= schedules,
+        "only {with_windows}/{schedules} store schedules contain windows"
+    );
+    assert!(
+        with_chains > 0,
+        "no crash → partition → heal → repair chain in {schedules} store schedules"
+    );
+    let report = explore_store(&cfg, seed_start, schedules);
+    for cex in &report.counterexamples {
+        eprintln!("{cex}");
+    }
+    for cex in &report.liveness_counterexamples {
+        eprintln!("{cex}");
+    }
+    assert!(
+        report.all_atomic(),
+        "{} store-level atomicity counterexamples over {} partitioned schedules",
+        report.counterexamples.len(),
+        schedules
+    );
+    assert!(
+        report.all_live(),
+        "{} store-level liveness counterexamples over {} partitioned schedules",
+        report.liveness_counterexamples.len(),
+        schedules
+    );
+    assert_eq!(report.event_cap_hits, 0);
+    assert!(report.completed_ops > 0);
+    eprintln!(
+        "store-partition: {} schedules ({} with windows, {} chains), {} tickets, \
+         all per-key atomic, all live",
+        report.schedules, with_windows, with_chains, report.completed_ops
+    );
+}
+
 /// The repair-focused store fuzz-smoke CI runs nightly: every shard crash is
 /// repaired at a later phase boundary and half the repairs are followed by a
 /// crash of a different rank, so schedules are dense in the
