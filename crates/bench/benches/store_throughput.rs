@@ -1,7 +1,9 @@
-//! Wall-clock throughput of the sharded store (ops/sec) by shard count and
-//! protocol, under the **threaded** runtime — one OS thread per shard, so the
-//! shard axis measures how much parallelism the store actually extracts from
-//! a fleet of independent per-shard simulations.
+//! Wall-clock throughput of the sharded store (ops/sec) by shard count,
+//! protocol and **runtime** — the serial per-shard drain under `Threaded`
+//! (one pool task per shard) against the cluster-granular `WorkStealing`
+//! pool (one task per key, so a single hot shard can use every core). A
+//! hot-shard block (1 shard × 256 keys) isolates exactly the shape
+//! `Threaded` cannot parallelize.
 //!
 //! Plain `harness = false` timing loop (criterion is unavailable offline).
 //! Run with: `cargo bench -p soda-bench --bench store_throughput [out.json]` —
@@ -18,8 +20,11 @@ use std::time::Instant;
 #[derive(Clone)]
 struct Row {
     protocol: String,
+    runtime: String,
     shards: usize,
+    keys_per_shard: usize,
     keys: usize,
+    workers: usize,
     ops: usize,
     completed: usize,
     seconds: f64,
@@ -28,16 +33,26 @@ struct Row {
 
 json_row!(Row {
     protocol,
+    runtime,
     shards,
+    keys_per_shard,
     keys,
+    workers,
     ops,
     completed,
     seconds,
     ops_per_sec,
 });
 
-const KEYS_PER_SHARD: usize = 32;
 const ROUNDS: usize = 4;
+
+fn runtime_name(runtime: StoreRuntime) -> &'static str {
+    match runtime {
+        StoreRuntime::Simulation => "simulation",
+        StoreRuntime::Threaded => "threaded",
+        StoreRuntime::WorkStealing { .. } => "work-stealing",
+    }
+}
 
 fn build(kind: ProtocolKind, shards: usize, runtime: StoreRuntime) -> soda_store::ShardedStore {
     StoreBuilder::new(shards, kind, 5, 2)
@@ -66,13 +81,13 @@ fn drive(store: &mut soda_store::ShardedStore, keys: &[Vec<u8>]) -> (usize, usiz
     (keys.len() * ROUNDS * 2, outcome.completed_tickets)
 }
 
-fn measure(kind: ProtocolKind, shards: usize) -> Row {
-    let keys: Vec<Vec<u8>> = (0..shards * KEYS_PER_SHARD)
+fn measure(kind: ProtocolKind, shards: usize, keys_per_shard: usize, runtime: StoreRuntime) -> Row {
+    let keys: Vec<Vec<u8>> = (0..shards * keys_per_shard)
         .map(|i| format!("bench/key/{i}").into_bytes())
         .collect();
     // Warm-up pass on a fresh store, then the timed run on another.
-    drive(&mut build(kind, shards, StoreRuntime::Threaded), &keys);
-    let mut store = build(kind, shards, StoreRuntime::Threaded);
+    drive(&mut build(kind, shards, runtime), &keys);
+    let mut store = build(kind, shards, runtime);
     let start = Instant::now();
     let (ops, completed) = drive(&mut store, &keys);
     let seconds = start.elapsed().as_secs_f64();
@@ -81,8 +96,11 @@ fn measure(kind: ProtocolKind, shards: usize) -> Row {
         .expect("bench run must stay per-key atomic");
     Row {
         protocol: kind.name().to_string(),
+        runtime: runtime_name(runtime).to_string(),
         shards,
+        keys_per_shard,
         keys: keys.len(),
+        workers: store.pool_workers(),
         ops,
         completed,
         seconds,
@@ -90,18 +108,66 @@ fn measure(kind: ProtocolKind, shards: usize) -> Row {
     }
 }
 
+fn print_row(row: &Row) {
+    println!(
+        "store/{:<5} {:<13} shards={:<2} keys/shard={:<3} workers={} {:>9.0} ops/s \
+         ({} ops in {:.3}s)",
+        row.protocol,
+        row.runtime,
+        row.shards,
+        row.keys_per_shard,
+        row.workers,
+        row.ops_per_sec,
+        row.ops,
+        row.seconds
+    );
+}
+
 fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut rows = Vec::new();
+
+    // The shard axis: both parallel runtimes over the standard matrix.
+    // `workers: 0` resolves to one worker per hardware thread.
     for kind in [ProtocolKind::Soda, ProtocolKind::Abd, ProtocolKind::Cas] {
         for shards in [1, 2, 4, 8] {
-            let row = measure(kind, shards);
-            println!(
-                "store/{:<5} shards={:<2} {:>9.0} ops/s ({} ops over {} keys in {:.3}s)",
-                row.protocol, row.shards, row.ops_per_sec, row.ops, row.keys, row.seconds
-            );
-            rows.push(row);
+            for runtime in [
+                StoreRuntime::Threaded,
+                StoreRuntime::WorkStealing { workers: 0 },
+            ] {
+                let row = measure(kind, shards, 32, runtime);
+                print_row(&row);
+                rows.push(row);
+            }
         }
     }
+
+    // The hot-shard block: one shard, many keys. Threaded degenerates to a
+    // single task here; WorkStealing fans out one task per key cluster.
+    let hot_threaded = measure(ProtocolKind::Soda, 1, 256, StoreRuntime::Threaded);
+    print_row(&hot_threaded);
+    let hot_stealing = measure(
+        ProtocolKind::Soda,
+        1,
+        256,
+        StoreRuntime::WorkStealing { workers: 0 },
+    );
+    print_row(&hot_stealing);
+    if cores > 1 {
+        // The whole point of the cluster-granular pool — only checkable on a
+        // multi-core host; a single-core run degrades both to the same
+        // serial loop.
+        assert!(
+            hot_stealing.ops_per_sec > hot_threaded.ops_per_sec,
+            "work-stealing must beat threaded on a hot shard with {cores} cores: \
+             {:.0} vs {:.0} ops/s",
+            hot_stealing.ops_per_sec,
+            hot_threaded.ops_per_sec
+        );
+    }
+    rows.push(hot_threaded);
+    rows.push(hot_stealing);
+
     // `cargo bench` forwards flags like `--bench` to the binary; the JSON
     // output path is the first non-flag argument.
     let json_path = std::env::args().skip(1).find(|arg| !arg.starts_with('-'));

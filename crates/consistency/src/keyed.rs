@@ -18,7 +18,11 @@ use crate::history::{History, Kind, Version};
 
 /// One completed (or pending-closed) operation labeled with the key it
 /// touched.
-#[derive(Clone, Debug)]
+///
+/// Derives `Eq` so whole histories can be compared field-for-field — the
+/// store's runtime-conformance tests assert that its serial, threaded and
+/// work-stealing backends produce **bit-identical** per-key histories.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct KeyedOp {
     /// The key the operation addressed.
     pub key: Vec<u8>,
@@ -39,7 +43,7 @@ pub struct KeyedOp {
 }
 
 /// A multi-key operation history, projectable to per-key [`History`] values.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct KeyedHistory {
     initial_value: Vec<u8>,
     ops: Vec<KeyedOp>,

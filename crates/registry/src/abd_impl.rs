@@ -152,11 +152,11 @@ impl RegisterCluster for AbdRegisterCluster {
         self.inner.stats()
     }
 
-    fn completed_ops(&self) -> Vec<OpRecord> {
-        let mut ops = Vec::new();
+    fn completed_ops_into(&self, out: &mut Vec<OpRecord>) {
+        let start = out.len();
         for &client in self.inner.clients() {
             for record in self.inner.client_records(client) {
-                ops.push(OpRecord {
+                out.push(OpRecord {
                     client: client.0 as u64,
                     seq: record.seq,
                     kind: if record.is_read {
@@ -171,8 +171,7 @@ impl RegisterCluster for AbdRegisterCluster {
                 });
             }
         }
-        sort_records(&mut ops);
-        ops
+        sort_records(&mut out[start..]);
     }
 
     fn pending_writes(&self) -> Vec<PendingWriteRecord> {

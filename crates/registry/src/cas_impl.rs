@@ -167,11 +167,11 @@ impl RegisterCluster for CasRegisterCluster {
         self.inner.config().code().cache_stats()
     }
 
-    fn completed_ops(&self) -> Vec<OpRecord> {
-        let mut ops = Vec::new();
+    fn completed_ops_into(&self, out: &mut Vec<OpRecord>) {
+        let start = out.len();
         for &client in self.inner.clients() {
             for record in self.inner.client_records(client) {
-                ops.push(OpRecord {
+                out.push(OpRecord {
                     client: client.0 as u64,
                     seq: record.seq,
                     kind: if record.is_read {
@@ -186,8 +186,7 @@ impl RegisterCluster for CasRegisterCluster {
                 });
             }
         }
-        sort_records(&mut ops);
-        ops
+        sort_records(&mut out[start..]);
     }
 
     fn pending_writes(&self) -> Vec<PendingWriteRecord> {

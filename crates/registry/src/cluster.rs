@@ -25,9 +25,10 @@ use std::any::Any;
 /// measured numbers are directly comparable — which is the whole point of the
 /// paper's Table I.
 ///
-/// Clusters are `Send` (every process, message and RNG in the stack is), so
-/// higher layers — the sharded store in `crates/store` — can drive disjoint
-/// clusters from parallel OS threads.
+/// Clusters are `Send` (every process, message and RNG in the stack is), and
+/// boxed clusters are `'static`, so higher layers — the sharded store in
+/// `crates/store` — can drive disjoint clusters from parallel OS threads,
+/// including moving them onto a persistent worker pool and back.
 pub trait RegisterCluster: Send {
     /// The static description of this cluster (protocol, `n`, `f`, client
     /// counts).
@@ -105,9 +106,21 @@ pub trait RegisterCluster: Send {
     /// Message statistics accumulated so far.
     fn stats(&self) -> Stats;
 
+    /// Appends every operation completed by all clients to `out`, in the
+    /// shared record type, ordered by completion time. Implementations must
+    /// only append — the store's ticket-settling path reuses one scratch
+    /// buffer across every cluster it drains, clearing it between calls
+    /// itself.
+    fn completed_ops_into(&self, out: &mut Vec<OpRecord>);
+
     /// All operations completed by all clients, in the shared record type,
-    /// ordered by completion time.
-    fn completed_ops(&self) -> Vec<OpRecord>;
+    /// ordered by completion time. Allocating convenience wrapper around
+    /// [`Self::completed_ops_into`].
+    fn completed_ops(&self) -> Vec<OpRecord> {
+        let mut ops = Vec::new();
+        self.completed_ops_into(&mut ops);
+        ops
+    }
 
     /// Writes that were invoked but have not completed (writer still
     /// mid-operation, crashed mid-operation, or starved by the network

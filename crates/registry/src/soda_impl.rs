@@ -200,26 +200,26 @@ impl RegisterCluster for SodaRegisterCluster {
         self.inner.soda_config().code().cache_stats()
     }
 
-    fn completed_ops(&self) -> Vec<OpRecord> {
-        let mut ops: Vec<OpRecord> = self
-            .inner
-            .completed_ops()
-            .into_iter()
-            .map(|record| OpRecord {
-                client: record.op.client.0 as u64,
-                seq: record.op.seq,
-                kind: match record.kind {
-                    soda::OpKind::Write => OpKind::Write,
-                    soda::OpKind::Read => OpKind::Read,
-                },
-                invoked_at: record.invoked_at,
-                completed_at: record.completed_at,
-                tag: record.tag,
-                value: record.value,
-            })
-            .collect();
-        sort_records(&mut ops);
-        ops
+    fn completed_ops_into(&self, out: &mut Vec<OpRecord>) {
+        let start = out.len();
+        out.extend(
+            self.inner
+                .completed_ops()
+                .into_iter()
+                .map(|record| OpRecord {
+                    client: record.op.client.0 as u64,
+                    seq: record.op.seq,
+                    kind: match record.kind {
+                        soda::OpKind::Write => OpKind::Write,
+                        soda::OpKind::Read => OpKind::Read,
+                    },
+                    invoked_at: record.invoked_at,
+                    completed_at: record.completed_at,
+                    tag: record.tag,
+                    value: record.value,
+                }),
+        );
+        sort_records(&mut out[start..]);
     }
 
     fn pending_writes(&self) -> Vec<PendingWriteRecord> {

@@ -8,6 +8,13 @@ use std::error::Error;
 use std::fmt;
 
 /// Which backend drives the shards when the store runs.
+///
+/// All three produce **bit-identical** per-key histories and
+/// [`StoreMetrics`](crate::StoreMetrics): every key's cluster is a
+/// self-contained deterministic simulation, so the runtimes only decide
+/// *where* each cluster executes, never what it computes. The
+/// runtime-conformance tests in `crates/store/tests` assert this under
+/// crashes, partitions and repairs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum StoreRuntime {
     /// Every shard is stepped serially on the calling thread, in shard order.
@@ -16,11 +23,26 @@ pub enum StoreRuntime {
     /// exploration campaigns need.
     #[default]
     Simulation,
-    /// Each shard runs on its own OS thread (shards are independent, so this
-    /// is safe parallelism). Per-shard histories stay deterministic — each
-    /// shard still runs its own discrete-event simulation — but wall-clock
-    /// timing is real, which is what the throughput benches measure.
+    /// Each shard is one task on the store's persistent worker pool, so
+    /// disjoint shards drain in parallel (shards are independent, so this is
+    /// safe parallelism). Degrades to the serial loop on single-shard stores
+    /// and single-hardware-thread hosts, where threads buy nothing. A
+    /// hot-shard workload (few shards, many keys) stays serial *within* each
+    /// shard — that is what [`StoreRuntime::WorkStealing`] is for.
     Threaded,
+    /// Schedules at `(shard, key cluster)` granularity: every key's cluster
+    /// is its own task on the persistent work-stealing pool, so throughput
+    /// scales with cores even on a **single** shard — the hot-shard shape the
+    /// per-shard threaded runtime serializes. Workers steal tasks from each
+    /// other when their own queues run dry, so skewed key populations still
+    /// balance. See [`crate::PoolMetrics`] for the pool counters.
+    WorkStealing {
+        /// Worker threads in the pool. `0` means one per hardware thread
+        /// (degrading to the serial loop on single-threaded hosts); an
+        /// explicit count is honored as given, which lets tests exercise the
+        /// pool machinery regardless of the host's core count.
+        workers: usize,
+    },
 }
 
 /// A scheduled partition window on one shard: the named server `ranks` are

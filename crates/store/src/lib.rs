@@ -19,9 +19,14 @@
 //!   construction, and the store machine-checks it after the fact.
 //! * [`ShardedStore`] — the batched, async-flavored client API: [`put`],
 //!   [`get`], [`multi_get`] and [`put_batch`] return [`Ticket`]s immediately;
-//!   [`run_until_quiescent`] drains every shard (serially and
-//!   deterministically under [`StoreRuntime::Simulation`], one OS thread per
-//!   shard under [`StoreRuntime::Threaded`]); [`poll`] redeems tickets.
+//!   [`run_until_quiescent`] drains every shard (serially under
+//!   [`StoreRuntime::Simulation`]; one pool task per shard under
+//!   [`StoreRuntime::Threaded`]; one pool task per **key cluster** under
+//!   [`StoreRuntime::WorkStealing`], so a single hot shard scales with
+//!   cores); [`poll`] redeems tickets. Histories are bit-identical across
+//!   all three runtimes — the parallel ones run on a persistent
+//!   work-stealing worker pool created at build time, with [`PoolMetrics`]
+//!   exposing its scheduling counters.
 //! * [`StoreMetrics`] — per-shard and aggregate op counts, message/storage
 //!   cost and latency histograms, assembled from the clusters'
 //!   [`soda_simnet::Stats`] and operation records.
@@ -72,9 +77,10 @@
 mod builder;
 mod map;
 mod metrics;
+mod pool;
 mod store;
 
 pub use builder::{ShardPartition, ShardSpec, StoreBuildError, StoreBuilder, StoreRuntime};
 pub use map::ShardMap;
-pub use metrics::{LatencyHistogram, ShardMetrics, StoreMetrics, StoreTotals};
+pub use metrics::{LatencyHistogram, PoolMetrics, ShardMetrics, StoreMetrics, StoreTotals};
 pub use store::{OpOutcome, ShardedStore, StoreError, StoreRunOutcome, Ticket, TicketStatus};

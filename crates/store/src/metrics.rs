@@ -227,6 +227,51 @@ pub struct StoreMetrics {
     pub aggregate: StoreTotals,
 }
 
+/// Lifetime counters of the persistent worker pool behind
+/// [`StoreRuntime::Threaded`](crate::StoreRuntime::Threaded) and
+/// [`StoreRuntime::WorkStealing`](crate::StoreRuntime::WorkStealing), as
+/// returned by [`crate::ShardedStore::pool_metrics`].
+///
+/// These are **scheduling** counters: unlike everything in [`StoreMetrics`],
+/// which is derived from deterministic simulations and is bit-identical
+/// across runtimes, `steals` and `busy_nanos` depend on which worker reached
+/// which cluster first and vary run to run. `tasks_executed` is deterministic
+/// for a fixed operation sequence (one task per key cluster per drain under
+/// the work-stealing runtime, one per non-empty shard under the threaded
+/// runtime).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolMetrics {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Tasks executed since the store was built (including panicked ones).
+    pub tasks_executed: u64,
+    /// Tasks a worker took from another worker's deque.
+    pub steals: u64,
+    /// Wall-clock nanoseconds workers spent inside task bodies, summed over
+    /// workers (so up to `workers ×` the drain's wall-clock time).
+    pub busy_nanos: u64,
+}
+
+impl PoolMetrics {
+    /// Wall-clock time workers spent executing tasks, summed over workers.
+    pub fn busy(&self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.busy_nanos)
+    }
+}
+
+impl fmt::Display for PoolMetrics {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            out,
+            "workers={} tasks={} steals={} busy={:.1?}",
+            self.workers,
+            self.tasks_executed,
+            self.steals,
+            self.busy()
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

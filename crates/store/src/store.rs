@@ -2,9 +2,10 @@
 
 use crate::builder::{ShardSpec, StoreRuntime};
 use crate::map::{fnv1a, ShardMap};
-use crate::metrics::{LatencyHistogram, ShardMetrics, StoreMetrics, StoreTotals};
+use crate::metrics::{LatencyHistogram, PoolMetrics, ShardMetrics, StoreMetrics, StoreTotals};
+use crate::pool::{Task, WorkerPool};
 use soda_consistency::{KeyViolation, KeyedHistory, KeyedOp};
-use soda_registry::{OpKind, RegisterCluster};
+use soda_registry::{OpKind, OpRecord, RegisterCluster};
 use soda_simnet::FastHashMap;
 use soda_simnet::SimTime;
 use std::collections::BTreeSet;
@@ -99,6 +100,30 @@ fn hardware_parallelism() -> usize {
     })
 }
 
+/// The worker pool a store with `shards` shards needs for `runtime`, or
+/// `None` where the serial loop is the right (or only useful) backend:
+/// always for [`StoreRuntime::Simulation`]; for [`StoreRuntime::Threaded`]
+/// on single-shard stores or single-hardware-thread hosts (the documented
+/// serial degradation — threads buy no parallelism there); and for
+/// [`StoreRuntime::WorkStealing`] when the worker count resolves to one. An
+/// *explicit* work-stealing worker count is honored even on a single core,
+/// so tests can exercise the pool machinery on any host.
+fn pool_for(runtime: StoreRuntime, shards: usize) -> Option<WorkerPool> {
+    let workers = match runtime {
+        StoreRuntime::Simulation => 1,
+        StoreRuntime::Threaded => {
+            if shards <= 1 {
+                1
+            } else {
+                shards.min(hardware_parallelism())
+            }
+        }
+        StoreRuntime::WorkStealing { workers: 0 } => hardware_parallelism(),
+        StoreRuntime::WorkStealing { workers } => workers,
+    };
+    (workers > 1).then(|| WorkerPool::new(workers))
+}
+
 /// Handle for one asynchronously-invoked store operation. Obtained from
 /// [`ShardedStore::put`] / [`ShardedStore::get`] (and their batched
 /// variants), redeemed with [`ShardedStore::poll`] once the store has been
@@ -181,22 +206,54 @@ struct KeyCluster {
     reader_done: Vec<usize>,
 }
 
+/// Scratch buffers [`KeyCluster::harvest`] reuses across every cluster of
+/// every drain, replacing the per-call, per-handle record allocations the
+/// old settling path made.
+#[derive(Default)]
+struct HarvestScratch {
+    /// The cluster's completed records (cleared and refilled per cluster).
+    ops: Vec<OpRecord>,
+    /// Indices into `ops` belonging to one client handle, in `seq` order
+    /// (cleared and refilled per handle).
+    order: Vec<usize>,
+}
+
 impl KeyCluster {
     /// Settles newly completed operations into `outcomes`.
-    fn harvest(&mut self, shard: usize, outcomes: &mut FastHashMap<u64, OpOutcome>) {
-        let ops = self.cluster.completed_ops();
+    fn harvest(
+        &mut self,
+        shard: usize,
+        outcomes: &mut FastHashMap<u64, OpOutcome>,
+        scratch: &mut HarvestScratch,
+    ) {
+        if self.settled() == self.issued() {
+            // Every ticket already settled — nothing new can appear, so skip
+            // cloning the cluster's whole record list.
+            return;
+        }
+        scratch.ops.clear();
+        self.cluster.completed_ops_into(&mut scratch.ops);
+        let ops = &scratch.ops;
         let descriptor = *self.cluster.descriptor();
         for w in 0..descriptor.num_writers {
             let client = self.cluster.writer_process(w).0 as u64;
-            let mut records: Vec<_> = ops.iter().filter(|op| op.client == client).collect();
-            records.sort_by_key(|op| op.seq);
-            let settled = records.len().min(self.writer_tickets[w].len());
-            for (record, &ticket) in records
+            let order = &mut scratch.order;
+            order.clear();
+            order.extend(
+                ops.iter()
+                    .enumerate()
+                    .filter(|(_, op)| op.client == client)
+                    .map(|(i, _)| i),
+            );
+            order.sort_unstable_by_key(|&i| ops[i].seq);
+            let settled = order.len().min(self.writer_tickets[w].len());
+            for (&idx, &ticket) in order
                 .iter()
                 .zip(&self.writer_tickets[w])
                 .take(settled)
                 .skip(self.writer_done[w])
             {
+                let record = &ops[idx];
                 outcomes.insert(
                     ticket,
                     OpOutcome {
@@ -212,15 +269,23 @@ impl KeyCluster {
         }
         for r in 0..descriptor.num_readers {
             let client = self.cluster.reader_process(r).0 as u64;
-            let mut records: Vec<_> = ops.iter().filter(|op| op.client == client).collect();
-            records.sort_by_key(|op| op.seq);
-            let settled = records.len().min(self.reader_tickets[r].len());
-            for (record, &ticket) in records
+            let order = &mut scratch.order;
+            order.clear();
+            order.extend(
+                ops.iter()
+                    .enumerate()
+                    .filter(|(_, op)| op.client == client)
+                    .map(|(i, _)| i),
+            );
+            order.sort_unstable_by_key(|&i| ops[i].seq);
+            let settled = order.len().min(self.reader_tickets[r].len());
+            for (&idx, &ticket) in order
                 .iter()
                 .zip(&self.reader_tickets[r])
                 .take(settled)
                 .skip(self.reader_done[r])
             {
+                let record = &ops[idx];
                 let value = record.value.clone().filter(|v| !v.is_empty());
                 outcomes.insert(
                     ticket,
@@ -245,6 +310,17 @@ impl KeyCluster {
     fn settled(&self) -> usize {
         self.writer_done.iter().sum::<usize>() + self.reader_done.iter().sum::<usize>()
     }
+}
+
+/// What one pool task sends back to the draining thread: the clusters it
+/// ran (a single key cluster under the work-stealing runtime, a whole
+/// shard's batch under the threaded runtime), addressed by their original
+/// `(shard, first-cluster-index)` slot so reinstallation is order-exact.
+struct DrainedBatch {
+    shard: usize,
+    first: usize,
+    clusters: Vec<KeyCluster>,
+    hit_cap: bool,
 }
 
 /// One shard: a fleet of per-key register clusters sharing a [`ShardSpec`]
@@ -319,8 +395,13 @@ pub struct ShardedStore {
     shards: Vec<Shard>,
     seed: u64,
     runtime: StoreRuntime,
+    /// The persistent worker pool behind the parallel runtimes, created once
+    /// at build time (`None` when the serial loop is the backend — see
+    /// [`pool_for`]).
+    pool: Option<WorkerPool>,
     next_ticket: u64,
     outcomes: FastHashMap<u64, OpOutcome>,
+    scratch: HarvestScratch,
 }
 
 impl std::fmt::Debug for ShardedStore {
@@ -342,6 +423,7 @@ impl ShardedStore {
         seed: u64,
         runtime: StoreRuntime,
     ) -> Self {
+        let specs_len = specs.len();
         let shards = specs
             .into_iter()
             .enumerate()
@@ -354,13 +436,16 @@ impl ShardedStore {
                 repairing: BTreeSet::new(),
             })
             .collect();
+        let pool = pool_for(runtime, specs_len);
         ShardedStore {
             map,
             shards,
             seed,
             runtime,
+            pool,
             next_ticket: 1,
             outcomes: FastHashMap::default(),
+            scratch: HarvestScratch::default(),
         }
     }
 
@@ -395,6 +480,23 @@ impl ShardedStore {
     /// The execution backend the store was built with.
     pub fn runtime(&self) -> StoreRuntime {
         self.runtime
+    }
+
+    /// Scheduling counters of the persistent worker pool: tasks executed,
+    /// steals, and summed worker busy-time. `None` when the store runs the
+    /// serial loop ([`StoreRuntime::Simulation`], or a parallel runtime
+    /// degraded to serial — single shard under `Threaded`, automatic worker
+    /// count on a single-hardware-thread host). Unlike [`Self::metrics`],
+    /// steal and busy-time counts are wall-clock artifacts and vary run to
+    /// run; histories never do.
+    pub fn pool_metrics(&self) -> Option<PoolMetrics> {
+        self.pool.as_ref().map(WorkerPool::metrics)
+    }
+
+    /// Worker threads driving the store: the pool size, or 1 on the serial
+    /// loop.
+    pub fn pool_workers(&self) -> usize {
+        self.pool.as_ref().map_or(1, WorkerPool::num_workers)
     }
 
     fn issue_ticket(&mut self) -> Ticket {
@@ -463,62 +565,68 @@ impl ShardedStore {
         keys.into_iter().map(|key| self.get(key)).collect()
     }
 
-    /// The status of a ticket. Cheap — completions are harvested by
+    /// The status of a ticket. Completions are harvested by
     /// [`Self::run_until_quiescent`], not here.
+    ///
+    /// This clones the outcome (key and value included) so `TicketStatus` can
+    /// be held while the store is driven further; a hot loop that only
+    /// inspects outcomes should use the borrowing [`Self::outcome`] instead.
     ///
     /// # Panics
     /// Panics on a ticket this store never issued.
     pub fn poll(&self, ticket: Ticket) -> TicketStatus {
-        assert!(
-            ticket.0 > 0 && ticket.0 < self.next_ticket,
-            "ticket {} was not issued by this store",
-            ticket.0
-        );
-        match self.outcomes.get(&ticket.0) {
+        match self.outcome(ticket) {
             Some(outcome) => TicketStatus::Done(outcome.clone()),
             None => TicketStatus::Pending,
         }
     }
 
+    /// Borrowed view of a completed ticket's outcome — `None` while the
+    /// ticket is pending. The allocation-free twin of [`Self::poll`].
+    ///
+    /// # Panics
+    /// Panics on a ticket this store never issued.
+    pub fn outcome(&self, ticket: Ticket) -> Option<&OpOutcome> {
+        assert!(
+            ticket.0 > 0 && ticket.0 < self.next_ticket,
+            "ticket {} was not issued by this store",
+            ticket.0
+        );
+        self.outcomes.get(&ticket.0)
+    }
+
     /// Drives every shard until no messages remain anywhere, then settles
     /// tickets. With [`StoreRuntime::Simulation`] shards run serially in
-    /// shard order (deterministic); with [`StoreRuntime::Threaded`] each
-    /// shard runs on its own OS thread (per-shard histories stay
-    /// deterministic, wall-clock is real). On a single-hardware-thread host
-    /// (or with a single shard) the threaded runtime degrades to the serial
-    /// loop: spawning threads there buys no parallelism and costs real time,
-    /// and per-shard executions are identical either way.
+    /// shard order; with [`StoreRuntime::Threaded`] each shard is one task on
+    /// the store's persistent worker pool; with [`StoreRuntime::WorkStealing`]
+    /// each **key cluster** is its own task, so even a single hot shard
+    /// drains in parallel. All three produce bit-identical histories:
+    /// clusters are self-contained deterministic simulations, and tickets and
+    /// repairs are settled on the calling thread in `(shard, cluster-index)`
+    /// order after the drain, whatever order the workers finished in. The
+    /// threaded runtime (and the work-stealing runtime at its automatic
+    /// worker count) degrades to the serial loop on single-hardware-thread
+    /// hosts, where extra threads buy no parallelism and cost real time.
     ///
     /// A shard whose clusters cannot make progress (e.g. a majority of its
     /// servers crashed) still quiesces — its operations simply stay pending —
     /// so a dead shard never blocks the others.
     pub fn run_until_quiescent(&mut self) -> StoreRunOutcome {
-        let serial = matches!(self.runtime, StoreRuntime::Simulation)
-            || self.shards.len() <= 1
-            || hardware_parallelism() <= 1;
-        let hit_event_cap = if serial {
+        let hit_event_cap = if self.pool.is_some() {
+            let per_cluster = matches!(self.runtime, StoreRuntime::WorkStealing { .. });
+            self.drain_on_pool(per_cluster)
+        } else {
             let mut hit = false;
             for shard in &mut self.shards {
                 hit |= shard.run_to_quiescence();
             }
             hit
-        } else {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .shards
-                    .iter_mut()
-                    .map(|shard| scope.spawn(move || shard.run_to_quiescence()))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("shard thread panicked"))
-                    .fold(false, |acc, hit| acc | hit)
-            })
         };
+        let scratch = &mut self.scratch;
         for shard in &mut self.shards {
             let index = shard.index;
             for kc in &mut shard.clusters {
-                kc.harvest(index, &mut self.outcomes);
+                kc.harvest(index, &mut self.outcomes, scratch);
             }
             // Settle repairs per rank from the clusters' typed repair
             // reports. A rank leaves `repairing` once every cluster that
@@ -568,6 +676,90 @@ impl ShardedStore {
             pending_tickets: (self.next_ticket - 1) as usize - self.outcomes.len(),
             hit_event_cap,
         }
+    }
+
+    /// Drains every shard on the persistent worker pool: key clusters are
+    /// moved out of their shards (the only mutable state a task touches),
+    /// scheduled one task per cluster (`per_cluster`, the work-stealing
+    /// runtime) or one task per shard (the threaded runtime), and reinstalled
+    /// at their original `(shard, cluster-index)` slots once every task has
+    /// reported back — so everything after the drain observes the same
+    /// deterministic order the serial loop produces, whatever order the
+    /// workers finished in.
+    ///
+    /// # Panics
+    /// Panics if a worker task panicked (the underlying cluster simulation
+    /// raised; its state is lost, so the store cannot continue).
+    fn drain_on_pool(&mut self, per_cluster: bool) -> bool {
+        let pool = self.pool.as_ref().expect("pool drain without a pool");
+        let (tx, rx) = std::sync::mpsc::channel::<DrainedBatch>();
+        let mut tasks: Vec<Task> = Vec::new();
+        let mut staging: Vec<Vec<Option<KeyCluster>>> = Vec::with_capacity(self.shards.len());
+        for shard in &mut self.shards {
+            let clusters = std::mem::take(&mut shard.clusters);
+            staging.push((0..clusters.len()).map(|_| None).collect());
+            let shard_index = shard.index;
+            if per_cluster {
+                for (index, kc) in clusters.into_iter().enumerate() {
+                    let tx = tx.clone();
+                    let mut kc = kc;
+                    tasks.push(Box::new(move || {
+                        let hit_cap = kc.cluster.run_to_quiescence().hit_event_cap;
+                        let _ = tx.send(DrainedBatch {
+                            shard: shard_index,
+                            first: index,
+                            clusters: vec![kc],
+                            hit_cap,
+                        });
+                    }));
+                }
+            } else if !clusters.is_empty() {
+                let tx = tx.clone();
+                tasks.push(Box::new(move || {
+                    let mut clusters = clusters;
+                    let mut hit_cap = false;
+                    for kc in &mut clusters {
+                        hit_cap |= kc.cluster.run_to_quiescence().hit_event_cap;
+                    }
+                    let _ = tx.send(DrainedBatch {
+                        shard: shard_index,
+                        first: 0,
+                        clusters,
+                        hit_cap,
+                    });
+                }));
+            }
+        }
+        drop(tx);
+        let expected = tasks.len();
+        pool.submit(tasks);
+        let mut hit_event_cap = false;
+        for collected in 0..expected {
+            // Results arrive in completion order; the staging slots restore
+            // cluster order. A disconnect short of `expected` means a task
+            // panicked instead of reporting (its queued siblings still ran
+            // and their buffered results were received first).
+            let batch = rx.recv().unwrap_or_else(|_| {
+                panic!(
+                    "a store worker task panicked while draining \
+                     ({collected} of {expected} results collected, \
+                     {} panics observed pool-lifetime)",
+                    pool.panics()
+                )
+            });
+            hit_event_cap |= batch.hit_cap;
+            let slots = &mut staging[batch.shard];
+            for (offset, kc) in batch.clusters.into_iter().enumerate() {
+                slots[batch.first + offset] = Some(kc);
+            }
+        }
+        for (shard, slots) in self.shards.iter_mut().zip(staging) {
+            shard.clusters = slots
+                .into_iter()
+                .map(|slot| slot.expect("every drained cluster reports back exactly once"))
+                .collect();
+        }
+        hit_event_cap
     }
 
     /// Crashes server ranks `0..count` in every cluster of `shard`, existing

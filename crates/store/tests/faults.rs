@@ -76,10 +76,16 @@ fn mixed_store_under_net_faults_is_per_key_atomic_in_the_threaded_runtime() {
 #[test]
 fn threaded_and_simulated_runs_agree_exactly() {
     // Shards are driven by self-contained deterministic simulations, so the
-    // threaded runtime must reproduce the serial backend's histories bit for
-    // bit — threads only change wall-clock, never outcomes.
+    // parallel runtimes must reproduce the serial backend's histories bit
+    // for bit — worker threads only change wall-clock, never outcomes. The
+    // explicit work-stealing worker count keeps the pool machinery exercised
+    // even on single-core hosts.
     let mut results = Vec::new();
-    for runtime in [StoreRuntime::Simulation, StoreRuntime::Threaded] {
+    for runtime in [
+        StoreRuntime::Simulation,
+        StoreRuntime::Threaded,
+        StoreRuntime::WorkStealing { workers: 3 },
+    ] {
         let mut store = mixed_adversarial_store(runtime, 5);
         drive_mixed(&mut store);
         let m = store.metrics();
@@ -93,6 +99,7 @@ fn threaded_and_simulated_runs_agree_exactly() {
         ));
     }
     assert_eq!(results[0], results[1]);
+    assert_eq!(results[0], results[2]);
 }
 
 #[test]

@@ -99,7 +99,11 @@ fn partition_window_heals_and_the_store_stays_atomic() {
 #[test]
 fn partitioned_store_is_bit_identical_across_runtimes() {
     let mut results = Vec::new();
-    for runtime in [StoreRuntime::Simulation, StoreRuntime::Threaded] {
+    for runtime in [
+        StoreRuntime::Simulation,
+        StoreRuntime::Threaded,
+        StoreRuntime::WorkStealing { workers: 4 },
+    ] {
         let store = drive_partitioned_round_trip(runtime, 23);
         store.check_per_key_atomicity().unwrap();
         let m = store.metrics();
@@ -115,6 +119,7 @@ fn partitioned_store_is_bit_identical_across_runtimes() {
         ));
     }
     assert_eq!(results[0], results[1]);
+    assert_eq!(results[0], results[2]);
 }
 
 /// The crash → partition → heal → repair cycle: a repair scheduled while the

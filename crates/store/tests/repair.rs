@@ -110,7 +110,11 @@ fn crash_repair_crash_a_different_server_stays_per_key_atomic() {
 #[test]
 fn crash_repair_crash_is_bit_identical_across_runtimes() {
     let mut results = Vec::new();
-    for runtime in [StoreRuntime::Simulation, StoreRuntime::Threaded] {
+    for runtime in [
+        StoreRuntime::Simulation,
+        StoreRuntime::Threaded,
+        StoreRuntime::WorkStealing { workers: 4 },
+    ] {
         let store = drive_crash_repair_crash(runtime, 5);
         store.check_per_key_atomicity().unwrap();
         let m = store.metrics();
@@ -126,6 +130,7 @@ fn crash_repair_crash_is_bit_identical_across_runtimes() {
         ));
     }
     assert_eq!(results[0], results[1]);
+    assert_eq!(results[0], results[2]);
 }
 
 #[test]

@@ -87,6 +87,12 @@ pub struct StoreExploreConfig {
     /// store-level harness and shrinker can themselves be validated. See
     /// `ClusterBuilder::with_unsound_quorum`.
     pub quorum_override: Option<usize>,
+    /// Store runtime every scenario is driven under. Defaults to
+    /// [`StoreRuntime::Simulation`]; campaigns are bit-identical across
+    /// runtimes (that is itself a checked property), so switching this to
+    /// [`StoreRuntime::WorkStealing`] fuzzes the pool's scheduling machinery
+    /// without changing which histories get explored.
+    pub runtime: StoreRuntime,
 }
 
 impl StoreExploreConfig {
@@ -118,6 +124,7 @@ impl StoreExploreConfig {
             partition_p: 0.0,
             partition_len_max: 1600,
             quorum_override: None,
+            runtime: StoreRuntime::Simulation,
         }
     }
 
@@ -515,7 +522,7 @@ pub fn run_store_scenario(
     .with_clients_per_key(cfg.writers_per_key, cfg.readers_per_key)
     .with_net_faults(plan)
     .with_seed(scenario.seed)
-    .with_runtime(StoreRuntime::Simulation);
+    .with_runtime(cfg.runtime);
     for w in &scenario.shard_partitions {
         if !w.is_empty() {
             builder = builder.with_shard_partition(w.shard, w.ranks.clone(), w.start, w.end);

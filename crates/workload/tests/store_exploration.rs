@@ -10,6 +10,7 @@
 //!     --test store_exploration -- --ignored --nocapture
 //! ```
 
+use soda_store::StoreRuntime;
 use soda_workload::store_explore::{
     explore_store, generate_store_scenario, run_store_scenario, StoreExploreConfig,
 };
@@ -60,6 +61,35 @@ fn store_campaigns_are_deterministic_per_seed_range() {
         digest(&b),
         "same seeds must reproduce the same campaign"
     );
+}
+
+#[test]
+fn work_stealing_campaigns_match_the_simulation_digest() {
+    // The runtime knob must not change *what* gets explored — only how the
+    // shard work is scheduled. The explicit worker count exercises the pool
+    // even on single-core hosts.
+    let serial = StoreExploreConfig::mixed(4);
+    let pooled = StoreExploreConfig {
+        runtime: StoreRuntime::WorkStealing { workers: 3 },
+        ..StoreExploreConfig::mixed(4)
+    };
+    let digest = |report: &soda_workload::store_explore::StoreExplorationReport| {
+        (
+            report.schedules,
+            report.completed_ops,
+            report.pending_tickets,
+            report.event_cap_hits,
+            report.counterexamples.len(),
+        )
+    };
+    let a = explore_store(&serial, 21, 3);
+    let b = explore_store(&pooled, 21, 3);
+    assert_eq!(
+        digest(&a),
+        digest(&b),
+        "the work-stealing runtime must reproduce the simulation campaign"
+    );
+    assert!(a.all_atomic());
 }
 
 #[test]
@@ -196,6 +226,65 @@ fn store_repair_fuzz_smoke() {
     eprintln!(
         "store-repair: {} schedules ({} with repairs, {} follow-up crashes), {} tickets, all per-key atomic",
         report.schedules, with_repairs, with_follow_up, report.completed_ops
+    );
+}
+
+/// The work-stealing store fuzz-smoke CI runs nightly: the full mixed-fleet
+/// campaign (crashes, repairs, partition windows, the standard adversary)
+/// driven entirely under [`StoreRuntime::WorkStealing`], so the pool's
+/// cluster-granular scheduling soaks against the same schedule space the
+/// serial smokes cover — and the campaign digest must match a serial rerun
+/// bit for bit. Ignored in tier-1; scale with `EXPLORE_SCHEDULES`.
+#[test]
+#[ignore = "nightly fuzz-smoke budget; run with --ignored (EXPLORE_SCHEDULES to scale)"]
+fn store_workstealing_fuzz_smoke() {
+    let schedules = schedules_from_env(25);
+    let seed_start = 17_000u64;
+    let pooled = StoreExploreConfig {
+        shard_crash_p: 0.5,
+        repair_p: 1.0,
+        runtime: StoreRuntime::WorkStealing { workers: 4 },
+        ..StoreExploreConfig::mixed(4).with_partitions(0.5, 1000)
+    };
+    let report = explore_store(&pooled, seed_start, schedules);
+    for cex in &report.counterexamples {
+        eprintln!("{cex}");
+    }
+    for cex in &report.liveness_counterexamples {
+        eprintln!("{cex}");
+    }
+    assert!(
+        report.all_atomic(),
+        "{} store-level counterexamples over {} work-stealing schedules",
+        report.counterexamples.len(),
+        schedules
+    );
+    assert!(
+        report.all_live(),
+        "{} store-level liveness counterexamples over {} work-stealing schedules",
+        report.liveness_counterexamples.len(),
+        schedules
+    );
+    assert_eq!(report.event_cap_hits, 0);
+    assert!(report.completed_ops > 0);
+
+    // Conformance soak: the pooled campaign must be indistinguishable from
+    // the serial one over the same seeds.
+    let serial = StoreExploreConfig {
+        runtime: StoreRuntime::Simulation,
+        ..pooled.clone()
+    };
+    let serial_report = explore_store(&serial, seed_start, schedules);
+    assert_eq!(report.completed_ops, serial_report.completed_ops);
+    assert_eq!(report.pending_tickets, serial_report.pending_tickets);
+    assert_eq!(
+        report.counterexamples.len(),
+        serial_report.counterexamples.len()
+    );
+    eprintln!(
+        "store-workstealing: {} schedules, {} tickets, all per-key atomic, \
+         digest matches the serial rerun",
+        report.schedules, report.completed_ops
     );
 }
 
